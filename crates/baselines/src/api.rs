@@ -1,0 +1,244 @@
+//! The common pub/sub interface all compared systems implement.
+
+use osn_graph::{SocialGraph, UserId};
+use osn_overlay::RouteOutcome;
+use select_core::pubsub::{DisseminationReport, RoutingTree};
+use select_core::SelectNetwork;
+use std::collections::HashSet;
+
+/// Which system a [`PubSubSystem`] instance is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    Select,
+    /// Symphony small-world DHT baseline.
+    Symphony,
+    /// Bayeux rendezvous-tree baseline.
+    Bayeux,
+    /// Vitis gossip-hybrid baseline.
+    Vitis,
+    /// OMen topic-connected-overlay baseline.
+    OMen,
+}
+
+impl SystemKind {
+    /// All systems in the paper's comparison order.
+    pub const ALL: [SystemKind; 5] = [
+        SystemKind::Select,
+        SystemKind::Symphony,
+        SystemKind::Bayeux,
+        SystemKind::Vitis,
+        SystemKind::OMen,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Select => "SELECT",
+            SystemKind::Symphony => "Symphony",
+            SystemKind::Bayeux => "Bayeux",
+            SystemKind::Vitis => "Vitis",
+            SystemKind::OMen => "OMen",
+        }
+    }
+}
+
+/// A topic-based pub/sub system over a social graph, where each social user
+/// is a topic and his friends are the subscribers.
+pub trait PubSubSystem {
+    /// Which system this is.
+    fn kind(&self) -> SystemKind;
+
+    /// The social graph the system serves.
+    fn social_graph(&self) -> &SocialGraph;
+
+    /// Total number of peers.
+    fn len(&self) -> usize {
+        self.social_graph().num_nodes()
+    }
+
+    /// Whether the system has no peers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `p` is currently online.
+    fn is_online(&self, p: u32) -> bool;
+
+    /// Routes one social lookup from `from` to `to`.
+    fn lookup(&self, from: u32, to: u32) -> RouteOutcome;
+
+    /// Iterations the construction protocol needed, `None` for systems with
+    /// no iterative construction (Symphony, Bayeux — paper Fig. 5 excludes
+    /// them).
+    fn construction_iterations(&self) -> Option<usize> {
+        None
+    }
+
+    /// Takes `p` offline (churn).
+    fn set_offline(&mut self, p: u32);
+
+    /// Brings `p` back online.
+    fn set_online(&mut self, p: u32);
+
+    /// Runs one maintenance round (probing / recovery); default no-op for
+    /// systems without one.
+    fn maintenance_round(&mut self) {}
+
+    /// Online subscribers of topic `b` (the publisher's online friends).
+    fn subscribers_of(&self, b: u32) -> Vec<u32> {
+        self.social_graph()
+            .neighbors(UserId(b))
+            .iter()
+            .map(|f| f.0)
+            .filter(|&f| self.is_online(f))
+            .collect()
+    }
+
+    /// Publishes from `b`, delivering to every online subscriber.
+    ///
+    /// Default: one [`PubSubSystem::lookup`] per subscriber, aggregated by
+    /// [`aggregate_publication`]. Systems with a dedicated dissemination
+    /// structure (Bayeux trees, Vitis clusters, OMen TCOs) override this.
+    fn publish(&self, b: u32) -> DisseminationReport {
+        let subs = self.subscribers_of(b);
+        aggregate_publication(b, &subs, |s| self.lookup(b, s))
+    }
+}
+
+/// Folds per-subscriber routing outcomes into a [`DisseminationReport`],
+/// counting relay nodes exactly as the paper does: intermediate peers on a
+/// delivery path that are not themselves subscribers of the topic.
+pub fn aggregate_publication(
+    publisher: u32,
+    subscribers: &[u32],
+    mut route: impl FnMut(u32) -> RouteOutcome,
+) -> DisseminationReport {
+    let subscriber_set: HashSet<u32> = subscribers.iter().copied().collect();
+    let mut tree = RoutingTree {
+        publisher,
+        ..RoutingTree::default()
+    };
+    let mut total_hops = 0usize;
+    let mut total_relays = 0usize;
+    for &s in subscribers {
+        match route(s) {
+            RouteOutcome::Delivered { path } => {
+                total_hops += path.len() - 1;
+                total_relays += path[1..path.len() - 1]
+                    .iter()
+                    .filter(|q| !subscriber_set.contains(q))
+                    .count();
+                tree.paths.push(path);
+            }
+            RouteOutcome::Failed { .. } => tree.failed.push(s),
+        }
+    }
+    let delivered = tree.paths.len();
+    DisseminationReport {
+        publisher,
+        subscribers: subscribers.len(),
+        delivered,
+        avg_hops: if delivered == 0 {
+            0.0
+        } else {
+            total_hops as f64 / delivered as f64
+        },
+        avg_relays: if delivered == 0 {
+            0.0
+        } else {
+            total_relays as f64 / delivered as f64
+        },
+        total_relays,
+        tree,
+    }
+}
+
+impl PubSubSystem for SelectNetwork {
+    fn kind(&self) -> SystemKind {
+        SystemKind::Select
+    }
+    fn construction_iterations(&self) -> Option<usize> {
+        self.last_convergence_rounds()
+    }
+    fn social_graph(&self) -> &SocialGraph {
+        self.graph()
+    }
+    fn is_online(&self, p: u32) -> bool {
+        self.is_peer_online(p)
+    }
+    fn lookup(&self, from: u32, to: u32) -> RouteOutcome {
+        SelectNetwork::lookup(self, from, to)
+    }
+    fn set_offline(&mut self, p: u32) {
+        SelectNetwork::set_offline(self, p);
+    }
+    fn set_online(&mut self, p: u32) {
+        SelectNetwork::set_online(self, p);
+    }
+    fn maintenance_round(&mut self) {
+        self.probe_round();
+    }
+    fn publish(&self, b: u32) -> DisseminationReport {
+        SelectNetwork::publish(self, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+    use select_core::SelectConfig;
+
+    #[test]
+    fn aggregate_counts_relays_and_hops() {
+        // Publisher 0, subscribers {1, 2, 3}. Paths: direct to 1; to 2 via
+        // subscriber 1 (no relay); to 3 via non-subscriber 9 (one relay).
+        let report = aggregate_publication(0, &[1, 2, 3], |s| match s {
+            1 => RouteOutcome::Delivered { path: vec![0, 1] },
+            2 => RouteOutcome::Delivered {
+                path: vec![0, 1, 2],
+            },
+            3 => RouteOutcome::Delivered {
+                path: vec![0, 9, 3],
+            },
+            _ => unreachable!(),
+        });
+        assert_eq!(report.delivered, 3);
+        assert!((report.avg_hops - (1.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert_eq!(report.total_relays, 1);
+    }
+
+    #[test]
+    fn aggregate_records_failures() {
+        let report = aggregate_publication(0, &[1, 2], |s| {
+            if s == 1 {
+                RouteOutcome::Delivered { path: vec![0, 1] }
+            } else {
+                RouteOutcome::Failed { path: vec![0] }
+            }
+        });
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.tree.failed, vec![2]);
+        assert!((report.availability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_network_implements_trait() {
+        let g = BarabasiAlbert::new(60, 3).generate(2);
+        let mut net = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(2));
+        net.converge(100);
+        let sys: &dyn PubSubSystem = &net;
+        assert_eq!(sys.kind(), SystemKind::Select);
+        assert_eq!(sys.len(), 60);
+        assert!(sys.is_online(5));
+        let r = sys.publish(5);
+        assert_eq!(r.delivered, r.subscribers);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SystemKind::Select.name(), "SELECT");
+        assert_eq!(SystemKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! # osn-baselines — the pub/sub systems SELECT is evaluated against
+//!
+//! Faithful-in-behaviour reimplementations of the four comparison systems of
+//! the paper's §IV, all exposed through one [`PubSubSystem`] trait so the
+//! experiment drivers treat every system uniformly:
+//!
+//! * [`SymphonyPubSub`] — pub/sub naively layered on an unmodified Symphony
+//!   small-world DHT; long links are socially oblivious.
+//! * [`BayeuxPubSub`] — per-topic rendezvous spanning trees on a
+//!   Tapestry-style prefix DHT (Zhuang et al.): every publication detours
+//!   through the topic's root.
+//! * [`VitisPubSub`] — gossip-based hybrid overlay (Rahimian et al.):
+//!   subscribers of a topic cluster together; cluster discovery is by random
+//!   peer sampling, which is slow to converge and concentrates links on
+//!   high-degree users.
+//! * [`OMenPubSub`] — topic-connected-overlay construction in the spirit of
+//!   Greedy Merge (Chockler et al.) with OMen's shadow-set churn repair
+//!   (Chen et al.): starts from a generic DHT and iteratively mends topic
+//!   connectivity.
+//!
+//! The SELECT system itself implements the same trait (via the blanket impl
+//! in [`api`]), so `&dyn PubSubSystem` is the unit of comparison everywhere.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bayeux;
+pub mod omen;
+pub mod symphony_ps;
+pub mod vitis;
+
+pub use api::{PubSubSystem, SystemKind};
+pub use bayeux::BayeuxPubSub;
+pub use omen::OMenPubSub;
+pub use symphony_ps::SymphonyPubSub;
+pub use vitis::VitisPubSub;
+
+use osn_graph::SocialGraph;
+use select_core::{SelectConfig, SelectNetwork};
+
+/// Builds any system by kind over the same social graph, with matched link
+/// budgets — the apples-to-apples constructor the experiment drivers use.
+pub fn build_system(
+    kind: SystemKind,
+    graph: SocialGraph,
+    k: usize,
+    seed: u64,
+) -> Box<dyn PubSubSystem> {
+    match kind {
+        SystemKind::Select => {
+            let mut net = SelectNetwork::bootstrap(
+                graph,
+                SelectConfig::default().with_k(k).with_seed(seed),
+            );
+            net.converge(200);
+            Box::new(net)
+        }
+        SystemKind::Symphony => Box::new(SymphonyPubSub::build(graph, k, seed)),
+        SystemKind::Bayeux => Box::new(BayeuxPubSub::build(graph, seed)),
+        SystemKind::Vitis => Box::new(VitisPubSub::build(graph, k, seed)),
+        SystemKind::OMen => Box::new(OMenPubSub::build(graph, k, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn build_system_constructs_every_kind() {
+        let g = BarabasiAlbert::new(60, 3).generate(1);
+        for kind in SystemKind::ALL {
+            let sys = build_system(kind, g.clone(), 4, 9);
+            assert_eq!(sys.kind(), kind);
+            assert_eq!(sys.len(), 60);
+            let r = sys.publish(0);
+            assert!(r.subscribers > 0, "{kind:?} has no subscribers");
+            assert!(
+                r.delivered > 0,
+                "{kind:?} delivered nothing: failed={:?}",
+                r.tree.failed
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Pub/sub over an unmodified Symphony overlay (paper §IV-C baseline i).
+//!
+//! Peers keep their immutable uniform-hash identifiers and socially oblivious
+//! harmonic long links; every notification to a friend is an independent
+//! greedy DHT lookup, so almost every path crosses `O(log n)` uninterested
+//! relay peers — the behaviour SELECT's Fig. 2/3 improves on.
+
+use crate::api::{PubSubSystem, SystemKind};
+use osn_graph::SocialGraph;
+use osn_overlay::{route_greedy, RouteOutcome, SymphonyOverlay, Topology};
+
+/// Symphony baseline system.
+#[derive(Clone, Debug)]
+pub struct SymphonyPubSub {
+    graph: SocialGraph,
+    overlay: SymphonyOverlay,
+    seed: u64,
+    max_hops: usize,
+}
+
+impl SymphonyPubSub {
+    /// Builds the overlay with `k` long links per peer.
+    pub fn build(graph: SocialGraph, k: usize, seed: u64) -> Self {
+        let overlay = SymphonyOverlay::build(graph.num_nodes(), k, seed);
+        SymphonyPubSub {
+            graph,
+            overlay,
+            seed,
+            max_hops: 512,
+        }
+    }
+
+    /// The underlying overlay (for inspection).
+    pub fn overlay(&self) -> &SymphonyOverlay {
+        &self.overlay
+    }
+}
+
+impl PubSubSystem for SymphonyPubSub {
+    fn kind(&self) -> SystemKind {
+        SystemKind::Symphony
+    }
+    fn social_graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+    fn is_online(&self, p: u32) -> bool {
+        self.overlay.position(p).is_some()
+    }
+    fn lookup(&self, from: u32, to: u32) -> RouteOutcome {
+        route_greedy(&self.overlay, from, to, self.max_hops)
+    }
+    fn set_offline(&mut self, p: u32) {
+        self.overlay.remove_peer(p);
+    }
+    fn set_online(&mut self, p: u32) {
+        self.overlay.rejoin_peer(p, self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+    use osn_graph::UserId;
+
+    fn system(seed: u64) -> SymphonyPubSub {
+        let g = BarabasiAlbert::new(200, 4).generate(seed);
+        SymphonyPubSub::build(g, 7, seed)
+    }
+
+    #[test]
+    fn delivers_to_all_friends() {
+        let s = system(1);
+        for b in [0u32, 10, 100] {
+            let r = s.publish(b);
+            assert_eq!(r.delivered, r.subscribers, "failed: {:?}", r.tree.failed);
+        }
+    }
+
+    #[test]
+    fn hops_are_dht_scale_not_social_scale() {
+        let s = system(2);
+        let r = s.publish(0);
+        // Socially oblivious: friends are scattered, expect >> 1 hop.
+        assert!(
+            r.avg_hops > 1.5,
+            "Symphony should need multi-hop paths, got {}",
+            r.avg_hops
+        );
+        assert!(r.total_relays > 0, "expected uninterested relays");
+    }
+
+    #[test]
+    fn lookup_matches_graph_membership() {
+        let s = system(3);
+        let friend = s.graph.neighbors(UserId(0))[0].0;
+        let out = s.lookup(0, friend);
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn churn_removal_and_rejoin() {
+        let mut s = system(4);
+        s.set_offline(5);
+        assert!(!s.is_online(5));
+        assert!(!s.subscribers_of(0).contains(&5));
+        s.set_online(5);
+        assert!(s.is_online(5));
+    }
+
+    #[test]
+    fn no_construction_iterations() {
+        assert_eq!(system(5).construction_iterations(), None);
+    }
+}

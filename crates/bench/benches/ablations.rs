@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! each SELECT feature toggled off, measured on the same workload, reporting
+//! the *cost* of the feature (its quality effect is asserted in tests and
+//! reported by `repro`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use osn_graph::datasets::Dataset;
+use osn_graph::SocialGraph;
+use select_core::{SelectConfig, SelectNetwork};
+use std::hint::black_box;
+
+const N: usize = 250;
+const SEED: u64 = 7;
+
+fn graph() -> SocialGraph {
+    Dataset::Slashdot.generate_with_nodes(N, SEED)
+}
+
+fn converge_with(cfg: SelectConfig, graph: &SocialGraph) -> SelectNetwork {
+    let mut net = SelectNetwork::bootstrap(graph.clone(), cfg);
+    net.converge(200);
+    net
+}
+
+/// Identifier reassignment on/off: construction cost.
+fn bench_ablation_reassignment(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("ablation_reassignment");
+    g.sample_size(10);
+    for (label, on) in [("with_reassignment", true), ("without_reassignment", false)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |gr| {
+                    black_box(converge_with(
+                        SelectConfig::default().with_seed(SEED).with_reassignment(on),
+                        &gr,
+                    ))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// LSH picker vs random long links: per-round link-selection cost.
+fn bench_ablation_lsh_picker(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("ablation_lsh_picker");
+    g.sample_size(10);
+    for (label, on) in [("lsh_picker", true), ("random_links", false)] {
+        g.bench_function(label, |b| {
+            let mut net = SelectNetwork::bootstrap(
+                graph.clone(),
+                SelectConfig::default().with_seed(SEED).with_lsh_picker(on),
+            );
+            b.iter(|| black_box(net.gossip_round()))
+        });
+    }
+    g.finish();
+}
+
+/// Lookahead on/off: lookup cost.
+fn bench_ablation_lookahead(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("ablation_lookahead");
+    for (label, on) in [("with_lookahead", true), ("greedy_only", false)] {
+        let net = converge_with(
+            SelectConfig::default().with_seed(SEED).with_lookahead(on),
+            &graph,
+        );
+        g.bench_function(label, |b| {
+            let mut p = 0u32;
+            b.iter(|| {
+                p = (p + 1) % N as u32;
+                let q = (p * 31 + 7) % N as u32;
+                black_box(net.lookup(p, q))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Top-2 centroid vs all-friends centroid: reassignment-phase cost.
+fn bench_ablation_centroid(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("ablation_centroid");
+    g.sample_size(10);
+    for (label, all) in [("top2_centroid", false), ("all_friends_centroid", true)] {
+        g.bench_function(label, |b| {
+            let mut net = SelectNetwork::bootstrap(
+                graph.clone(),
+                SelectConfig::default().with_seed(SEED).with_centroid_all(all),
+            );
+            b.iter(|| black_box(net.gossip_round()))
+        });
+    }
+    g.finish();
+}
+
+/// CMA recovery vs naive drop: probe-round cost under failures.
+fn bench_ablation_cma(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("ablation_cma_recovery");
+    g.sample_size(10);
+    for (label, cma) in [("cma_recovery", true), ("naive_drop", false)] {
+        g.bench_function(label, |b| {
+            let mut net = converge_with(
+                SelectConfig::default().with_seed(SEED).with_cma_recovery(cma),
+                &graph,
+            );
+            // Take a tenth of the network down so probes have work to do.
+            for p in 0..(N as u32 / 10) {
+                net.set_offline(p);
+            }
+            b.iter(|| black_box(net.probe_round()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_reassignment,
+    bench_ablation_lsh_picker,
+    bench_ablation_lookahead,
+    bench_ablation_centroid,
+    bench_ablation_cma,
+);
+criterion_main!(ablations);

@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks, one group per paper artifact: the hot
+//! operation behind each table/figure, so performance regressions in the
+//! reproduction pipeline are caught per-experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use osn_baselines::{build_system, SystemKind};
+use osn_bench::exp_ids::measure_ids;
+use osn_graph::datasets::Dataset;
+use osn_graph::SocialGraph;
+use osn_net::TransferSim;
+use select_core::{SelectConfig, SelectNetwork};
+use std::hint::black_box;
+
+const N: usize = 300;
+const SEED: u64 = 42;
+
+fn graph() -> SocialGraph {
+    Dataset::Facebook.generate_with_nodes(N, SEED)
+}
+
+/// Table II: data-set generation throughput.
+fn bench_table2_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_dataset_generation");
+    g.sample_size(10);
+    g.bench_function("facebook_300", |b| {
+        b.iter(|| black_box(Dataset::Facebook.generate_with_nodes(N, SEED)))
+    });
+    g.bench_function("gplus_300", |b| {
+        b.iter(|| black_box(Dataset::GooglePlus.generate_with_nodes(N, SEED)))
+    });
+    g.finish();
+}
+
+/// Fig. 2: one publication (hops measurement unit) per system.
+fn bench_fig2_hops(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("fig2_publish_hops");
+    g.sample_size(10);
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, graph.clone(), 8, SEED);
+        g.bench_function(kind.name(), |b| {
+            let mut p = 0u32;
+            b.iter(|| {
+                p = (p + 1) % N as u32;
+                black_box(sys.publish(p))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3: relay counting over a full publication tree.
+fn bench_fig3_relay_accounting(c: &mut Criterion) {
+    let graph = graph();
+    let sys = build_system(SystemKind::Select, graph, 8, SEED);
+    let mut g = c.benchmark_group("fig3_relay_accounting");
+    g.sample_size(10);
+    g.bench_function("tree_edges_and_forwards", |b| {
+        let report = sys.publish(0);
+        b.iter(|| {
+            let e = report.tree.edges();
+            let f = report.tree.forwards_per_peer();
+            black_box((e.len(), f.len()))
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 5: overlay construction per system.
+fn bench_fig5_construction(c: &mut Criterion) {
+    let graph = graph();
+    let mut g = c.benchmark_group("fig5_construction");
+    g.sample_size(10);
+    g.bench_function("select_converge", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |gr| {
+                let mut net =
+                    SelectNetwork::bootstrap(gr, SelectConfig::default().with_seed(SEED));
+                black_box(net.converge(200))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("select_single_gossip_round", |b| {
+        let mut net =
+            SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(SEED));
+        b.iter(|| black_box(net.gossip_round()))
+    });
+    g.bench_function("vitis_build", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |gr| black_box(build_system(SystemKind::Vitis, gr, 8, SEED)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("omen_build", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |gr| black_box(build_system(SystemKind::OMen, gr, 8, SEED)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Fig. 6: one churn-recovery probe round.
+fn bench_fig6_probe_round(c: &mut Criterion) {
+    let graph = graph();
+    let mut net = SelectNetwork::bootstrap(graph, SelectConfig::default().with_seed(SEED));
+    net.converge(200);
+    let mut g = c.benchmark_group("fig6_probe_round");
+    g.sample_size(10);
+    g.bench_function("probe_round_healthy", |b| b.iter(|| black_box(net.probe_round())));
+    g.finish();
+}
+
+/// Fig. 7: virtual-time dissemination simulation of one tree.
+fn bench_fig7_transfer_sim(c: &mut Criterion) {
+    let graph = graph();
+    let sys = build_system(SystemKind::Select, graph, 8, SEED);
+    let report = sys.publish(0);
+    let sim = TransferSim::new(N, SEED);
+    let mut g = c.benchmark_group("fig7_transfer_sim");
+    g.bench_function("simulate_tree", |b| {
+        b.iter(|| black_box(sim.simulate(&report.tree)))
+    });
+    g.finish();
+}
+
+/// Fig. 8: identifier-distribution measurement (converge + histogram).
+fn bench_fig8_id_distribution(c: &mut Criterion) {
+    let graph = Dataset::Facebook.generate_with_nodes(150, SEED);
+    let mut g = c.benchmark_group("fig8_id_distribution");
+    g.sample_size(10);
+    g.bench_function("measure_ids_150", |b| {
+        b.iter(|| black_box(measure_ids(&graph, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table2_generation,
+    bench_fig2_hops,
+    bench_fig3_relay_accounting,
+    bench_fig5_construction,
+    bench_fig6_probe_round,
+    bench_fig7_transfer_sim,
+    bench_fig8_id_distribution,
+);
+criterion_main!(figures);

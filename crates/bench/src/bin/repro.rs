@@ -1,0 +1,161 @@
+//! `repro` — regenerates every table and figure of the SELECT paper.
+//!
+//! ```text
+//! repro [--quick|--standard|--full] [--seed N] <subcommand>
+//!
+//! Subcommands:
+//!   table2        Table II data-set calibration
+//!   links-sweep   §IV-C hops-vs-K sweep
+//!   fig2          average hops per social lookup
+//!   fig3          average relay nodes per routing path
+//!   fig4          load balance by social degree
+//!   fig5          overlay construction iterations
+//!   fig6          availability under churn
+//!   star          §IV-D simultaneous-transfer star experiment
+//!   fig7          dissemination latency (realistic model)
+//!   fig8          identifier distribution after SELECT
+//!   ablations     SELECT design-choice ablation study
+//!   scalability   construction cost and quality vs network size
+//!   sessions      CMA recovery under realistic session traces
+//!   churn-compare availability under churn across all five systems
+//!   all           everything above, in paper order
+//! ```
+
+use osn_bench::report::report_to_csv as report_to_csv_blocks;
+use osn_bench::*;
+use osn_graph::datasets::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::standard();
+    let mut seed: Option<u64> = None;
+    let mut cmd: Option<String> = None;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--standard" => scale = Scale::standard(),
+            "--full" => scale = Scale::full(),
+            "--csv" => {
+                csv_dir = it.next().map(std::path::PathBuf::from);
+                if csv_dir.is_none() {
+                    panic!("--csv needs a directory");
+                }
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .or_else(|| panic!("--seed needs a number"));
+            }
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(s) = seed {
+        scale.seed = s;
+    }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+
+    // Optional CSV sink: every rendered table also lands in --csv DIR as
+    // <subcommand>-<index>.csv for plotting.
+    let write_csv = |name: &str, output: &str| {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            for (i, (_title, csv)) in report_to_csv_blocks(output).into_iter().enumerate() {
+                let path = dir.join(format!("{name}-{i}.csv"));
+                std::fs::write(&path, csv).expect("write csv");
+            }
+        }
+    };
+
+    let run_one = |name: &str, scale: &Scale| -> Option<String> {
+        match name {
+            "table2" => Some(table2::run(0.01, scale.seed)),
+            "links-sweep" => {
+                let g = Dataset::Facebook
+                    .generate_with_nodes(*scale.sizes.last().unwrap(), scale.seed);
+                Some(exp_links::run(&g, scale.trials * 3, scale.seed))
+            }
+            "fig2" => Some(exp_hops::run(scale)),
+            "fig3" => Some(exp_relays::run(scale)),
+            "fig4" => Some(exp_load::run(scale)),
+            "fig5" => Some(exp_iterations::run(scale)),
+            "fig6" => Some(exp_churn::run(scale)),
+            "star" => Some(exp_star::run(scale.seed)),
+            "fig7" => Some(exp_latency::run(scale)),
+            "fig8" => Some(exp_ids::run(scale)),
+            "ablations" => Some(exp_ablation::run(scale)),
+            "scalability" => Some(exp_scalability::run(&scale.sizes, scale.trials, scale.seed)),
+            "churn-compare" => Some(exp_churn_compare::run(
+                *scale.sizes.first().unwrap(),
+                20.max(scale.trials / 2),
+                scale.seed,
+            )),
+            "sessions" => Some(exp_sessions::run(
+                *scale.sizes.first().unwrap(),
+                30.max(scale.trials),
+                scale.seed,
+            )),
+            _ => None,
+        }
+    };
+
+    let order = [
+        "table2",
+        "links-sweep",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "star",
+        "fig7",
+        "fig8",
+        "ablations",
+        "scalability",
+        "sessions",
+        "churn-compare",
+    ];
+
+    match cmd.as_str() {
+        "all" => {
+            for name in order {
+                eprintln!("[repro] running {name} …");
+                if name == "fig2" {
+                    // fig2/fig3 share one measurement sweep.
+                    let cells = exp_hops::sweep(&scale);
+                    let f2 = exp_hops::render_fig2(&cells);
+                    let f3 = exp_hops::render_fig3(&cells);
+                    println!("{f2}");
+                    eprintln!("[repro] running fig3 …");
+                    println!("{f3}");
+                    write_csv("fig2", &f2);
+                    write_csv("fig3", &f3);
+                    continue;
+                }
+                if name == "fig3" {
+                    continue;
+                }
+                let out = run_one(name, &scale).unwrap();
+                println!("{out}");
+                write_csv(name, &out);
+            }
+        }
+        name => match run_one(name, &scale) {
+            Some(out) => {
+                println!("{out}");
+                write_csv(name, &out);
+            }
+            None => {
+                eprintln!("unknown subcommand '{name}'; see source header for the list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

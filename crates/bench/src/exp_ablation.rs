@@ -1,0 +1,168 @@
+//! Ablation study: the *quality* effect of each SELECT design choice
+//! (DESIGN.md §6). Each row disables one feature and reports hops, relays,
+//! convergence and ring clustering against the full system on the same
+//! graph and seed.
+
+use crate::report::{fmt_f, Table};
+use crate::Scale;
+use osn_graph::datasets::Dataset;
+use osn_graph::{SocialGraph, UserId};
+use osn_sim::Mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select_core::{SelectConfig, SelectNetwork};
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Variant label.
+    pub label: &'static str,
+    /// Mean hops per delivery path.
+    pub hops: f64,
+    /// Mean relay nodes per delivery path.
+    pub relays: f64,
+    /// Gossip rounds to convergence.
+    pub rounds: usize,
+    /// Friend/random ring-distance ratio.
+    pub clustering_ratio: f64,
+    /// Fraction of friends directly connected.
+    pub coverage: f64,
+}
+
+/// Runs one configuration to convergence and measures it.
+pub fn measure_variant(
+    label: &'static str,
+    graph: &SocialGraph,
+    cfg: SelectConfig,
+    trials: usize,
+    seed: u64,
+) -> AblationResult {
+    let mut net = SelectNetwork::bootstrap(graph.clone(), cfg);
+    let conv = net.converge(400);
+    let stats = net.overlay_stats(1_000);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xab1a);
+    let mut hops = Mean::new();
+    let mut relays = Mean::new();
+    for _ in 0..trials {
+        let mut b = rng.gen_range(0..graph.num_nodes() as u32);
+        while graph.degree(UserId(b)) == 0 {
+            b = rng.gen_range(0..graph.num_nodes() as u32);
+        }
+        let r = net.publish(b);
+        if r.delivered > 0 {
+            hops.add(r.avg_hops);
+            relays.add(r.avg_relays);
+        }
+    }
+    AblationResult {
+        label,
+        hops: hops.mean(),
+        relays: relays.mean(),
+        rounds: conv.rounds,
+        clustering_ratio: stats.clustering_ratio(),
+        coverage: stats.friend_coverage,
+    }
+}
+
+/// All ablation variants on one graph.
+pub fn run_all_variants(graph: &SocialGraph, trials: usize, seed: u64) -> Vec<AblationResult> {
+    let base = SelectConfig::default().with_seed(seed);
+    vec![
+        measure_variant("full SELECT", graph, base.clone(), trials, seed),
+        measure_variant(
+            "no id reassignment",
+            graph,
+            base.clone().with_reassignment(false),
+            trials,
+            seed,
+        ),
+        measure_variant(
+            "random links (no LSH picker)",
+            graph,
+            base.clone().with_lsh_picker(false),
+            trials,
+            seed,
+        ),
+        measure_variant(
+            "no lookahead",
+            graph,
+            base.clone().with_lookahead(false),
+            trials,
+            seed,
+        ),
+        measure_variant(
+            "centroid of all friends",
+            graph,
+            base.clone().with_centroid_all(true),
+            trials,
+            seed,
+        ),
+    ]
+}
+
+/// Renders the ablation table for the Facebook preset.
+pub fn run(scale: &Scale) -> String {
+    let size = *scale.sizes.last().expect("at least one size");
+    let graph = Dataset::Facebook.generate_with_nodes(size, scale.seed);
+    let mut t = Table::new(
+        format!("Ablations — SELECT design choices (Facebook preset, N={size})"),
+        &["variant", "hops", "relays", "rounds", "clustering", "coverage"],
+    );
+    for r in run_all_variants(&graph, scale.trials, scale.seed) {
+        t.row(vec![
+            r.label.to_string(),
+            fmt_f(r.hops),
+            fmt_f(r.relays),
+            r.rounds.to_string(),
+            fmt_f(r.clustering_ratio),
+            fmt_f(r.coverage),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn variants() -> Vec<AblationResult> {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(71);
+        run_all_variants(&g, 10, 71)
+    }
+
+    #[test]
+    fn reassignment_improves_clustering() {
+        let v = variants();
+        let full = &v[0];
+        let no_reassign = &v[1];
+        assert!(
+            full.clustering_ratio < no_reassign.clustering_ratio,
+            "reassignment should tighten the ring: {} vs {}",
+            full.clustering_ratio,
+            no_reassign.clustering_ratio
+        );
+    }
+
+    #[test]
+    fn full_system_is_best_or_close_on_hops() {
+        let v = variants();
+        let full_hops = v[0].hops;
+        for r in &v[1..] {
+            assert!(
+                full_hops <= r.hops + 0.6,
+                "{} beat full SELECT on hops by too much ({} vs {full_hops})",
+                r.label,
+                r.hops
+            );
+        }
+    }
+
+    #[test]
+    fn all_variants_converge() {
+        for r in variants() {
+            assert!(r.rounds < 400, "{} hit the round cap", r.label);
+            assert!(r.coverage > 0.0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fig. 2 — average hops per social lookup, per data set, per system,
+//! as the network grows. Also hosts the shared measurement runner the
+//! relay/load experiments reuse.
+
+use crate::report::{fmt_f, improvement_pct, Table};
+use crate::Scale;
+use osn_baselines::{build_system, PubSubSystem, SystemKind};
+use osn_graph::datasets::Dataset;
+use osn_graph::{SocialGraph, UserId};
+use osn_sim::collect::LoadByDegree;
+use osn_sim::Mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything one (system, graph) cell yields from sampled publications.
+#[derive(Clone, Debug)]
+pub struct SystemMeasurement {
+    /// Which system was measured.
+    pub kind: SystemKind,
+    /// Mean hops per subscriber delivery path — Fig. 2's "average number of
+    /// hops required for a publisher to propagate information to each one of
+    /// his subscribers" (§IV-C).
+    pub hops: Mean,
+    /// Mean relay nodes per delivered subscriber path.
+    pub relays: Mean,
+    /// Delivery availability per publication.
+    pub availability: Mean,
+    /// Message-forwarding load keyed by the forwarder's social degree.
+    pub load: LoadByDegree,
+    /// Construction iterations, when the system reports them.
+    pub iterations: Option<usize>,
+}
+
+/// Builds `kind` over `graph` and samples `trials` publications.
+pub fn measure(graph: &SocialGraph, kind: SystemKind, trials: usize, seed: u64) -> SystemMeasurement {
+    let n = graph.num_nodes();
+    let k = ((n as f64).log2().round() as usize).max(2);
+    let sys = build_system(kind, graph.clone(), k, seed);
+    measure_system(sys.as_ref(), graph, trials, seed)
+}
+
+/// Samples publications on an already-built system.
+pub fn measure_system(
+    sys: &dyn PubSubSystem,
+    graph: &SocialGraph,
+    trials: usize,
+    seed: u64,
+) -> SystemMeasurement {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let n = graph.num_nodes() as u32;
+    let mut m = SystemMeasurement {
+        kind: sys.kind(),
+        hops: Mean::new(),
+        relays: Mean::new(),
+        availability: Mean::new(),
+        load: LoadByDegree::new(),
+        iterations: sys.construction_iterations(),
+    };
+    for _ in 0..trials {
+        // Publishers must have at least one friend.
+        let mut b = rng.gen_range(0..n);
+        let mut guard = 0;
+        while graph.degree(UserId(b)) == 0 && guard < 100 {
+            b = rng.gen_range(0..n);
+            guard += 1;
+        }
+        let r = sys.publish(b);
+        if r.delivered > 0 {
+            m.hops.add(r.avg_hops);
+            m.relays.add(r.avg_relays);
+        }
+        m.availability.add(r.availability());
+        for (peer, count) in r.tree.forwards_per_peer() {
+            m.load.record(graph.degree(UserId(peer)), count);
+        }
+    }
+    m
+}
+
+/// One (dataset, size) cell: per-system mean hops and relays, averaged over
+/// repeats.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Data set of this cell.
+    pub dataset: Dataset,
+    /// Network size.
+    pub size: usize,
+    /// `(hops, relays)` per system in [`SystemKind::ALL`] order.
+    pub per_system: Vec<(f64, f64)>,
+}
+
+/// The full Fig. 2 + Fig. 3 sweep (shared: both figures sample the same
+/// publications, so the expensive system builds happen once).
+///
+/// Each `(system, repeat)` measurement builds an independent overlay, so the
+/// grid is embarrassingly parallel; cells fan out over crossbeam scoped
+/// threads and are merged in deterministic order.
+pub fn sweep(scale: &Scale) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for ds in Dataset::ALL {
+        for &size in &scale.sizes {
+            let graph = ds.generate_with_nodes(size, scale.seed);
+            // One task per (system, repeat); results keyed for stable merge.
+            let mut results: Vec<Vec<(f64, f64)>> =
+                vec![Vec::new(); SystemKind::ALL.len()];
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for (si, kind) in SystemKind::ALL.into_iter().enumerate() {
+                    for rep in 0..scale.repeats {
+                        let graph = &graph;
+                        handles.push((si, scope.spawn(move |_| {
+                            let m = measure(graph, kind, scale.trials, scale.seed + rep as u64);
+                            (m.hops.mean(), m.relays.mean())
+                        })));
+                    }
+                }
+                for (si, h) in handles {
+                    results[si].push(h.join().expect("measurement task panicked"));
+                }
+            })
+            .expect("sweep scope failed");
+
+            let per_system = results
+                .into_iter()
+                .map(|reps| {
+                    let mut hops = Mean::new();
+                    let mut relays = Mean::new();
+                    for (h, r) in reps {
+                        hops.add(h);
+                        relays.add(r);
+                    }
+                    (hops.mean(), relays.mean())
+                })
+                .collect();
+            cells.push(SweepCell {
+                dataset: ds,
+                size,
+                per_system,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the Fig. 2 tables from a sweep.
+pub fn render_fig2(cells: &[SweepCell]) -> String {
+    let mut out = String::new();
+    for ds in Dataset::ALL {
+        let mut t = Table::new(
+            format!("Fig. 2 — avg hops per social lookup ({})", ds.name()),
+            &["N", "SELECT", "Symphony", "Bayeux", "Vitis", "OMen", "vs Symphony", "vs best other"],
+        );
+        for cell in cells.iter().filter(|c| c.dataset == ds) {
+            let hops: Vec<f64> = cell.per_system.iter().map(|&(h, _)| h).collect();
+            let select = hops[0];
+            let symphony = hops[1];
+            let best_other = hops[2..].iter().cloned().fold(f64::INFINITY, f64::min);
+            t.row(vec![
+                cell.size.to_string(),
+                fmt_f(hops[0]),
+                fmt_f(hops[1]),
+                fmt_f(hops[2]),
+                fmt_f(hops[3]),
+                fmt_f(hops[4]),
+                improvement_pct(symphony, select),
+                improvement_pct(best_other, select),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 3 tables from a sweep.
+pub fn render_fig3(cells: &[SweepCell]) -> String {
+    let mut out = String::new();
+    for ds in Dataset::ALL {
+        let mut t = Table::new(
+            format!("Fig. 3 — avg relay nodes per routing path ({})", ds.name()),
+            &["N", "SELECT", "Symphony", "Bayeux", "Vitis", "OMen", "reduction vs worst"],
+        );
+        for cell in cells.iter().filter(|c| c.dataset == ds) {
+            let relays: Vec<f64> = cell.per_system.iter().map(|&(_, r)| r).collect();
+            let select = relays[0];
+            let worst = relays[1..].iter().cloned().fold(0.0, f64::max);
+            t.row(vec![
+                cell.size.to_string(),
+                fmt_f(relays[0]),
+                fmt_f(relays[1]),
+                fmt_f(relays[2]),
+                fmt_f(relays[3]),
+                fmt_f(relays[4]),
+                improvement_pct(worst, select),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the Fig. 2 sweep and renders one table per data set.
+pub fn run(scale: &Scale) -> String {
+    render_fig2(&sweep(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn select_beats_symphony_on_hops() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(3);
+        let sel = measure(&g, SystemKind::Select, 15, 3);
+        let sym = measure(&g, SystemKind::Symphony, 15, 3);
+        assert!(
+            sel.hops.mean() < sym.hops.mean(),
+            "SELECT {} should beat Symphony {}",
+            sel.hops.mean(),
+            sym.hops.mean()
+        );
+    }
+
+    #[test]
+    fn select_delivers_everything() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(4);
+        let sel = measure(&g, SystemKind::Select, 10, 4);
+        assert!((sel.availability.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let g = BarabasiAlbert::new(120, 3).generate(5);
+        let a = measure(&g, SystemKind::Select, 5, 5);
+        let b = measure(&g, SystemKind::Select, 5, 5);
+        assert_eq!(a.hops.mean(), b.hops.mean());
+        assert_eq!(a.relays.mean(), b.relays.mean());
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 5 — iterations to construct/converge the overlay.
+//!
+//! Symphony and Bayeux are excluded exactly as in the paper ("they provide
+//! no iterative connection establishment process"). SELECT converges in few
+//! rounds because its very first round already connects socially adjacent
+//! peers; Vitis discovers cluster-mates by random sampling and OMen mends
+//! one bridge per topic per iteration, so both need many more rounds.
+
+use crate::report::{improvement_pct, Table};
+use crate::Scale;
+use osn_baselines::{OMenPubSub, VitisPubSub};
+use osn_baselines::api::PubSubSystem;
+use osn_graph::datasets::Dataset;
+use osn_graph::SocialGraph;
+use select_core::{SelectConfig, SelectNetwork};
+
+/// Convergence iterations of the three iterative systems on one graph.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationCell {
+    /// SELECT gossip rounds to quiescence.
+    pub select: usize,
+    /// Vitis gossip-sampling rounds to quiescence.
+    pub vitis: usize,
+    /// OMen mending rounds until no topic needed a bridge.
+    pub omen: usize,
+}
+
+/// Measures one graph.
+pub fn measure_iterations(graph: &SocialGraph, seed: u64) -> IterationCell {
+    let n = graph.num_nodes();
+    let k = ((n as f64).log2().round() as usize).max(2);
+
+    let mut select = SelectNetwork::bootstrap(
+        graph.clone(),
+        SelectConfig::default().with_k(k).with_seed(seed),
+    );
+    let select_rounds = select.converge(500).rounds;
+
+    let vitis = VitisPubSub::build(graph.clone(), k, seed);
+    let omen = OMenPubSub::build(graph.clone(), k, seed);
+    IterationCell {
+        select: select_rounds,
+        vitis: vitis.construction_iterations().unwrap_or(0),
+        omen: omen.construction_iterations().unwrap_or(0),
+    }
+}
+
+/// Runs Fig. 5 across the data sets at the largest configured size.
+pub fn run(scale: &Scale) -> String {
+    let size = *scale.sizes.last().expect("at least one size");
+    let mut t = Table::new(
+        format!("Fig. 5 — iterations to organize the overlay (N={size}; Symphony/Bayeux excluded)"),
+        &["Data set", "SELECT", "Vitis", "OMen", "SELECT vs worst"],
+    );
+    for ds in Dataset::ALL {
+        let graph = ds.generate_with_nodes(size, scale.seed);
+        let c = measure_iterations(&graph, scale.seed);
+        let worst = c.vitis.max(c.omen);
+        t.row(vec![
+            ds.name().to_string(),
+            c.select.to_string(),
+            c.vitis.to_string(),
+            c.omen.to_string(),
+            improvement_pct(worst as f64, c.select as f64),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn select_converges_in_fewer_iterations() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(21);
+        let c = measure_iterations(&g, 21);
+        assert!(c.select > 0 && c.vitis > 0 && c.omen > 0);
+        assert!(
+            c.select < c.vitis && c.select < c.omen,
+            "SELECT {} should beat Vitis {} and OMen {}",
+            c.select,
+            c.vitis,
+            c.omen
+        );
+    }
+}

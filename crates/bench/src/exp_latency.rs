@@ -1,0 +1,103 @@
+//! Fig. 7 — average dissemination latency in the realistic setting.
+//!
+//! Every peer gets a heterogeneous uplink and every link a propagation
+//! latency; payloads are the paper's 1.2 MB and uploads serialize. The
+//! "random" configuration (no selection algorithm — here: the socially
+//! oblivious Symphony overlay) produces long multi-hop paths through slow
+//! relays and hub fan-outs, so latency grows steeply with network size;
+//! SELECT's 1–2-hop trees keep growth small and near-linear.
+
+use crate::report::{fmt_f, improvement_pct, Table};
+use crate::Scale;
+use osn_baselines::{build_system, SystemKind};
+use osn_graph::datasets::Dataset;
+use osn_graph::{SocialGraph, UserId};
+use osn_net::TransferSim;
+use osn_sim::Mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean dissemination latency (ms) over sampled publications for one system.
+pub fn measure_latency(
+    graph: &SocialGraph,
+    kind: SystemKind,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let n = graph.num_nodes();
+    let k = ((n as f64).log2().round() as usize).max(2);
+    let sys = build_system(kind, graph.clone(), k, seed);
+    let sim = TransferSim::new(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a7);
+    let mut acc = Mean::new();
+    for _ in 0..trials {
+        let mut b = rng.gen_range(0..n as u32);
+        let mut guard = 0;
+        while graph.degree(UserId(b)) == 0 && guard < 100 {
+            b = rng.gen_range(0..n as u32);
+            guard += 1;
+        }
+        let report = sys.publish(b);
+        if report.delivered > 0 {
+            acc.add(sim.simulate(&report.tree).mean_latency);
+        }
+    }
+    acc.mean()
+}
+
+/// Runs Fig. 7: SELECT vs the random/socially-oblivious overlay as the
+/// network grows, per data set.
+pub fn run(scale: &Scale) -> String {
+    let mut out = String::new();
+    for ds in Dataset::ALL {
+        let mut t = Table::new(
+            format!("Fig. 7 — avg dissemination latency, 1.2 MB payloads ({})", ds.name()),
+            &["N", "SELECT (ms)", "random/Symphony (ms)", "reduction"],
+        );
+        for &size in &scale.sizes {
+            let graph = ds.generate_with_nodes(size, scale.seed);
+            let sel = measure_latency(&graph, SystemKind::Select, scale.trials, scale.seed);
+            let sym = measure_latency(&graph, SystemKind::Symphony, scale.trials, scale.seed);
+            t.row(vec![
+                size.to_string(),
+                fmt_f(sel),
+                fmt_f(sym),
+                improvement_pct(sym, sel),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn select_latency_beats_random_overlay() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(41);
+        let sel = measure_latency(&g, SystemKind::Select, 10, 41);
+        let sym = measure_latency(&g, SystemKind::Symphony, 10, 41);
+        assert!(sel > 0.0 && sym > 0.0);
+        assert!(
+            sel < sym,
+            "SELECT {sel} ms should beat the oblivious overlay {sym} ms"
+        );
+    }
+
+    #[test]
+    fn latency_growth_is_tame_for_select() {
+        let small = BarabasiAlbert::with_closure(120, 4, 0.4).generate(42);
+        let large = BarabasiAlbert::with_closure(480, 4, 0.4).generate(42);
+        let l_small = measure_latency(&small, SystemKind::Select, 10, 42);
+        let l_large = measure_latency(&large, SystemKind::Select, 10, 42);
+        // 4× the peers should cost far less than 4× the latency.
+        assert!(
+            l_large < 3.0 * l_small,
+            "latency grew too fast: {l_small} -> {l_large}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! §IV-C link sweep — hops vs number of direct connections K.
+//!
+//! The paper observes a >90% hop reduction as K grows, saturating once K
+//! passes `log2(N)`; that is why all other experiments fix `K = log2(N)`.
+//! This driver regenerates the sweep and reports the saturation point.
+
+use crate::report::{fmt_f, Table};
+use osn_graph::{SocialGraph, UserId};
+use osn_sim::Mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select_core::{SelectConfig, SelectNetwork};
+
+/// Mean lookup hops on a converged SELECT overlay with link budget `k`.
+pub fn hops_at_k(graph: &SocialGraph, k: usize, trials: usize, seed: u64) -> f64 {
+    let mut net = SelectNetwork::bootstrap(
+        graph.clone(),
+        SelectConfig::default().with_k(k).with_seed(seed),
+    );
+    net.converge(200);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eefu64);
+    let n = graph.num_nodes() as u32;
+    let mut acc = Mean::new();
+    for _ in 0..trials {
+        let p = rng.gen_range(0..n);
+        let friends = graph.neighbors(UserId(p));
+        if friends.is_empty() {
+            continue;
+        }
+        let f = friends[rng.gen_range(0..friends.len())].0;
+        let out = net.lookup(p, f);
+        if out.delivered() {
+            acc.add(out.hops() as f64);
+        }
+    }
+    acc.mean()
+}
+
+/// Runs the sweep over K ∈ {1, 2, 4, …} up to 2·log2(N).
+pub fn run(graph: &SocialGraph, trials: usize, seed: u64) -> String {
+    let n = graph.num_nodes();
+    let log2n = (n as f64).log2().round() as usize;
+    let mut ks = vec![1usize, 2, 4];
+    let mut k = 8;
+    while k < 2 * log2n {
+        ks.push(k);
+        k *= 2;
+    }
+    ks.push(log2n);
+    ks.push(2 * log2n);
+    ks.sort_unstable();
+    ks.dedup();
+
+    let mut t = Table::new(
+        format!("Link sweep — avg hops per social lookup vs K (N={n}, log2N={log2n})"),
+        &["K", "avg hops", "vs K=1"],
+    );
+    let base = hops_at_k(graph, 1, trials, seed);
+    for &k in &ks {
+        let h = hops_at_k(graph, k, trials, seed);
+        t.row(vec![
+            k.to_string(),
+            fmt_f(h),
+            crate::report::improvement_pct(base, h),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn more_links_fewer_hops() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(61);
+        let h1 = hops_at_k(&g, 1, 30, 61);
+        let h8 = hops_at_k(&g, 8, 30, 61);
+        assert!(
+            h8 < h1,
+            "K=8 ({h8}) should beat K=1 ({h1})"
+        );
+    }
+
+    #[test]
+    fn saturation_beyond_log_n() {
+        // Once K covers the neighbourhood (≈ 2·log2 N for this graph's
+        // average degree), doubling K again buys almost nothing.
+        let g = BarabasiAlbert::with_closure(250, 4, 0.4).generate(62);
+        let log2n = 8; // log2(250) ≈ 8
+        let at_double = hops_at_k(&g, 2 * log2n, 30, 62);
+        let at_quad = hops_at_k(&g, 4 * log2n, 30, 62);
+        assert!(
+            at_quad > at_double - 0.5,
+            "gain past saturation too large: {at_double} -> {at_quad}"
+        );
+    }
+}

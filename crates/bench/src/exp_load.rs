@@ -1,0 +1,97 @@
+//! Fig. 4 — load balance: percentage of messages forwarded per social
+//! degree, plus a Gini summary of forwarding concentration.
+//!
+//! Socially oblivious systems (Symphony, Bayeux) funnel traffic through
+//! whatever peers the DHT happens to place on paths; Vitis and OMen
+//! deliberately attach to high-degree users; SELECT's bounded incoming links
+//! (K) spread forwarding across the neighbourhood.
+
+use crate::exp_hops::measure;
+use crate::report::{fmt_f, Table};
+use crate::Scale;
+use osn_baselines::SystemKind;
+use osn_graph::datasets::Dataset;
+
+/// Degree-bucket edges used for the rendered distribution.
+const BUCKETS: [usize; 6] = [0, 8, 16, 32, 64, 128];
+
+fn bucket_label(i: usize) -> String {
+    if i + 1 < BUCKETS.len() {
+        format!("deg {}-{}", BUCKETS[i], BUCKETS[i + 1] - 1)
+    } else {
+        format!("deg {}+", BUCKETS[i])
+    }
+}
+
+fn bucket_of(degree: usize) -> usize {
+    BUCKETS
+        .iter()
+        .rposition(|&lo| degree >= lo)
+        .unwrap_or(0)
+}
+
+/// Runs Fig. 4 on one size per data set and renders percentage-by-degree
+/// tables plus the Gini concentration row.
+pub fn run(scale: &Scale) -> String {
+    let size = *scale.sizes.last().expect("at least one size");
+    let mut out = String::new();
+    for ds in Dataset::ALL {
+        let graph = ds.generate_with_nodes(size, scale.seed);
+        let mut t = Table::new(
+            format!("Fig. 4 — % of forwarded messages by social degree ({}, N={size})", ds.name()),
+            &["system", &bucket_label(0), &bucket_label(1), &bucket_label(2), &bucket_label(3), &bucket_label(4), &bucket_label(5), "gini"],
+        );
+        for kind in SystemKind::ALL {
+            let m = measure(&graph, kind, scale.trials * scale.repeats, scale.seed);
+            // Re-bucket the per-degree percentages.
+            let mut pct = [0.0f64; BUCKETS.len()];
+            for (deg, p) in m.load.series() {
+                pct[bucket_of(deg)] += p;
+            }
+            let mut row = vec![kind.name().to_string()];
+            row.extend(pct.iter().map(|&p| fmt_f(p)));
+            row.push(fmt_f(m.load.gini()));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn buckets_cover_all_degrees() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(7), 0);
+        assert_eq!(bucket_of(8), 1);
+        assert_eq!(bucket_of(100), 4);
+        assert_eq!(bucket_of(500), 5);
+    }
+
+    #[test]
+    fn select_spreads_load_better_than_vitis() {
+        let g = BarabasiAlbert::with_closure(250, 4, 0.4).generate(11);
+        let sel = measure(&g, SystemKind::Select, 30, 11);
+        let vit = measure(&g, SystemKind::Vitis, 30, 11);
+        // Gini over the degree-keyed load: lower = more balanced.
+        assert!(
+            sel.load.gini() <= vit.load.gini() + 0.05,
+            "SELECT gini {} should not exceed Vitis gini {}",
+            sel.load.gini(),
+            vit.load.gini()
+        );
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let g = BarabasiAlbert::new(150, 3).generate(12);
+        let m = measure(&g, SystemKind::Select, 10, 12);
+        let total: f64 = m.load.series().iter().map(|&(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-6, "total {total}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 3 — average relay nodes per pub/sub routing path.
+//!
+//! A relay node is an intermediate peer on a delivery path that is not
+//! itself a subscriber of the topic. The paper reports SELECT cutting relay
+//! nodes by ≈98% against all four baselines (and ≥89% as the headline
+//! claim), because SELECT's long links *are* social edges — the only relays
+//! left come from greedy fallback on rare distant friends.
+
+use crate::Scale;
+
+/// Runs the Fig. 3 sweep and renders one table per data set.
+///
+/// Shares the measurement grid with Fig. 2 via [`crate::exp_hops::sweep`];
+/// `repro all` computes the sweep once and renders both figures from it.
+pub fn run(scale: &Scale) -> String {
+    crate::exp_hops::render_fig3(&crate::exp_hops::sweep(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::exp_hops::measure;
+    use osn_baselines::SystemKind;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    #[test]
+    fn select_has_far_fewer_relays_than_symphony_and_bayeux() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(7);
+        let sel = measure(&g, SystemKind::Select, 15, 7);
+        let sym = measure(&g, SystemKind::Symphony, 15, 7);
+        let bay = measure(&g, SystemKind::Bayeux, 15, 7);
+        assert!(
+            sel.relays.mean() < 0.5 * sym.relays.mean(),
+            "SELECT {} vs Symphony {}",
+            sel.relays.mean(),
+            sym.relays.mean()
+        );
+        assert!(
+            sel.relays.mean() < 0.5 * bay.relays.mean(),
+            "SELECT {} vs Bayeux {}",
+            sel.relays.mean(),
+            bay.relays.mean()
+        );
+    }
+
+    #[test]
+    fn select_relays_are_near_zero() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(8);
+        let sel = measure(&g, SystemKind::Select, 15, 8);
+        assert!(
+            sel.relays.mean() < 0.75,
+            "SELECT avg relays {} should be well under one per path",
+            sel.relays.mean()
+        );
+    }
+}

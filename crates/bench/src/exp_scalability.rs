@@ -1,0 +1,134 @@
+//! Scalability sweep — the paper's Twitter claim ("we also conducted
+//! simulations on a large-scale data set with millions of users").
+//!
+//! The full 3.99M-user Twitter preset is generable on a large machine in
+//! release mode; this driver sweeps network size on the Twitter preset and
+//! reports construction cost, convergence rounds, and quality metrics, so
+//! the O(N·|C_p|) complexity claims of §III-C can be checked empirically:
+//! per-peer work must stay flat as N grows.
+
+use crate::report::{fmt_f, Table};
+use osn_graph::datasets::Dataset;
+use osn_graph::UserId;
+use osn_sim::Mean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select_core::{SelectConfig, SelectNetwork};
+use std::time::Instant;
+
+/// One size point of the scalability sweep.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Network size.
+    pub n: usize,
+    /// Wall-clock seconds to generate the graph.
+    pub gen_secs: f64,
+    /// Wall-clock seconds to bootstrap + converge the overlay.
+    pub build_secs: f64,
+    /// Gossip rounds to convergence.
+    pub rounds: usize,
+    /// Mean hops per delivery path afterwards.
+    pub hops: f64,
+    /// Delivery availability.
+    pub availability: f64,
+    /// Converge seconds per peer (flatness = linear total scaling).
+    pub secs_per_kpeer: f64,
+}
+
+/// Runs the sweep at the given sizes.
+pub fn sweep(sizes: &[usize], trials: usize, seed: u64) -> Vec<ScalePoint> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let t0 = Instant::now();
+        let graph = Dataset::Twitter.generate_with_nodes(n, seed);
+        let gen_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut net =
+            SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+        let conv = net.converge(100);
+        let build_secs = t1.elapsed().as_secs_f64();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hops = Mean::new();
+        let mut avail = Mean::new();
+        for _ in 0..trials {
+            let mut b = rng.gen_range(0..n as u32);
+            while graph.degree(UserId(b)) == 0 {
+                b = rng.gen_range(0..n as u32);
+            }
+            let r = net.publish(b);
+            if r.delivered > 0 {
+                hops.add(r.avg_hops);
+            }
+            avail.add(r.availability());
+        }
+        out.push(ScalePoint {
+            n,
+            gen_secs,
+            build_secs,
+            rounds: conv.rounds,
+            hops: hops.mean(),
+            availability: avail.mean(),
+            secs_per_kpeer: build_secs * 1_000.0 / n as f64,
+        });
+    }
+    out
+}
+
+/// Renders the sweep as a table.
+pub fn run(sizes: &[usize], trials: usize, seed: u64) -> String {
+    let mut t = Table::new(
+        "Scalability — SELECT on the Twitter preset",
+        &[
+            "N",
+            "gen (s)",
+            "converge (s)",
+            "rounds",
+            "hops",
+            "availability",
+            "s / 1k peers",
+        ],
+    );
+    for p in sweep(sizes, trials, seed) {
+        t.row(vec![
+            p.n.to_string(),
+            fmt_f(p.gen_secs),
+            fmt_f(p.build_secs),
+            p.rounds.to_string(),
+            fmt_f(p.hops),
+            fmt_f(p.availability * 100.0) + "%",
+            fmt_f(p.secs_per_kpeer),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_quality_holds_as_n_grows() {
+        let points = sweep(&[300, 900], 8, 5);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!((p.availability - 1.0).abs() < 1e-9, "availability dropped");
+            assert!(p.hops < 4.0, "hops {} too high at N={}", p.hops, p.n);
+        }
+        // Convergence rounds stay flat (the per-peer protocol is local).
+        assert!(points[1].rounds <= points[0].rounds + 5);
+    }
+
+    #[test]
+    fn per_peer_cost_stays_bounded() {
+        let points = sweep(&[300, 900], 4, 6);
+        // Per-peer time may grow with density bookkeeping but not explode
+        // quadratically (3× peers must cost ≪ 9× per-peer time).
+        assert!(
+            points[1].secs_per_kpeer < 6.0 * points[0].secs_per_kpeer.max(0.001),
+            "per-peer cost exploded: {:?}",
+            points
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! §IV-D initial experiment — simultaneous transfers from a star hub.
+//!
+//! A central peer connects to `c` peers and sends the 1.2 MB payload to all
+//! of them "simultaneously"; because the uplink serializes, total time grows
+//! **linearly** in `c`. This established the paper's premise that the number
+//! of connections is not the bottleneck — concurrent transfers are.
+
+use crate::report::{fmt_f, Table};
+use osn_net::TransferSim;
+use osn_sim::latency::PAYLOAD_BYTES;
+
+/// Runs the star sweep and renders total transfer time per fan-out, plus a
+/// linearity check (time per connection should be constant).
+pub fn run(seed: u64) -> String {
+    let fanouts = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let sim = TransferSim::new(1, seed);
+    let mut t = Table::new(
+        format!(
+            "Star experiment — total time to send {:.1} MB to c connections (hub bw {:.0} B/ms)",
+            PAYLOAD_BYTES as f64 / 1e6,
+            sim.bandwidth_of(0)
+        ),
+        &["connections", "total time (ms)", "time per connection (ms)"],
+    );
+    for &c in &fanouts {
+        let total = sim.star_total_time(0, c);
+        t.row(vec![
+            c.to_string(),
+            fmt_f(total),
+            fmt_f(total / c as f64),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_connection_time_is_constant() {
+        let sim = TransferSim::new(1, 9);
+        let per1 = sim.star_total_time(0, 1);
+        let per64 = sim.star_total_time(0, 64) / 64.0;
+        assert!((per1 - per64).abs() < 1e-9, "linearity violated");
+    }
+
+    #[test]
+    fn output_contains_all_fanouts() {
+        let out = run(1);
+        for c in ["| 1 ", "| 128 "] {
+            assert!(out.contains(c), "missing row {c} in\n{out}");
+        }
+    }
+}

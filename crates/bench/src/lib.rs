@@ -1,0 +1,87 @@
+//! # osn-bench — regenerates every table and figure of the SELECT paper
+//!
+//! One module per experiment; the `repro` binary dispatches on subcommand.
+//! Every driver prints the same rows/series the paper reports so the output
+//! can be compared side-by-side with the original figures (EXPERIMENTS.md
+//! records that comparison).
+//!
+//! | Paper artifact | Module | `repro` subcommand |
+//! |---|---|---|
+//! | Table II (data sets) | [`table2`] | `table2` |
+//! | §IV-C link sweep | [`exp_links`] | `links-sweep` |
+//! | Fig. 2 (hops) | [`exp_hops`] | `fig2` |
+//! | Fig. 3 (relay nodes) | [`exp_relays`] | `fig3` |
+//! | Fig. 4 (load balance) | [`exp_load`] | `fig4` |
+//! | Fig. 5 (iterations) | [`exp_iterations`] | `fig5` |
+//! | Fig. 6 (churn availability) | [`exp_churn`] | `fig6` |
+//! | §IV-D star experiment | [`exp_star`] | `star` |
+//! | Fig. 7 (latency) | [`exp_latency`] | `fig7` |
+//! | Fig. 8 (identifier distribution) | [`exp_ids`] | `fig8` |
+//! | Ablations (DESIGN.md §6) | [`exp_ablation`] | `ablations` |
+//! | Twitter scalability claim | [`exp_scalability`] | `scalability` |
+//! | §III-F session traces | [`exp_sessions`] | `sessions` |
+//! | Churn across systems | [`exp_churn_compare`] | `churn-compare` |
+
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_churn;
+pub mod exp_churn_compare;
+pub mod exp_hops;
+pub mod exp_ids;
+pub mod exp_iterations;
+pub mod exp_latency;
+pub mod exp_links;
+pub mod exp_load;
+pub mod exp_relays;
+pub mod exp_scalability;
+pub mod exp_sessions;
+pub mod exp_star;
+pub mod report;
+pub mod table2;
+
+/// Shared experiment sizing so quick CI runs and paper-scale runs use the
+/// same drivers.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Network sizes for the growth sweeps (Figs. 2, 3, 7).
+    pub sizes: Vec<usize>,
+    /// Publications sampled per (dataset, system, size) cell.
+    pub trials: usize,
+    /// Independent repetitions averaged per cell (the paper uses 100).
+    pub repeats: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Small sizes for tests and smoke runs (~seconds).
+    pub fn quick() -> Self {
+        Scale {
+            sizes: vec![150, 300],
+            trials: 10,
+            repeats: 2,
+            seed: 42,
+        }
+    }
+
+    /// Default benchmark scale (~minutes in release mode).
+    pub fn standard() -> Self {
+        Scale {
+            sizes: vec![250, 500, 1_000, 2_000],
+            trials: 40,
+            repeats: 3,
+            seed: 42,
+        }
+    }
+
+    /// Large-scale run exercising the Twitter scalability claim.
+    pub fn full() -> Self {
+        Scale {
+            sizes: vec![1_000, 2_000, 4_000, 8_000, 16_000],
+            trials: 60,
+            repeats: 3,
+            seed: 42,
+        }
+    }
+}

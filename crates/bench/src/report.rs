@@ -1,0 +1,225 @@
+//! Plain-text table/series rendering shared by all experiment drivers.
+
+use std::fmt::Write;
+
+/// A rectangular table with a title, rendered as aligned plain text.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:<w$} | ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        let _ = writeln!(out, "{}", line(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Renders the table as RFC-4180-ish CSV (quoted cells where needed),
+    /// header first; the title becomes a `# comment` line.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = format!("# {}\n", self.title);
+        let line =
+            |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Extracts every rendered table in a report back out as CSV blocks, one per
+/// `###` section (best effort; used by `repro --csv`).
+pub fn report_to_csv(report: &str) -> Vec<(String, String)> {
+    let mut blocks = Vec::new();
+    let mut title = String::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let flush = |title: &str, rows: &mut Vec<Vec<String>>, blocks: &mut Vec<(String, String)>| {
+        if rows.is_empty() {
+            return;
+        }
+        let mut csv = format!("# {title}\n");
+        for row in rows.iter() {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        blocks.push((title.to_string(), csv));
+        rows.clear();
+    };
+    for line in report.lines() {
+        if let Some(t) = line.strip_prefix("### ") {
+            flush(&title, &mut rows, &mut blocks);
+            title = t.to_string();
+        } else if line.starts_with('|') {
+            let cells: Vec<String> = line
+                .trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().to_string())
+                .collect();
+            // Skip the markdown separator row.
+            if !cells.iter().all(|c| c.chars().all(|ch| ch == '-')) {
+                rows.push(cells);
+            }
+        }
+    }
+    flush(&title, &mut rows, &mut blocks);
+    blocks
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats an improvement percentage `(base - ours) / base`.
+pub fn improvement_pct(base: f64, ours: f64) -> String {
+    if base <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:.0}%", 100.0 * (base - ours) / base)
+}
+
+/// A labelled (x, y) series rendered as `label: (x1, y1) (x2, y2) …`.
+pub fn render_series(label: &str, points: &[(f64, f64)]) -> String {
+    let body: Vec<String> = points
+        .iter()
+        .map(|&(x, y)| format!("({}, {})", fmt_f(x), fmt_f(y)))
+        .collect();
+    format!("{label}: {}", body.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| name   | value |"));
+        assert!(s.contains("| longer | 2.5   |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.5), "1234");
+        assert_eq!(fmt_f(12.345), "12.35");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+    }
+
+    #[test]
+    fn improvement_formatting() {
+        assert_eq!(improvement_pct(10.0, 2.0), "80%");
+        assert_eq!(improvement_pct(0.0, 2.0), "n/a");
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series("SELECT", &[(100.0, 1.5), (200.0, 1.7)]);
+        assert!(s.starts_with("SELECT:"));
+        assert!(s.contains("(100, 1.50)"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new("quote me", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        t.row(vec!["say \"hi\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# quote me\na,b\n"));
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"say \"\"hi\"\"\",2"));
+    }
+
+    #[test]
+    fn report_round_trips_to_csv_blocks() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        let rendered = t.render();
+        let blocks = report_to_csv(&rendered);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].0, "demo");
+        assert!(blocks[0].1.contains("name,value"));
+        assert!(blocks[0].1.contains("a,1"));
+    }
+
+    #[test]
+    fn report_to_csv_skips_separator_rows() {
+        let report = "### t\n| a | b |\n| - | - |\n| 1 | 2 |\n";
+        let blocks = report_to_csv(report);
+        assert_eq!(blocks[0].1.lines().count(), 3); // comment + header + row
+    }
+}

@@ -1,0 +1,67 @@
+//! Friendship bitmaps (paper §III-D).
+//!
+//! When peer `p` evaluates its neighbourhood `C_p`, each friend `u ∈ C_p` is
+//! summarized by a `|C_p|`-bit bitmap: bit `j` is set iff `u` currently links
+//! `p`'s `j`-th friend (`(u, c_j) ∈ R_u`). Friends with similar bitmaps cover
+//! the same part of `p`'s neighbourhood — the redundancy LSH bucketing then
+//! collapses.
+
+use osn_lsh::Bitmap;
+
+/// Builds the friendship bitmap of friend `u` over `p`'s neighbourhood.
+///
+/// * `neighbourhood` — `p`'s friend list `C_p`, defining bit positions.
+/// * `links_of_u` — `u`'s current connection set `R_u` (any order).
+pub fn friendship_bitmap(neighbourhood: &[u32], links_of_u: &[u32]) -> Bitmap {
+    Bitmap::from_set_bits(
+        neighbourhood.len(),
+        neighbourhood
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| links_of_u.contains(&c))
+            .map(|(j, _)| j),
+    )
+}
+
+/// Number of `p`'s friends that `u` covers (the picker's primary sort key —
+/// "the maximum number of social connections", Algorithm 6).
+pub fn coverage(bm: &Bitmap) -> usize {
+    bm.count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_positions_follow_neighbourhood_order() {
+        let c_p = [10u32, 20, 30, 40];
+        let r_u = [30u32, 10, 99];
+        let bm = friendship_bitmap(&c_p, &r_u);
+        assert!(bm.get(0)); // 10
+        assert!(!bm.get(1)); // 20
+        assert!(bm.get(2)); // 30
+        assert!(!bm.get(3)); // 40
+        assert_eq!(coverage(&bm), 2);
+    }
+
+    #[test]
+    fn empty_links_empty_bitmap() {
+        let bm = friendship_bitmap(&[1, 2, 3], &[]);
+        assert_eq!(coverage(&bm), 0);
+    }
+
+    #[test]
+    fn identical_link_sets_identical_bitmaps() {
+        let c_p = [5u32, 6, 7];
+        let a = friendship_bitmap(&c_p, &[6, 7]);
+        let b = friendship_bitmap(&c_p, &[7, 6]);
+        assert_eq!(a, b, "order of R_u must not matter");
+    }
+
+    #[test]
+    fn links_outside_neighbourhood_are_ignored() {
+        let bm = friendship_bitmap(&[1, 2], &[3, 4, 5]);
+        assert_eq!(coverage(&bm), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tunable parameters of the SELECT system, including the ablation switches
+//! DESIGN.md §6 calls out.
+
+/// Configuration for [`crate::SelectNetwork`].
+#[derive(Clone, Debug)]
+pub struct SelectConfig {
+    /// Long-range link budget K (also the LSH bucket count `|H|` and the
+    /// incoming-link cap). `0` means "use `log2(N)`", the value the paper
+    /// settles on after its link sweep (§IV-C).
+    pub k: usize,
+    /// Bit positions sampled per LSH hash.
+    pub lsh_samples: usize,
+    /// CMA below this marks a neighbour "mostly offline" (recovery, §III-F).
+    pub cma_threshold: f64,
+    /// Minimum CMA observations before a link can be judged poor.
+    pub cma_min_obs: u64,
+    /// Hop budget for greedy fallback routing.
+    pub max_route_hops: usize,
+    /// Identifier-movement tolerance for convergence, as a fraction of the
+    /// ring (moves smaller than this don't count as changes).
+    pub convergence_eps: f64,
+    /// Reassignment stop radius, as a fraction of the ring: a peer already
+    /// within this distance of its strongest friend does not move. Without
+    /// a stop radius the "move to the centroid of your strongest friends"
+    /// dynamics contract the *whole network* to a single point, destroying
+    /// the region structure Fig. 8 shows; with it, clusters tighten to the
+    /// radius and then hold their region of the ring.
+    pub cluster_radius: f64,
+    /// Rounds of total quiescence required to declare convergence.
+    pub stability_window: usize,
+    /// Ablation: run Algorithm 2 identifier reassignment (paper default on).
+    pub reassign_ids: bool,
+    /// Ablation: use LSH buckets + picker for long links (paper default on);
+    /// off = uniform-random friends, Symphony-style.
+    pub use_lsh_picker: bool,
+    /// Ablation: use the lookahead set `L_p` in routing (paper default on).
+    pub use_lookahead: bool,
+    /// Ablation: move to the centroid of *all* friends instead of the top-2
+    /// strongest (the paper argues top-2 is better for high-degree users).
+    pub centroid_all: bool,
+    /// Ablation: CMA-aware recovery (paper default on); off = drop any
+    /// unresponsive link immediately.
+    pub cma_recovery: bool,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        SelectConfig {
+            k: 0,
+            lsh_samples: 16,
+            cma_threshold: 0.5,
+            cma_min_obs: 3,
+            max_route_hops: 256,
+            convergence_eps: 1.0 / 4096.0,
+            cluster_radius: 1.0 / 64.0,
+            stability_window: 2,
+            reassign_ids: true,
+            use_lsh_picker: true,
+            use_lookahead: true,
+            centroid_all: false,
+            cma_recovery: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SelectConfig {
+    /// Resolves the link budget for a network of `n` peers: explicit `k`, or
+    /// `log2(n)` when `k == 0` (minimum 2).
+    pub fn resolved_k(&self, n: usize) -> usize {
+        if self.k > 0 {
+            self.k
+        } else {
+            ((n.max(2) as f64).log2().round() as usize).max(2)
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with an explicit link budget.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Returns the config with identifier reassignment toggled.
+    pub fn with_reassignment(mut self, on: bool) -> Self {
+        self.reassign_ids = on;
+        self
+    }
+
+    /// Returns the config with the LSH picker toggled.
+    pub fn with_lsh_picker(mut self, on: bool) -> Self {
+        self.use_lsh_picker = on;
+        self
+    }
+
+    /// Returns the config with lookahead routing toggled.
+    pub fn with_lookahead(mut self, on: bool) -> Self {
+        self.use_lookahead = on;
+        self
+    }
+
+    /// Returns the config with all-friends centroid toggled.
+    pub fn with_centroid_all(mut self, on: bool) -> Self {
+        self.centroid_all = on;
+        self
+    }
+
+    /// Returns the config with CMA recovery toggled.
+    pub fn with_cma_recovery(mut self, on: bool) -> Self {
+        self.cma_recovery = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_k_is_log2() {
+        let c = SelectConfig::default();
+        assert_eq!(c.resolved_k(1024), 10);
+        assert_eq!(c.resolved_k(2), 2, "floor of 2");
+        assert_eq!(c.resolved_k(1_000_000), 20);
+    }
+
+    #[test]
+    fn explicit_k_wins() {
+        let c = SelectConfig::default().with_k(7);
+        assert_eq!(c.resolved_k(1024), 7);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = SelectConfig::default()
+            .with_reassignment(false)
+            .with_lsh_picker(false)
+            .with_lookahead(false)
+            .with_centroid_all(true)
+            .with_cma_recovery(false)
+            .with_seed(9);
+        assert!(!c.reassign_ids && !c.use_lsh_picker && !c.use_lookahead);
+        assert!(c.centroid_all && !c.cma_recovery);
+        assert_eq!(c.seed, 9);
+    }
+}

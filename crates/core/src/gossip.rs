@@ -1,0 +1,478 @@
+//! Gossip peer-sampling rounds (paper §III-C/D, Algorithms 3 and 4).
+//!
+//! In the paper every peer periodically exchanges `<C_p, R_p>` with a random
+//! social friend, after which **both** sides re-evaluate their position
+//! (Algorithm 2) and their links (Algorithm 5). Under the synchronous
+//! vertex-centric execution model of the evaluation (§IV), one *round* ticks
+//! every online peer once: it refreshes its view of its neighbourhood,
+//! re-evaluates its identifier and reconciles its long-range links.
+//!
+//! A round reports how much actually changed; [`SelectNetwork::converge`]
+//! runs rounds until a stability window passes with no changes — the
+//! iteration count of the paper's Fig. 5.
+
+use crate::links::create_links;
+use crate::network::{ConvergenceReport, SelectNetwork};
+use crate::reassign::{evaluate_position, evaluate_position_centroid_all};
+use osn_overlay::table::Admission;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Change counters of one gossip round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundChanges {
+    /// Peers that moved their identifier by more than the tolerance.
+    pub id_moves: usize,
+    /// Long-range links added or removed across the network.
+    pub link_changes: usize,
+}
+
+impl RoundChanges {
+    /// Whether the round was fully quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.id_moves == 0 && self.link_changes == 0
+    }
+}
+
+impl SelectNetwork {
+    /// Runs one synchronous gossip round over all online peers.
+    pub fn gossip_round(&mut self) -> RoundChanges {
+        let n = self.len() as u32;
+        let eps_ticks = (self.cfg.convergence_eps * u64::MAX as f64) as u64;
+        let mut changes = RoundChanges::default();
+
+        // Phase 1: identifier reassignment (Algorithm 2), asynchronous
+        // in-place updates in peer order — later peers see earlier moves,
+        // which is what damps oscillation in practice.
+        if self.cfg.reassign_ids {
+            for p in 0..n {
+                if self.online[p as usize] && self.maybe_reassign(p, eps_ticks) {
+                    changes.id_moves += 1;
+                }
+            }
+        }
+
+        // Phase 2: link reassignment (Algorithm 5) per peer.
+        for p in 0..n {
+            if !self.online[p as usize] {
+                continue;
+            }
+            changes.link_changes += self.reassign_links_of(p);
+        }
+
+        // Ring short links follow the new positions.
+        self.refresh_short_links();
+        changes
+    }
+
+    /// One peer's Algorithm 2 step, gated by the cluster stop radius and by
+    /// hub anchoring. Returns whether the peer moved.
+    ///
+    /// Hub anchoring: a peer whose social degree is at least its strongest
+    /// friend's does not move — it *is* the anchor its neighbourhood
+    /// gathers around. The paper itself observes that centroid placement
+    /// breaks down for high-degree users; without an anchor rule the
+    /// midpoint dynamics are a global averaging process that drags the whole
+    /// network into one spot, erasing Fig. 8's per-community regions.
+    fn maybe_reassign(&mut self, p: u32, eps_ticks: u64) -> bool {
+        use osn_graph::UserId;
+        let radius_ticks = (self.cfg.cluster_radius * u64::MAX as f64) as u64;
+        // The *guide* is p's highest-ranked online friend under the
+        // lexicographic (degree, id) order; rank local maxima anchor their
+        // neighbourhood and never move.
+        let rank = |x: u32| (self.graph.degree(UserId(x)), x);
+        let guide = self
+            .graph
+            .neighbors(UserId(p))
+            .iter()
+            .map(|f| f.0)
+            .filter(|&f| self.online[f as usize])
+            .max_by_key(|&f| rank(f));
+        let guide = match guide {
+            Some(g) if rank(g) > rank(p) => g,
+            _ => return false, // p is a local maximum: it anchors
+        };
+        // Already settled inside the guide's cluster region?
+        if self.positions[p as usize]
+            .distance(self.positions[guide as usize])
+            .0
+            <= radius_ticks
+        {
+            return false;
+        }
+        let pos_of = |f: u32| self.online[f as usize].then(|| self.positions[f as usize]);
+        let mut new = if self.cfg.centroid_all {
+            evaluate_position_centroid_all(p, &self.strengths, pos_of)
+        } else {
+            evaluate_position(p, &self.strengths, pos_of)
+        };
+        // When the two strongest friends live in different ring regions the
+        // centroid lands in no-man's-land between them (the high-degree
+        // pathology §III-C discusses). Snap next to the guide instead.
+        if let Some(target) = new {
+            if target.distance(self.positions[guide as usize]).0 > radius_ticks {
+                new = Some(self.positions[guide as usize]);
+            }
+        }
+        if let Some(new_pos) = new {
+            if self.positions[p as usize].distance(new_pos).0 > eps_ticks {
+                self.move_peer(p, new_pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recomputes peer `p`'s long-range link targets and reconciles its
+    /// table (and the remote incoming tables) against them. Returns the
+    /// number of link changes.
+    pub(crate) fn reassign_links_of(&mut self, p: u32) -> usize {
+        let neighbourhood = self.online_friends(p);
+        let targets: Vec<u32> = if self.cfg.use_lsh_picker {
+            // A friend's advertised connection set is its current links plus
+            // its social adjacency. Long links converge onto social edges
+            // anyway (they are only ever established between friends), and
+            // anchoring the bitmap in the social graph keeps the
+            // bitmap → bucket → link feedback loop from flapping forever —
+            // with purely dynamic `R_u` the pick in a bucket changes every
+            // round and the overlay never quiesces.
+            let selection = create_links(
+                &neighbourhood,
+                self.k,
+                self.cfg.lsh_samples,
+                self.cfg.seed ^ (p as u64).rotate_left(32),
+                |u| {
+                    let mut links = self.tables[u as usize].all_links(u);
+                    links.extend(self.graph.neighbors(osn_graph::UserId(u)).iter().map(|f| f.0));
+                    links
+                },
+                |u| self.bandwidth[u as usize],
+            );
+            let mut targets = selection.targets.clone();
+            self.selections[p as usize] = selection;
+            // Friends converge to similar connections, so buckets collapse
+            // and the picker returns fewer than K targets. The rest of the
+            // preference list continues the same avoid-link-overlap goal:
+            // greedy set cover over the *social* reach of each friend within
+            // the neighbourhood (static data — an evolving-table objective
+            // would flap forever), then any leftover friends in strength
+            // order. `reconcile_links` consumes the list until K links are
+            // actually accepted, so admission rejections don't waste budget.
+            {
+                use std::collections::HashSet;
+                let in_neigh: HashSet<u32> = neighbourhood.iter().copied().collect();
+                let reach = |f: u32| -> Vec<u32> {
+                    let mut r: Vec<u32> = self
+                        .graph
+                        .neighbors(osn_graph::UserId(f))
+                        .iter()
+                        .map(|x| x.0)
+                        .filter(|q| in_neigh.contains(q))
+                        .collect();
+                    r.push(f);
+                    r
+                };
+                let mut covered: HashSet<u32> = HashSet::new();
+                for &t in &targets {
+                    covered.extend(reach(t));
+                }
+                let ranked = self.strengths.ranked_friends(p).to_vec();
+                loop {
+                    let mut best: Option<(usize, u32)> = None;
+                    for &f in &ranked {
+                        if !self.online[f as usize] || targets.contains(&f) {
+                            continue;
+                        }
+                        let gain = reach(f).iter().filter(|q| !covered.contains(q)).count();
+                        if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                            best = Some((gain, f));
+                        }
+                    }
+                    match best {
+                        Some((_, f)) => {
+                            covered.extend(reach(f));
+                            targets.push(f);
+                        }
+                        None => break,
+                    }
+                }
+                // Tail: remaining online friends in strength order.
+                for &f in &ranked {
+                    if self.online[f as usize] && !targets.contains(&f) {
+                        targets.push(f);
+                    }
+                }
+            }
+            targets
+        } else {
+            // Ablation: uniform-random friends, socially blind within C_p.
+            // Sticky: existing online links are kept and only the remaining
+            // budget is drawn randomly, otherwise the overlay would rewire
+            // forever and never converge.
+            let mut targets: Vec<u32> = self.tables[p as usize]
+                .long_links()
+                .iter()
+                .copied()
+                .filter(|&u| self.online[u as usize])
+                .collect();
+            let mut pool: Vec<u32> = neighbourhood
+                .iter()
+                .copied()
+                .filter(|u| !targets.contains(u))
+                .collect();
+            pool.shuffle(&mut self.rng);
+            for u in pool {
+                if targets.len() >= self.k {
+                    break;
+                }
+                targets.push(u);
+            }
+            targets
+        };
+        self.reconcile_links(p, &targets)
+    }
+
+    /// Reconciles `p`'s long links against an ordered preference list:
+    /// candidates are consumed until K links are *accepted* (existing links
+    /// count without re-admission; new links go through the remote
+    /// incoming-admission of §III-D), then every current link that did not
+    /// make the cut is dropped — except unresponsive-but-trusted links when
+    /// CMA recovery is on (§III-F keeps them to avoid reassignment chains).
+    pub(crate) fn reconcile_links(&mut self, p: u32, candidates: &[u32]) -> usize {
+        let mut changes = 0usize;
+        let current: Vec<u32> = self.tables[p as usize].long_links().to_vec();
+
+        // Trusted offline links consume budget up front.
+        let mut desired: Vec<u32> = current
+            .iter()
+            .copied()
+            .filter(|&u| {
+                self.cfg.cma_recovery
+                    && !self.online[u as usize]
+                    && self.cma[p as usize].get(&u).is_some_and(|c| {
+                        !c.is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs)
+                    })
+            })
+            .collect();
+
+        for &u in candidates {
+            if desired.len() >= self.k {
+                break;
+            }
+            if u == p || desired.contains(&u) {
+                continue;
+            }
+            if current.contains(&u) {
+                desired.push(u);
+                continue;
+            }
+            if self.tables[p as usize].has_link(u) {
+                continue; // already a ring link; no long link needed
+            }
+            let bw_p = self.bandwidth[p as usize];
+            let bandwidth = &self.bandwidth;
+            match self.tables[u as usize].offer_incoming(p, bw_p, |q| bandwidth[q as usize]) {
+                Admission::Accepted { evicted } => {
+                    self.tables[p as usize].add_long(u);
+                    desired.push(u);
+                    changes += 1;
+                    if let Some(w) = evicted {
+                        // The displaced peer loses its outgoing link to u.
+                        if self.tables[w as usize].remove_long(u) {
+                            changes += 1;
+                        }
+                    }
+                }
+                Admission::Rejected => {}
+            }
+        }
+
+        // Drop current links that did not make the cut.
+        for &u in &current {
+            if !desired.contains(&u) {
+                self.tables[p as usize].remove_long(u);
+                self.tables[u as usize].remove_incoming(p);
+                changes += 1;
+            }
+        }
+        changes
+    }
+
+    /// Runs gossip rounds until [`RoundChanges::is_quiescent`] holds for
+    /// `stability_window` consecutive rounds, or `max_rounds` elapse.
+    pub fn converge(&mut self, max_rounds: usize) -> ConvergenceReport {
+        let mut quiet = 0usize;
+        for round in 1..=max_rounds {
+            let ch = self.gossip_round();
+            if ch.is_quiescent() {
+                quiet += 1;
+                if quiet >= self.cfg.stability_window {
+                    self.last_convergence = Some(round);
+                    return ConvergenceReport {
+                        rounds: round,
+                        converged: true,
+                    };
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        self.last_convergence = Some(max_rounds);
+        ConvergenceReport {
+            rounds: max_rounds,
+            converged: false,
+        }
+    }
+
+    /// Emulates the paper's asynchronous gossip: only a random `fraction` of
+    /// online peers exchange this round. Used by convergence experiments
+    /// that need finer-grained iteration counts.
+    pub fn partial_gossip_round(&mut self, fraction: f64) -> RoundChanges {
+        let n = self.len() as u32;
+        let eps_ticks = (self.cfg.convergence_eps * u64::MAX as f64) as u64;
+        let mut changes = RoundChanges::default();
+        let mut acted: Vec<u32> = (0..n).filter(|&p| self.online[p as usize]).collect();
+        acted.retain(|_| self.rng.gen_bool(fraction.clamp(0.0, 1.0)));
+        for p in acted {
+            if self.cfg.reassign_ids && self.maybe_reassign(p, eps_ticks) {
+                changes.id_moves += 1;
+            }
+            changes.link_changes += self.reassign_links_of(p);
+        }
+        self.refresh_short_links();
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectConfig;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+    use osn_graph::UserId;
+
+    fn net(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(seed);
+        SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed))
+    }
+
+    #[test]
+    fn rounds_reduce_friend_distance() {
+        let mut n = net(1);
+        let avg_dist = |n: &SelectNetwork| {
+            let mut total = 0.0;
+            let mut count = 0u64;
+            for p in 0..n.len() as u32 {
+                for &f in &n.online_friends(p) {
+                    total += n.identifier_of(p).distance(n.identifier_of(f)).as_unit_len();
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let before = avg_dist(&n);
+        for _ in 0..10 {
+            n.gossip_round();
+        }
+        let after = avg_dist(&n);
+        assert!(
+            after < before * 0.5,
+            "reassignment should pull friends together ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn long_links_connect_social_friends() {
+        let mut n = net(2);
+        for _ in 0..5 {
+            n.gossip_round();
+        }
+        for p in 0..n.len() as u32 {
+            for &l in n.table(p).long_links() {
+                assert!(
+                    n.graph().has_edge(UserId(p), UserId(l)),
+                    "long link {p}->{l} is not a social edge"
+                );
+            }
+            assert!(n.table(p).long_links().len() <= n.k());
+        }
+    }
+
+    #[test]
+    fn converge_terminates_and_is_stable() {
+        let mut n = net(3);
+        let report = n.converge(300);
+        assert!(report.converged, "did not converge in 300 rounds");
+        // A further round must be quiescent.
+        let ch = n.gossip_round();
+        assert!(ch.is_quiescent(), "post-convergence round changed {ch:?}");
+    }
+
+    #[test]
+    fn incoming_caps_respected() {
+        let mut n = net(4);
+        for _ in 0..5 {
+            n.gossip_round();
+        }
+        for p in 0..n.len() as u32 {
+            assert!(
+                n.table(p).incoming_links().len() <= n.k(),
+                "peer {p} exceeded incoming cap"
+            );
+        }
+    }
+
+    #[test]
+    fn no_reassignment_ablation_keeps_ids() {
+        let g = BarabasiAlbert::new(80, 3).generate(5);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default().with_seed(5).with_reassignment(false),
+        );
+        let ids: Vec<_> = (0..80u32).map(|p| n.identifier_of(p)).collect();
+        n.gossip_round();
+        for p in 0..80u32 {
+            assert_eq!(n.identifier_of(p), ids[p as usize]);
+        }
+    }
+
+    #[test]
+    fn random_picker_ablation_still_links_friends() {
+        let g = BarabasiAlbert::new(80, 3).generate(6);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default().with_seed(6).with_lsh_picker(false),
+        );
+        n.gossip_round();
+        let total_long: usize = (0..80u32).map(|p| n.table(p).long_links().len()).sum();
+        assert!(total_long > 0);
+        for p in 0..80u32 {
+            for &l in n.table(p).long_links() {
+                assert!(n.graph().has_edge(UserId(p), UserId(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_round_acts_on_subset() {
+        let mut n = net(7);
+        let full = n.gossip_round();
+        let mut n2 = net(7);
+        let partial = n2.partial_gossip_round(0.3);
+        // A 30% round should generally move fewer ids than a full round.
+        assert!(partial.id_moves <= full.id_moves);
+    }
+
+    #[test]
+    fn gossip_is_deterministic() {
+        let mut a = net(9);
+        let mut b = net(9);
+        for _ in 0..3 {
+            assert_eq!(a.gossip_round(), b.gossip_round());
+        }
+        for p in 0..a.len() as u32 {
+            assert_eq!(a.identifier_of(p), b.identifier_of(p));
+            assert_eq!(a.table(p).long_links(), b.table(p).long_links());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # select-core — the SELECT distributed pub/sub system
+//!
+//! Reference implementation of SELECT (Apolónia et al., IPDPS 2018): a fully
+//! decentralized publish/subscribe notification system for online social
+//! networks. Peers live on a ring identifier space; SELECT
+//!
+//! 1. **projects** the social graph onto the ring (Algorithm 1 —
+//!    invitation-adjacent or uniform-hash identifiers, [`projection`]),
+//! 2. **reassigns identifiers** toward the centroid of each peer's two
+//!    strongest friends (Algorithm 2, [`reassign`]), where *social strength*
+//!    is the normalized common-friend count (Eq. 2, [`strength`]),
+//! 3. **establishes connections** by LSH-bucketing friendship bitmaps and
+//!    picking one bandwidth-aware representative per bucket (Algorithms 5–6,
+//!    [`links`]), driven by a gossip peer-sampling exchange (Algorithms 3–4,
+//!    [`gossip`]),
+//! 4. **routes publications** over direct links, a Symphony-style lookahead
+//!    set, and greedy ring routing as a last resort ([`pubsub`]), and
+//! 5. **recovers from churn** using per-link Cumulative Moving Average
+//!    availability estimates ([`recovery`]).
+//!
+//! The entry point is [`SelectNetwork`]:
+//!
+//! ```
+//! use osn_graph::prelude::*;
+//! use select_core::{SelectConfig, SelectNetwork};
+//!
+//! let graph = datasets::Dataset::Facebook.generate_scaled(0.002, 7);
+//! let mut net = SelectNetwork::bootstrap(graph, SelectConfig::default().with_seed(7));
+//! let report = net.converge(200);
+//! assert!(report.rounds > 0);
+//!
+//! // Publish from some user and check everyone socially connected got it.
+//! let pub_report = net.publish(0);
+//! assert_eq!(pub_report.delivered, pub_report.subscribers);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitmaps;
+pub mod config;
+pub mod gossip;
+pub mod links;
+pub mod network;
+pub mod projection;
+pub mod protocol;
+pub mod pubsub;
+pub mod reassign;
+pub mod recovery;
+pub mod stats;
+pub mod strength;
+pub mod topics;
+
+pub use config::SelectConfig;
+pub use network::{ConvergenceReport, SelectNetwork};
+pub use pubsub::{DisseminationReport, RoutingTree};

@@ -1,0 +1,217 @@
+//! Connection establishment (paper §III-D, Algorithms 5 and 6).
+//!
+//! Peer `p` indexes the friendship bitmaps of its online neighbourhood into
+//! `|H| = K` LSH buckets and establishes **at most one long-range link per
+//! bucket**: friends with similar connection sets are redundant, so one
+//! representative suffices, chosen by the *picker* — highest neighbourhood
+//! coverage first, upgraded to the runner-up when the runner-up has strictly
+//! better bandwidth (Algorithm 6).
+
+use crate::bitmaps::{coverage, friendship_bitmap};
+use osn_lsh::{BitSampling, Bitmap, LshIndex};
+
+/// A candidate friend for a long-range link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkCandidate {
+    /// The candidate peer.
+    pub peer: u32,
+    /// How many of `p`'s friends it covers ([`coverage`]).
+    pub coverage: usize,
+    /// Its upload bandwidth.
+    pub bandwidth: f64,
+}
+
+/// Algorithm 6: chooses the connection target from one bucket's members.
+///
+/// Members are sorted by descending coverage (ties: descending bandwidth,
+/// then ascending id for determinism). If the top candidate has strictly
+/// worse bandwidth than the runner-up, the runner-up wins.
+///
+/// # Panics
+/// Panics on an empty bucket.
+pub fn picker(members: &[LinkCandidate]) -> u32 {
+    assert!(!members.is_empty(), "picker requires a non-empty bucket");
+    let mut sorted: Vec<LinkCandidate> = members.to_vec();
+    sorted.sort_by(|a, b| {
+        b.coverage
+            .cmp(&a.coverage)
+            .then(b.bandwidth.total_cmp(&a.bandwidth))
+            .then(a.peer.cmp(&b.peer))
+    });
+    if sorted.len() > 1 && sorted[0].bandwidth < sorted[1].bandwidth {
+        sorted[1].peer
+    } else {
+        sorted[0].peer
+    }
+}
+
+/// Result of Algorithm 5 for one peer.
+#[derive(Clone, Debug, Default)]
+pub struct LinkSelection {
+    /// Chosen long-range link targets, at most `K`.
+    pub targets: Vec<u32>,
+    /// Full bucket contents (bucket id → members), kept for the recovery
+    /// mechanism's "replace with another peer from the same bucket" rule.
+    pub buckets: Vec<Vec<u32>>,
+}
+
+impl LinkSelection {
+    /// Other members of the bucket containing `peer` (replacement pool).
+    pub fn bucket_peers_of(&self, peer: u32) -> &[u32] {
+        self.buckets
+            .iter()
+            .find(|b| b.contains(&peer))
+            .map(|b| b.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Algorithm 5 (`createLinks`): selects up to `k` long-range targets for a
+/// peer whose online neighbourhood is `neighbourhood`, where `links_of(u)`
+/// yields `u`'s current connection set and `bandwidth_of(u)` its uplink.
+///
+/// `lsh_seed` keeps the hash family stable per peer across rounds so bucket
+/// membership (and hence recovery replacement pools) is consistent.
+pub fn create_links(
+    neighbourhood: &[u32],
+    k: usize,
+    lsh_samples: usize,
+    lsh_seed: u64,
+    links_of: impl Fn(u32) -> Vec<u32>,
+    bandwidth_of: impl Fn(u32) -> f64,
+) -> LinkSelection {
+    if neighbourhood.is_empty() || k == 0 {
+        return LinkSelection::default();
+    }
+    let dim = neighbourhood.len();
+    let family = BitSampling::new(dim.max(1), k, lsh_samples.max(1), lsh_seed);
+    let mut index = LshIndex::new(family);
+    let mut bitmaps: Vec<(u32, Bitmap)> = Vec::with_capacity(dim);
+    for &u in neighbourhood {
+        let bm = friendship_bitmap(neighbourhood, &links_of(u));
+        index.insert(u, &bm);
+        bitmaps.push((u, bm));
+    }
+    let cov: std::collections::HashMap<u32, usize> = bitmaps
+        .iter()
+        .map(|(u, bm)| (*u, coverage(bm)))
+        .collect();
+
+    let mut selection = LinkSelection {
+        targets: Vec::with_capacity(k),
+        buckets: vec![Vec::new(); index.num_buckets()],
+    };
+    for (b, members) in index.non_empty_buckets() {
+        selection.buckets[b] = members.to_vec();
+        let candidates: Vec<LinkCandidate> = members
+            .iter()
+            .map(|&u| LinkCandidate {
+                peer: u,
+                coverage: cov[&u],
+                bandwidth: bandwidth_of(u),
+            })
+            .collect();
+        selection.targets.push(picker(&candidates));
+    }
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(peer: u32, coverage: usize, bandwidth: f64) -> LinkCandidate {
+        LinkCandidate {
+            peer,
+            coverage,
+            bandwidth,
+        }
+    }
+
+    #[test]
+    fn picker_prefers_coverage() {
+        let got = picker(&[cand(1, 5, 1.0), cand(2, 9, 1.0), cand(3, 2, 1.0)]);
+        assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn picker_upgrades_to_faster_runner_up() {
+        // Top by coverage is slow; runner-up is faster → runner-up wins.
+        let got = picker(&[cand(1, 9, 1.0), cand(2, 5, 3.0)]);
+        assert_eq!(got, 2);
+        // Runner-up no faster → top wins.
+        let got = picker(&[cand(1, 9, 3.0), cand(2, 5, 1.0)]);
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn picker_singleton() {
+        assert_eq!(picker(&[cand(7, 0, 0.0)]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn picker_empty_panics() {
+        picker(&[]);
+    }
+
+    #[test]
+    fn create_links_bounds_by_k() {
+        let friends: Vec<u32> = (0..40).collect();
+        let sel = create_links(
+            &friends,
+            5,
+            8,
+            42,
+            |u| vec![(u + 1) % 40, (u + 2) % 40],
+            |_| 1.0,
+        );
+        assert!(sel.targets.len() <= 5);
+        assert!(!sel.targets.is_empty());
+        // Targets are drawn from the neighbourhood.
+        assert!(sel.targets.iter().all(|t| friends.contains(t)));
+        // No duplicate targets (one per bucket).
+        let mut t = sel.targets.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), sel.targets.len());
+    }
+
+    #[test]
+    fn identical_friends_collapse_to_one_bucket() {
+        // All friends have the same links → same bitmap → same bucket →
+        // exactly one target.
+        let friends: Vec<u32> = (0..10).collect();
+        let sel = create_links(&friends, 4, 8, 1, |_| vec![0, 1], |_| 1.0);
+        assert_eq!(sel.targets.len(), 1);
+        assert_eq!(sel.bucket_peers_of(sel.targets[0]).len(), 10);
+    }
+
+    #[test]
+    fn empty_neighbourhood_selects_nothing() {
+        let sel = create_links(&[], 4, 8, 1, |_| vec![], |_| 1.0);
+        assert!(sel.targets.is_empty());
+    }
+
+    #[test]
+    fn bucket_peers_of_unknown_is_empty() {
+        let sel = create_links(&[1, 2], 2, 4, 1, |_| vec![], |_| 1.0);
+        assert!(sel.bucket_peers_of(99).is_empty());
+    }
+
+    #[test]
+    fn bandwidth_aware_pick_inside_bucket() {
+        // Two friends with identical bitmaps (same bucket); the faster one
+        // must be picked (equal coverage → bandwidth tie-break in sort).
+        let friends = [1u32, 2];
+        let sel = create_links(
+            &friends,
+            1,
+            4,
+            3,
+            |_| vec![1, 2],
+            |u| if u == 2 { 9.0 } else { 1.0 },
+        );
+        assert_eq!(sel.targets, vec![2]);
+    }
+}

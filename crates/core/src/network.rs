@@ -1,0 +1,377 @@
+//! The `SelectNetwork` orchestrator: owns the social graph, the ring, every
+//! peer's routing state, bandwidths, CMA bookkeeping and the RNG; the other
+//! modules ([`crate::gossip`], [`crate::recovery`], [`crate::pubsub`])
+//! implement their protocol steps as `impl SelectNetwork` blocks.
+
+use crate::config::SelectConfig;
+use crate::links::LinkSelection;
+use crate::projection::assign_identifier;
+use crate::strength::StrengthIndex;
+use osn_graph::growth::{GrowthModel, JoinEvent};
+use osn_graph::{SocialGraph, UserId};
+use osn_overlay::{RingId, RingIndex, RoutingTable, Topology};
+use osn_sim::{BandwidthModel, Cma};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Result of [`SelectNetwork::converge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Gossip rounds executed (the paper's Fig. 5 "iterations").
+    pub rounds: usize,
+    /// Whether the stability window was reached before the round cap.
+    pub converged: bool,
+}
+
+/// A fully decentralized SELECT overlay, simulated in-process.
+#[derive(Clone, Debug)]
+pub struct SelectNetwork {
+    pub(crate) graph: SocialGraph,
+    pub(crate) cfg: SelectConfig,
+    /// Resolved long-link budget K.
+    pub(crate) k: usize,
+    /// Online peers and their current identifiers.
+    pub(crate) ring: RingIndex,
+    /// Last known identifier of every peer (kept across churn).
+    pub(crate) positions: Vec<RingId>,
+    pub(crate) tables: Vec<RoutingTable>,
+    pub(crate) bandwidth: Vec<f64>,
+    pub(crate) online: Vec<bool>,
+    pub(crate) strengths: StrengthIndex,
+    /// Per peer: CMA availability estimate of each probed friend.
+    pub(crate) cma: Vec<HashMap<u32, Cma>>,
+    /// Last LSH selection per peer (replacement pools for recovery).
+    pub(crate) selections: Vec<LinkSelection>,
+    /// Rounds the most recent [`SelectNetwork::converge`] call took.
+    pub(crate) last_convergence: Option<usize>,
+    pub(crate) rng: StdRng,
+}
+
+impl SelectNetwork {
+    /// Bootstraps with **flat projection**: every peer joins at once with a
+    /// uniform-hash identifier (Algorithm 1's independent-subscription arm).
+    pub fn bootstrap(graph: SocialGraph, cfg: SelectConfig) -> Self {
+        let n = graph.num_nodes();
+        let mut net = Self::empty_shell(graph, cfg);
+        for p in 0..n as u32 {
+            let pos = assign_identifier(p, None, net.cfg.seed);
+            net.positions[p as usize] = pos;
+            net.ring.insert(p, pos);
+            net.online[p as usize] = true;
+        }
+        net.refresh_short_links();
+        net
+    }
+
+    /// Bootstraps by **replaying a growth schedule** (paper §IV): users join
+    /// over time, invited users land next to their inviter (Algorithm 1).
+    pub fn bootstrap_with_growth(
+        graph: SocialGraph,
+        cfg: SelectConfig,
+        growth: &GrowthModel,
+    ) -> Self {
+        let seed = cfg.seed;
+        let events: Vec<JoinEvent> = growth.schedule(&graph, seed ^ 0x9_0417);
+        let mut net = Self::empty_shell(graph, cfg);
+        for event in &events {
+            for &(user, inviter) in &event.arrivals {
+                let inviter_pos = inviter.and_then(|i| net.ring.position_of(i.0));
+                let pos = match inviter_pos {
+                    Some(ipos) => {
+                        let succ_pos = net
+                            .ring
+                            .successor(ipos)
+                            .and_then(|s| net.ring.position_of(s));
+                        crate::projection::assign_identifier_invited(
+                            ipos, succ_pos, user.0, seed,
+                        )
+                    }
+                    None => assign_identifier(user.0, None, seed),
+                };
+                net.positions[user.index()] = pos;
+                net.ring.insert(user.0, pos);
+                net.online[user.index()] = true;
+            }
+        }
+        net.refresh_short_links();
+        net
+    }
+
+    fn empty_shell(graph: SocialGraph, cfg: SelectConfig) -> Self {
+        let n = graph.num_nodes();
+        assert!(n >= 2, "need at least two peers");
+        let k = cfg.resolved_k(n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let bandwidth = BandwidthModel::default().sample_all(&mut rng, n);
+        let strengths = StrengthIndex::build(&graph);
+        SelectNetwork {
+            cfg,
+            k,
+            ring: RingIndex::new(n),
+            positions: vec![RingId::ZERO; n],
+            tables: (0..n).map(|_| RoutingTable::new(k)).collect(),
+            bandwidth,
+            online: vec![false; n],
+            strengths,
+            cma: vec![HashMap::new(); n],
+            selections: vec![LinkSelection::default(); n],
+            last_convergence: None,
+            rng,
+            graph,
+        }
+    }
+
+    /// Rounds the most recent [`SelectNetwork::converge`] call used, if any.
+    pub fn last_convergence_rounds(&self) -> Option<usize> {
+        self.last_convergence
+    }
+
+    /// The underlying social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SelectConfig {
+        &self.cfg
+    }
+
+    /// Resolved long-link budget K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of peers (online or offline).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the network has no peers (never: bootstrap requires ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Number of currently online peers.
+    pub fn online_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether `p` is online.
+    pub fn is_peer_online(&self, p: u32) -> bool {
+        self.online[p as usize]
+    }
+
+    /// Current identifier of `p` (last known if offline).
+    pub fn identifier_of(&self, p: u32) -> RingId {
+        self.positions[p as usize]
+    }
+
+    /// Upload bandwidth of `p`.
+    pub fn bandwidth_of(&self, p: u32) -> f64 {
+        self.bandwidth[p as usize]
+    }
+
+    /// The routing table of `p`.
+    pub fn table(&self, p: u32) -> &RoutingTable {
+        &self.tables[p as usize]
+    }
+
+    /// Online friends of `p` — the reachable part of `C_p`.
+    pub fn online_friends(&self, p: u32) -> Vec<u32> {
+        self.graph
+            .neighbors(UserId(p))
+            .iter()
+            .map(|f| f.0)
+            .filter(|&f| self.online[f as usize])
+            .collect()
+    }
+
+    /// All connections `p` can forward over: outgoing (ring + long) plus
+    /// incoming (connections are bidirectional channels).
+    pub fn connections_of(&self, p: u32) -> Vec<u32> {
+        let mut out = self.tables[p as usize].all_links(p);
+        for &q in self.tables[p as usize].incoming_links() {
+            if !out.contains(&q) {
+                out.push(q);
+            }
+        }
+        out.retain(|&q| self.online[q as usize]);
+        out
+    }
+
+    /// Takes `p` offline (churn departure). Its links stay in neighbours'
+    /// tables until probes notice — exactly the situation the CMA recovery
+    /// handles.
+    pub fn set_offline(&mut self, p: u32) {
+        if self.online[p as usize] {
+            self.online[p as usize] = false;
+            self.ring.remove(p);
+            self.refresh_short_links();
+        }
+    }
+
+    /// Brings `p` back online at its last identifier.
+    pub fn set_online(&mut self, p: u32) {
+        if !self.online[p as usize] {
+            self.online[p as usize] = true;
+            self.ring.insert(p, self.positions[p as usize]);
+            self.refresh_short_links();
+        }
+    }
+
+    /// Recomputes every online peer's successor/predecessor from the ring.
+    pub(crate) fn refresh_short_links(&mut self) {
+        let updates: Vec<(u32, Option<u32>, Option<u32>)> = self
+            .ring
+            .iter()
+            .map(|(_, p)| {
+                (
+                    p,
+                    self.ring.successor_of_peer(p),
+                    self.ring.predecessor_of_peer(p),
+                )
+            })
+            .collect();
+        for (p, s, d) in updates {
+            self.tables[p as usize].successor = s;
+            self.tables[p as usize].predecessor = d;
+        }
+    }
+
+    /// Moves `p` to `pos` on the ring (identifier reassignment).
+    ///
+    /// The low 32 bits are replaced by a per-peer hash: socially equivalent
+    /// peers compute identical centroids (Algorithm 2), and exactly shared
+    /// positions would make strict-progress greedy routing stall on
+    /// zero-distance non-targets. The mix-in is ~2⁻³² of the ring — far
+    /// below the convergence tolerance — and keeps identifiers unique.
+    pub(crate) fn move_peer(&mut self, p: u32, pos: RingId) {
+        let tag = RingId::hash_of((p as u64) ^ self.cfg.seed.rotate_left(23)).0 & 0xFFFF_FFFF;
+        let pos = RingId((pos.0 & !0xFFFF_FFFF) | tag);
+        self.positions[p as usize] = pos;
+        if self.online[p as usize] {
+            self.ring.insert(p, pos);
+        }
+    }
+}
+
+impl Topology for SelectNetwork {
+    fn position(&self, peer: u32) -> Option<RingId> {
+        self.online[peer as usize].then(|| self.positions[peer as usize])
+    }
+    fn links(&self, peer: u32) -> Vec<u32> {
+        self.connections_of(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn small_net(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::new(100, 4).generate(seed);
+        SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed))
+    }
+
+    #[test]
+    fn bootstrap_puts_everyone_online() {
+        let net = small_net(1);
+        assert_eq!(net.online_count(), 100);
+        assert_eq!(net.len(), 100);
+        assert_eq!(net.k(), 7); // log2(100) ≈ 6.6 → 7
+        // Short links are stitched consistently.
+        for p in 0..100u32 {
+            let s = net.table(p).successor.expect("successor");
+            assert_eq!(net.table(s).predecessor, Some(p));
+        }
+    }
+
+    #[test]
+    fn growth_bootstrap_clusters_invitees() {
+        let g = BarabasiAlbert::new(200, 3).generate(2);
+        let mut net = SelectNetwork::bootstrap_with_growth(
+            g,
+            SelectConfig::default().with_seed(2),
+            &GrowthModel::default(),
+        );
+        assert_eq!(net.online_count(), 200);
+        // Gap-splitting keeps the ring covered at bootstrap: no giant empty
+        // arc (positions are not all piled onto the seed user).
+        let mut units: Vec<f64> = (0..200u32)
+            .map(|p| net.identifier_of(p).as_unit())
+            .collect();
+        units.sort_by(f64::total_cmp);
+        let max_gap = units
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(units[0] + 1.0 - units[199], f64::max);
+        assert!(max_gap < 0.5, "ring left mostly empty (gap {max_gap})");
+
+        // After convergence, friends sit far closer than random pairs
+        // (uniform expectation 0.25).
+        net.converge(200);
+        let mut total = 0.0;
+        let mut count = 0;
+        for p in 0..200u32 {
+            for &f in &net.online_friends(p) {
+                total += net
+                    .identifier_of(p)
+                    .distance(net.identifier_of(f))
+                    .as_unit_len();
+                count += 1;
+            }
+        }
+        let avg = total / count as f64;
+        assert!(avg < 0.125, "avg friend distance {avg} not clustered");
+    }
+
+    #[test]
+    fn churn_offline_online_round_trip() {
+        let mut net = small_net(3);
+        let pos = net.identifier_of(10);
+        net.set_offline(10);
+        assert!(!net.is_peer_online(10));
+        assert_eq!(net.online_count(), 99);
+        assert!(Topology::position(&net, 10).is_none());
+        // Ring re-stitched: nobody's successor is 10.
+        for p in 0..100u32 {
+            if p != 10 {
+                assert_ne!(net.table(p).successor, Some(10));
+            }
+        }
+        net.set_online(10);
+        assert_eq!(net.identifier_of(10), pos, "position preserved");
+        assert_eq!(net.online_count(), 100);
+    }
+
+    #[test]
+    fn online_friends_filters() {
+        let mut net = small_net(4);
+        let friends = net.online_friends(0);
+        assert!(!friends.is_empty());
+        let f = friends[0];
+        net.set_offline(f);
+        assert!(!net.online_friends(0).contains(&f));
+    }
+
+    #[test]
+    fn deterministic_bootstrap() {
+        let a = small_net(7);
+        let b = small_net(7);
+        for p in 0..100u32 {
+            assert_eq!(a.identifier_of(p), b.identifier_of(p));
+            assert_eq!(a.bandwidth_of(p), b.bandwidth_of(p));
+        }
+    }
+
+    #[test]
+    fn connections_exclude_offline() {
+        let mut net = small_net(5);
+        let p = 0u32;
+        let succ = net.table(p).successor.unwrap();
+        net.set_offline(succ);
+        assert!(!net.connections_of(p).contains(&succ));
+    }
+}

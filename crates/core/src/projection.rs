@@ -1,0 +1,147 @@
+//! Projection of social users onto the ring (paper §III-C, Algorithm 1).
+//!
+//! A user joining **by invitation** receives an identifier minimizing the
+//! distance to the inviter's peer — here: the inviter's position plus a
+//! small deterministic jitter, so invited clusters pack tightly without
+//! colliding. A user subscribing **independently** receives a uniform hash.
+
+use osn_overlay::RingId;
+
+/// Jitter radius for invited joins: 1/2^20 of the ring keeps invitees
+/// adjacent to the inviter while avoiding exact-position collisions.
+const INVITE_JITTER_BITS: u32 = 44;
+
+/// Algorithm 1: identifier for a newly registered user.
+///
+/// `inviter_pos` is the current position of the peer hosting the social
+/// friend that invited the user (`None` = independent subscription).
+/// `user` seeds both the uniform hash and the jitter.
+pub fn assign_identifier(user: u32, inviter_pos: Option<RingId>, seed: u64) -> RingId {
+    match inviter_pos {
+        Some(pos) => {
+            // Deterministic signed jitter in (−2^43, 2^43) ticks.
+            let h = RingId::hash_of((user as u64) ^ seed.rotate_left(11)).0;
+            let jitter = h & ((1u64 << INVITE_JITTER_BITS) - 1);
+            let centered = jitter as i64 - (1i64 << (INVITE_JITTER_BITS - 1));
+            pos.offset(centered as u64)
+        }
+        None => RingId::hash_of((user as u64) ^ seed.rotate_left(7)),
+    }
+}
+
+/// Algorithm 1, invited arm, gap-splitting variant: the invitee takes the
+/// midpoint of the clockwise gap between its inviter and the inviter's ring
+/// successor — the closest *free* identifier to the inviter.
+///
+/// Pure jitter placement would chain every invitee of a growth cascade into
+/// one microscopic arc (the whole network collapses onto the seed user's
+/// position); gap splitting keeps invitees adjacent to their inviter while
+/// the ring as a whole stays covered, which is the structure Fig. 8 shows.
+pub fn assign_identifier_invited(
+    inviter_pos: RingId,
+    successor_pos: Option<RingId>,
+    user: u32,
+    seed: u64,
+) -> RingId {
+    let gap = match successor_pos {
+        Some(s) if s != inviter_pos => inviter_pos.cw_distance(s),
+        // Lone inviter (or successor at the same position): the whole ring
+        // is free.
+        _ => u64::MAX,
+    };
+    // Midpoint of the free arc, with a tiny per-user tag against exact
+    // collisions among simultaneous invitees.
+    let tag = RingId::hash_of((user as u64) ^ seed.rotate_left(19)).0 & 0xFFFF;
+    inviter_pos.offset((gap / 2).max(1)).offset(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invited_lands_next_to_inviter() {
+        let inviter = RingId::from_unit(0.42);
+        for u in 0..100u32 {
+            let id = assign_identifier(u, Some(inviter), 1);
+            let d = id.distance(inviter).as_unit_len();
+            assert!(d < 1e-5, "user {u} landed {d} away");
+        }
+    }
+
+    #[test]
+    fn invited_ids_do_not_collide() {
+        let inviter = RingId::from_unit(0.42);
+        let mut ids: Vec<u64> = (0..1_000u32)
+            .map(|u| assign_identifier(u, Some(inviter), 1).0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1_000, "jitter must separate invitees");
+    }
+
+    #[test]
+    fn independent_join_is_uniform_hash() {
+        let id = assign_identifier(7, None, 3);
+        assert_eq!(id, RingId::hash_of(7u64 ^ 3u64.rotate_left(7)));
+        // Spread check over many users.
+        let mut octants = [false; 8];
+        for u in 0..500u32 {
+            octants[(assign_identifier(u, None, 3).0 >> 61) as usize] = true;
+        }
+        assert!(octants.iter().all(|&o| o));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pos = RingId::from_unit(0.1);
+        assert_eq!(
+            assign_identifier(5, Some(pos), 9),
+            assign_identifier(5, Some(pos), 9)
+        );
+        assert_ne!(
+            assign_identifier(5, None, 9),
+            assign_identifier(5, None, 10)
+        );
+    }
+
+    #[test]
+    fn gap_split_lands_between_inviter_and_successor() {
+        let inviter = RingId::from_unit(0.2);
+        let succ = RingId::from_unit(0.6);
+        let id = assign_identifier_invited(inviter, Some(succ), 3, 1);
+        assert!(
+            id.in_cw_range(inviter, succ),
+            "id {id} not inside the gap (0.2, 0.6]"
+        );
+        // Near the midpoint of the gap.
+        assert!((id.as_unit() - 0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gap_split_lone_inviter_takes_half_ring() {
+        let inviter = RingId::from_unit(0.1);
+        let id = assign_identifier_invited(inviter, None, 9, 2);
+        assert!((id.as_unit() - 0.6).abs() < 1e-3);
+        // Successor at the same position is treated the same way.
+        let id2 = assign_identifier_invited(inviter, Some(inviter), 9, 2);
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn gap_split_distinct_users_distinct_ids() {
+        let inviter = RingId::from_unit(0.3);
+        let succ = RingId::from_unit(0.5);
+        let a = assign_identifier_invited(inviter, Some(succ), 1, 7);
+        let b = assign_identifier_invited(inviter, Some(succ), 2, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_wraps_near_zero() {
+        let inviter = RingId(5); // almost exactly at 0
+        let id = assign_identifier(3, Some(inviter), 0);
+        // Still within jitter distance despite wrap-around.
+        assert!(id.distance(inviter).0 < (1 << INVITE_JITTER_BITS));
+    }
+}

@@ -1,0 +1,425 @@
+//! Message-level execution of the gossip protocol (Algorithms 3 and 4).
+//!
+//! [`crate::SelectNetwork::gossip_round`] applies the per-peer updates
+//! directly against global state — the standard simulation shortcut. This
+//! module instead runs SELECT as it would actually execute: peers exchange
+//! explicit `<C_p, R_p>` / `<nMutual, M>` messages over the synchronous
+//! vertex-centric engine (the paper's execution model, §IV), and every
+//! decision a peer makes uses **only its local cache** of what friends told
+//! it — cached positions and cached link sets. The cache of friends' link
+//! sets *is* the paper's lookahead set `L_p` (Table I), complete with
+//! staleness.
+//!
+//! The message-level and direct implementations must agree in the limit;
+//! the `protocol_agrees_with_direct` test pins that equivalence (same graph,
+//! same quality band), which justifies using the fast direct path in the
+//! large experiment sweeps.
+
+use crate::links::create_links;
+use crate::network::SelectNetwork;
+use crate::reassign::evaluate_position;
+use osn_graph::UserId;
+use osn_overlay::RingId;
+use osn_sim::SuperstepEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Gossip wire messages (Algorithms 3–4).
+#[derive(Clone, Debug)]
+pub enum GossipMsg {
+    /// Active thread, Alg. 3 line 3: `Send <C_p, R_p>` plus the sender's
+    /// current identifier (needed by the receiver's Alg. 2 step).
+    ExchangeRt {
+        /// Sender.
+        from: u32,
+        /// Sender's current ring identifier.
+        position: RingId,
+        /// Sender's social neighbourhood `C_p`.
+        neighbourhood: Vec<u32>,
+        /// Sender's current connection set `R_p`.
+        links: Vec<u32>,
+    },
+    /// Passive thread, Alg. 4 line 6: `Send <nMutual, M>` plus the
+    /// responder's identifier and links (the friendship-bitmap payload `M`
+    /// is represented by the raw link set; the requester builds the bitmap
+    /// over its own neighbourhood ordering, exactly like
+    /// `constructFriendshipBitmap`).
+    ExchangeReply {
+        /// Responder.
+        from: u32,
+        /// Responder's current ring identifier.
+        position: RingId,
+        /// `nMutual`: |C_u ∩ C_p| computed by the responder.
+        n_mutual: usize,
+        /// Responder's connection set (bitmap source).
+        links: Vec<u32>,
+    },
+}
+
+/// What one peer has learned from gossip: cached friend positions and link
+/// sets — the lookahead set `L_p`, including staleness.
+#[derive(Clone, Debug, Default)]
+pub struct PeerView {
+    /// Last known identifier per friend.
+    pub positions: HashMap<u32, RingId>,
+    /// Last known connection set per friend (`L_p`).
+    pub links: HashMap<u32, Vec<u32>>,
+    /// Last `nMutual` value each friend reported.
+    pub mutual: HashMap<u32, usize>,
+}
+
+/// Per-round statistics of the message-level run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolRoundStats {
+    /// Gossip messages delivered this round.
+    pub messages: usize,
+    /// Identifier moves applied.
+    pub id_moves: usize,
+    /// Long-link changes applied.
+    pub link_changes: usize,
+}
+
+/// The SELECT overlay driven purely by gossip messages.
+pub struct ProtocolNetwork {
+    net: SelectNetwork,
+    views: Vec<PeerView>,
+    engine: SuperstepEngine<GossipMsg>,
+    rng: StdRng,
+}
+
+impl ProtocolNetwork {
+    /// Wraps a freshly bootstrapped network; peers start with empty views.
+    pub fn new(net: SelectNetwork) -> Self {
+        let n = net.len();
+        let seed = net.config().seed;
+        ProtocolNetwork {
+            views: vec![PeerView::default(); n],
+            engine: SuperstepEngine::new(n),
+            rng: StdRng::seed_from_u64(seed ^ 0x9055_1b00),
+            net,
+        }
+    }
+
+    /// The underlying network (positions, tables, pub/sub).
+    pub fn network(&self) -> &SelectNetwork {
+        &self.net
+    }
+
+    /// Consumes the wrapper, returning the converged network.
+    pub fn into_network(self) -> SelectNetwork {
+        self.net
+    }
+
+    /// A peer's current gossip view.
+    pub fn view(&self, p: u32) -> &PeerView {
+        &self.views[p as usize]
+    }
+
+    /// Total messages exchanged since construction.
+    pub fn total_messages(&self) -> u64 {
+        self.engine.messages_sent_total()
+    }
+
+    /// Runs one synchronous protocol round:
+    /// 1. every online peer sends `ExchangeRt` to one random online friend
+    ///    (Alg. 3 line 2);
+    /// 2. the engine delivers last round's messages; receivers update their
+    ///    caches, passive peers reply (Alg. 4), and both sides re-evaluate
+    ///    position and links from their *caches only*.
+    pub fn round(&mut self) -> ProtocolRoundStats {
+        let n = self.net.len() as u32;
+        let mut stats = ProtocolRoundStats::default();
+
+        // Phase 1: active sends.
+        for p in 0..n {
+            if !self.net.is_peer_online(p) {
+                continue;
+            }
+            let friends = self.net.online_friends(p);
+            if friends.is_empty() {
+                continue;
+            }
+            let target = friends[self.rng.gen_range(0..friends.len())];
+            let msg = GossipMsg::ExchangeRt {
+                from: p,
+                position: self.net.identifier_of(p),
+                neighbourhood: self
+                    .net
+                    .graph()
+                    .neighbors(UserId(p))
+                    .iter()
+                    .map(|f| f.0)
+                    .collect(),
+                links: self.net.connections_of(p),
+            };
+            self.engine.send(target, msg);
+        }
+
+        // Phase 2: deliver + react.
+        let mut replies: Vec<(u32, GossipMsg)> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        let net = &self.net;
+        let views = &mut self.views;
+        stats.messages = self.engine.step(false, |v, mail, _| {
+            if !net.is_peer_online(v) {
+                return; // offline peers drop mail, as in reality
+            }
+            for msg in mail {
+                match msg {
+                    GossipMsg::ExchangeRt {
+                        from,
+                        position,
+                        neighbourhood,
+                        links,
+                    } => {
+                        // Alg. 4: compute nMutual against own C_p, cache the
+                        // sender's state, and queue the reply.
+                        let own: Vec<u32> = net
+                            .graph()
+                            .neighbors(UserId(v))
+                            .iter()
+                            .map(|f| f.0)
+                            .collect();
+                        let n_mutual = neighbourhood
+                            .iter()
+                            .filter(|x| own.binary_search(x).is_ok())
+                            .count();
+                        let view = &mut views[v as usize];
+                        view.positions.insert(from, position);
+                        view.links.insert(from, links);
+                        view.mutual.insert(from, n_mutual);
+                        replies.push((
+                            from,
+                            GossipMsg::ExchangeReply {
+                                from: v,
+                                position: net.identifier_of(v),
+                                n_mutual,
+                                links: net.connections_of(v),
+                            },
+                        ));
+                        touched.push(v);
+                    }
+                    GossipMsg::ExchangeReply {
+                        from,
+                        position,
+                        n_mutual,
+                        links,
+                    } => {
+                        let view = &mut views[v as usize];
+                        view.positions.insert(from, position);
+                        view.links.insert(from, links);
+                        view.mutual.insert(from, n_mutual);
+                        touched.push(v);
+                    }
+                }
+            }
+        });
+        for (to, msg) in replies {
+            self.engine.send(to, msg);
+        }
+
+        // Phase 3: every peer that learned something re-evaluates, using its
+        // cache only.
+        touched.sort_unstable();
+        touched.dedup();
+        for p in touched {
+            stats.id_moves += self.reassign_from_view(p) as usize;
+            stats.link_changes += self.relink_from_view(p);
+        }
+        self.net.refresh_short_links();
+        stats
+    }
+
+    /// Algorithm 2 driven by cached positions.
+    fn reassign_from_view(&mut self, p: u32) -> bool {
+        if !self.net.config().reassign_ids {
+            return false;
+        }
+        let eps = (self.net.config().convergence_eps * u64::MAX as f64) as u64;
+        let radius = (self.net.config().cluster_radius * u64::MAX as f64) as u64;
+        let view = &self.views[p as usize];
+        // Guide = highest-rank cached friend (local knowledge of the
+        // hub-anchoring rule).
+        let rank = |x: u32| (self.net.graph().degree(UserId(x)), x);
+        let guide = view.positions.keys().copied().max_by_key(|&f| rank(f));
+        let guide = match guide {
+            Some(g) if rank(g) > rank(p) => g,
+            _ => return false,
+        };
+        let guide_pos = view.positions[&guide];
+        if self.net.identifier_of(p).distance(guide_pos).0 <= radius {
+            return false;
+        }
+        let new = evaluate_position(p, &self.net.strengths, |f| {
+            view.positions.get(&f).copied()
+        });
+        let mut target = match new {
+            Some(t) => t,
+            None => return false,
+        };
+        if target.distance(guide_pos).0 > radius {
+            target = guide_pos;
+        }
+        if self.net.identifier_of(p).distance(target).0 > eps {
+            self.net.move_peer(p, target);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Algorithm 5 driven by cached link sets (`L_p`).
+    fn relink_from_view(&mut self, p: u32) -> usize {
+        let view = &self.views[p as usize];
+        // Only friends we have heard from are candidates — a peer cannot
+        // connect to someone it knows nothing about.
+        let known: Vec<u32> = {
+            let mut k: Vec<u32> = view.positions.keys().copied().collect();
+            k.sort_unstable();
+            k
+        };
+        if known.is_empty() {
+            return 0;
+        }
+        let cfg = self.net.config();
+        let selection = create_links(
+            &known,
+            self.net.k(),
+            cfg.lsh_samples,
+            cfg.seed ^ (p as u64).rotate_left(32),
+            |u| {
+                let mut links = view.links.get(&u).cloned().unwrap_or_default();
+                links.extend(
+                    self.net
+                        .graph()
+                        .neighbors(UserId(u))
+                        .iter()
+                        .map(|f| f.0),
+                );
+                links
+            },
+            |u| self.net.bandwidth_of(u),
+        );
+        let mut candidates = selection.targets.clone();
+        self.net.selections[p as usize] = selection;
+        // Preference tail: remaining known friends by reported nMutual.
+        let mut rest: Vec<u32> = known
+            .iter()
+            .copied()
+            .filter(|u| !candidates.contains(u))
+            .collect();
+        rest.sort_by_key(|u| std::cmp::Reverse(view.mutual.get(u).copied().unwrap_or(0)));
+        candidates.extend(rest);
+        self.net.reconcile_links(p, &candidates)
+    }
+
+    /// Runs protocol rounds until quiescence (a stability window with no
+    /// moves or link changes), returning the rounds used.
+    pub fn converge(&mut self, max_rounds: usize) -> usize {
+        let window = self.net.config().stability_window;
+        let mut quiet = 0;
+        for round in 1..=max_rounds {
+            let s = self.round();
+            if s.id_moves == 0 && s.link_changes == 0 && round > 2 {
+                quiet += 1;
+                if quiet >= window {
+                    return round;
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectConfig;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn bootstrap(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(seed);
+        SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed))
+    }
+
+    #[test]
+    fn views_fill_over_rounds() {
+        let mut proto = ProtocolNetwork::new(bootstrap(1));
+        proto.round();
+        let after_one: usize = (0..120).map(|p| proto.view(p).positions.len()).sum();
+        for _ in 0..10 {
+            proto.round();
+        }
+        let after_many: usize = (0..120).map(|p| proto.view(p).positions.len()).sum();
+        assert!(after_many > after_one, "caches should keep growing");
+        assert!(proto.total_messages() > 0);
+    }
+
+    #[test]
+    fn protocol_converges() {
+        let mut proto = ProtocolNetwork::new(bootstrap(2));
+        let rounds = proto.converge(300);
+        assert!(rounds < 300, "message-level protocol did not quiesce");
+    }
+
+    #[test]
+    fn protocol_agrees_with_direct() {
+        // Same graph, same seed: the message-level run must land in the
+        // same quality band as the direct-state run.
+        let mut direct = bootstrap(3);
+        direct.converge(300);
+        let mut proto = ProtocolNetwork::new(bootstrap(3));
+        proto.converge(300);
+        let net = proto.into_network();
+
+        let d_stats = direct.overlay_stats(500);
+        let p_stats = net.overlay_stats(500);
+        assert!(
+            (p_stats.friend_coverage - d_stats.friend_coverage).abs() < 0.25,
+            "coverage drifted: direct {} vs protocol {}",
+            d_stats.friend_coverage,
+            p_stats.friend_coverage
+        );
+        // Both must deliver everything.
+        for b in [0u32, 17, 80] {
+            let r = net.publish(b);
+            assert_eq!(r.delivered, r.subscribers);
+        }
+        // Long links are still social edges only.
+        assert_eq!(p_stats.social_link_fraction, 1.0);
+    }
+
+    #[test]
+    fn messages_only_reach_online_peers() {
+        let mut net = bootstrap(4);
+        net.set_offline(5);
+        let mut proto = ProtocolNetwork::new(net);
+        for _ in 0..5 {
+            proto.round();
+        }
+        assert!(
+            proto.view(5).positions.is_empty(),
+            "offline peer must not learn anything"
+        );
+    }
+
+    #[test]
+    fn link_candidates_are_known_friends_only() {
+        let mut proto = ProtocolNetwork::new(bootstrap(6));
+        for _ in 0..3 {
+            proto.round();
+        }
+        for p in 0..120u32 {
+            let view = proto.view(p);
+            for &l in proto.network().table(p).long_links() {
+                assert!(
+                    view.positions.contains_key(&l),
+                    "peer {p} linked {l} without ever hearing from it"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The pub/sub layer (paper §III-E).
+//!
+//! Publishing user `b`'s subscribers are exactly his social friends `S_b`.
+//! For each subscriber the message follows, in order of preference:
+//!
+//! 1. a **direct connection** (`s ∈ R_b`) — 1 hop;
+//! 2. a **lookahead affirmation** (`s` in some neighbour's link set `L_p`) —
+//!    2 hops;
+//! 3. **greedy ring routing** toward `s`'s identifier as a fallback.
+//!
+//! The union of the per-subscriber paths is the routing tree `RT_b`; relay
+//! nodes are intermediate peers that are not themselves subscribers.
+
+use crate::network::SelectNetwork;
+use osn_overlay::{route_greedy, route_with_lookahead, RouteOutcome};
+use std::collections::{HashMap, HashSet};
+
+/// The routing tree of one publication.
+#[derive(Clone, Debug, Default)]
+pub struct RoutingTree {
+    /// The publishing peer.
+    pub publisher: u32,
+    /// Per-subscriber delivery paths (`path[0] == publisher`,
+    /// `path.last() == subscriber`); only delivered paths appear.
+    pub paths: Vec<Vec<u32>>,
+    /// Subscribers that could not be reached.
+    pub failed: Vec<u32>,
+}
+
+impl RoutingTree {
+    /// Distinct directed edges of the tree (deduplicated across paths).
+    pub fn edges(&self) -> HashSet<(u32, u32)> {
+        let mut edges = HashSet::new();
+        for path in &self.paths {
+            for w in path.windows(2) {
+                edges.insert((w[0], w[1]));
+            }
+        }
+        edges
+    }
+
+    /// Messages forwarded per peer: one per distinct outgoing tree edge.
+    pub fn forwards_per_peer(&self) -> HashMap<u32, u64> {
+        let mut forwards = HashMap::new();
+        for (from, _) in self.edges() {
+            *forwards.entry(from).or_insert(0) += 1;
+        }
+        forwards
+    }
+}
+
+/// Summary of one publication's dissemination.
+#[derive(Clone, Debug)]
+pub struct DisseminationReport {
+    /// The publishing peer.
+    pub publisher: u32,
+    /// Online subscribers targeted (`|S_b|` restricted to online peers).
+    pub subscribers: usize,
+    /// Subscribers actually reached.
+    pub delivered: usize,
+    /// Mean hops over delivered paths.
+    pub avg_hops: f64,
+    /// Mean relay nodes (non-subscriber intermediates) per delivered path.
+    pub avg_relays: f64,
+    /// Total relay-node occurrences across the tree.
+    pub total_relays: usize,
+    /// The underlying routing tree.
+    pub tree: RoutingTree,
+}
+
+impl DisseminationReport {
+    /// Delivery ratio in `[0, 1]`; 1.0 when there were no subscribers.
+    pub fn availability(&self) -> f64 {
+        if self.subscribers == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.subscribers as f64
+        }
+    }
+}
+
+impl SelectNetwork {
+    /// Routes a single social lookup from `p` to `target` using SELECT's
+    /// preference order (direct link → lookahead → greedy).
+    pub fn lookup(&self, p: u32, target: u32) -> RouteOutcome {
+        if self.cfg.use_lookahead {
+            route_with_lookahead(self, p, target, self.cfg.max_route_hops)
+        } else {
+            route_greedy(self, p, target, self.cfg.max_route_hops)
+        }
+    }
+
+    /// Publishes a message from `b` to all of his online social friends and
+    /// reports the resulting routing tree.
+    ///
+    /// The tree is grown in two stages, mirroring §III-E: first the message
+    /// floods over the connections *between subscribers* (the paper is
+    /// explicit that "relay nodes may also be subscribers" — a friend who
+    /// already has the message forwards it to mutual friends it is connected
+    /// to); only subscribers unreachable that way fall back to
+    /// [`SelectNetwork::lookup`] (direct link → lookahead → greedy), which
+    /// may cross non-subscriber relays.
+    pub fn publish(&self, b: u32) -> DisseminationReport {
+        self.disseminate(b, self.online_friends(b))
+    }
+
+    /// Disseminates from `b` to an explicit online subscriber set — the
+    /// general form behind both friend notifications ([`Self::publish`])
+    /// and arbitrary-topic publication ([`crate::topics`]).
+    pub fn disseminate(&self, b: u32, subscribers: Vec<u32>) -> DisseminationReport {
+        let subscriber_set: HashSet<u32> = subscribers.iter().copied().collect();
+        let mut tree = RoutingTree {
+            publisher: b,
+            ..RoutingTree::default()
+        };
+        let mut total_hops = 0usize;
+        let mut total_relays = 0usize;
+
+        // Stage 1: BFS over connections restricted to {b} ∪ subscribers —
+        // the relay-free part of the tree.
+        let mut parent: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        parent.insert(b, b);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(b);
+        while let Some(u) = queue.pop_front() {
+            for v in self.connections_of(u) {
+                if subscriber_set.contains(&v) && !parent.contains_key(&v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        // Stage 2: every peer holding the message keeps forwarding (§III-E
+        // applies at every hop, not just at the publisher), so the residue
+        // is reached by a multi-source BFS from the already-reached set over
+        // the full connection graph; intermediates picked up here may be
+        // non-subscribers — the relay nodes.
+        let unreached: Vec<u32> = subscribers
+            .iter()
+            .copied()
+            .filter(|s| !parent.contains_key(s))
+            .collect();
+        if !unreached.is_empty() {
+            let mut missing: HashSet<u32> = unreached.iter().copied().collect();
+            let mut frontier: Vec<u32> = parent.keys().copied().collect();
+            frontier.sort_unstable(); // deterministic expansion order
+            let mut depth = 0usize;
+            while !missing.is_empty() && !frontier.is_empty() && depth < self.cfg.max_route_hops
+            {
+                depth += 1;
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for v in self.connections_of(u) {
+                        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(v) {
+                            e.insert(u);
+                            next.push(v);
+                            missing.remove(&v);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                frontier = next;
+            }
+        }
+
+        for &s in &subscribers {
+            if parent.contains_key(&s) {
+                let mut path = vec![s];
+                let mut cur = s;
+                while cur != b {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                // §III-E guarantees delivery "within 1 or 2 hops" when the
+                // routing table or lookahead set affirms the subscriber: a
+                // long chain through subscribers is replaced by a shorter
+                // lookahead path when that path stays relay-light (≤ 1).
+                if path.len() > 3 {
+                    if let RouteOutcome::Delivered { path: direct } = self.lookup(b, s) {
+                        let direct_relays = direct[1..direct.len().saturating_sub(1)]
+                            .iter()
+                            .filter(|q| !subscriber_set.contains(q))
+                            .count();
+                        if direct.len() < path.len() && direct_relays <= 1 {
+                            path = direct;
+                        }
+                    }
+                }
+                total_hops += path.len() - 1;
+                total_relays += path[1..path.len() - 1]
+                    .iter()
+                    .filter(|q| !subscriber_set.contains(q))
+                    .count();
+                tree.paths.push(path);
+                continue;
+            }
+            // Last resort: greedy overlay routing from the publisher.
+            match self.lookup(b, s) {
+                RouteOutcome::Delivered { path } => {
+                    total_hops += path.len() - 1;
+                    total_relays += path[1..path.len() - 1]
+                        .iter()
+                        .filter(|q| !subscriber_set.contains(q))
+                        .count();
+                    tree.paths.push(path);
+                }
+                RouteOutcome::Failed { .. } => tree.failed.push(s),
+            }
+        }
+
+        let delivered = tree.paths.len();
+        DisseminationReport {
+            publisher: b,
+            subscribers: subscribers.len(),
+            delivered,
+            avg_hops: if delivered == 0 {
+                0.0
+            } else {
+                total_hops as f64 / delivered as f64
+            },
+            avg_relays: if delivered == 0 {
+                0.0
+            } else {
+                total_relays as f64 / delivered as f64
+            },
+            total_relays,
+            tree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectConfig;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+    use osn_graph::UserId;
+
+    fn converged(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(seed);
+        let mut n = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed));
+        n.converge(100);
+        n
+    }
+
+    #[test]
+    fn publish_reaches_all_friends() {
+        let n = converged(1);
+        for b in [0u32, 5, 50, 149] {
+            let r = n.publish(b);
+            assert_eq!(
+                r.delivered, r.subscribers,
+                "publisher {b} failed {:?}",
+                r.tree.failed
+            );
+            assert!((r.availability() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn most_deliveries_are_one_or_two_hops() {
+        let n = converged(2);
+        let r = n.publish(3);
+        assert!(r.subscribers > 0);
+        assert!(
+            r.avg_hops < 3.0,
+            "SELECT should deliver in ~1-2 hops, got {}",
+            r.avg_hops
+        );
+    }
+
+    #[test]
+    fn paths_start_at_publisher_and_end_at_friends() {
+        let n = converged(3);
+        let b = 10u32;
+        let r = n.publish(b);
+        for path in &r.tree.paths {
+            assert_eq!(path[0], b);
+            let s = *path.last().unwrap();
+            assert!(n.graph().has_edge(UserId(b), UserId(s)));
+        }
+    }
+
+    #[test]
+    fn tree_edges_dedup_shared_prefixes() {
+        let n = converged(4);
+        let r = n.publish(0);
+        let edges = r.tree.edges();
+        let raw: usize = r.tree.paths.iter().map(|p| p.len() - 1).sum();
+        assert!(edges.len() <= raw);
+        // Every path edge is in the set.
+        for path in &r.tree.paths {
+            for w in path.windows(2) {
+                assert!(edges.contains(&(w[0], w[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn forwards_count_distinct_children() {
+        let tree = RoutingTree {
+            publisher: 0,
+            paths: vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 4]],
+            failed: vec![],
+        };
+        let f = tree.forwards_per_peer();
+        assert_eq!(f[&0], 2); // 0->1 (shared) and 0->4
+        assert_eq!(f[&1], 2); // 1->2, 1->3
+        assert!(!f.contains_key(&2));
+    }
+
+    #[test]
+    fn relays_exclude_subscribers() {
+        // Hand-built: publisher 0 friends with 1 and 2; path to 2 goes via 1
+        // (a subscriber) → 0 relays.
+        let n = converged(5);
+        let r = n.publish(7);
+        // Sanity: relays are never negative and bounded by hops.
+        assert!(r.avg_relays <= r.avg_hops);
+    }
+
+    #[test]
+    fn offline_subscribers_are_not_targeted() {
+        let mut n = converged(6);
+        let b = 0u32;
+        let before = n.publish(b).subscribers;
+        let f = n.online_friends(b)[0];
+        n.set_offline(f);
+        let after = n.publish(b).subscribers;
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn availability_with_no_subscribers_is_one() {
+        let mut n = converged(7);
+        let b = 0u32;
+        for f in n.online_friends(b) {
+            n.set_offline(f);
+        }
+        let r = n.publish(b);
+        assert_eq!(r.subscribers, 0);
+        assert_eq!(r.availability(), 1.0);
+    }
+}

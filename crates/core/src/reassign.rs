@@ -1,0 +1,156 @@
+//! Identifier reassignment (paper §III-C, Algorithm 2).
+//!
+//! Each peer periodically moves to the **centroid of its two strongest
+//! friends' positions** — the midpoint of the shorter arc between them. The
+//! paper motivates top-2 over the centroid of *all* friends: for high-degree
+//! users the friend set spans the whole ring and the all-friends centroid is
+//! meaningless; the two strongest ties anchor the peer inside its densest
+//! social cluster. The all-friends variant is kept as an ablation.
+
+use crate::strength::StrengthIndex;
+use osn_overlay::RingId;
+
+/// Algorithm 2 (`evaluatePosition`): the new identifier for peer `p`, or
+/// `None` when no online friend constrains the position (keep current).
+///
+/// `pos_of` returns the current position of an *online* friend, `None` for
+/// offline peers (offline friends cannot be gossiped with).
+pub fn evaluate_position(
+    p: u32,
+    strengths: &StrengthIndex,
+    pos_of: impl Fn(u32) -> Option<RingId>,
+) -> Option<RingId> {
+    let (first, second) = strengths.top2(p, |f| pos_of(f).is_some());
+    match (first, second) {
+        (Some(u), Some(v)) => Some(pos_of(u).unwrap().midpoint(pos_of(v).unwrap())),
+        // A single online friend: the best available cluster anchor is right
+        // next to it.
+        (Some(u), None) => Some(pos_of(u).unwrap()),
+        _ => None,
+    }
+}
+
+/// Ablation variant: circular mean of *all* online friends' positions.
+///
+/// Computed as the arg of the mean unit vector; `None` when the friends are
+/// perfectly balanced around the ring (zero resultant) or no friend is
+/// online — the degenerate case the paper's top-2 rule avoids.
+pub fn evaluate_position_centroid_all(
+    p: u32,
+    strengths: &StrengthIndex,
+    pos_of: impl Fn(u32) -> Option<RingId>,
+) -> Option<RingId> {
+    let mut sum_sin = 0.0f64;
+    let mut sum_cos = 0.0f64;
+    let mut count = 0usize;
+    for &f in strengths.ranked_friends(p) {
+        if let Some(pos) = pos_of(f) {
+            let theta = pos.as_unit() * std::f64::consts::TAU;
+            sum_sin += theta.sin();
+            sum_cos += theta.cos();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let norm = (sum_sin * sum_sin + sum_cos * sum_cos).sqrt() / count as f64;
+    if norm < 1e-9 {
+        return None; // balanced: no meaningful centroid
+    }
+    let theta = sum_sin.atan2(sum_cos);
+    Some(RingId::from_unit(theta / std::f64::consts::TAU))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    /// 0 strongly tied to 1 and 2 (they share friend 3); 4 is a weak friend.
+    fn fixture() -> StrengthIndex {
+        let g = GraphBuilder::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)],
+        );
+        StrengthIndex::build(&g)
+    }
+
+    #[test]
+    fn moves_to_midpoint_of_top2() {
+        let idx = fixture();
+        let pos = |f: u32| -> Option<RingId> {
+            Some(match f {
+                1 => RingId::from_unit(0.2),
+                2 => RingId::from_unit(0.4),
+                3 => RingId::from_unit(0.9),
+                4 => RingId::from_unit(0.6),
+                _ => RingId::ZERO,
+            })
+        };
+        let new = evaluate_position(0, &idx, pos).unwrap();
+        assert!((new.as_unit() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falls_back_to_single_online_friend() {
+        let idx = fixture();
+        let pos = |f: u32| (f == 2).then(|| RingId::from_unit(0.7));
+        let new = evaluate_position(0, &idx, pos).unwrap();
+        assert_eq!(new, RingId::from_unit(0.7));
+    }
+
+    #[test]
+    fn no_online_friends_keeps_position() {
+        let idx = fixture();
+        assert_eq!(evaluate_position(0, &idx, |_| None), None);
+    }
+
+    #[test]
+    fn centroid_all_averages_cluster() {
+        let idx = fixture();
+        let pos = |f: u32| -> Option<RingId> {
+            Some(match f {
+                1 => RingId::from_unit(0.25),
+                2 => RingId::from_unit(0.30),
+                3 => RingId::from_unit(0.35),
+                4 => RingId::from_unit(0.30),
+                _ => RingId::ZERO,
+            })
+        };
+        let new = evaluate_position_centroid_all(0, &idx, pos).unwrap();
+        assert!((new.as_unit() - 0.30).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centroid_all_handles_wraparound() {
+        let idx = fixture();
+        // Friends clustered around 0: 0.95 and 0.05.
+        let pos = |f: u32| -> Option<RingId> {
+            Some(match f {
+                1 => RingId::from_unit(0.95),
+                2 => RingId::from_unit(0.05),
+                _ => return None,
+            })
+        };
+        let new = evaluate_position_centroid_all(0, &idx, pos).unwrap();
+        let d = new.distance(RingId::ZERO).as_unit_len();
+        assert!(d < 1e-6, "wrapped centroid should sit at 0, was {new}");
+    }
+
+    #[test]
+    fn centroid_all_degenerate_balance_is_none() {
+        let idx = fixture();
+        // Four friends at the corners of the ring: zero resultant.
+        let pos = |f: u32| -> Option<RingId> {
+            Some(match f {
+                1 => RingId::from_unit(0.0),
+                2 => RingId::from_unit(0.25),
+                3 => RingId::from_unit(0.5),
+                4 => RingId::from_unit(0.75),
+                _ => return None,
+            })
+        };
+        assert_eq!(evaluate_position_centroid_all(0, &idx, pos), None);
+    }
+}

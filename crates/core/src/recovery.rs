@@ -1,0 +1,215 @@
+//! Churn recovery (paper §III-F).
+//!
+//! Peers periodically probe the friends in their routing table. Each probe
+//! outcome feeds the per-link Cumulative Moving Average; an unresponsive link
+//! whose CMA is still high is *kept* (transient failure — dropping it would
+//! cascade reassignment through connected peers), while an unresponsive link
+//! with a low CMA is replaced by another peer **from the same LSH bucket**,
+//! preserving the coverage the bucket represented.
+
+use crate::network::SelectNetwork;
+use osn_overlay::table::Admission;
+
+/// Counters from one probe/recovery round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Probes sent (one per long link per peer).
+    pub probes: usize,
+    /// Links found unresponsive this round.
+    pub unresponsive: usize,
+    /// Unresponsive links kept on CMA trust.
+    pub kept: usize,
+    /// Links replaced by a same-bucket (or fallback) peer.
+    pub replaced: usize,
+    /// Links dropped with no replacement available.
+    pub dropped: usize,
+}
+
+impl SelectNetwork {
+    /// Runs one probe round over every online peer's long links.
+    pub fn probe_round(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let n = self.len() as u32;
+        for p in 0..n {
+            if !self.online[p as usize] {
+                continue;
+            }
+            let links: Vec<u32> = self.tables[p as usize].long_links().to_vec();
+            for u in links {
+                report.probes += 1;
+                let responded = self.online[u as usize];
+                self.cma[p as usize]
+                    .entry(u)
+                    .or_default()
+                    .observe_probe(responded);
+                if responded {
+                    continue;
+                }
+                report.unresponsive += 1;
+                let trusted = self.cfg.cma_recovery
+                    && !self.cma[p as usize][&u]
+                        .is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs);
+                if trusted {
+                    report.kept += 1;
+                    continue;
+                }
+                // Replace: prefer an online peer from the same LSH bucket,
+                // else any online friend not already linked.
+                self.tables[p as usize].remove_long(u);
+                self.tables[u as usize].remove_incoming(p);
+                match self.find_replacement(p, u) {
+                    Some(r) => {
+                        let bw_p = self.bandwidth[p as usize];
+                        let bandwidth = &self.bandwidth;
+                        match self.tables[r as usize].offer_incoming(p, bw_p, |q| {
+                            bandwidth[q as usize]
+                        }) {
+                            Admission::Accepted { evicted } => {
+                                self.tables[p as usize].add_long(r);
+                                if let Some(w) = evicted {
+                                    self.tables[w as usize].remove_long(r);
+                                }
+                                report.replaced += 1;
+                            }
+                            Admission::Rejected => report.dropped += 1,
+                        }
+                    }
+                    None => report.dropped += 1,
+                }
+            }
+        }
+        report
+    }
+
+    /// Replacement candidate for `p`'s dead link to `dead`: same-LSH-bucket
+    /// online peers first (§III-F), then the strongest online friend not yet
+    /// linked.
+    fn find_replacement(&self, p: u32, dead: u32) -> Option<u32> {
+        let table = &self.tables[p as usize];
+        let viable = |q: u32| {
+            q != p && q != dead && self.online[q as usize] && !table.has_link(q)
+        };
+        self.selections[p as usize]
+            .bucket_peers_of(dead)
+            .iter()
+            .copied()
+            .find(|&q| viable(q))
+            .or_else(|| {
+                self.strengths
+                    .ranked_friends(p)
+                    .iter()
+                    .copied()
+                    .find(|&q| viable(q))
+            })
+    }
+
+    /// Convenience: the CMA value `p` currently holds for `u` (0 if never
+    /// probed).
+    pub fn cma_of(&self, p: u32, u: u32) -> f64 {
+        self.cma[p as usize].get(&u).map_or(0.0, |c| c.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SelectConfig;
+    use crate::network::SelectNetwork;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn converged_net(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(seed);
+        let mut n = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed));
+        n.converge(100);
+        n
+    }
+
+    /// Some peer with at least one long link, plus one of its links.
+    fn linked_pair(n: &SelectNetwork) -> (u32, u32) {
+        for p in 0..n.len() as u32 {
+            if let Some(&u) = n.table(p).long_links().first() {
+                return (p, u);
+            }
+        }
+        panic!("no long links in converged network");
+    }
+
+    #[test]
+    fn healthy_probes_raise_cma() {
+        let mut n = converged_net(1);
+        let (p, u) = linked_pair(&n);
+        for _ in 0..4 {
+            n.probe_round();
+        }
+        assert!((n.cma_of(p, u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trusted_link_survives_brief_outage() {
+        let mut n = converged_net(2);
+        let (p, u) = linked_pair(&n);
+        // Build trust.
+        for _ in 0..5 {
+            n.probe_round();
+        }
+        n.set_offline(u);
+        let r = n.probe_round();
+        assert!(r.kept >= 1, "high-CMA link should be kept: {r:?}");
+        assert!(n.table(p).long_links().contains(&u));
+    }
+
+    #[test]
+    fn low_cma_link_is_replaced() {
+        let mut n = converged_net(3);
+        let (p, u) = linked_pair(&n);
+        n.set_offline(u);
+        // With no prior trust, min_obs probes mark it poor and replace it.
+        for _ in 0..5 {
+            n.probe_round();
+        }
+        assert!(
+            !n.table(p).long_links().contains(&u),
+            "mostly-offline link must be dropped"
+        );
+        // Link budget respected after replacement.
+        assert!(n.table(p).long_links().len() <= n.k());
+    }
+
+    #[test]
+    fn naive_ablation_drops_immediately() {
+        let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(4);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default().with_seed(4).with_cma_recovery(false),
+        );
+        n.converge(100);
+        let (p, u) = linked_pair(&n);
+        for _ in 0..5 {
+            n.probe_round(); // build what would have been trust
+        }
+        n.set_offline(u);
+        let r = n.probe_round();
+        assert_eq!(r.kept, 0, "naive mode never keeps dead links");
+        assert!(!n.table(p).long_links().contains(&u));
+    }
+
+    #[test]
+    fn replacement_is_online_friend() {
+        let mut n = converged_net(5);
+        let (p, u) = linked_pair(&n);
+        n.set_offline(u);
+        for _ in 0..5 {
+            n.probe_round();
+        }
+        for &l in n.table(p).long_links() {
+            assert!(n.is_peer_online(l) || n.cma_of(p, l) > 0.5);
+        }
+    }
+
+    #[test]
+    fn probe_counts_add_up() {
+        let mut n = converged_net(6);
+        let r = n.probe_round();
+        assert!(r.probes > 0);
+        assert_eq!(r.unresponsive, r.kept + r.replaced + r.dropped);
+    }
+}

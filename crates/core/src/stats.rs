@@ -1,0 +1,162 @@
+//! Overlay-quality statistics: the measurements the evaluation plots, as a
+//! public API so downstream users can monitor a running overlay.
+
+use crate::network::SelectNetwork;
+use osn_graph::UserId;
+
+/// A snapshot of overlay quality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlayStats {
+    /// Peers currently online.
+    pub online: usize,
+    /// Mean ring distance between socially connected online peers
+    /// (unit-interval fraction).
+    pub mean_friend_distance: f64,
+    /// Mean ring distance between random online peer pairs.
+    pub mean_random_distance: f64,
+    /// Fraction of each peer's online friends it is directly connected to,
+    /// averaged over peers.
+    pub friend_coverage: f64,
+    /// Fraction of long-range links that are social edges (should be 1.0:
+    /// SELECT only establishes long links to friends).
+    pub social_link_fraction: f64,
+    /// Mean number of connections (long + incoming + ring) per online peer.
+    pub mean_connections: f64,
+    /// Maximum connections held by any peer.
+    pub max_connections: usize,
+}
+
+impl OverlayStats {
+    /// Friend-vs-random distance ratio (≪ 1 = socially clustered ring).
+    pub fn clustering_ratio(&self) -> f64 {
+        if self.mean_random_distance == 0.0 {
+            1.0
+        } else {
+            self.mean_friend_distance / self.mean_random_distance
+        }
+    }
+}
+
+impl SelectNetwork {
+    /// Computes an [`OverlayStats`] snapshot. `distance_samples` bounds the
+    /// random-pair sampling (deterministic, derived from the config seed).
+    pub fn overlay_stats(&self, distance_samples: usize) -> OverlayStats {
+        let n = self.len() as u32;
+        let online: Vec<u32> = (0..n).filter(|&p| self.is_peer_online(p)).collect();
+
+        let mut friend_dist = 0.0;
+        let mut friend_pairs = 0u64;
+        let mut covered = 0.0;
+        let mut covered_peers = 0u64;
+        let mut social_links = 0u64;
+        let mut total_long = 0u64;
+        let mut total_conns = 0u64;
+        let mut max_conns = 0usize;
+
+        for &p in &online {
+            let friends = self.online_friends(p);
+            let conns = self.connections_of(p);
+            total_conns += conns.len() as u64;
+            max_conns = max_conns.max(conns.len());
+            for &f in &friends {
+                friend_dist += self
+                    .identifier_of(p)
+                    .distance(self.identifier_of(f))
+                    .as_unit_len();
+                friend_pairs += 1;
+            }
+            if !friends.is_empty() {
+                let direct = friends.iter().filter(|f| conns.contains(f)).count();
+                covered += direct as f64 / friends.len() as f64;
+                covered_peers += 1;
+            }
+            for &l in self.table(p).long_links() {
+                total_long += 1;
+                if self.graph().has_edge(UserId(p), UserId(l)) {
+                    social_links += 1;
+                }
+            }
+        }
+
+        // Deterministic random-pair sampling via the ID hash.
+        let mut random_dist = 0.0;
+        let samples = distance_samples.max(1);
+        if online.len() >= 2 {
+            for i in 0..samples as u64 {
+                let h = osn_overlay::RingId::hash_of(i ^ self.config().seed).0;
+                let a = online[(h % online.len() as u64) as usize];
+                let b = online[((h >> 32) % online.len() as u64) as usize];
+                random_dist += self
+                    .identifier_of(a)
+                    .distance(self.identifier_of(b))
+                    .as_unit_len();
+            }
+        }
+
+        OverlayStats {
+            online: online.len(),
+            mean_friend_distance: friend_dist / friend_pairs.max(1) as f64,
+            mean_random_distance: random_dist / samples as f64,
+            friend_coverage: covered / covered_peers.max(1) as f64,
+            social_link_fraction: if total_long == 0 {
+                1.0
+            } else {
+                social_links as f64 / total_long as f64
+            },
+            mean_connections: total_conns as f64 / online.len().max(1) as f64,
+            max_connections: max_conns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SelectConfig;
+    use crate::network::SelectNetwork;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn net(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(seed);
+        let mut n = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed));
+        n.converge(200);
+        n
+    }
+
+    #[test]
+    fn all_long_links_are_social() {
+        let n = net(1);
+        let s = n.overlay_stats(500);
+        assert_eq!(s.social_link_fraction, 1.0);
+    }
+
+    #[test]
+    fn convergence_improves_stats() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(2);
+        let mut fresh = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(2));
+        let before = fresh.overlay_stats(500);
+        fresh.converge(200);
+        let after = fresh.overlay_stats(500);
+        assert!(after.friend_coverage > before.friend_coverage);
+        assert!(after.mean_friend_distance < before.mean_friend_distance);
+        assert!(after.clustering_ratio() < 1.0);
+    }
+
+    #[test]
+    fn connection_counts_are_bounded() {
+        let n = net(3);
+        let s = n.overlay_stats(100);
+        // long (K) + incoming (K) + 2 ring links.
+        assert!(s.max_connections <= 2 * n.k() + 2);
+        assert!(s.mean_connections > 2.0);
+    }
+
+    #[test]
+    fn offline_peers_excluded() {
+        let mut n = net(4);
+        for p in 0..30u32 {
+            n.set_offline(p);
+        }
+        let s = n.overlay_stats(100);
+        assert_eq!(s.online, 120);
+    }
+}

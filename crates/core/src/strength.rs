@@ -1,0 +1,103 @@
+//! Social strength (paper Eq. 2) and per-peer strongest-friend rankings.
+//!
+//! `s(p, u) = |C_p ∩ C_u| / |C_p|` — the fraction of `p`'s friends that are
+//! also `u`'s friends. The identifier-reassignment step needs, for every
+//! peer, the two friends with the highest strength; since the social graph is
+//! fixed during an experiment, those rankings are precomputed once.
+
+use osn_graph::{SocialGraph, UserId};
+
+/// Precomputed strongest-friend rankings for every peer.
+#[derive(Clone, Debug)]
+pub struct StrengthIndex {
+    /// For each peer: friends sorted by descending `s(p, ·)`, ties broken by
+    /// ascending friend id for determinism.
+    ranked: Vec<Vec<u32>>,
+}
+
+impl StrengthIndex {
+    /// Builds the index over the whole graph.
+    pub fn build(graph: &SocialGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut ranked = Vec::with_capacity(n);
+        for p in 0..n as u32 {
+            let pu = UserId(p);
+            let mut friends: Vec<(f64, u32)> = graph
+                .neighbors(pu)
+                .iter()
+                .map(|&f| (graph.social_strength(pu, f), f.0))
+                .collect();
+            friends.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            ranked.push(friends.into_iter().map(|(_, f)| f).collect());
+        }
+        StrengthIndex { ranked }
+    }
+
+    /// Friends of `p` in descending strength order.
+    pub fn ranked_friends(&self, p: u32) -> &[u32] {
+        &self.ranked[p as usize]
+    }
+
+    /// The strongest friend of `p` satisfying `alive`, if any.
+    pub fn strongest(&self, p: u32, alive: impl Fn(u32) -> bool) -> Option<u32> {
+        self.ranked[p as usize].iter().copied().find(|&f| alive(f))
+    }
+
+    /// The two strongest friends of `p` satisfying `alive`.
+    pub fn top2(&self, p: u32, alive: impl Fn(u32) -> bool) -> (Option<u32>, Option<u32>) {
+        let mut it = self.ranked[p as usize].iter().copied().filter(|&f| alive(f));
+        (it.next(), it.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    /// 0-1-2 triangle, plus 3 connected to 0 and 1 (so s(0,1) is high),
+    /// plus leaf 4 on 0.
+    fn fixture() -> SocialGraph {
+        GraphBuilder::from_edges(5, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (0, 4)])
+    }
+
+    #[test]
+    fn ranking_matches_eq2() {
+        let g = fixture();
+        let idx = StrengthIndex::build(&g);
+        // Strengths from 0: s(0,1)=|{2,3}|/4=0.5, s(0,2)=|{1}|/4=0.25,
+        // s(0,3)=|{1}|/4=0.25, s(0,4)=0.
+        let ranked = idx.ranked_friends(0);
+        assert_eq!(ranked[0], 1);
+        assert_eq!(ranked[1], 2, "tie 2 vs 3 broken by id");
+        assert_eq!(ranked[2], 3);
+        assert_eq!(ranked[3], 4);
+    }
+
+    #[test]
+    fn top2_with_liveness_filter() {
+        let g = fixture();
+        let idx = StrengthIndex::build(&g);
+        assert_eq!(idx.top2(0, |_| true), (Some(1), Some(2)));
+        // Knock out 1 and 2: next in line are 3, 4.
+        assert_eq!(idx.top2(0, |f| f != 1 && f != 2), (Some(3), Some(4)));
+        assert_eq!(idx.top2(0, |_| false), (None, None));
+    }
+
+    #[test]
+    fn strongest_of_isolated_is_none() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]);
+        let idx = StrengthIndex::build(&g);
+        assert_eq!(idx.strongest(2, |_| true), None);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let g = fixture();
+        let a = StrengthIndex::build(&g);
+        let b = StrengthIndex::build(&g);
+        for p in 0..5 {
+            assert_eq!(a.ranked_friends(p), b.ranked_friends(p));
+        }
+    }
+}

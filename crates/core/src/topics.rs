@@ -1,0 +1,211 @@
+//! Topic-based pub/sub beyond the friendship graph.
+//!
+//! The paper's introduction motivates notifications "due to users' social
+//! interactions **or their preferable sources (e.g. groups, pages)**"; the
+//! evaluation only exercises the friendship case (every wall is a topic).
+//! This module is the natural extension: arbitrary named topics with
+//! explicit subscribe/unsubscribe, disseminated over the *same* socially
+//! embedded overlay via [`crate::SelectNetwork::disseminate`].
+//!
+//! Because group members in OSNs are socially correlated (friends join the
+//! same groups), the subscriber sets still cluster on the ring and the
+//! relay-free properties largely carry over — the `group_notifications`
+//! integration scenario measures exactly that.
+
+use crate::network::SelectNetwork;
+use crate::pubsub::DisseminationReport;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a named topic (group, page, hashtag…).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(pub u64);
+
+/// Subscription registry mapping topics to subscriber sets.
+///
+/// The registry is deliberately separate from [`SelectNetwork`]: in the real
+/// system each peer only knows its own subscriptions and learns the rest via
+/// the gossip exchange; for simulation the registry is the global view the
+/// vertex-centric engine maintains.
+#[derive(Clone, Debug, Default)]
+pub struct TopicRegistry {
+    subs: HashMap<TopicId, HashSet<u32>>,
+}
+
+impl TopicRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes `peer` to `topic`. Returns true if newly subscribed.
+    pub fn subscribe(&mut self, topic: TopicId, peer: u32) -> bool {
+        self.subs.entry(topic).or_default().insert(peer)
+    }
+
+    /// Unsubscribes `peer` from `topic`. Returns true if it was subscribed.
+    pub fn unsubscribe(&mut self, topic: TopicId, peer: u32) -> bool {
+        match self.subs.get_mut(&topic) {
+            Some(set) => {
+                let removed = set.remove(&peer);
+                if set.is_empty() {
+                    self.subs.remove(&topic);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `peer` subscribes to `topic`.
+    pub fn is_subscribed(&self, topic: TopicId, peer: u32) -> bool {
+        self.subs.get(&topic).is_some_and(|s| s.contains(&peer))
+    }
+
+    /// Subscribers of `topic`, in ascending order.
+    pub fn subscribers(&self, topic: TopicId) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .subs
+            .get(&topic)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of distinct topics with at least one subscriber.
+    pub fn num_topics(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Topics `peer` subscribes to.
+    pub fn topics_of(&self, peer: u32) -> Vec<TopicId> {
+        let mut v: Vec<TopicId> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| s.contains(&peer))
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Subscribes every member of a social circle: `owner` and all of its
+    /// friends in `net`'s graph — the "group grown from a friend circle"
+    /// pattern that keeps group members socially correlated.
+    pub fn subscribe_circle(&mut self, topic: TopicId, net: &SelectNetwork, owner: u32) {
+        self.subscribe(topic, owner);
+        for f in net.online_friends(owner) {
+            self.subscribe(topic, f);
+        }
+    }
+}
+
+impl SelectNetwork {
+    /// Publishes a message on an arbitrary topic: delivery to every *online*
+    /// subscriber in `registry`, excluding the publisher itself.
+    pub fn publish_topic(
+        &self,
+        registry: &TopicRegistry,
+        topic: TopicId,
+        publisher: u32,
+    ) -> DisseminationReport {
+        let subscribers: Vec<u32> = registry
+            .subscribers(topic)
+            .into_iter()
+            .filter(|&s| s != publisher && self.is_peer_online(s))
+            .collect();
+        self.disseminate(publisher, subscribers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectConfig;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn net(seed: u64) -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(seed);
+        let mut n = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed));
+        n.converge(200);
+        n
+    }
+
+    #[test]
+    fn subscribe_unsubscribe_round_trip() {
+        let mut r = TopicRegistry::new();
+        let t = TopicId(7);
+        assert!(r.subscribe(t, 1));
+        assert!(!r.subscribe(t, 1), "duplicate subscribe is false");
+        assert!(r.is_subscribed(t, 1));
+        assert!(r.unsubscribe(t, 1));
+        assert!(!r.unsubscribe(t, 1));
+        assert_eq!(r.num_topics(), 0, "empty topics are garbage-collected");
+    }
+
+    #[test]
+    fn topics_of_lists_memberships() {
+        let mut r = TopicRegistry::new();
+        r.subscribe(TopicId(1), 5);
+        r.subscribe(TopicId(2), 5);
+        r.subscribe(TopicId(2), 6);
+        assert_eq!(r.topics_of(5), vec![TopicId(1), TopicId(2)]);
+        assert_eq!(r.topics_of(6), vec![TopicId(2)]);
+        assert!(r.topics_of(7).is_empty());
+    }
+
+    #[test]
+    fn circle_topic_delivers_to_all_members() {
+        let n = net(1);
+        let mut r = TopicRegistry::new();
+        let t = TopicId(42);
+        r.subscribe_circle(t, &n, 3);
+        let report = n.publish_topic(&r, t, 3);
+        assert_eq!(report.delivered, report.subscribers);
+        assert!(report.subscribers >= n.online_friends(3).len());
+    }
+
+    #[test]
+    fn socially_correlated_topics_stay_relay_light() {
+        let n = net(2);
+        let mut r = TopicRegistry::new();
+        let t = TopicId(9);
+        // Two adjacent circles merged into one group.
+        r.subscribe_circle(t, &n, 10);
+        let friend = n.online_friends(10)[0];
+        r.subscribe_circle(t, &n, friend);
+        let report = n.publish_topic(&r, t, 10);
+        assert_eq!(report.delivered, report.subscribers);
+        assert!(
+            report.avg_relays < 1.0,
+            "socially correlated group should stay relay-light, got {}",
+            report.avg_relays
+        );
+    }
+
+    #[test]
+    fn cross_network_topic_still_delivers() {
+        let n = net(3);
+        let mut r = TopicRegistry::new();
+        let t = TopicId(1);
+        // Scattered subscribers with no social correlation at all.
+        for p in [0u32, 37, 74, 111, 148] {
+            r.subscribe(t, p);
+        }
+        let report = n.publish_topic(&r, t, 0);
+        assert_eq!(report.delivered, report.subscribers);
+        assert_eq!(report.subscribers, 4, "publisher excluded");
+    }
+
+    #[test]
+    fn offline_subscribers_excluded() {
+        let mut n = net(4);
+        let mut r = TopicRegistry::new();
+        let t = TopicId(5);
+        r.subscribe(t, 1);
+        r.subscribe(t, 2);
+        n.set_offline(2);
+        let report = n.publish_topic(&r, t, 0);
+        assert_eq!(report.subscribers, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Mutable graph construction.
+//!
+//! `GraphBuilder` accumulates undirected edges (duplicates and self-loops are
+//! tolerated on input and cleaned at build time) and produces an immutable
+//! [`SocialGraph`] in CSR form with a counting-sort layout pass, which keeps
+//! the build O(V + E log deg) and allocation-light even for multi-million-edge
+//! graphs.
+
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+
+/// Accumulates edges and finalizes into a [`SocialGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(UserId, UserId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// A builder with pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of raw (possibly duplicate) edges added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the node count to at least `n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops are silently dropped.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: UserId, v: UserId) {
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge ({u:?}, {v:?}) out of range for {} nodes",
+            self.num_nodes
+        );
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+    }
+
+    /// Bulk-adds edges from an iterator.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (UserId, UserId)>) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalizes into an immutable CSR graph: symmetrizes, sorts and
+    /// deduplicates adjacency lists.
+    pub fn build(self) -> SocialGraph {
+        let n = self.num_nodes;
+        // Counting pass: degree of every node over the symmetrized edge set.
+        let mut counts = vec![0u64; n + 1];
+        for &(u, v) in &self.edges {
+            counts[u.index() + 1] += 1;
+            counts[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets_raw = counts.clone();
+        let mut adjacency = vec![UserId(0); *counts.last().unwrap() as usize];
+        let mut cursor = offsets_raw.clone();
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            adjacency[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        drop(cursor);
+
+        // Per-node sort + dedup, then compact in place.
+        let mut offsets = vec![0u64; n + 1];
+        let mut write = 0usize;
+        for u in 0..n {
+            let lo = offsets_raw[u] as usize;
+            let hi = offsets_raw[u + 1] as usize;
+            let list = &mut adjacency[lo..hi];
+            list.sort_unstable();
+            let mut last: Option<UserId> = None;
+            let mut read = lo;
+            let start = write;
+            while read < hi {
+                let v = adjacency[read];
+                if last != Some(v) {
+                    adjacency[write] = v;
+                    write += 1;
+                    last = Some(v);
+                }
+                read += 1;
+            }
+            offsets[u] = start as u64;
+            offsets[u + 1] = write as u64;
+        }
+        adjacency.truncate(write);
+        adjacency.shrink_to_fit();
+        SocialGraph::from_csr(offsets, adjacency)
+    }
+
+    /// Builds a graph from an explicit edge list over `n` nodes.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> SocialGraph {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(UserId(u), UserId(v));
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(UserId(0), UserId(1));
+        b.add_edge(UserId(1), UserId(0)); // duplicate, reversed
+        b.add_edge(UserId(2), UserId(2)); // self-loop, dropped
+        b.add_edge(UserId(0), UserId(1)); // duplicate
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(UserId(2)), 0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn from_edges_convenience() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(UserId(0), UserId(5));
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut b = GraphBuilder::new(1);
+        b.ensure_nodes(10);
+        b.add_edge(UserId(0), UserId(9));
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.has_edge(UserId(9), UserId(0)));
+    }
+
+    #[test]
+    fn large_random_build_is_consistent() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 500;
+        let mut b = GraphBuilder::with_capacity(n, 5_000);
+        for _ in 0..5_000 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(UserId(u), UserId(v));
+            }
+        }
+        let g = b.build();
+        assert!(g.check_invariants());
+    }
+}

@@ -1,0 +1,256 @@
+//! Immutable compressed-sparse-row social graph.
+//!
+//! The CSR layout stores all adjacency lists in one contiguous `Vec<UserId>`
+//! with an `offsets` array of length `n + 1`. Neighbour lists are sorted,
+//! which makes common-neighbour counting (the heart of the paper's social
+//! strength, Eq. 2) a linear merge instead of a hash probe per element.
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// An immutable, undirected social graph in CSR form.
+///
+/// Edges are stored symmetrically: if `(u, v)` is an edge, `v` appears in
+/// `neighbors(u)` and `u` appears in `neighbors(v)`. Neighbour lists are
+/// sorted ascending and deduplicated. Self-loops are rejected at build time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SocialGraph {
+    offsets: Vec<u64>,
+    adjacency: Vec<UserId>,
+}
+
+impl SocialGraph {
+    /// Builds a graph directly from prepared CSR arrays.
+    ///
+    /// Intended for use by [`crate::builder::GraphBuilder`]; invariants
+    /// (sorted, deduplicated, symmetric, no self-loops) are debug-asserted.
+    pub(crate) fn from_csr(offsets: Vec<u64>, adjacency: Vec<UserId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, adjacency.len());
+        let g = SocialGraph { offsets, adjacency };
+        debug_assert!(g.check_invariants(), "CSR invariants violated");
+        g
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        SocialGraph {
+            offsets: vec![0; n + 1],
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Number of nodes (social users).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// The sorted neighbour list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: UserId) -> &[UserId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: UserId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+
+    /// Whether `(u, v)` is an edge; O(log degree(u)).
+    #[inline]
+    pub fn has_edge(&self, u: UserId, v: UserId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.num_nodes() as u32).map(UserId)
+    }
+
+    /// Iterator over all undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of common neighbours of `u` and `v` via a sorted-list merge.
+    ///
+    /// This is the `|C_p ∩ C_u|` term of the paper's social strength (Eq. 2).
+    pub fn common_neighbors(&self, u: UserId, v: UserId) -> usize {
+        let (mut a, mut b) = (self.neighbors(u), self.neighbors(v));
+        // Merge the shorter list against the longer one.
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // Galloping pays off when the size ratio is extreme (hub vs leaf).
+        if b.len() > 32 * a.len().max(1) {
+            return a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+        }
+        let mut count = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Social strength s(p, u) = |C_p ∩ C_u| / |C_p| (paper Eq. 2).
+    ///
+    /// Returns 0.0 for a degree-zero `p`. The measure is asymmetric by
+    /// construction, exactly as in the paper.
+    pub fn social_strength(&self, p: UserId, u: UserId) -> f64 {
+        let dp = self.degree(p);
+        if dp == 0 {
+            return 0.0;
+        }
+        self.common_neighbors(p, u) as f64 / dp as f64
+    }
+
+    /// Validates CSR invariants; used by debug assertions and tests.
+    pub fn check_invariants(&self) -> bool {
+        let n = self.num_nodes();
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return false;
+            }
+        }
+        for u in 0..n as u32 {
+            let u = UserId(u);
+            let ns = self.neighbors(u);
+            for w in ns.windows(2) {
+                if w[0] >= w[1] {
+                    return false; // unsorted or duplicate
+                }
+            }
+            for &v in ns {
+                if v == u || v.index() >= n {
+                    return false; // self-loop or out of range
+                }
+                if !self.has_edge(v, u) {
+                    return false; // asymmetric
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_leaf() -> SocialGraph {
+        // 0-1, 1-2, 0-2 triangle; 3 attached to 0.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(UserId(0), UserId(1));
+        b.add_edge(UserId(1), UserId(2));
+        b.add_edge(UserId(0), UserId(2));
+        b.add_edge(UserId(0), UserId(3));
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_leaf();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(UserId(0)), 3);
+        assert_eq!(g.degree(UserId(3)), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_leaf();
+        assert_eq!(g.neighbors(UserId(0)), &[UserId(1), UserId(2), UserId(3)]);
+        assert!(g.has_edge(UserId(3), UserId(0)));
+        assert!(!g.has_edge(UserId(3), UserId(1)));
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn common_neighbors_triangle() {
+        let g = triangle_plus_leaf();
+        // 0 and 1 share neighbour 2.
+        assert_eq!(g.common_neighbors(UserId(0), UserId(1)), 1);
+        // 0 and 3 share nothing.
+        assert_eq!(g.common_neighbors(UserId(0), UserId(3)), 0);
+    }
+
+    #[test]
+    fn social_strength_eq2() {
+        let g = triangle_plus_leaf();
+        // s(1, 0) = |{2}| / deg(1)=2 = 0.5
+        assert!((g.social_strength(UserId(1), UserId(0)) - 0.5).abs() < 1e-12);
+        // Asymmetric: s(0, 1) = 1/3.
+        assert!((g.social_strength(UserId(0), UserId(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn social_strength_degree_zero() {
+        let g = SocialGraph::empty(2);
+        assert_eq!(g.social_strength(UserId(0), UserId(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(UserId(4)).is_empty());
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle_plus_leaf();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn galloping_path_matches_merge() {
+        // One hub connected to everyone, plus a small clique; the hub/leaf
+        // intersection exercises the galloping branch.
+        let n = 600;
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(UserId(0), UserId(v));
+        }
+        for v in 1..6u32 {
+            for w in (v + 1)..6 {
+                b.add_edge(UserId(v), UserId(w));
+            }
+        }
+        let g = b.build();
+        // Common neighbours of hub 0 and node 1 are nodes 2..=5.
+        assert_eq!(g.common_neighbors(UserId(0), UserId(1)), 4);
+        assert_eq!(g.common_neighbors(UserId(1), UserId(0)), 4);
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic stand-ins for the paper's four SNAP data sets (Table II).
+//!
+//! | Data set   | Users     | Connections | Avg degree |
+//! |------------|-----------|-------------|------------|
+//! | Facebook   | 63,731    | 817,090     | 25.642     |
+//! | Twitter    | 3,990,418 | 294,865,207 | 73.89      |
+//! | Slashdot   | 82,168    | 948,463     | 11.543     |
+//! | GooglePlus | 107,614   | 13,673,453  | 127        |
+//!
+//! The real snapshots are not redistributable, so each preset generates a
+//! Barabási–Albert graph with triadic closure whose node count and average
+//! degree match the table (the BA attachment parameter `m ≈ avg_degree / 2`).
+//! Power-law skew and clustering are the structural properties SELECT's
+//! algorithms depend on; see DESIGN.md §3.
+//!
+//! Every preset supports a `scale` factor so experiments can run at laptop
+//! size (e.g. `scale = 0.01`) while preserving average degree, and at full
+//! size for the Twitter scalability runs the paper highlights.
+
+use crate::csr::SocialGraph;
+use crate::generators::{CommunityBa, Generator};
+use crate::metrics;
+
+/// Triadic-closure probability shared by all presets; chosen so sampled
+/// clustering lands in the 0.1–0.3 band typical of OSN snapshots.
+const CLOSURE_P: f64 = 0.55;
+
+/// Users per macro-community in the presets. Real OSN snapshots are
+/// community-structured; this is what makes Fig. 8's per-region clustering
+/// reproducible on synthetic data.
+const COMMUNITY_SIZE: usize = 250;
+
+/// Fraction of a user's degree that crosses community boundaries.
+const INTER_FRACTION: f64 = 0.1;
+
+/// The four Table II data sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Facebook friendship snapshot (Viswanath et al.).
+    Facebook,
+    /// Twitter follow graph (SNAP), the large-scale scalability data set.
+    Twitter,
+    /// Slashdot signed friend/foe network (SNAP), sparsest of the four.
+    Slashdot,
+    /// Google+ circles (SNAP), densest of the four.
+    GooglePlus,
+}
+
+impl Dataset {
+    /// All four data sets in the order the paper's figures use.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Facebook,
+        Dataset::Twitter,
+        Dataset::GooglePlus,
+        Dataset::Slashdot,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Facebook => "Facebook",
+            Dataset::Twitter => "Twitter",
+            Dataset::Slashdot => "Slashdot",
+            Dataset::GooglePlus => "GooglePlus",
+        }
+    }
+
+    /// User count of the real snapshot (Table II).
+    pub fn paper_users(self) -> usize {
+        match self {
+            Dataset::Facebook => 63_731,
+            Dataset::Twitter => 3_990_418,
+            Dataset::Slashdot => 82_168,
+            Dataset::GooglePlus => 107_614,
+        }
+    }
+
+    /// Directed connection count of the real snapshot (Table II).
+    pub fn paper_connections(self) -> usize {
+        match self {
+            Dataset::Facebook => 817_090,
+            Dataset::Twitter => 294_865_207,
+            Dataset::Slashdot => 948_463,
+            Dataset::GooglePlus => 13_673_453,
+        }
+    }
+
+    /// Average degree of the real snapshot (Table II).
+    pub fn paper_average_degree(self) -> f64 {
+        match self {
+            Dataset::Facebook => 25.642,
+            Dataset::Twitter => 73.89,
+            Dataset::Slashdot => 11.543,
+            Dataset::GooglePlus => 127.0,
+        }
+    }
+
+    /// The aggregate attachment parameter that reproduces the average degree
+    /// (`avg ≈ 2m`); split between intra- and inter-community edges by
+    /// `INTER_FRACTION` when generating.
+    pub fn attachment_m(self) -> usize {
+        ((self.paper_average_degree() / 2.0).round() as usize).max(1)
+    }
+
+    /// Intra-community attachment parameter.
+    fn m_in(self) -> usize {
+        (((1.0 - INTER_FRACTION) * self.paper_average_degree() / 2.0).round() as usize).max(1)
+    }
+
+    /// Generates the preset at `scale × paper_users` nodes (min 64 nodes),
+    /// preserving average degree.
+    pub fn generate_scaled(self, scale: f64, seed: u64) -> SocialGraph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n = ((self.paper_users() as f64 * scale) as usize).max(64);
+        self.generate_with_nodes(n, seed)
+    }
+
+    /// Generates the preset with an explicit node count, preserving the
+    /// data set's average degree, clustering profile and community
+    /// structure.
+    pub fn generate_with_nodes(self, n: usize, seed: u64) -> SocialGraph {
+        // Small graphs collapse to one community; m must leave room for the
+        // seed clique inside a community block.
+        let block = COMMUNITY_SIZE.min(n);
+        let m_in = self.m_in().min(block.saturating_sub(2)).max(1);
+        let inter = (self.paper_average_degree() / 2.0 - m_in as f64).max(0.0);
+        CommunityBa::new(n, m_in, inter, CLOSURE_P, COMMUNITY_SIZE).generate(seed)
+    }
+
+    /// Generates the full-size preset. Twitter at full size allocates
+    /// hundreds of millions of adjacency entries — release mode only.
+    pub fn generate_full(self, seed: u64) -> SocialGraph {
+        self.generate_with_nodes(self.paper_users(), seed)
+    }
+
+    /// Paper-vs-generated calibration report at the given scale.
+    pub fn calibration(self, scale: f64, seed: u64) -> Calibration {
+        let g = self.generate_scaled(scale, seed);
+        let summary = metrics::summarize(&g, 500, seed ^ 0x5eed);
+        Calibration {
+            dataset: self,
+            scale,
+            summary,
+        }
+    }
+}
+
+/// Result of comparing a generated preset against Table II.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Which data set was generated.
+    pub dataset: Dataset,
+    /// Scale factor applied to the paper's user count.
+    pub scale: f64,
+    /// Measured summary of the generated graph.
+    pub summary: metrics::GraphSummary,
+}
+
+impl Calibration {
+    /// Relative error of the generated average degree vs Table II.
+    pub fn degree_error(&self) -> f64 {
+        let want = self.dataset.paper_average_degree();
+        (self.summary.average_degree - want).abs() / want
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_constants() {
+        assert_eq!(Dataset::Facebook.name(), "Facebook");
+        assert_eq!(Dataset::Twitter.paper_users(), 3_990_418);
+        assert_eq!(Dataset::ALL.len(), 4);
+    }
+
+    #[test]
+    fn attachment_matches_half_degree() {
+        assert_eq!(Dataset::Facebook.attachment_m(), 13);
+        assert_eq!(Dataset::Twitter.attachment_m(), 37);
+        assert_eq!(Dataset::Slashdot.attachment_m(), 6);
+        assert_eq!(Dataset::GooglePlus.attachment_m(), 64);
+    }
+
+    #[test]
+    fn scaled_generation_preserves_degree() {
+        for ds in [Dataset::Facebook, Dataset::Slashdot] {
+            let cal = ds.calibration(0.02, 42);
+            assert!(
+                cal.degree_error() < 0.25,
+                "{}: generated avg degree {} too far from paper {}",
+                ds.name(),
+                cal.summary.average_degree,
+                ds.paper_average_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        // BA graphs are connected by construction; the overlay bootstrap
+        // relies on this.
+        let g = Dataset::Slashdot.generate_scaled(0.01, 3);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn min_node_floor() {
+        let g = Dataset::Facebook.generate_scaled(0.000001, 1);
+        assert_eq!(g.num_nodes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_panics() {
+        Dataset::Facebook.generate_scaled(0.0, 1);
+    }
+
+    #[test]
+    fn clustering_in_osn_band() {
+        let g = Dataset::Facebook.generate_scaled(0.02, 7);
+        let c = metrics::average_clustering(&g, 400, 7);
+        assert!(c > 0.05, "clustering {c} too low for an OSN-like graph");
+    }
+}

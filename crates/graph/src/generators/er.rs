@@ -1,0 +1,82 @@
+//! Erdős–Rényi G(n, m) uniform random graphs.
+
+use super::Generator;
+use crate::builder::GraphBuilder;
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): exactly `m` distinct uniform edges over `n` nodes (before the
+/// builder's deduplication; duplicates are re-drawn so the final count is
+/// exact).
+#[derive(Clone, Debug)]
+pub struct ErdosRenyi {
+    n: usize,
+    m: usize,
+}
+
+impl ErdosRenyi {
+    /// # Panics
+    /// Panics if `m` exceeds the number of possible edges or `n < 2`.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let max = n * (n - 1) / 2;
+        assert!(m <= max, "m={m} exceeds max possible edges {max}");
+        ErdosRenyi { n, m }
+    }
+}
+
+impl Generator for ErdosRenyi {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn generate(&self, seed: u64) -> SocialGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.n as u32;
+        let mut seen = std::collections::HashSet::with_capacity(self.m * 2);
+        let mut builder = GraphBuilder::with_capacity(self.n, self.m);
+        while seen.len() < self.m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = if u < v {
+                ((u as u64) << 32) | v as u64
+            } else {
+                ((v as u64) << 32) | u as u64
+            };
+            if seen.insert(key) {
+                builder.add_edge(UserId(u), UserId(v));
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = ErdosRenyi::new(100, 250).generate(9);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn dense_case_terminates() {
+        // m equal to the maximum forces the rejection loop through every pair.
+        let g = ErdosRenyi::new(12, 66).generate(3);
+        assert_eq!(g.num_edges(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn too_many_edges_panics() {
+        ErdosRenyi::new(4, 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Community-structured scale-free graphs: the data-set preset generator.
+//!
+//! Real OSN snapshots combine three structural features: heavy-tailed
+//! degrees, triadic closure, and *macro-communities*. Pure Barabási–Albert
+//! produces the first two but a single hub-dominated core; this hybrid
+//! partitions users into communities, grows a BA-with-closure graph inside
+//! each, and stitches communities with degree-proportional inter-community
+//! edges. Average degree stays calibrated: `2·(m_in + inter_per_node)`.
+
+use super::ba::BarabasiAlbert;
+use super::Generator;
+use crate::builder::GraphBuilder;
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert communities stitched by preferential inter-edges.
+#[derive(Clone, Debug)]
+pub struct CommunityBa {
+    n: usize,
+    /// Intra-community attachment parameter.
+    m_in: usize,
+    /// Expected inter-community edges per node.
+    inter_per_node: f64,
+    closure_p: f64,
+    communities: usize,
+}
+
+impl CommunityBa {
+    /// Generator targeting `avg_degree ≈ 2·(m_in + inter_per_node)` with
+    /// roughly `n / community_size` communities.
+    ///
+    /// # Panics
+    /// Panics unless `m_in ≥ 1`, `n` holds at least one community of
+    /// `m_in + 2` nodes, and parameters are in range.
+    pub fn new(
+        n: usize,
+        m_in: usize,
+        inter_per_node: f64,
+        closure_p: f64,
+        community_size: usize,
+    ) -> Self {
+        assert!(m_in >= 1, "m_in must be positive");
+        assert!(inter_per_node >= 0.0);
+        assert!((0.0..=1.0).contains(&closure_p));
+        assert!(community_size > m_in + 1, "communities too small for m_in");
+        let communities = (n / community_size).max(1);
+        assert!(
+            n / communities > m_in + 1,
+            "n={n} with {communities} communities leaves blocks too small"
+        );
+        CommunityBa {
+            n,
+            m_in,
+            inter_per_node,
+            closure_p,
+            communities,
+        }
+    }
+
+    /// Number of planted communities.
+    pub fn num_communities(&self) -> usize {
+        self.communities
+    }
+
+    /// The community of node `u` (contiguous blocks).
+    pub fn community_of(&self, u: UserId) -> usize {
+        (u.index() * self.communities / self.n).min(self.communities - 1)
+    }
+
+    fn block_bounds(&self, c: usize) -> (usize, usize) {
+        let lo = c * self.n / self.communities;
+        let hi = (c + 1) * self.n / self.communities;
+        (lo, hi.min(self.n))
+    }
+}
+
+impl Generator for CommunityBa {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn generate(&self, seed: u64) -> SocialGraph {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_4417);
+        let mut builder = GraphBuilder::with_capacity(
+            self.n,
+            self.n * self.m_in + (self.n as f64 * self.inter_per_node) as usize,
+        );
+        // Intra-community BA blocks.
+        for c in 0..self.communities {
+            let (lo, hi) = self.block_bounds(c);
+            let size = hi - lo;
+            if size < 2 {
+                continue;
+            }
+            let m = self.m_in.min(size - 1);
+            let block = BarabasiAlbert::with_closure(size, m, self.closure_p)
+                .generate(seed ^ (c as u64).rotate_left(40));
+            for (u, v) in block.edges() {
+                builder.add_edge(
+                    UserId((u.index() + lo) as u32),
+                    UserId((v.index() + lo) as u32),
+                );
+            }
+        }
+        // Inter-community edges, endpoints degree-proportional via an
+        // endpoint list over the intra edges added so far.
+        if self.communities > 1 && self.inter_per_node > 0.0 {
+            let snapshot = builder.clone().build();
+            let mut endpoints: Vec<u32> = Vec::with_capacity(2 * snapshot.num_edges());
+            for (u, v) in snapshot.edges() {
+                endpoints.push(u.0);
+                endpoints.push(v.0);
+            }
+            let want = (self.n as f64 * self.inter_per_node / 2.0).round() as usize;
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < want && attempts < want * 20 {
+                attempts += 1;
+                let u = endpoints[rng.gen_range(0..endpoints.len())];
+                let v = endpoints[rng.gen_range(0..endpoints.len())];
+                if u != v && self.community_of(UserId(u)) != self.community_of(UserId(v)) {
+                    builder.add_edge(UserId(u), UserId(v));
+                    added += 1;
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn gen() -> (CommunityBa, SocialGraph) {
+        let g = CommunityBa::new(600, 5, 1.0, 0.5, 150);
+        let graph = g.generate(9);
+        (g, graph)
+    }
+
+    #[test]
+    fn degree_calibration() {
+        let (_, graph) = gen();
+        let avg = metrics::average_degree(&graph);
+        // Target 2*(5+1) = 12, BA dedup losses allowed.
+        assert!((10.0..13.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn intra_edges_dominate_but_inter_exist() {
+        let (model, graph) = gen();
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in graph.edges() {
+            if model.community_of(u) == model.community_of(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(inter > 0, "no inter-community edges");
+        assert!(intra > 3 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let (_, graph) = gen();
+        assert!(metrics::is_connected(&graph), "stitched graph disconnected");
+    }
+
+    #[test]
+    fn single_community_degenerates_to_ba() {
+        let model = CommunityBa::new(100, 3, 1.0, 0.3, 200);
+        assert_eq!(model.num_communities(), 1);
+        let g = model.generate(4);
+        assert_eq!(g.num_nodes(), 100);
+        assert!(g.num_edges() > 200);
+    }
+
+    #[test]
+    fn community_assignment_covers_blocks() {
+        let model = CommunityBa::new(100, 2, 0.5, 0.2, 25);
+        assert_eq!(model.num_communities(), 4);
+        assert_eq!(model.community_of(UserId(0)), 0);
+        assert_eq!(model.community_of(UserId(99)), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let model = CommunityBa::new(200, 3, 0.8, 0.4, 50);
+        let a: Vec<_> = model.generate(7).edges().collect();
+        let b: Vec<_> = model.generate(7).edges().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Watts–Strogatz small-world rings.
+
+use super::Generator;
+use crate::builder::GraphBuilder;
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz generator: a ring lattice where each node connects to its
+/// `k` nearest neighbours (`k/2` on each side) and each edge is rewired to a
+/// uniform target with probability `beta`.
+#[derive(Clone, Debug)]
+pub struct WattsStrogatz {
+    n: usize,
+    k: usize,
+    beta: f64,
+}
+
+impl WattsStrogatz {
+    /// # Panics
+    /// Panics unless `k` is even, `0 < k < n`, and `beta ∈ [0, 1]`.
+    pub fn new(n: usize, k: usize, beta: f64) -> Self {
+        assert!(k.is_multiple_of(2), "k must be even");
+        assert!(k > 0 && k < n, "need 0 < k < n");
+        assert!((0.0..=1.0).contains(&beta));
+        WattsStrogatz { n, k, beta }
+    }
+}
+
+impl Generator for WattsStrogatz {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn generate(&self, seed: u64) -> SocialGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, k) = (self.n as u32, self.k as u32);
+        let mut builder = GraphBuilder::with_capacity(self.n, self.n * self.k / 2);
+        for u in 0..n {
+            for step in 1..=(k / 2) {
+                let v = (u + step) % n;
+                let target = if rng.gen_bool(self.beta) {
+                    // Rewire to a uniform non-self target; a rare duplicate
+                    // edge is deduplicated by the builder.
+                    let mut t = rng.gen_range(0..n);
+                    while t == u {
+                        t = rng.gen_range(0..n);
+                    }
+                    t
+                } else {
+                    v
+                };
+                builder.add_edge(UserId(u), UserId(target));
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = WattsStrogatz::new(20, 4, 0.0).generate(0);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(g.has_edge(UserId(0), UserId(1)));
+        assert!(g.has_edge(UserId(0), UserId(2)));
+        assert!(g.has_edge(UserId(0), UserId(19)));
+        assert!(!g.has_edge(UserId(0), UserId(3)));
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = WattsStrogatz::new(400, 4, 0.0).generate(5);
+        let rewired = WattsStrogatz::new(400, 4, 0.3).generate(5);
+        let d0 = metrics::bfs_eccentricity(&lattice, UserId(0));
+        let d1 = metrics::bfs_eccentricity(&rewired, UserId(0));
+        assert!(
+            d1 < d0,
+            "rewired small world should have smaller eccentricity ({d1} vs {d0})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        WattsStrogatz::new(10, 3, 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Structural graph metrics used for data-set calibration and evaluation.
+
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Average degree `2m / n` (Table II's "Average Degree" column).
+pub fn average_degree(g: &SocialGraph) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / g.num_nodes() as f64
+}
+
+/// Maximum degree over all nodes.
+pub fn max_degree(g: &SocialGraph) -> usize {
+    g.nodes().map(|u| g.degree(u)).max().unwrap_or(0)
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &SocialGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree(g) + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `u`: fraction of neighbour pairs that are
+/// themselves connected.
+pub fn local_clustering(g: &SocialGraph, u: UserId) -> f64 {
+    let ns = g.neighbors(u);
+    let d = ns.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average clustering coefficient estimated over `samples` random nodes.
+///
+/// Exact computation is quadratic in hub degree, so evaluation code samples;
+/// pass `samples >= g.num_nodes()` for the exact mean.
+pub fn average_clustering(g: &SocialGraph, samples: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    if samples >= n {
+        let sum: f64 = g.nodes().map(|u| local_clustering(g, u)).sum();
+        return sum / n as f64;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    for _ in 0..samples {
+        let u = UserId(rng.gen_range(0..n as u32));
+        sum += local_clustering(g, u);
+    }
+    sum / samples as f64
+}
+
+/// BFS distances from `src`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &SocialGraph, src: UserId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src` within its connected component.
+pub fn bfs_eccentricity(g: &SocialGraph, src: UserId) -> usize {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(g: &SocialGraph) -> usize {
+    let n = g.num_nodes();
+    let mut visited = vec![false; n];
+    let mut best = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(UserId(start as u32));
+        let mut size = 0usize;
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+/// Whether the graph is connected (single component covering all nodes).
+pub fn is_connected(g: &SocialGraph) -> bool {
+    g.num_nodes() == 0 || largest_component_size(g) == g.num_nodes()
+}
+
+/// Maximum-likelihood estimate of the power-law exponent α for the degree
+/// distribution, over degrees ≥ `xmin` (Clauset–Shalizi–Newman discrete
+/// approximation `α ≈ 1 + n / Σ ln(d / (xmin − ½))`).
+///
+/// Returns `None` if fewer than 10 nodes have degree ≥ `xmin` (too little
+/// tail to fit).
+pub fn powerlaw_alpha(g: &SocialGraph, xmin: usize) -> Option<f64> {
+    let xmin = xmin.max(1);
+    let tail: Vec<usize> = g
+        .nodes()
+        .map(|u| g.degree(u))
+        .filter(|&d| d >= xmin)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let denom: f64 = tail
+        .iter()
+        .map(|&d| (d as f64 / (xmin as f64 - 0.5)).ln())
+        .sum();
+    Some(1.0 + tail.len() as f64 / denom)
+}
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// all edges. Social graphs are typically weakly assortative (r ≳ 0);
+/// pure BA graphs are slightly disassortative.
+///
+/// Returns 0.0 for graphs with no edges or degenerate variance.
+pub fn degree_assortativity(g: &SocialGraph) -> f64 {
+    let mut n = 0f64;
+    let (mut sx, mut sy, mut sxy, mut sx2, mut sy2) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for (u, v) in g.edges() {
+        // Count each undirected edge in both orientations so the measure is
+        // symmetric in the endpoints.
+        for (a, b) in [(u, v), (v, u)] {
+            let (x, y) = (g.degree(a) as f64, g.degree(b) as f64);
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sx2 += x * x;
+            sy2 += y * y;
+        }
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sx2 / n - (sx / n) * (sx / n);
+    let vy = sy2 / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Summary statistics bundle, used by the Table II driver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Node count.
+    pub users: usize,
+    /// Symmetric connection count (2 × undirected edges), matching how
+    /// Table II reports "Connections" for the SNAP snapshots.
+    pub connections: usize,
+    /// Average degree.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Sampled average clustering coefficient.
+    pub clustering: f64,
+}
+
+/// Computes a [`GraphSummary`] with clustering sampled over `samples` nodes.
+pub fn summarize(g: &SocialGraph, samples: usize, seed: u64) -> GraphSummary {
+    GraphSummary {
+        users: g.num_nodes(),
+        connections: g.num_edges() * 2,
+        average_degree: average_degree(g),
+        max_degree: max_degree(g),
+        clustering: average_clustering(g, samples, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path4() -> SocialGraph {
+        GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn average_degree_path() {
+        let g = path4();
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_path() {
+        let g = path4();
+        assert_eq!(degree_histogram(&g), vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn clustering_triangle_vs_path() {
+        let tri = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!((local_clustering(&tri, UserId(0)) - 1.0).abs() < 1e-12);
+        let g = path4();
+        assert_eq!(local_clustering(&g, UserId(1)), 0.0);
+        assert_eq!(local_clustering(&g, UserId(0)), 0.0); // degree 1
+    }
+
+    #[test]
+    fn exact_average_clustering() {
+        let tri = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!((average_clustering(&tri, 100, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path4();
+        assert_eq!(bfs_distances(&g, UserId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_eccentricity(&g, UserId(1)), 2);
+    }
+
+    #[test]
+    fn components() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (2, 3)]);
+        assert_eq!(largest_component_size(&g), 2);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path4()));
+    }
+
+    #[test]
+    fn disconnected_distance_is_max() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]);
+        let d = bfs_distances(&g, UserId(0));
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn powerlaw_alpha_on_ba_tail() {
+        use crate::generators::{BarabasiAlbert, Generator};
+        let g = BarabasiAlbert::new(3_000, 3).generate(9);
+        let alpha = powerlaw_alpha(&g, 6).expect("enough tail");
+        // BA's theoretical exponent is 3; MLE on finite samples lands in a
+        // broad band around it.
+        assert!(
+            (2.0..4.5).contains(&alpha),
+            "alpha {alpha} outside the BA band"
+        );
+    }
+
+    #[test]
+    fn powerlaw_alpha_needs_tail() {
+        let g = path4();
+        assert_eq!(powerlaw_alpha(&g, 5), None);
+    }
+
+    #[test]
+    fn assortativity_of_star_is_negative() {
+        // A star is maximally disassortative: hubs connect only to leaves.
+        let mut b = GraphBuilder::new(10);
+        for v in 1..10u32 {
+            b.add_edge(UserId(0), UserId(v));
+        }
+        let g = b.build();
+        assert!(degree_assortativity(&g) < -0.5);
+    }
+
+    #[test]
+    fn assortativity_of_regular_graph_is_degenerate_zero() {
+        // Every node has degree 2 in a cycle: zero variance → 0 by contract.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degree_assortativity(&g), 0.0);
+        assert_eq!(degree_assortativity(&SocialGraph::empty(3)), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let g = path4();
+        let s = summarize(&g, 100, 0);
+        assert_eq!(s.users, 4);
+        assert_eq!(s.connections, 6);
+        assert_eq!(s.max_degree, 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Graph sampling / down-scaling utilities.
+//!
+//! The paper's Twitter data set has ~4M users; most experiments here run at a
+//! scale factor. Besides regenerating a smaller synthetic preset, evaluation
+//! code sometimes needs an *induced subgraph* of an existing graph (e.g. to
+//! run the realistic threaded experiments on a few hundred peers drawn from a
+//! larger simulated network). BFS-ball sampling keeps the sample connected and
+//! degree-correlated, unlike uniform node sampling.
+
+use crate::builder::GraphBuilder;
+use crate::csr::SocialGraph;
+use crate::ids::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Result of a sampling operation: the induced subgraph plus the mapping from
+/// new dense ids back to the original graph's ids.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// The induced subgraph with dense ids `0..k`.
+    pub graph: SocialGraph,
+    /// `original[i]` is the original id of new node `i`.
+    pub original: Vec<UserId>,
+}
+
+/// Induced subgraph over an explicit node set (order defines the new ids).
+///
+/// # Panics
+/// Panics if `nodes` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &SocialGraph, nodes: &[UserId]) -> Sample {
+    let mut remap = vec![u32::MAX; g.num_nodes()];
+    for (new, &old) in nodes.iter().enumerate() {
+        assert!(old.index() < g.num_nodes(), "node {old:?} out of range");
+        assert!(remap[old.index()] == u32::MAX, "duplicate node {old:?}");
+        remap[old.index()] = new as u32;
+    }
+    let mut b = GraphBuilder::new(nodes.len());
+    for (new_u, &old_u) in nodes.iter().enumerate() {
+        for &old_v in g.neighbors(old_u) {
+            let new_v = remap[old_v.index()];
+            if new_v != u32::MAX && (new_u as u32) < new_v {
+                b.add_edge(UserId(new_u as u32), UserId(new_v));
+            }
+        }
+    }
+    Sample {
+        graph: b.build(),
+        original: nodes.to_vec(),
+    }
+}
+
+/// BFS-ball sample of about `target` nodes around a random start.
+///
+/// Expands breadth-first from a random seed until `target` nodes are
+/// collected; if the component is exhausted first, restarts from another
+/// random unvisited node, so the sample always reaches `min(target, n)`.
+pub fn bfs_sample(g: &SocialGraph, target: usize, seed: u64) -> Sample {
+    let n = g.num_nodes();
+    let target = target.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<UserId> = Vec::with_capacity(target);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    while picked.len() < target {
+        if queue.is_empty() {
+            let mut s = rng.gen_range(0..n as u32);
+            while visited[s as usize] {
+                s = (s + 1) % n as u32;
+            }
+            visited[s as usize] = true;
+            queue.push_back(UserId(s));
+        }
+        let u = queue.pop_front().unwrap();
+        picked.push(u);
+        for &v in g.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    induced_subgraph(g, &picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{BarabasiAlbert, Generator};
+    use crate::metrics;
+
+    #[test]
+    fn induced_preserves_internal_edges_only() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let s = induced_subgraph(&g, &[UserId(0), UserId(1), UserId(2)]);
+        assert_eq!(s.graph.num_nodes(), 3);
+        assert_eq!(s.graph.num_edges(), 2); // 0-1, 1-2; edge 2-3 cut
+        assert_eq!(s.original, vec![UserId(0), UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn bfs_sample_size_and_connectivity() {
+        let g = BarabasiAlbert::new(2_000, 3).generate(4);
+        let s = bfs_sample(&g, 200, 9);
+        assert_eq!(s.graph.num_nodes(), 200);
+        // BFS over a connected graph yields a connected sample.
+        assert!(metrics::is_connected(&s.graph));
+    }
+
+    #[test]
+    fn bfs_sample_caps_at_n() {
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]);
+        let s = bfs_sample(&g, 50, 0);
+        assert_eq!(s.graph.num_nodes(), 3);
+    }
+
+    #[test]
+    fn mapping_round_trips_edges() {
+        let g = BarabasiAlbert::new(500, 2).generate(6);
+        let s = bfs_sample(&g, 100, 2);
+        for (u, v) in s.graph.edges() {
+            assert!(g.has_edge(s.original[u.index()], s.original[v.index()]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_nodes_panic() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]);
+        induced_subgraph(&g, &[UserId(0), UserId(0)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the graph substrate.
+
+use osn_graph::generators::{BarabasiAlbert, ErdosRenyi, Generator};
+use osn_graph::{metrics, GraphBuilder, SocialGraph, UserId};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any edge list builds a graph satisfying the CSR invariants.
+    #[test]
+    fn builder_always_produces_valid_csr((n, edges) in arb_edges()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(UserId(u), UserId(v));
+            }
+        }
+        let g = b.build();
+        prop_assert!(g.check_invariants());
+    }
+
+    /// has_edge agrees with neighbour-list membership both ways.
+    #[test]
+    fn edge_symmetry((n, edges) in arb_edges()) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in &edges {
+            if u != v {
+                b.add_edge(UserId(*u), UserId(*v));
+            }
+        }
+        let g = b.build();
+        for (u, v) in edges {
+            if u != v {
+                prop_assert!(g.has_edge(UserId(u), UserId(v)));
+                prop_assert!(g.has_edge(UserId(v), UserId(u)));
+            }
+        }
+    }
+
+    /// Common-neighbour counting is symmetric and bounded by min degree.
+    #[test]
+    fn common_neighbors_bounds((n, edges) in arb_edges(), a in 0u32..50, b in 0u32..50) {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v {
+                builder.add_edge(UserId(u), UserId(v));
+            }
+        }
+        let g = builder.build();
+        let (a, b) = (UserId(a % n as u32), UserId(b % n as u32));
+        let c = g.common_neighbors(a, b);
+        prop_assert_eq!(c, g.common_neighbors(b, a));
+        prop_assert!(c <= g.degree(a).min(g.degree(b)));
+    }
+
+    /// Social strength is in [0, 1] and zero toward isolated nodes.
+    #[test]
+    fn social_strength_in_unit_interval((n, edges) in arb_edges(), a in 0u32..50, b in 0u32..50) {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v {
+                builder.add_edge(UserId(u), UserId(v));
+            }
+        }
+        let g = builder.build();
+        let (a, b) = (UserId(a % n as u32), UserId(b % n as u32));
+        let s = g.social_strength(a, b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// Degree histogram mass equals the node count.
+    #[test]
+    fn degree_histogram_mass(seed in 0u64..500) {
+        let g: SocialGraph = BarabasiAlbert::new(80, 3).generate(seed);
+        let hist = metrics::degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), 80);
+    }
+
+    /// G(n, m) has exactly m edges for any seed.
+    #[test]
+    fn er_edge_count_exact(seed in 0u64..500, m in 1usize..100) {
+        let g = ErdosRenyi::new(40, m.min(40 * 39 / 2)).generate(seed);
+        prop_assert_eq!(g.num_edges(), m.min(40 * 39 / 2));
+    }
+
+    /// BFS distances obey the triangle property along edges: adjacent nodes
+    /// differ by at most one level.
+    #[test]
+    fn bfs_levels_smooth(seed in 0u64..200) {
+        let g = BarabasiAlbert::new(60, 2).generate(seed);
+        let dist = metrics::bfs_distances(&g, UserId(0));
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u.index()], dist[v.index()]);
+            if du != usize::MAX && dv != usize::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+    }
+
+    /// Edge-list round-trip through the SNAP text format is lossless.
+    #[test]
+    fn io_round_trip(seed in 0u64..200) {
+        let g = BarabasiAlbert::new(40, 2).generate(seed);
+        let mut buf = Vec::new();
+        osn_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let loaded = osn_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        prop_assert_eq!(loaded.graph.num_nodes(), g.num_nodes());
+    }
+}

@@ -1,0 +1,139 @@
+//! Bucketed LSH index over peer bitmaps (Algorithm 5's `LSHIndex`).
+
+use crate::bitmap::Bitmap;
+use crate::family::LshFamily;
+
+/// An index that assigns items (peer ids) to `|H|` buckets by their bitmap.
+#[derive(Clone, Debug)]
+pub struct LshIndex<F: LshFamily> {
+    family: F,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl<F: LshFamily> LshIndex<F> {
+    /// An empty index over the given family.
+    pub fn new(family: F) -> Self {
+        let buckets = vec![Vec::new(); family.num_buckets()];
+        LshIndex { family, buckets }
+    }
+
+    /// Number of buckets `|H|`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Indexes `item` under its bitmap's bucket; returns the bucket id.
+    pub fn insert(&mut self, item: u32, bm: &Bitmap) -> usize {
+        let b = self.family.bucket_of(bm);
+        if !self.buckets[b].contains(&item) {
+            self.buckets[b].push(item);
+        }
+        b
+    }
+
+    /// The bucket a bitmap would land in, without inserting.
+    pub fn bucket_of(&self, bm: &Bitmap) -> usize {
+        self.family.bucket_of(bm)
+    }
+
+    /// Members of bucket `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn bucket(&self, b: usize) -> &[u32] {
+        &self.buckets[b]
+    }
+
+    /// Iterates `(bucket, members)` over non-empty buckets.
+    pub fn non_empty_buckets(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (i, v.as_slice()))
+    }
+
+    /// Removes `item` from every bucket (rarely needed; O(total)).
+    pub fn remove(&mut self, item: u32) {
+        for b in &mut self.buckets {
+            b.retain(|&x| x != item);
+        }
+    }
+
+    /// Total number of indexed items.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// True if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears all buckets.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BitSampling;
+
+    fn index() -> LshIndex<BitSampling> {
+        LshIndex::new(BitSampling::new(32, 4, 8, 7))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = index();
+        let bm = Bitmap::from_set_bits(32, [1, 5, 9]);
+        let b = idx.insert(42, &bm);
+        assert!(idx.bucket(b).contains(&42));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.bucket_of(&bm), b);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = index();
+        let bm = Bitmap::from_set_bits(32, [2]);
+        idx.insert(1, &bm);
+        idx.insert(1, &bm);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn identical_bitmaps_share_bucket() {
+        let mut idx = index();
+        let bm = Bitmap::from_set_bits(32, [3, 4]);
+        let b1 = idx.insert(1, &bm);
+        let b2 = idx.insert(2, &bm.clone());
+        assert_eq!(b1, b2);
+        assert_eq!(idx.bucket(b1).len(), 2);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut idx = index();
+        idx.insert(1, &Bitmap::from_set_bits(32, [1]));
+        idx.insert(2, &Bitmap::from_set_bits(32, [30]));
+        idx.remove(1);
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn non_empty_buckets_iterates_all_items() {
+        let mut idx = index();
+        for i in 0..20u32 {
+            idx.insert(i, &Bitmap::from_set_bits(32, [i as usize]));
+        }
+        let total: usize = idx.non_empty_buckets().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 20);
+    }
+}

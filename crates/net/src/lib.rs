@@ -1,0 +1,27 @@
+//! # osn-net — the "realistic experiments" runtime
+//!
+//! The paper's realistic evaluation (§IV-D) ran browser peers over WebRTC on
+//! 18 VMs, sending 1.2 MB payloads with per-peer bandwidth heterogeneity and
+//! per-link latency. This crate substitutes that testbed with two layers that
+//! exercise the same code paths (see DESIGN.md §3):
+//!
+//! * [`timing`] — a deterministic virtual-time transfer simulator:
+//!   store-and-forward dissemination over a routing tree where each peer's
+//!   uploads are **serialized** (the star experiment's linear law) and every
+//!   link carries its own propagation latency. This produces the Fig. 7
+//!   latency series.
+//! * [`runtime`] — a real concurrent actor runtime: one OS thread per peer,
+//!   crossbeam channels as links, `bytes::Bytes` payloads forwarded along
+//!   the dissemination tree. It demonstrates the protocol actually running
+//!   as message-passing peers and is used by the realistic integration
+//!   tests and the `realistic_run` example.
+
+#![warn(missing_docs)]
+
+pub mod runtime;
+pub mod throttled;
+pub mod timing;
+
+pub use runtime::{PublishResult, ThreadedNetwork};
+pub use throttled::{ThrottledNetwork, TimedPublishResult};
+pub use timing::{DisseminationTiming, TransferSim};

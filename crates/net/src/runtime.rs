@@ -1,0 +1,262 @@
+//! Concurrent actor runtime: one thread per peer, channels as links.
+//!
+//! This is the in-process stand-in for the paper's WebRTC browser peers:
+//! every peer runs on its own OS thread, owns a receiver, and forwards real
+//! `bytes::Bytes` payloads to its dissemination-tree children. Payload
+//! buffers are reference-counted (`Bytes::clone` is O(1)), mirroring how a
+//! real node relays a buffer it holds.
+//!
+//! The runtime checks *behaviour* (every subscriber receives exactly one
+//! copy, forwarding follows the tree, concurrent publications don't
+//! interfere); timing fidelity is the job of [`crate::timing`].
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use select_core::pubsub::RoutingTree;
+use std::collections::{HashMap, HashSet};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages exchanged between peer actors.
+enum NetMsg {
+    /// A payload for publication `pub_id`, to be delivered locally and
+    /// forwarded to `children[self]`.
+    Payload {
+        pub_id: u64,
+        payload: Bytes,
+        /// Forwarding plan: child lists per peer for this publication.
+        children: std::sync::Arc<HashMap<u32, Vec<u32>>>,
+    },
+    /// Shut the actor down.
+    Stop,
+}
+
+/// A delivery record sent to the collector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Delivery {
+    pub_id: u64,
+    peer: u32,
+    bytes: usize,
+}
+
+/// Outcome of one threaded publication.
+#[derive(Clone, Debug)]
+pub struct PublishResult {
+    /// Peers that received the payload (excluding the publisher).
+    pub delivered_to: HashSet<u32>,
+    /// Total bytes received across all peers.
+    pub bytes_received: usize,
+}
+
+/// A network of peer actors.
+pub struct ThreadedNetwork {
+    senders: Vec<Sender<NetMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    deliveries: Receiver<Delivery>,
+    next_pub_id: u64,
+}
+
+impl ThreadedNetwork {
+    /// Spawns `n` peer actors.
+    pub fn spawn(n: usize) -> Self {
+        let (delivery_tx, deliveries) = unbounded::<Delivery>();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<NetMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (id, rx) in receivers.into_iter().enumerate() {
+            let peers = senders.clone();
+            let delivery_tx = delivery_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                actor_loop(id as u32, rx, peers, delivery_tx)
+            }));
+        }
+        ThreadedNetwork {
+            senders,
+            handles,
+            deliveries,
+            next_pub_id: 1,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if no peers were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Publishes `payload` along `tree`, blocking until every subscriber in
+    /// the tree received it (or `timeout` elapsed).
+    ///
+    /// # Panics
+    /// Panics if the tree's publisher is out of range.
+    pub fn publish(
+        &mut self,
+        tree: &RoutingTree,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> PublishResult {
+        let pub_id = self.next_pub_id;
+        self.next_pub_id += 1;
+
+        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (u, v) in tree.edges() {
+            children.entry(u).or_default().push(v);
+        }
+        let expect: HashSet<u32> = children.values().flatten().copied().collect();
+        let children = std::sync::Arc::new(children);
+
+        self.senders[tree.publisher as usize]
+            .send(NetMsg::Payload {
+                pub_id,
+                payload,
+                children,
+            })
+            .expect("publisher actor alive");
+
+        let mut result = PublishResult {
+            delivered_to: HashSet::new(),
+            bytes_received: 0,
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        while result.delivered_to.len() < expect.len() {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.deliveries.recv_timeout(remaining) {
+                // The publisher's own local delivery does not count.
+                Ok(d) if d.pub_id == pub_id && d.peer != tree.publisher => {
+                    if result.delivered_to.insert(d.peer) {
+                        result.bytes_received += d.bytes;
+                    }
+                }
+                Ok(_) => {} // stale delivery from an earlier publication
+                Err(_) => break,
+            }
+        }
+        result
+    }
+
+    /// Stops all actors and joins their threads.
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(NetMsg::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn actor_loop(
+    id: u32,
+    rx: Receiver<NetMsg>,
+    peers: Vec<Sender<NetMsg>>,
+    deliveries: Sender<Delivery>,
+) {
+    // Each actor remembers publications it already handled so duplicate
+    // forwards (diamond trees) deliver once.
+    let mut seen: HashSet<u64> = HashSet::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            NetMsg::Payload {
+                pub_id,
+                payload,
+                children,
+            } => {
+                if !seen.insert(pub_id) {
+                    continue;
+                }
+                let _ = deliveries.send(Delivery {
+                    pub_id,
+                    peer: id,
+                    bytes: payload.len(),
+                });
+                if let Some(kids) = children.get(&id) {
+                    for &c in kids {
+                        let _ = peers[c as usize].send(NetMsg::Payload {
+                            pub_id,
+                            payload: payload.clone(),
+                            children: children.clone(),
+                        });
+                    }
+                }
+            }
+            NetMsg::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
+        RoutingTree {
+            publisher,
+            paths,
+            failed: vec![],
+        }
+    }
+
+    #[test]
+    fn payload_reaches_every_tree_node() {
+        let mut net = ThreadedNetwork::spawn(6);
+        let t = tree(0, vec![vec![0, 1, 2], vec![0, 3], vec![0, 1, 4]]);
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let r = net.publish(&t, payload, Duration::from_secs(5));
+        let got: HashSet<u32> = r.delivered_to.clone();
+        assert_eq!(got, HashSet::from([1, 2, 3, 4]));
+        assert_eq!(r.bytes_received, 4 * 1024);
+        net.shutdown();
+    }
+
+    #[test]
+    fn publisher_delivery_excluded() {
+        let mut net = ThreadedNetwork::spawn(3);
+        let t = tree(0, vec![vec![0, 1]]);
+        let r = net.publish(&t, Bytes::from_static(b"x"), Duration::from_secs(5));
+        assert!(!r.delivered_to.contains(&0));
+        net.shutdown();
+    }
+
+    #[test]
+    fn sequential_publications_do_not_interfere() {
+        let mut net = ThreadedNetwork::spawn(4);
+        let t1 = tree(0, vec![vec![0, 1], vec![0, 2]]);
+        let t2 = tree(3, vec![vec![3, 2]]);
+        let r1 = net.publish(&t1, Bytes::from_static(b"aa"), Duration::from_secs(5));
+        let r2 = net.publish(&t2, Bytes::from_static(b"bbb"), Duration::from_secs(5));
+        assert_eq!(r1.delivered_to, HashSet::from([1, 2]));
+        assert_eq!(r2.delivered_to, HashSet::from([2]));
+        assert_eq!(r2.bytes_received, 3);
+        net.shutdown();
+    }
+
+    #[test]
+    fn payload_size_of_paper_scale_works() {
+        // The paper's 1.2 MB payload through a small chain.
+        let mut net = ThreadedNetwork::spawn(3);
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let payload = Bytes::from(vec![0u8; 1_200_000]);
+        let r = net.publish(&t, payload, Duration::from_secs(10));
+        assert_eq!(r.delivered_to.len(), 2);
+        assert_eq!(r.bytes_received, 2 * 1_200_000);
+        net.shutdown();
+    }
+
+    #[test]
+    fn empty_tree_returns_immediately() {
+        let mut net = ThreadedNetwork::spawn(2);
+        let t = tree(0, vec![]);
+        let r = net.publish(&t, Bytes::from_static(b"y"), Duration::from_millis(200));
+        assert!(r.delivered_to.is_empty());
+        net.shutdown();
+    }
+}

@@ -1,0 +1,303 @@
+//! Throttled actor runtime: real threads, real time, modelled bandwidth.
+//!
+//! [`crate::runtime::ThreadedNetwork`] checks *behaviour*;
+//! [`ThrottledNetwork`] additionally makes each peer's uplink cost real
+//! wall-clock time: before forwarding the payload to each tree child, the
+//! actor sleeps `transfer_time(payload, bw) / compression` — uploads
+//! serialize naturally because each peer is one thread. This lets the
+//! repository *validate* the virtual-time model of [`crate::timing`]: the
+//! same tree, driven by actual concurrent threads, must reproduce the
+//! model's arrival-order predictions (see the `agrees_with_transfer_sim`
+//! test).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_sim::latency::transfer_time;
+use select_core::pubsub::RoutingTree;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Msg {
+    Payload {
+        pub_id: u64,
+        /// Virtual payload size in bytes (no buffer needed: the throttle is
+        /// the observable, not the copy).
+        bytes: u64,
+        children: Arc<HashMap<u32, Vec<u32>>>,
+    },
+    Stop,
+}
+
+/// One delivery observation with its wall-clock arrival.
+#[derive(Clone, Debug)]
+pub struct TimedDelivery {
+    /// Receiving peer.
+    pub peer: u32,
+    /// Wall-clock time since the publication started.
+    pub elapsed: Duration,
+}
+
+/// Result of a throttled publication.
+#[derive(Clone, Debug, Default)]
+pub struct TimedPublishResult {
+    /// Arrival times per peer, in arrival order.
+    pub deliveries: Vec<TimedDelivery>,
+}
+
+impl TimedPublishResult {
+    /// Arrival time of `peer`, if it was reached.
+    pub fn arrival_of(&self, peer: u32) -> Option<Duration> {
+        self.deliveries
+            .iter()
+            .find(|d| d.peer == peer)
+            .map(|d| d.elapsed)
+    }
+
+    /// The dissemination latency: last arrival.
+    pub fn max_latency(&self) -> Duration {
+        self.deliveries
+            .iter()
+            .map(|d| d.elapsed)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+/// A network of upload-throttled peer actors.
+pub struct ThrottledNetwork {
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    deliveries: Receiver<(u64, u32, Instant)>,
+    next_pub_id: u64,
+}
+
+impl ThrottledNetwork {
+    /// Spawns `n` actors with the given per-peer bandwidths (bytes per
+    /// virtual ms). `compression` divides virtual milliseconds into wall
+    /// microseconds·1000/compression — e.g. `compression = 1000` turns a
+    /// 960 ms virtual transfer into ~1 ms of wall sleep.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth.len() != n` or `compression <= 0`.
+    pub fn spawn(n: usize, bandwidth: Vec<f64>, compression: f64) -> Self {
+        assert_eq!(bandwidth.len(), n, "one bandwidth per peer");
+        assert!(compression > 0.0);
+        let (delivery_tx, deliveries) = unbounded();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (id, rx) in receivers.into_iter().enumerate() {
+            let peers = senders.clone();
+            let delivery_tx = delivery_tx.clone();
+            let bw = bandwidth[id];
+            handles.push(std::thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Payload {
+                            pub_id,
+                            bytes,
+                            children,
+                        } => {
+                            if !seen.insert(pub_id) {
+                                continue;
+                            }
+                            let _ = delivery_tx.send((pub_id, id as u32, Instant::now()));
+                            if let Some(kids) = children.get(&(id as u32)) {
+                                let mut kids = kids.clone();
+                                kids.sort_unstable();
+                                let per_upload = transfer_time(bytes, bw) / compression;
+                                for c in kids {
+                                    // Serialized upload: sleep before *each*
+                                    // child's send, like one NIC draining.
+                                    std::thread::sleep(Duration::from_secs_f64(
+                                        (per_upload / 1_000.0).max(0.0),
+                                    ));
+                                    let _ = peers[c as usize].send(Msg::Payload {
+                                        pub_id,
+                                        bytes,
+                                        children: children.clone(),
+                                    });
+                                }
+                            }
+                        }
+                        Msg::Stop => break,
+                    }
+                }
+            }));
+        }
+        ThrottledNetwork {
+            senders,
+            handles,
+            deliveries,
+            next_pub_id: 1,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if no peers were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Publishes a virtual payload of `bytes` along `tree`, blocking until
+    /// every tree node received it or `timeout` elapsed.
+    pub fn publish(
+        &mut self,
+        tree: &RoutingTree,
+        bytes: u64,
+        timeout: Duration,
+    ) -> TimedPublishResult {
+        let pub_id = self.next_pub_id;
+        self.next_pub_id += 1;
+        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (u, v) in tree.edges() {
+            children.entry(u).or_default().push(v);
+        }
+        let expect = children.values().flatten().filter(|&&v| v != tree.publisher).count();
+        let start = Instant::now();
+        self.senders[tree.publisher as usize]
+            .send(Msg::Payload {
+                pub_id,
+                bytes,
+                children: Arc::new(children),
+            })
+            .expect("publisher alive");
+
+        let mut result = TimedPublishResult::default();
+        let deadline = start + timeout;
+        let mut got = std::collections::HashSet::new();
+        while got.len() < expect {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.deliveries.recv_timeout(remaining) {
+                Ok((id, peer, at)) if id == pub_id && peer != tree.publisher => {
+                    if got.insert(peer) {
+                        result.deliveries.push(TimedDelivery {
+                            peer,
+                            elapsed: at.saturating_duration_since(start),
+                        });
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        result.deliveries.sort_by_key(|d| d.elapsed);
+        result
+    }
+
+    /// Stops every actor and joins the threads.
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TransferSim;
+
+    fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
+        RoutingTree {
+            publisher,
+            paths,
+            failed: vec![],
+        }
+    }
+
+    /// 1.2 MB at 1200 B/ms = 1000 virtual ms; compression 100 → 10 ms wall.
+    const BYTES: u64 = 1_200_000;
+    const BW: f64 = 1_200.0;
+    const COMPRESSION: f64 = 100.0;
+
+    #[test]
+    fn star_children_arrive_serialized() {
+        let mut net = ThrottledNetwork::spawn(5, vec![BW; 5], COMPRESSION);
+        let t = tree(0, vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4]]);
+        let r = net.publish(&t, BYTES, Duration::from_secs(10));
+        assert_eq!(r.deliveries.len(), 4);
+        // Children are served in id order; arrival times must be strictly
+        // increasing with roughly one upload gap between consecutive ones.
+        let arrivals: Vec<Duration> = (1..=4).map(|p| r.arrival_of(p).unwrap()).collect();
+        for w in arrivals.windows(2) {
+            assert!(w[1] > w[0], "uploads must serialize: {arrivals:?}");
+        }
+        // Last child waited ≈ 4 uploads ≈ 40 ms; allow generous jitter.
+        assert!(arrivals[3] >= Duration::from_millis(25), "{arrivals:?}");
+        net.shutdown();
+    }
+
+    #[test]
+    fn chain_accumulates_latency() {
+        let mut net = ThrottledNetwork::spawn(4, vec![BW; 4], COMPRESSION);
+        let t = tree(0, vec![vec![0, 1, 2, 3]]);
+        let r = net.publish(&t, BYTES, Duration::from_secs(10));
+        let a1 = r.arrival_of(1).unwrap();
+        let a2 = r.arrival_of(2).unwrap();
+        let a3 = r.arrival_of(3).unwrap();
+        assert!(a1 < a2 && a2 < a3, "store-and-forward order violated");
+        net.shutdown();
+    }
+
+    #[test]
+    fn agrees_with_transfer_sim_on_arrival_order() {
+        // Heterogeneous bandwidths: a slow hub (peer 1) delays its subtree.
+        let bandwidth = vec![2_000.0, 300.0, 2_000.0, 2_000.0, 2_000.0];
+        let t = tree(0, vec![vec![0, 1, 3], vec![0, 2], vec![0, 1, 4]]);
+
+        let sim = TransferSim::with_bandwidths(bandwidth.clone(), 7);
+        let predicted = sim.simulate(&t);
+
+        let mut net = ThrottledNetwork::spawn(5, bandwidth, COMPRESSION);
+        let r = net.publish(&t, BYTES, Duration::from_secs(20));
+        net.shutdown();
+
+        // Fast direct child 2 must beat the slow hub's children in both the
+        // model and reality.
+        assert!(predicted.arrival[&2] < predicted.arrival[&3]);
+        assert!(r.arrival_of(2).unwrap() < r.arrival_of(3).unwrap());
+        assert!(predicted.arrival[&2] < predicted.arrival[&4]);
+        assert!(r.arrival_of(2).unwrap() < r.arrival_of(4).unwrap());
+    }
+
+    #[test]
+    fn faster_hub_finishes_sooner() {
+        let t = tree(0, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let run = |bw: f64| {
+            let mut net = ThrottledNetwork::spawn(4, vec![bw; 4], COMPRESSION);
+            let r = net.publish(&t, BYTES, Duration::from_secs(10));
+            net.shutdown();
+            r.max_latency()
+        };
+        let slow = run(600.0);
+        let fast = run(2_400.0);
+        assert!(
+            fast < slow,
+            "4× bandwidth should finish faster: {fast:?} vs {slow:?}"
+        );
+    }
+
+    #[test]
+    fn empty_tree_is_instant() {
+        let mut net = ThrottledNetwork::spawn(2, vec![BW; 2], COMPRESSION);
+        let r = net.publish(&tree(0, vec![]), BYTES, Duration::from_millis(100));
+        assert!(r.deliveries.is_empty());
+        assert_eq!(r.max_latency(), Duration::ZERO);
+        net.shutdown();
+    }
+}

@@ -1,0 +1,200 @@
+//! Ring identifier space `I = [0, 1)` with wrap-around metric.
+//!
+//! Identifiers are 64-bit ticks on a circle of size `2^64`. This gives exact
+//! wrapping arithmetic (no float drift at scale) while `as_unit` provides the
+//! paper's unit-interval view. The metric `d_I(u, v)` is the minimal arc
+//! length, and midpoints along the shorter arc implement Algorithm 2's
+//! centroid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position on the overlay ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct RingId(pub u64);
+
+/// A (minimal) distance between two ring positions; at most half the ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RingDistance(pub u64);
+
+impl RingId {
+    /// The zero position.
+    pub const ZERO: RingId = RingId(0);
+
+    /// Maps from the unit interval `[0, 1)`; values outside are wrapped.
+    pub fn from_unit(x: f64) -> Self {
+        let frac = x.rem_euclid(1.0);
+        // 2^64 as f64; the cast saturates safely for frac -> 1.0 edge cases.
+        let scaled = frac * 18_446_744_073_709_551_616.0;
+        if scaled >= 18_446_744_073_709_551_615.0 {
+            RingId(u64::MAX)
+        } else {
+            RingId(scaled as u64)
+        }
+    }
+
+    /// Projects to the unit interval `[0, 1)`.
+    pub fn as_unit(self) -> f64 {
+        self.0 as f64 / 18_446_744_073_709_551_616.0
+    }
+
+    /// Deterministic uniform hash of an arbitrary 64-bit key
+    /// (SplitMix64 finalizer — the paper's "uniform mapping function").
+    pub fn hash_of(key: u64) -> Self {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        RingId(z ^ (z >> 31))
+    }
+
+    /// Clockwise distance from `self` to `other` (0 when equal).
+    #[inline]
+    pub fn cw_distance(self, other: RingId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Minimal ring distance `d_I(self, other)`.
+    #[inline]
+    pub fn distance(self, other: RingId) -> RingDistance {
+        let cw = self.cw_distance(other);
+        RingDistance(cw.min(cw.wrapping_neg()))
+    }
+
+    /// The position `ticks` clockwise from `self`.
+    #[inline]
+    pub fn offset(self, ticks: u64) -> RingId {
+        RingId(self.0.wrapping_add(ticks))
+    }
+
+    /// Midpoint of the *shorter* arc between `self` and `other`
+    /// (Algorithm 2's centroid of the two strongest friends).
+    pub fn midpoint(self, other: RingId) -> RingId {
+        let cw = self.cw_distance(other);
+        if cw <= cw.wrapping_neg() {
+            RingId(self.0.wrapping_add(cw / 2))
+        } else {
+            let ccw = cw.wrapping_neg();
+            RingId(other.0.wrapping_add(ccw / 2))
+        }
+    }
+
+    /// Whether `self` lies on the clockwise arc `(from, to]`.
+    /// Used for successor responsibility tests.
+    pub fn in_cw_range(self, from: RingId, to: RingId) -> bool {
+        let arc = from.cw_distance(to);
+        let pos = from.cw_distance(self);
+        pos != 0 && pos <= arc
+    }
+}
+
+impl RingDistance {
+    /// Distance as a fraction of the whole ring (in `[0, 0.5]`).
+    pub fn as_unit_len(self) -> f64 {
+        self.0 as f64 / 18_446_744_073_709_551_616.0
+    }
+}
+
+impl fmt::Debug for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RingId({:.6})", self.as_unit())
+    }
+}
+
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_round_trip() {
+        for x in [0.0, 0.25, 0.5, 0.75, 0.999] {
+            let id = RingId::from_unit(x);
+            assert!((id.as_unit() - x).abs() < 1e-9, "{x}");
+        }
+    }
+
+    #[test]
+    fn from_unit_wraps() {
+        assert_eq!(RingId::from_unit(1.25).0, RingId::from_unit(0.25).0);
+        assert_eq!(RingId::from_unit(-0.25).0, RingId::from_unit(0.75).0);
+    }
+
+    #[test]
+    fn minimal_distance_wraps() {
+        let a = RingId::from_unit(0.1);
+        let b = RingId::from_unit(0.9);
+        assert!((a.distance(b).as_unit_len() - 0.2).abs() < 1e-9);
+        assert_eq!(a.distance(b), b.distance(a), "metric is symmetric");
+        assert_eq!(a.distance(a).0, 0);
+    }
+
+    #[test]
+    fn distance_is_at_most_half_ring() {
+        let a = RingId(0);
+        let b = RingId(u64::MAX / 2 + 10);
+        assert!(a.distance(b).0 <= u64::MAX / 2 + 1);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let a = RingId(rng.gen());
+            let b = RingId(rng.gen());
+            let c = RingId(rng.gen());
+            assert!(a.distance(c).0 as u128 <= a.distance(b).0 as u128 + b.distance(c).0 as u128);
+        }
+    }
+
+    #[test]
+    fn midpoint_short_arc() {
+        let a = RingId::from_unit(0.9);
+        let b = RingId::from_unit(0.1);
+        let m = a.midpoint(b);
+        // The shorter arc crosses zero; midpoint is at ~0.0.
+        let near_zero = m.distance(RingId::ZERO).as_unit_len();
+        assert!(near_zero < 1e-6, "midpoint {m} should be near 0");
+        // Midpoint is equidistant from both ends (±1 tick).
+        assert!(m.distance(a).0.abs_diff(m.distance(b).0) <= 1);
+    }
+
+    #[test]
+    fn midpoint_plain_arc() {
+        let a = RingId::from_unit(0.2);
+        let b = RingId::from_unit(0.4);
+        let m = a.midpoint(b);
+        assert!((m.as_unit() - 0.3).abs() < 1e-9);
+        // Commutative up to a tick.
+        assert!(b.midpoint(a).distance(m).0 <= 1);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        let a = RingId::hash_of(42);
+        assert_eq!(a, RingId::hash_of(42));
+        assert_ne!(a, RingId::hash_of(43));
+        // Spot-check dispersion: 1000 sequential keys fill all 8 octants.
+        let mut octants = [false; 8];
+        for k in 0..1000u64 {
+            octants[(RingId::hash_of(k).0 >> 61) as usize] = true;
+        }
+        assert!(octants.iter().all(|&o| o));
+    }
+
+    #[test]
+    fn cw_range_membership() {
+        let a = RingId::from_unit(0.8);
+        let b = RingId::from_unit(0.2);
+        assert!(RingId::from_unit(0.9).in_cw_range(a, b));
+        assert!(RingId::from_unit(0.1).in_cw_range(a, b));
+        assert!(!RingId::from_unit(0.5).in_cw_range(a, b));
+        assert!(!a.in_cw_range(a, b), "range is exclusive at the start");
+        assert!(b.in_cw_range(a, b), "range is inclusive at the end");
+    }
+}

@@ -1,0 +1,48 @@
+//! # osn-overlay — structured P2P overlay substrate
+//!
+//! The overlay layer the SELECT paper builds on (§II-A): a ring identifier
+//! space `[0, 1)`, per-peer routing tables with short-range (ring) and
+//! long-range links, greedy routing with optional Symphony-style lookahead,
+//! a faithful Symphony small-world overlay (Manku et al., USITS'03) used both
+//! as the substrate of the Symphony pub/sub baseline and as the fallback
+//! routing layer of SELECT, and a prefix-routing DHT in the style of
+//! Tapestry/Pastry that Bayeux's rendezvous trees are built on.
+//!
+//! Identifiers are `u64` ticks on a wrapping circle; [`RingId::as_unit`]
+//! projects to the unit interval for display. All distance arithmetic wraps,
+//! and the *minimal* ring distance (`min(cw, ccw)`) is the metric `d_I` of
+//! the paper.
+//!
+//! ```
+//! use osn_overlay::prelude::*;
+//!
+//! let a = RingId::from_unit(0.1);
+//! let b = RingId::from_unit(0.9);
+//! // Minimal distance wraps around the ring: 0.2, not 0.8.
+//! assert!((a.distance(b).as_unit_len() - 0.2).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dht;
+pub mod id;
+pub mod ring;
+pub mod routing;
+pub mod symphony;
+pub mod table;
+
+pub use id::{RingDistance, RingId};
+pub use ring::RingIndex;
+pub use routing::{route_greedy, route_with_lookahead, RouteOutcome, Topology};
+pub use symphony::SymphonyOverlay;
+pub use table::RoutingTable;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::dht::PrefixDht;
+    pub use crate::id::{RingDistance, RingId};
+    pub use crate::ring::RingIndex;
+    pub use crate::routing::{route_greedy, route_with_lookahead, RouteOutcome, Topology};
+    pub use crate::symphony::SymphonyOverlay;
+    pub use crate::table::RoutingTable;
+}

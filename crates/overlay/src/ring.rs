@@ -1,0 +1,221 @@
+//! Global ring membership index.
+//!
+//! `RingIndex` tracks which peers are currently on the ring and at which
+//! position, answering successor / predecessor / nearest queries in
+//! `O(log n)`. It is the bookkeeping structure behind "each peer maintains
+//! two short-range links with his successor and predecessor" (paper §III-D)
+//! and supports the churn experiments' joins and departures.
+//!
+//! Peers are dense `u32` indices (the same indices as `osn_graph::UserId`).
+//! Multiple peers may momentarily share a position (identifier reassignment
+//! can collide); ties are broken by peer index.
+
+use crate::id::RingId;
+use std::collections::BTreeSet;
+
+/// Ordered index of `(position, peer)` pairs on the ring.
+#[derive(Clone, Debug, Default)]
+pub struct RingIndex {
+    set: BTreeSet<(u64, u32)>,
+    position: Vec<Option<RingId>>,
+}
+
+impl RingIndex {
+    /// An empty index able to hold peers `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        RingIndex {
+            set: BTreeSet::new(),
+            position: vec![None; capacity],
+        }
+    }
+
+    /// Number of peers currently on the ring.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether `peer` is currently on the ring.
+    pub fn contains(&self, peer: u32) -> bool {
+        self.position
+            .get(peer as usize)
+            .is_some_and(|p| p.is_some())
+    }
+
+    /// Current position of `peer`, if joined.
+    pub fn position_of(&self, peer: u32) -> Option<RingId> {
+        self.position.get(peer as usize).copied().flatten()
+    }
+
+    /// Inserts `peer` at `pos`, replacing any previous position.
+    pub fn insert(&mut self, peer: u32, pos: RingId) {
+        if peer as usize >= self.position.len() {
+            self.position.resize(peer as usize + 1, None);
+        }
+        if let Some(old) = self.position[peer as usize] {
+            self.set.remove(&(old.0, peer));
+        }
+        self.position[peer as usize] = Some(pos);
+        self.set.insert((pos.0, peer));
+    }
+
+    /// Removes `peer` from the ring; returns its last position.
+    pub fn remove(&mut self, peer: u32) -> Option<RingId> {
+        let old = self.position.get_mut(peer as usize)?.take()?;
+        self.set.remove(&(old.0, peer));
+        Some(old)
+    }
+
+    /// The first peer strictly clockwise of `pos` (wrapping). With a single
+    /// peer on the ring, that peer is its own successor.
+    pub fn successor(&self, pos: RingId) -> Option<u32> {
+        if self.set.is_empty() {
+            return None;
+        }
+        self.set
+            .range((pos.0.wrapping_add(1), 0)..)
+            .next()
+            .or_else(|| self.set.iter().next())
+            .map(|&(_, p)| p)
+    }
+
+    /// The first peer at or counter-clockwise of `pos` excluded (wrapping).
+    pub fn predecessor(&self, pos: RingId) -> Option<u32> {
+        if self.set.is_empty() {
+            return None;
+        }
+        self.set
+            .range(..(pos.0, 0))
+            .next_back()
+            .or_else(|| self.set.iter().next_back())
+            .map(|&(_, p)| p)
+    }
+
+    /// Successor of `peer`'s own position, skipping `peer` itself.
+    pub fn successor_of_peer(&self, peer: u32) -> Option<u32> {
+        let pos = self.position_of(peer)?;
+        let mut it = self
+            .set
+            .range((pos.0, peer + 1)..)
+            .chain(self.set.iter().take_while(move |&&(p, q)| (p, q) < (pos.0, peer)));
+        // The chained iterator walks the full ring once, excluding `peer`.
+        it.next().map(|&(_, p)| p)
+    }
+
+    /// Predecessor of `peer`'s own position, skipping `peer` itself.
+    pub fn predecessor_of_peer(&self, peer: u32) -> Option<u32> {
+        let pos = self.position_of(peer)?;
+        let before = self.set.range(..(pos.0, peer)).next_back();
+        before
+            .or_else(|| self.set.iter().next_back().filter(|&&(p, q)| (p, q) != (pos.0, peer)))
+            .map(|&(_, p)| p)
+    }
+
+    /// The joined peer whose position minimizes `d_I(pos, ·)`.
+    pub fn nearest(&self, pos: RingId) -> Option<u32> {
+        let succ = self.successor(pos)?;
+        let pred = self.predecessor(pos)?;
+        // Also consider an exact occupant of `pos`.
+        if let Some(&(_, exact)) = self.set.range((pos.0, 0)..=(pos.0, u32::MAX)).next() {
+            return Some(exact);
+        }
+        let ds = pos.distance(self.position_of(succ).unwrap());
+        let dp = pos.distance(self.position_of(pred).unwrap());
+        Some(if ds <= dp { succ } else { pred })
+    }
+
+    /// Iterates peers in ring order starting from position 0.
+    pub fn iter(&self) -> impl Iterator<Item = (RingId, u32)> + '_ {
+        self.set.iter().map(|&(pos, p)| (RingId(pos), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(positions: &[(u32, f64)]) -> RingIndex {
+        let mut r = RingIndex::new(16);
+        for &(p, x) in positions {
+            r.insert(p, RingId::from_unit(x));
+        }
+        r
+    }
+
+    #[test]
+    fn successor_and_predecessor_wrap() {
+        let r = ring_with(&[(0, 0.1), (1, 0.5), (2, 0.9)]);
+        assert_eq!(r.successor(RingId::from_unit(0.95)), Some(0));
+        assert_eq!(r.predecessor(RingId::from_unit(0.05)), Some(2));
+        assert_eq!(r.successor(RingId::from_unit(0.2)), Some(1));
+    }
+
+    #[test]
+    fn peer_neighbours_skip_self() {
+        let r = ring_with(&[(0, 0.1), (1, 0.5), (2, 0.9)]);
+        assert_eq!(r.successor_of_peer(0), Some(1));
+        assert_eq!(r.predecessor_of_peer(0), Some(2));
+        assert_eq!(r.successor_of_peer(2), Some(0));
+        assert_eq!(r.predecessor_of_peer(1), Some(0));
+    }
+
+    #[test]
+    fn single_peer_is_own_neighbour_none() {
+        let r = ring_with(&[(3, 0.4)]);
+        // With one peer, there is no *other* peer.
+        assert_eq!(r.successor_of_peer(3), None);
+        assert_eq!(r.predecessor_of_peer(3), None);
+        // But position queries still resolve to it.
+        assert_eq!(r.successor(RingId::from_unit(0.9)), Some(3));
+    }
+
+    #[test]
+    fn nearest_picks_min_distance() {
+        let r = ring_with(&[(0, 0.1), (1, 0.5)]);
+        assert_eq!(r.nearest(RingId::from_unit(0.15)), Some(0));
+        assert_eq!(r.nearest(RingId::from_unit(0.45)), Some(1));
+        assert_eq!(r.nearest(RingId::from_unit(0.95)), Some(0)); // wraps
+    }
+
+    #[test]
+    fn insert_moves_peer() {
+        let mut r = ring_with(&[(0, 0.1), (1, 0.5)]);
+        r.insert(0, RingId::from_unit(0.8));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.position_of(0), Some(RingId::from_unit(0.8)));
+        assert_eq!(r.successor(RingId::from_unit(0.6)), Some(0));
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut r = ring_with(&[(0, 0.1)]);
+        assert_eq!(r.remove(0), Some(RingId::from_unit(0.1)));
+        assert!(r.is_empty());
+        assert_eq!(r.successor(RingId::ZERO), None);
+        assert_eq!(r.remove(0), None, "double remove is None");
+    }
+
+    #[test]
+    fn shared_position_tie_break() {
+        let mut r = RingIndex::new(4);
+        let pos = RingId::from_unit(0.3);
+        r.insert(2, pos);
+        r.insert(1, pos);
+        assert_eq!(r.len(), 2);
+        // Exact-occupant nearest resolves to the smallest peer index.
+        assert_eq!(r.nearest(pos), Some(1));
+        assert_eq!(r.successor_of_peer(1), Some(2));
+        assert_eq!(r.successor_of_peer(2), Some(1));
+    }
+
+    #[test]
+    fn iter_is_position_ordered() {
+        let r = ring_with(&[(5, 0.9), (6, 0.1), (7, 0.5)]);
+        let order: Vec<u32> = r.iter().map(|(_, p)| p).collect();
+        assert_eq!(order, vec![6, 7, 5]);
+    }
+}

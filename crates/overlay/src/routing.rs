@@ -1,0 +1,276 @@
+//! Greedy routing on the ring, with optional Symphony-style lookahead.
+//!
+//! Lookup queries are routed greedily: each peer forwards to the neighbour
+//! whose position minimizes the ring distance to the target (§II-A). The
+//! lookahead variant first checks the neighbour-of-neighbour sets `L_p`
+//! (paper Table I / §III-E, after Symphony's lookahead optimization): if a
+//! direct link or a neighbour's link already reaches the target, the message
+//! is forwarded along that affirmed path.
+
+use crate::id::RingId;
+
+/// Read-only view of an overlay that routing operates over.
+pub trait Topology {
+    /// Current ring position of `peer`, or `None` if it is offline.
+    fn position(&self, peer: u32) -> Option<RingId>;
+    /// Outgoing links of `peer` (successor, predecessor, long-range).
+    fn links(&self, peer: u32) -> Vec<u32>;
+    /// Whether the peer is currently online.
+    fn is_online(&self, peer: u32) -> bool {
+        self.position(peer).is_some()
+    }
+}
+
+/// Result of a routing attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The target was reached; `path` runs from source to target inclusive.
+    Delivered {
+        /// Peers traversed, `path[0] == from`, `path.last() == to`.
+        path: Vec<u32>,
+    },
+    /// Routing got stuck (no strictly closer neighbour) or exceeded the
+    /// hop budget; `path` is the partial walk.
+    Failed {
+        /// Peers traversed before giving up.
+        path: Vec<u32>,
+    },
+}
+
+impl RouteOutcome {
+    /// Number of overlay hops taken (edges in the path), delivered or not.
+    pub fn hops(&self) -> usize {
+        match self {
+            RouteOutcome::Delivered { path } | RouteOutcome::Failed { path } => {
+                path.len().saturating_sub(1)
+            }
+        }
+    }
+
+    /// Whether the message reached its target.
+    pub fn delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered { .. })
+    }
+
+    /// The traversed path, regardless of outcome.
+    pub fn path(&self) -> &[u32] {
+        match self {
+            RouteOutcome::Delivered { path } | RouteOutcome::Failed { path } => path,
+        }
+    }
+
+    /// Intermediate peers (path minus the two endpoints): the relay nodes of
+    /// this lookup in the paper's sense.
+    pub fn relays(&self) -> &[u32] {
+        let p = self.path();
+        if p.len() <= 2 {
+            &[]
+        } else {
+            &p[1..p.len() - 1]
+        }
+    }
+}
+
+/// Pure greedy routing from `from` to `to`, bounded by `max_hops`.
+///
+/// At each step the current peer forwards to its online neighbour with
+/// minimal ring distance to the target, requiring strict progress; stalls
+/// and budget exhaustion yield [`RouteOutcome::Failed`].
+pub fn route_greedy(topo: &impl Topology, from: u32, to: u32, max_hops: usize) -> RouteOutcome {
+    route_impl(topo, from, to, max_hops, false)
+}
+
+/// Greedy routing with one level of lookahead over neighbour link sets.
+pub fn route_with_lookahead(
+    topo: &impl Topology,
+    from: u32,
+    to: u32,
+    max_hops: usize,
+) -> RouteOutcome {
+    route_impl(topo, from, to, max_hops, true)
+}
+
+fn route_impl(
+    topo: &impl Topology,
+    from: u32,
+    to: u32,
+    max_hops: usize,
+    lookahead: bool,
+) -> RouteOutcome {
+    let mut path = vec![from];
+    if from == to {
+        return RouteOutcome::Delivered { path };
+    }
+    let target_pos = match topo.position(to) {
+        Some(p) => p,
+        None => return RouteOutcome::Failed { path },
+    };
+    if topo.position(from).is_none() {
+        return RouteOutcome::Failed { path };
+    }
+
+    let mut current = from;
+    let mut current_dist = topo.position(from).unwrap().distance(target_pos);
+
+    while path.len() <= max_hops {
+        let links = topo.links(current);
+
+        // Direct link to the target: done in one hop.
+        if links.contains(&to) && topo.is_online(to) {
+            path.push(to);
+            return RouteOutcome::Delivered { path };
+        }
+
+        // Lookahead: a neighbour that affirms a link to the target gives a
+        // guaranteed 2-hop delivery.
+        if lookahead {
+            if let Some(&via) = links
+                .iter()
+                .filter(|&&n| topo.is_online(n))
+                .find(|&&n| topo.links(n).contains(&to))
+            {
+                if topo.is_online(to) {
+                    path.push(via);
+                    path.push(to);
+                    return RouteOutcome::Delivered { path };
+                }
+            }
+        }
+
+        // Greedy step: strictly closer online neighbour.
+        let next = links
+            .iter()
+            .filter(|&&n| topo.is_online(n))
+            .map(|&n| (n, topo.position(n).unwrap().distance(target_pos)))
+            .min_by_key(|&(_, d)| d);
+        match next {
+            Some((n, d)) if d < current_dist => {
+                current = n;
+                current_dist = d;
+                path.push(n);
+                if n == to {
+                    return RouteOutcome::Delivered { path };
+                }
+            }
+            _ => return RouteOutcome::Failed { path },
+        }
+    }
+    RouteOutcome::Failed { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed topology described by explicit positions and adjacency.
+    struct Fixed {
+        pos: Vec<Option<RingId>>,
+        adj: Vec<Vec<u32>>,
+    }
+
+    impl Topology for Fixed {
+        fn position(&self, peer: u32) -> Option<RingId> {
+            self.pos[peer as usize]
+        }
+        fn links(&self, peer: u32) -> Vec<u32> {
+            self.adj[peer as usize].clone()
+        }
+    }
+
+    /// A 8-node ring at positions i/8 with successor/predecessor links.
+    fn ring8() -> Fixed {
+        let n = 8u32;
+        Fixed {
+            pos: (0..n)
+                .map(|i| Some(RingId::from_unit(i as f64 / n as f64)))
+                .collect(),
+            adj: (0..n)
+                .map(|i| vec![(i + 1) % n, (i + n - 1) % n])
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ring_walk_both_directions() {
+        let t = ring8();
+        let out = route_greedy(&t, 0, 2, 64);
+        assert_eq!(out, RouteOutcome::Delivered { path: vec![0, 1, 2] });
+        // Counter-clockwise is shorter to 6.
+        let out = route_greedy(&t, 0, 6, 64);
+        assert_eq!(out.path(), &[0, 7, 6]);
+    }
+
+    #[test]
+    fn self_route_is_zero_hops() {
+        let t = ring8();
+        let out = route_greedy(&t, 3, 3, 8);
+        assert!(out.delivered());
+        assert_eq!(out.hops(), 0);
+        assert!(out.relays().is_empty());
+    }
+
+    #[test]
+    fn hop_budget_fails() {
+        let t = ring8();
+        let out = route_greedy(&t, 0, 4, 2);
+        assert!(!out.delivered());
+    }
+
+    #[test]
+    fn long_link_shortcut_is_taken() {
+        let mut t = ring8();
+        t.adj[0].push(4); // long link across the ring
+        let out = route_greedy(&t, 0, 4, 8);
+        assert_eq!(out.path(), &[0, 4]);
+        assert_eq!(out.hops(), 1);
+    }
+
+    #[test]
+    fn offline_target_fails_cleanly() {
+        let mut t = ring8();
+        t.pos[4] = None;
+        let out = route_greedy(&t, 0, 4, 8);
+        assert!(!out.delivered());
+    }
+
+    #[test]
+    fn offline_relay_is_routed_around() {
+        let mut t = ring8();
+        t.pos[1] = None; // clockwise path broken at 1
+        let out = route_greedy(&t, 0, 2, 16);
+        // Greedy must go counter-clockwise the long way... but every ccw step
+        // toward 2 reduces distance only until position 0.75+; from 0, the
+        // neighbours are 1 (offline) and 7. d(7→2)=0.375 < d(0→2)=0.25? No:
+        // 0.875→0.25 wraps to 0.375 which is farther, so routing fails —
+        // exactly the stall the recovery mechanism exists for.
+        assert!(!out.delivered());
+    }
+
+    #[test]
+    fn lookahead_cuts_to_two_hops() {
+        let mut t = ring8();
+        // Peer 1 has a private link to 5; plain greedy from 0 to 5 walks the
+        // ring, lookahead spots 1's link.
+        t.adj[1].push(5);
+        let greedy = route_greedy(&t, 0, 5, 16);
+        let look = route_with_lookahead(&t, 0, 5, 16);
+        assert!(greedy.hops() >= 3);
+        assert_eq!(look.path(), &[0, 1, 5]);
+    }
+
+    #[test]
+    fn lookahead_prefers_direct_link() {
+        let mut t = ring8();
+        t.adj[0].push(5);
+        let look = route_with_lookahead(&t, 0, 5, 16);
+        assert_eq!(look.path(), &[0, 5]);
+    }
+
+    #[test]
+    fn relays_exclude_endpoints() {
+        let t = ring8();
+        let out = route_greedy(&t, 0, 3, 16);
+        assert_eq!(out.path(), &[0, 1, 2, 3]);
+        assert_eq!(out.relays(), &[1, 2]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Symphony small-world overlay (Manku, Bawa, Raghavan — USITS'03).
+//!
+//! Peers get immutable uniform-hash positions on the ring, keep successor +
+//! predecessor short links, and draw `k` long-range links from the harmonic
+//! distribution: the clockwise distance of a long link is `exp(ln(n)·(r−1))`
+//! for uniform `r`, i.e. the pdf is proportional to `1/(d·ln n)`. Greedy
+//! routing then takes `O(log²n / k)` hops in expectation.
+//!
+//! This is the socially-oblivious substrate the paper compares against: "a
+//! pub/sub system over the Symphony P2P overlay network without any further
+//! modification on the P2P topology" (§IV-C). It also serves as SELECT's
+//! connectivity fallback.
+
+use crate::id::RingId;
+use crate::ring::RingIndex;
+use crate::routing::Topology;
+use crate::table::RoutingTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully materialized Symphony overlay over peers `0..n`.
+#[derive(Clone, Debug)]
+pub struct SymphonyOverlay {
+    ring: RingIndex,
+    tables: Vec<RoutingTable>,
+    k: usize,
+}
+
+impl SymphonyOverlay {
+    /// Builds the overlay for `n` peers with `k` long links each.
+    ///
+    /// Positions are `RingId::hash_of(peer ⊕ seed-mix)`, immutable, exactly
+    /// like the paper's baseline ("an immutable identifier policy").
+    pub fn build(n: usize, k: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two peers");
+        let mut ring = RingIndex::new(n);
+        for p in 0..n as u32 {
+            ring.insert(p, RingId::hash_of((p as u64) ^ seed.rotate_left(17)));
+        }
+        let mut overlay = SymphonyOverlay {
+            ring,
+            tables: (0..n).map(|_| RoutingTable::new(k)).collect(),
+            k,
+        };
+        overlay.stitch_ring();
+        overlay.draw_long_links(seed);
+        overlay
+    }
+
+    /// Number of peers (online or not — Symphony here is static).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the overlay has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Long links per peer.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The global ring index.
+    pub fn ring(&self) -> &RingIndex {
+        &self.ring
+    }
+
+    /// The routing table of `peer`.
+    pub fn table(&self, peer: u32) -> &RoutingTable {
+        &self.tables[peer as usize]
+    }
+
+    /// Removes `peer` (churn departure): purges it from every table and
+    /// re-stitches its ring neighbours.
+    pub fn remove_peer(&mut self, peer: u32) {
+        if self.ring.remove(peer).is_none() {
+            return;
+        }
+        for t in &mut self.tables {
+            t.purge(peer);
+        }
+        // Re-stitch: every peer whose successor/predecessor vanished points
+        // to the next live peer on the ring.
+        let fixes: Vec<(u32, Option<u32>, Option<u32>)> = self
+            .ring
+            .iter()
+            .map(|(_, p)| {
+                (
+                    p,
+                    self.ring.successor_of_peer(p),
+                    self.ring.predecessor_of_peer(p),
+                )
+            })
+            .collect();
+        for (p, s, d) in fixes {
+            let t = &mut self.tables[p as usize];
+            if t.successor.is_none() {
+                t.successor = s;
+            }
+            if t.predecessor.is_none() {
+                t.predecessor = d;
+            }
+        }
+    }
+
+    /// Re-inserts a previously removed peer at its original hash position.
+    pub fn rejoin_peer(&mut self, peer: u32, seed: u64) {
+        let pos = RingId::hash_of((peer as u64) ^ seed.rotate_left(17));
+        self.ring.insert(peer, pos);
+        let succ = self.ring.successor_of_peer(peer);
+        let pred = self.ring.predecessor_of_peer(peer);
+        let t = &mut self.tables[peer as usize];
+        t.successor = succ;
+        t.predecessor = pred;
+        if let Some(s) = succ {
+            self.tables[s as usize].predecessor = Some(peer);
+        }
+        if let Some(p) = pred {
+            self.tables[p as usize].successor = Some(peer);
+        }
+    }
+
+    fn stitch_ring(&mut self) {
+        let pairs: Vec<(u32, Option<u32>, Option<u32>)> = self
+            .ring
+            .iter()
+            .map(|(_, p)| {
+                (
+                    p,
+                    self.ring.successor_of_peer(p),
+                    self.ring.predecessor_of_peer(p),
+                )
+            })
+            .collect();
+        for (p, s, d) in pairs {
+            self.tables[p as usize].successor = s;
+            self.tables[p as usize].predecessor = d;
+        }
+    }
+
+    fn draw_long_links(&mut self, seed: u64) {
+        let n = self.len();
+        let ln_n = (n as f64).ln().max(1.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10e6_90a7);
+        for p in 0..n as u32 {
+            let my_pos = self.ring.position_of(p).unwrap();
+            let mut attempts = 0;
+            while self.tables[p as usize].long_links().len() < self.k && attempts < self.k * 8 {
+                attempts += 1;
+                // Harmonic draw: fraction of the ring to jump clockwise.
+                let r: f64 = rng.gen();
+                let frac = (ln_n * (r - 1.0)).exp();
+                let target_pos = my_pos.offset((frac * u64::MAX as f64) as u64);
+                if let Some(q) = self.ring.nearest(target_pos) {
+                    if q != p {
+                        self.tables[p as usize].add_long(q);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Topology for SymphonyOverlay {
+    fn position(&self, peer: u32) -> Option<RingId> {
+        self.ring.position_of(peer)
+    }
+    fn links(&self, peer: u32) -> Vec<u32> {
+        self.tables[peer as usize].all_links(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::route_greedy;
+
+    #[test]
+    fn ring_is_stitched_consistently() {
+        let o = SymphonyOverlay::build(64, 4, 3);
+        for (_, p) in o.ring().iter() {
+            let s = o.table(p).successor.expect("successor set");
+            assert_eq!(o.table(s).predecessor, Some(p));
+        }
+    }
+
+    #[test]
+    fn long_links_exist_and_bounded() {
+        let o = SymphonyOverlay::build(256, 5, 9);
+        for p in 0..256u32 {
+            let l = o.table(p).long_links().len();
+            assert!(l <= 5);
+            assert!(l >= 1, "peer {p} drew no long links");
+        }
+    }
+
+    #[test]
+    fn all_lookups_succeed() {
+        use rand::{Rng, SeedableRng};
+        let n = 512;
+        let o = SymphonyOverlay::build(n, 6, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            let out = route_greedy(&o, a, b, 4 * 64);
+            assert!(out.delivered(), "lookup {a}->{b} failed: {:?}", out.path());
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut avg_hops = Vec::new();
+        for &n in &[128usize, 1024] {
+            let k = (n as f64).log2() as usize;
+            let o = SymphonyOverlay::build(n, k, 2);
+            let mut total = 0usize;
+            let trials = 200;
+            for _ in 0..trials {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                let out = route_greedy(&o, a, b, n);
+                assert!(out.delivered());
+                total += out.hops();
+            }
+            avg_hops.push(total as f64 / trials as f64);
+        }
+        // 8× more peers should cost far less than 8× more hops.
+        assert!(
+            avg_hops[1] < avg_hops[0] * 3.0,
+            "expected sublinear growth: {avg_hops:?}"
+        );
+    }
+
+    #[test]
+    fn churn_remove_and_rejoin() {
+        let seed = 4;
+        let mut o = SymphonyOverlay::build(64, 4, seed);
+        o.remove_peer(10);
+        assert!(o.position(10).is_none());
+        // No table references the departed peer.
+        for p in 0..64u32 {
+            if p != 10 {
+                assert!(!o.table(p).has_link(10), "peer {p} still links 10");
+            }
+        }
+        // Ring is still fully routable among remaining peers.
+        let out = route_greedy(&o, 0, 63, 256);
+        assert!(out.delivered());
+
+        o.rejoin_peer(10, seed);
+        assert!(o.position(10).is_some());
+        let out = route_greedy(&o, 10, 30, 256);
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn positions_deterministic_per_seed() {
+        let a = SymphonyOverlay::build(32, 3, 7);
+        let b = SymphonyOverlay::build(32, 3, 7);
+        for p in 0..32u32 {
+            assert_eq!(a.position(p), b.position(p));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Churn models (paper §IV, after Berta/Bilicki/Jelasity).
+//!
+//! Two views of the same phenomenon:
+//!
+//! * [`ChurnModel`] — the paper's iteration-level process: "at each iteration
+//!   step, we select a number of peers based on a log-normal distribution to
+//!   be excluded from the overlay network ... the total number of peers that
+//!   are available cannot be less than half of the overall social network"
+//!   (Fig. 6). Departed peers return when the step completes.
+//! * [`AvailabilityTrace`] — per-peer on/off session processes with
+//!   log-normal session and absence lengths; this is what the CMA recovery
+//!   mechanism observes to distinguish mostly-offline peers from transient
+//!   failures.
+
+use crate::dist::LogNormal;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Iteration-level churn process.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnModel {
+    /// Distribution of the per-iteration departure count, as a *fraction*
+    /// of the current network size (log-normal, clipped).
+    pub departure_fraction: LogNormal,
+    /// Hard floor on the online fraction (the paper uses 0.5).
+    pub min_online_fraction: f64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel {
+            // Median ~2% of the network leaves per step, heavy upper tail.
+            departure_fraction: LogNormal::with_median(0.02, 0.8),
+            min_online_fraction: 0.5,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// New model with an explicit departure-fraction distribution and floor.
+    ///
+    /// # Panics
+    /// Panics unless `min_online_fraction ∈ [0, 1]`.
+    pub fn new(departure_fraction: LogNormal, min_online_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_online_fraction));
+        ChurnModel {
+            departure_fraction,
+            min_online_fraction,
+        }
+    }
+
+    /// Samples how many of `online` peers (out of `total`) depart this
+    /// iteration, respecting the online floor.
+    pub fn sample_departures(&self, rng: &mut impl Rng, online: usize, total: usize) -> usize {
+        let frac = self.departure_fraction.sample(rng).min(1.0);
+        let want = (frac * online as f64).round() as usize;
+        let floor = (self.min_online_fraction * total as f64).ceil() as usize;
+        let max_leave = online.saturating_sub(floor);
+        want.min(max_leave)
+    }
+
+    /// Samples *which* peers depart: a uniform subset of `online_peers` of
+    /// the size given by [`Self::sample_departures`].
+    pub fn sample_departing_peers(
+        &self,
+        rng: &mut impl Rng,
+        online_peers: &[u32],
+        total: usize,
+    ) -> Vec<u32> {
+        let k = self.sample_departures(rng, online_peers.len(), total);
+        let mut pool = online_peers.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// Per-peer alternating online/offline session process.
+#[derive(Clone, Debug)]
+pub struct AvailabilityTrace {
+    /// Session (online) length distribution, in simulation ticks.
+    pub online_len: LogNormal,
+    /// Absence (offline) length distribution, in simulation ticks.
+    pub offline_len: LogNormal,
+    /// Fraction of peers that are "mostly offline" (long absences).
+    pub low_availability_fraction: f64,
+}
+
+impl Default for AvailabilityTrace {
+    fn default() -> Self {
+        AvailabilityTrace {
+            online_len: LogNormal::with_median(600.0, 0.7),
+            offline_len: LogNormal::with_median(120.0, 0.7),
+            low_availability_fraction: 0.2,
+        }
+    }
+}
+
+/// The generated on/off schedule of one peer: sorted toggle times; the peer
+/// starts online iff `starts_online`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerSchedule {
+    /// Times (ticks) at which the peer flips online/offline state.
+    pub toggles: Vec<u64>,
+    /// Initial state.
+    pub starts_online: bool,
+}
+
+impl PeerSchedule {
+    /// Whether the peer is online at time `t`.
+    pub fn online_at(&self, t: u64) -> bool {
+        let flips = self.toggles.partition_point(|&x| x <= t);
+        self.starts_online ^ (flips % 2 == 1)
+    }
+
+    /// Fraction of `[0, horizon)` spent online.
+    pub fn online_fraction(&self, horizon: u64) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let mut online = self.starts_online;
+        let mut last = 0u64;
+        let mut total_online = 0u64;
+        for &t in self.toggles.iter().take_while(|&&t| t < horizon) {
+            if online {
+                total_online += t - last;
+            }
+            last = t;
+            online = !online;
+        }
+        if online {
+            total_online += horizon - last;
+        }
+        total_online as f64 / horizon as f64
+    }
+}
+
+impl AvailabilityTrace {
+    /// Generates one peer's schedule up to `horizon` ticks. `mostly_offline`
+    /// peers get 6× longer absences — the population the CMA is meant to
+    /// demote.
+    pub fn generate(&self, rng: &mut impl Rng, horizon: u64, mostly_offline: bool) -> PeerSchedule {
+        let starts_online = !mostly_offline && rng.gen_bool(0.9);
+        let mut toggles = Vec::new();
+        let mut t = 0u64;
+        let mut online = starts_online;
+        while t < horizon {
+            let len = if online {
+                self.online_len.sample(rng)
+            } else {
+                let base = self.offline_len.sample(rng);
+                if mostly_offline {
+                    base * 6.0
+                } else {
+                    base
+                }
+            };
+            t = t.saturating_add(len.max(1.0) as u64);
+            if t < horizon {
+                toggles.push(t);
+            }
+            online = !online;
+        }
+        PeerSchedule {
+            toggles,
+            starts_online,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn departures_respect_floor() {
+        let model = ChurnModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let total = 1_000;
+        let mut online = total;
+        for _ in 0..500 {
+            let leave = model.sample_departures(&mut rng, online, total);
+            online -= leave;
+            assert!(online >= 500, "online {online} fell below the floor");
+            // Recover some peers as the paper does between iterations.
+            online = (online + leave / 2).min(total);
+        }
+    }
+
+    #[test]
+    fn departing_peers_are_distinct_and_online() {
+        let model = ChurnModel::new(LogNormal::with_median(0.3, 0.2), 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let online: Vec<u32> = (0..100).collect();
+        let gone = model.sample_departing_peers(&mut rng, &online, 100);
+        let mut dedup = gone.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), gone.len());
+        assert!(gone.iter().all(|p| online.contains(p)));
+    }
+
+    #[test]
+    fn schedule_online_at_matches_toggles() {
+        let s = PeerSchedule {
+            toggles: vec![10, 20, 30],
+            starts_online: true,
+        };
+        assert!(s.online_at(0));
+        assert!(s.online_at(9));
+        assert!(!s.online_at(10));
+        assert!(s.online_at(25));
+        assert!(!s.online_at(30));
+        assert!(!s.online_at(100));
+    }
+
+    #[test]
+    fn online_fraction_simple() {
+        let s = PeerSchedule {
+            toggles: vec![50],
+            starts_online: true,
+        };
+        assert!((s.online_fraction(100) - 0.5).abs() < 1e-12);
+        assert_eq!(s.online_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn mostly_offline_peers_have_lower_availability() {
+        let trace = AvailabilityTrace::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let horizon = 100_000;
+        let avg = |mostly: bool, rng: &mut StdRng| {
+            (0..40)
+                .map(|_| trace.generate(rng, horizon, mostly).online_fraction(horizon))
+                .sum::<f64>()
+                / 40.0
+        };
+        let good = avg(false, &mut rng);
+        let bad = avg(true, &mut rng);
+        assert!(
+            good > bad + 0.2,
+            "good {good} should clearly exceed bad {bad}"
+        );
+    }
+
+    #[test]
+    fn zero_churn_possible() {
+        let model = ChurnModel::new(LogNormal::with_median(1e-9, 0.1), 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(model.sample_departures(&mut rng, 100, 100), 0);
+    }
+}

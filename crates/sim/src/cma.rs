@@ -1,0 +1,114 @@
+//! Cumulative Moving Average online-behaviour tracking (paper §III-F).
+//!
+//! Each peer records, per probe, whether a neighbour answered (1.0) or not
+//! (0.0); the CMA of those observations estimates the neighbour's long-run
+//! availability. The recovery mechanism keeps unresponsive-but-high-CMA
+//! links (temporary failure) and replaces low-CMA ones (mostly-offline user).
+
+/// Incremental cumulative moving average.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cma {
+    mean: f64,
+    count: u64,
+}
+
+impl Cma {
+    /// An empty average (no observations; `value()` is 0).
+    pub fn new() -> Self {
+        Cma::default()
+    }
+
+    /// A CMA pre-seeded with `count` observations averaging `mean`;
+    /// useful for optimistic initialization of fresh links.
+    pub fn seeded(mean: f64, count: u64) -> Self {
+        Cma { mean, count }
+    }
+
+    /// Records one observation: `CMA_{n+1} = CMA_n + (x - CMA_n)/(n+1)`.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+
+    /// Records an availability probe (`true` = responded).
+    pub fn observe_probe(&mut self, responded: bool) {
+        self.observe(if responded { 1.0 } else { 0.0 });
+    }
+
+    /// Current average (0 if no observations yet).
+    pub fn value(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether this neighbour's observed availability is below `threshold`,
+    /// requiring at least `min_obs` observations before judging (fresh links
+    /// are given the benefit of the doubt).
+    pub fn is_poor(&self, threshold: f64, min_obs: u64) -> bool {
+        self.count >= min_obs && self.mean < threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_arithmetic_mean() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut cma = Cma::new();
+        for &x in &xs {
+            cma.observe(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((cma.value() - mean).abs() < 1e-12);
+        assert_eq!(cma.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn probes_map_to_unit_values() {
+        let mut cma = Cma::new();
+        cma.observe_probe(true);
+        cma.observe_probe(true);
+        cma.observe_probe(false);
+        cma.observe_probe(true);
+        assert!((cma.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_value_is_zero() {
+        assert_eq!(Cma::new().value(), 0.0);
+    }
+
+    #[test]
+    fn poor_judgement_needs_min_obs() {
+        let mut cma = Cma::new();
+        cma.observe_probe(false);
+        assert!(!cma.is_poor(0.5, 3), "too few observations to judge");
+        cma.observe_probe(false);
+        cma.observe_probe(false);
+        assert!(cma.is_poor(0.5, 3));
+    }
+
+    #[test]
+    fn seeded_initialization() {
+        let mut cma = Cma::seeded(1.0, 4);
+        cma.observe(0.0);
+        // (4*1.0 + 0.0) / 5 = 0.8
+        assert!((cma.value() - 0.8).abs() < 1e-12);
+        assert!(!cma.is_poor(0.5, 3));
+    }
+
+    #[test]
+    fn cma_is_bounded_by_observations() {
+        let mut cma = Cma::new();
+        for i in 0..100 {
+            cma.observe_probe(i % 2 == 0);
+            assert!((0.0..=1.0).contains(&cma.value()));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Seedable probability distributions implemented from first principles.
+//!
+//! Only the two families the paper's evaluation needs: log-normal (churn
+//! volumes and session lengths, peer bandwidth heterogeneity) and
+//! exponential (publication inter-arrival times). Box–Muller keeps us free
+//! of extra dependencies.
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by keeping u1 strictly positive.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// `mu` and `sigma` (so the median is `exp(mu)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// New distribution.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Log-normal with a given *median* (`exp(mu)`) and sigma.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Theoretical mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// New distribution.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::with_median(10.0, 0.5);
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median - 10.0).abs() < 0.8, "median {median}");
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Exponential::with_mean(4.0);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LogNormal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn bad_lambda_panics() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn bad_sigma_panics() {
+        LogNormal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Execution engines: synchronous supersteps and a discrete-event queue.
+//!
+//! [`SuperstepEngine`] reproduces the paper's Gelly/Flink vertex-centric
+//! model: every round, each active vertex consumes the messages addressed to
+//! it in the previous round and emits messages for the next. Delivery order
+//! within a round is by sender index, so runs are bit-for-bit reproducible.
+//!
+//! [`EventQueue`] is a classic discrete-event scheduler (time-ordered heap
+//! with a tie-breaking sequence number) used by the latency-aware realistic
+//! experiments where message arrival times are continuous.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Synchronous vertex-centric message-passing engine.
+///
+/// `M` is the message type. Vertices are dense `u32` ids. The engine owns
+/// only the mailboxes; vertex state lives with the caller, keeping the engine
+/// reusable across SELECT and the baselines.
+#[derive(Clone, Debug)]
+pub struct SuperstepEngine<M> {
+    inboxes: Vec<Vec<M>>,
+    outboxes: Vec<(u32, M)>,
+    round: usize,
+    messages_sent_total: u64,
+}
+
+impl<M> SuperstepEngine<M> {
+    /// Engine for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SuperstepEngine {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: Vec::new(),
+            round: 0,
+            messages_sent_total: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// True if the engine has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Current round number (0 before the first `step`).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total messages sent since construction.
+    pub fn messages_sent_total(&self) -> u64 {
+        self.messages_sent_total
+    }
+
+    /// Queues a message from the current round to vertex `to` for delivery
+    /// next round.
+    pub fn send(&mut self, to: u32, msg: M) {
+        debug_assert!((to as usize) < self.inboxes.len());
+        self.outboxes.push((to, msg));
+        self.messages_sent_total += 1;
+    }
+
+    /// Runs one superstep: delivers last round's messages by calling
+    /// `vertex_fn(vertex, messages, engine)` for every vertex that has mail
+    /// or when `run_all` demands every vertex be ticked.
+    ///
+    /// Returns the number of messages delivered this round.
+    pub fn step(
+        &mut self,
+        run_all: bool,
+        mut vertex_fn: impl FnMut(u32, Vec<M>, &mut Self),
+    ) -> usize {
+        // Swap the pending sends into the inboxes.
+        let pending = std::mem::take(&mut self.outboxes);
+        let delivered = pending.len();
+        for (to, msg) in pending {
+            self.inboxes[to as usize].push(msg);
+        }
+        self.round += 1;
+        for v in 0..self.inboxes.len() as u32 {
+            let mail = std::mem::take(&mut self.inboxes[v as usize]);
+            if run_all || !mail.is_empty() {
+                vertex_fn(v, mail, self);
+            }
+        }
+        delivered
+    }
+
+    /// Whether any message is queued for the next round.
+    pub fn has_pending(&self) -> bool {
+        !self.outboxes.is_empty()
+    }
+}
+
+impl<M: Send> SuperstepEngine<M> {
+    /// Parallel superstep: vertices are sharded across `threads` crossbeam
+    /// scoped threads; each vertex may read shared state and emit messages
+    /// through its shard-local outbox. Outboxes are merged **in vertex
+    /// order**, so the observable behaviour is bit-identical to
+    /// [`SuperstepEngine::step`] when the vertex function is deterministic
+    /// and only writes through the outbox.
+    ///
+    /// Unlike `step`, the vertex function receives no `&mut Self` — state it
+    /// mutates must be vertex-partitioned by the caller (e.g. a slice of
+    /// per-vertex cells) to stay data-race free.
+    pub fn step_parallel(
+        &mut self,
+        run_all: bool,
+        threads: usize,
+        vertex_fn: impl Fn(u32, Vec<M>, &mut Vec<(u32, M)>) + Sync,
+    ) -> usize {
+        let pending = std::mem::take(&mut self.outboxes);
+        let delivered = pending.len();
+        for (to, msg) in pending {
+            self.inboxes[to as usize].push(msg);
+        }
+        self.round += 1;
+
+        let n = self.inboxes.len();
+        let threads = threads.clamp(1, n.max(1));
+        let chunk = n.div_ceil(threads);
+        // Take the inboxes out so shards own their slices.
+        let mut inboxes = std::mem::take(&mut self.inboxes);
+        let mut shard_outboxes: Vec<Vec<(u32, M)>> = Vec::with_capacity(threads);
+
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = inboxes
+                .chunks_mut(chunk.max(1))
+                .enumerate()
+                .map(|(shard, slice)| {
+                    let vertex_fn = &vertex_fn;
+                    scope.spawn(move |_| {
+                        let mut out: Vec<(u32, M)> = Vec::new();
+                        for (i, mail) in slice.iter_mut().enumerate() {
+                            let v = (shard * chunk + i) as u32;
+                            let mail = std::mem::take(mail);
+                            if run_all || !mail.is_empty() {
+                                vertex_fn(v, mail, &mut out);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                shard_outboxes.push(h.join().expect("superstep shard panicked"));
+            }
+        })
+        .expect("superstep scope failed");
+
+        self.inboxes = inboxes;
+        // Deterministic merge: shards are already in vertex order.
+        for out in shard_outboxes {
+            for (to, msg) in out {
+                self.send(to, msg);
+            }
+        }
+        delivered
+    }
+}
+
+/// A time-stamped event scheduler with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: std::collections::HashMap<u64, (u64, E)>,
+    seq: u64,
+    now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at` (must not precede `now`).
+    ///
+    /// # Panics
+    /// Panics if `at < now` — causality violation.
+    pub fn schedule(&mut self, at: u64, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.payloads.insert(id, (at, event));
+    }
+
+    /// Pops the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, id)) = self.heap.pop()?;
+        self.now = at;
+        let (_, e) = self.payloads.remove(&id).expect("payload exists");
+        Some((at, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superstep_delivers_next_round() {
+        let mut eng: SuperstepEngine<u32> = SuperstepEngine::new(3);
+        eng.send(1, 99);
+        // Round 1: vertex 1 gets the message; it forwards to 2.
+        let delivered = eng.step(false, |v, mail, eng| {
+            assert_eq!(v, 1);
+            assert_eq!(mail, vec![99]);
+            eng.send(2, 100);
+        });
+        assert_eq!(delivered, 1);
+        // Round 2: vertex 2 gets it.
+        let mut seen = Vec::new();
+        eng.step(false, |v, mail, _| seen.push((v, mail)));
+        assert_eq!(seen, vec![(2, vec![100])]);
+        assert_eq!(eng.round(), 2);
+        assert_eq!(eng.messages_sent_total(), 2);
+    }
+
+    #[test]
+    fn run_all_ticks_every_vertex() {
+        let mut eng: SuperstepEngine<()> = SuperstepEngine::new(4);
+        let mut ticked = Vec::new();
+        eng.step(true, |v, _, _| ticked.push(v));
+        assert_eq!(ticked, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn quiescence_detection() {
+        let mut eng: SuperstepEngine<u8> = SuperstepEngine::new(2);
+        eng.send(0, 1);
+        assert!(eng.has_pending());
+        eng.step(false, |_, _, _| {});
+        assert!(!eng.has_pending());
+    }
+
+    #[test]
+    fn parallel_step_matches_sequential() {
+        // Ring-forwarding program: every vertex forwards (value + 1) to the
+        // next vertex; deterministic, so both execution modes must agree.
+        let n = 64usize;
+        let run = |parallel: bool| -> Vec<(usize, u64)> {
+            let mut eng: SuperstepEngine<u64> = SuperstepEngine::new(n);
+            eng.send(0, 1);
+            let mut trace = Vec::new();
+            for round in 0..20 {
+                if parallel {
+                    eng.step_parallel(false, 4, |v, mail, out| {
+                        for m in mail {
+                            out.push(((v + 1) % n as u32, m + 1));
+                        }
+                    });
+                } else {
+                    eng.step(false, |v, mail, eng| {
+                        for m in mail {
+                            eng.send((v + 1) % n as u32, m + 1);
+                        }
+                    });
+                }
+                trace.push((round, eng.messages_sent_total()));
+            }
+            trace
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn parallel_step_fanout_deterministic_merge() {
+        // Every vertex broadcasts to all; merge order must be vertex order,
+        // making repeated runs identical.
+        let n = 16usize;
+        let run = || -> Vec<u32> {
+            let mut eng: SuperstepEngine<u32> = SuperstepEngine::new(n);
+            for v in 0..n as u32 {
+                eng.send(v, v);
+            }
+            eng.step_parallel(false, 3, |v, _mail, out| {
+                for t in 0..n as u32 {
+                    out.push((t, v));
+                }
+            });
+            // Inspect delivery order next round.
+            let mut seen = Vec::new();
+            eng.step(false, |_, mail, _| seen.extend(mail));
+            seen
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_step_run_all_covers_every_vertex() {
+        let mut eng: SuperstepEngine<()> = SuperstepEngine::new(10);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        eng.step_parallel(true, 4, |_, _, _| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 10);
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_fifo() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(10, "b");
+        q.schedule(5, "a");
+        q.schedule(10, "c");
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop(), Some((10, "b")), "FIFO within equal times");
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn interleaved_scheduling() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(1, 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (1, 1));
+        q.schedule(3, 3);
+        q.schedule(2, 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Heterogeneous bandwidth and latency models (paper §IV-D).
+//!
+//! The realistic experiments give every peer its own bandwidth ("each peer
+//! presents different upload and download bandwidth characteristics", §II-A)
+//! and charge per-link propagation latency plus transmission time for the
+//! 1.2 MB payloads. A peer's *upload is serialized*: sending the same
+//! payload to `c` connections simultaneously takes `c ×` the single transfer
+//! time — the linear growth the paper's star experiment establishes.
+
+use crate::dist::LogNormal;
+use rand::Rng;
+
+/// The paper's payload size: 1.2 MB, "average image size".
+pub const PAYLOAD_BYTES: u64 = 1_200_000;
+
+/// Assigns each peer an upload bandwidth (bytes per virtual millisecond).
+#[derive(Clone, Debug)]
+pub struct BandwidthModel {
+    /// Bandwidth distribution across peers.
+    pub dist: LogNormal,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        // Median ≈ 1250 bytes/ms ≈ 10 Mbit/s with a heavy tail either way,
+        // mimicking mixed residential uplinks.
+        BandwidthModel {
+            dist: LogNormal::with_median(1_250.0, 0.6),
+        }
+    }
+}
+
+impl BandwidthModel {
+    /// Samples per-peer upload bandwidths for `n` peers.
+    pub fn sample_all(&self, rng: &mut impl Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.dist.sample(rng).max(1.0)).collect()
+    }
+}
+
+/// Per-link propagation latency model (virtual milliseconds).
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    /// Propagation latency distribution per link.
+    pub latency: LogNormal,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        // Median 40 ms RTT-ish one-way latency.
+        LinkModel {
+            latency: LogNormal::with_median(40.0, 0.5),
+        }
+    }
+}
+
+impl LinkModel {
+    /// Deterministic pseudo-random latency for the unordered link `(a, b)`:
+    /// the same pair always observes the same latency, without storing an
+    /// O(n²) matrix.
+    pub fn latency_of(&self, a: u32, b: u32, seed: u64) -> f64 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let key = ((lo as u64) << 32 | hi as u64) ^ seed;
+        // Hash the pair into a unit uniform, then invert through the
+        // log-normal: latency = exp(mu + sigma * Φ⁻¹(u)).
+        let u = (splitmix(key) >> 11) as f64 / (1u64 << 53) as f64;
+        let z = inverse_normal_cdf(u.clamp(1e-12, 1.0 - 1e-12));
+        (self.latency.mu + self.latency.sigma * z).exp()
+    }
+}
+
+/// Transmission time of `bytes` over an uplink of `bandwidth` bytes/ms.
+pub fn transfer_time(bytes: u64, bandwidth: f64) -> f64 {
+    bytes as f64 / bandwidth.max(1.0)
+}
+
+/// Total time for one peer to *sequentially* upload `bytes` to each of
+/// `connections` peers — the star experiment's linear law.
+pub fn simultaneous_transfer_time(bytes: u64, bandwidth: f64, connections: usize) -> f64 {
+    connections as f64 * transfer_time(bytes, bandwidth)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Acklam-style rational approximation of the standard normal quantile,
+/// accurate to ~1e-9 — ample for latency synthesis.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bandwidths_positive_and_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bws = BandwidthModel::default().sample_all(&mut rng, 500);
+        assert!(bws.iter().all(|&b| b >= 1.0));
+        let min = bws.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bws.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 3.0, "spread {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn link_latency_symmetric_and_deterministic() {
+        let m = LinkModel::default();
+        let l1 = m.latency_of(3, 9, 42);
+        assert_eq!(l1, m.latency_of(9, 3, 42), "symmetric");
+        assert_eq!(l1, m.latency_of(3, 9, 42), "deterministic");
+        assert_ne!(l1, m.latency_of(3, 9, 43), "seed-dependent");
+        assert!(l1 > 0.0);
+    }
+
+    #[test]
+    fn latency_distribution_has_plausible_median() {
+        let m = LinkModel::default();
+        let mut ls: Vec<f64> = (0..2_000u32)
+            .map(|i| m.latency_of(i, i + 1, 7))
+            .collect();
+        ls.sort_by(f64::total_cmp);
+        let median = ls[1_000];
+        assert!(
+            (median - 40.0).abs() < 8.0,
+            "median {median} should be near 40 ms"
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        assert_eq!(transfer_time(1_000, 100.0), 10.0);
+        // 1.2 MB over 1250 B/ms = 960 ms.
+        assert!((transfer_time(PAYLOAD_BYTES, 1_250.0) - 960.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_transfers_are_linear() {
+        let single = simultaneous_transfer_time(PAYLOAD_BYTES, 1_000.0, 1);
+        for c in [2usize, 4, 8, 16] {
+            let total = simultaneous_transfer_time(PAYLOAD_BYTES, 1_000.0, c);
+            assert!((total - c as f64 * single).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_symmetry_and_tails() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!(inverse_normal_cdf(1e-10) < -6.0);
+    }
+}

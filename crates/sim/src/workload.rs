@@ -1,0 +1,181 @@
+//! Publication workload (paper §IV, after Jiang et al.).
+//!
+//! "Each publisher posts messages at exponential rate": a publisher's
+//! inter-publish gaps are exponential; publishers themselves are selected
+//! with probability proportional to social degree (activity in OSNs tracks
+//! connectivity), with a uniform option for ablation.
+
+use crate::dist::Exponential;
+use rand::Rng;
+
+/// One publish action in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishEvent {
+    /// Virtual time (ticks) of the post.
+    pub at: u64,
+    /// The publishing user/peer.
+    pub publisher: u32,
+}
+
+/// Exponential-rate publish workload over a fixed population.
+#[derive(Clone, Debug)]
+pub struct PublishWorkload {
+    /// Mean inter-publish gap of an individual publisher, in ticks.
+    pub mean_gap: f64,
+    /// If true, publisher activity is proportional to `weights`; if false,
+    /// uniform.
+    pub degree_weighted: bool,
+}
+
+impl Default for PublishWorkload {
+    fn default() -> Self {
+        PublishWorkload {
+            mean_gap: 1_000.0,
+            degree_weighted: true,
+        }
+    }
+}
+
+impl PublishWorkload {
+    /// Generates the merged, time-sorted publish stream up to `horizon`.
+    ///
+    /// `weights[p]` is the activity weight of peer `p` (typically its social
+    /// degree); zero-weight peers never publish. `expected_events` bounds the
+    /// output size so dense populations do not explode memory — the stream is
+    /// truncated to the earliest events.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or all-zero.
+    pub fn generate(
+        &self,
+        rng: &mut impl Rng,
+        weights: &[usize],
+        horizon: u64,
+        expected_events: usize,
+    ) -> Vec<PublishEvent> {
+        assert!(!weights.is_empty(), "need at least one potential publisher");
+        let total_weight: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total_weight > 0.0, "all publish weights are zero");
+
+        // Superposed process: the population publishes as a single Poisson
+        // stream whose rate is the sum of individual rates; each event is
+        // attributed to a peer proportionally to weight. Equivalent to the
+        // per-publisher view but O(events) instead of O(peers).
+        let pop_rate = if self.degree_weighted {
+            total_weight / (self.mean_gap * weights.len() as f64)
+        } else {
+            weights.iter().filter(|&&w| w > 0).count() as f64 / self.mean_gap
+        };
+        let gap_dist = Exponential::new(pop_rate.max(1e-12));
+
+        // Alias-free weighted pick via prefix sums (binary search).
+        let mut prefix: Vec<f64> = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += if self.degree_weighted { w as f64 } else { (w > 0) as u8 as f64 };
+            prefix.push(acc);
+        }
+
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        while events.len() < expected_events {
+            t += gap_dist.sample(rng);
+            if t as u64 >= horizon {
+                break;
+            }
+            let x: f64 = rng.gen::<f64>() * acc;
+            let idx = prefix.partition_point(|&p| p <= x).min(weights.len() - 1);
+            events.push(PublishEvent {
+                at: t as u64,
+                publisher: idx as u32,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_are_time_ordered_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = vec![5usize; 50];
+        let evs = PublishWorkload::default().generate(&mut rng, &w, 100_000, 500);
+        assert!(!evs.is_empty());
+        assert!(evs.len() <= 500);
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(evs.iter().all(|e| e.at < 100_000));
+    }
+
+    #[test]
+    fn degree_weighting_biases_hubs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Peer 0 has 50× the weight of each other peer.
+        let mut w = vec![1usize; 100];
+        w[0] = 50;
+        let evs = PublishWorkload {
+            mean_gap: 10.0,
+            degree_weighted: true,
+        }
+        .generate(&mut rng, &w, u64::MAX, 3_000);
+        let hub = evs.iter().filter(|e| e.publisher == 0).count();
+        // Expected share: 50/149 ≈ 1/3.
+        assert!(
+            hub > evs.len() / 5,
+            "hub published {hub} of {}, expected ~1/3",
+            evs.len()
+        );
+    }
+
+    #[test]
+    fn uniform_mode_ignores_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = vec![1usize; 50];
+        w[0] = 1_000;
+        let evs = PublishWorkload {
+            mean_gap: 10.0,
+            degree_weighted: false,
+        }
+        .generate(&mut rng, &w, u64::MAX, 2_000);
+        let hub = evs.iter().filter(|e| e.publisher == 0).count();
+        assert!(
+            hub < evs.len() / 10,
+            "uniform mode should not privilege the hub ({hub}/{})",
+            evs.len()
+        );
+    }
+
+    #[test]
+    fn zero_weight_peers_never_publish() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = vec![0usize, 3, 0, 3];
+        let evs = PublishWorkload::default().generate(&mut rng, &w, u64::MAX, 1_000);
+        assert!(evs.iter().all(|e| e.publisher == 1 || e.publisher == 3));
+    }
+
+    #[test]
+    fn inter_arrival_is_exponential_ish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = vec![1usize; 10];
+        let wl = PublishWorkload {
+            mean_gap: 100.0,
+            degree_weighted: false,
+        };
+        let evs = wl.generate(&mut rng, &w, u64::MAX, 5_000);
+        let gaps: Vec<f64> = evs.windows(2).map(|w| (w[1].at - w[0].at) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        // Population rate = 10 publishers / 100 ticks = 0.1 → mean gap 10.
+        assert!((mean - 10.0).abs() < 1.5, "mean gap {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all publish weights are zero")]
+    fn all_zero_weights_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        PublishWorkload::default().generate(&mut rng, &[0, 0], 100, 10);
+    }
+}

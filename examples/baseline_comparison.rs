@@ -1,0 +1,62 @@
+//! Side-by-side comparison of SELECT against Symphony, Bayeux, Vitis and
+//! OMen on the same social graph — the paper's §IV-C in miniature.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select::baselines::{build_system, SystemKind};
+use select::graph::prelude::*;
+use select::sim::Mean;
+
+fn main() {
+    let seed = 17;
+    let graph = datasets::Dataset::Slashdot.generate_with_nodes(600, seed);
+    let n = graph.num_nodes();
+    let k = ((n as f64).log2().round() as usize).max(2);
+    println!(
+        "graph: {} users, avg degree {:.1}, K = {k}\n",
+        n,
+        metrics::average_degree(&graph)
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>13} {:>11} {:>11}",
+        "system", "avg hops", "relays", "availability", "iterations", "gini(load)"
+    );
+
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, graph.clone(), k, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hops = Mean::new();
+        let mut relays = Mean::new();
+        let mut avail = Mean::new();
+        let mut load = select::sim::collect::LoadByDegree::new();
+        for _ in 0..40 {
+            let b = rng.gen_range(0..n as u32);
+            if graph.degree(UserId(b)) == 0 {
+                continue;
+            }
+            let r = sys.publish(b);
+            if r.delivered > 0 {
+                hops.add(r.avg_hops);
+                relays.add(r.avg_relays);
+            }
+            avail.add(r.availability());
+            for (peer, count) in r.tree.forwards_per_peer() {
+                load.record(graph.degree(UserId(peer)), count);
+            }
+        }
+        println!(
+            "{:<10} {:>9.2} {:>9.3} {:>12.1}% {:>11} {:>11.3}",
+            kind.name(),
+            hops.mean(),
+            relays.mean(),
+            avail.mean() * 100.0,
+            sys.construction_iterations()
+                .map_or("-".to_string(), |i| i.to_string()),
+            load.gini(),
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a SELECT overlay over a synthetic Facebook-like graph,
+//! converge it, and publish a notification.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+
+fn main() {
+    // 1. A social graph: the Facebook preset of Table II at 1% scale.
+    let graph = datasets::Dataset::Facebook.generate_scaled(0.01, 42);
+    println!(
+        "social graph: {} users, {} connections, avg degree {:.1}",
+        graph.num_nodes(),
+        graph.num_edges() * 2,
+        metrics::average_degree(&graph)
+    );
+
+    // 2. Bootstrap SELECT: every user becomes a peer on the ring.
+    let mut net = SelectNetwork::bootstrap(graph, SelectConfig::default().with_seed(42));
+    println!("bootstrapped with K = {} links per peer", net.k());
+
+    // 3. Run the gossip protocol until the overlay stabilizes.
+    let report = net.converge(300);
+    println!(
+        "converged in {} gossip rounds (stable: {})",
+        report.rounds, report.converged
+    );
+
+    // 4. Publish a notification from user 0 to all of their friends.
+    let publication = net.publish(0);
+    println!(
+        "published to {} subscribers: delivered {} ({}% availability)",
+        publication.subscribers,
+        publication.delivered,
+        (publication.availability() * 100.0) as u32
+    );
+    println!(
+        "average hops {:.2}, average relay nodes {:.3}",
+        publication.avg_hops, publication.avg_relays
+    );
+
+    // 5. A single social lookup between two friends.
+    let friend = net.online_friends(0)[0];
+    let route = net.lookup(0, friend);
+    println!(
+        "lookup 0 -> {friend}: delivered={} in {} hop(s) via {:?}",
+        route.delivered(),
+        route.hops(),
+        route.path()
+    );
+}

@@ -1,0 +1,210 @@
+//! `select` — command-line front end for the SELECT reproduction.
+//!
+//! ```text
+//! select demo    [--dataset NAME] [--nodes N] [--seed S]   converge + publish
+//! select compare [--dataset NAME] [--nodes N] [--seed S]   all five systems
+//! select churn   [--dataset NAME] [--nodes N] [--steps T]  availability storm
+//! select stats   [--dataset NAME] [--nodes N]              overlay statistics
+//! ```
+//!
+//! For regenerating the paper's tables and figures use the `repro` binary in
+//! `osn-bench`; this CLI is the quick interactive front end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select::baselines::{build_system, SystemKind};
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+use select::sim::{ChurnModel, Mean};
+
+struct Opts {
+    dataset: datasets::Dataset,
+    nodes: usize,
+    seed: u64,
+    steps: usize,
+}
+
+fn parse(args: &[String]) -> Result<(String, Opts), String> {
+    let mut cmd = None;
+    let mut opts = Opts {
+        dataset: datasets::Dataset::Facebook,
+        nodes: 600,
+        seed: 42,
+        steps: 20,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dataset" => {
+                let name = it.next().ok_or("--dataset needs a value")?;
+                opts.dataset = match name.to_ascii_lowercase().as_str() {
+                    "facebook" => datasets::Dataset::Facebook,
+                    "twitter" => datasets::Dataset::Twitter,
+                    "slashdot" => datasets::Dataset::Slashdot,
+                    "gplus" | "googleplus" => datasets::Dataset::GooglePlus,
+                    other => return Err(format!("unknown dataset '{other}'")),
+                };
+            }
+            "--nodes" => {
+                opts.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--nodes needs a number")?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--steps" => {
+                opts.steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--steps needs a number")?;
+            }
+            other if cmd.is_none() && !other.starts_with("--") => {
+                cmd = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok((cmd.unwrap_or_else(|| "demo".into()), opts))
+}
+
+fn converged(opts: &Opts) -> (SocialGraph, SelectNetwork) {
+    let graph = opts.dataset.generate_with_nodes(opts.nodes, opts.seed);
+    eprintln!(
+        "[select] {} preset: {} users, avg degree {:.1}",
+        opts.dataset.name(),
+        graph.num_nodes(),
+        metrics::average_degree(&graph)
+    );
+    let mut net =
+        SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(opts.seed));
+    let conv = net.converge(300);
+    eprintln!("[select] converged in {} rounds", conv.rounds);
+    (graph, net)
+}
+
+fn cmd_demo(opts: &Opts) {
+    let (graph, net) = converged(opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for _ in 0..5 {
+        let b = rng.gen_range(0..graph.num_nodes() as u32);
+        let r = net.publish(b);
+        println!(
+            "publish from {b:5}: {:3}/{:3} delivered, {:.2} hops, {:.3} relays",
+            r.delivered, r.subscribers, r.avg_hops, r.avg_relays
+        );
+    }
+}
+
+fn cmd_compare(opts: &Opts) {
+    let graph = opts.dataset.generate_with_nodes(opts.nodes, opts.seed);
+    let k = ((opts.nodes as f64).log2().round() as usize).max(2);
+    println!(
+        "{:<10} {:>9} {:>9} {:>13} {:>11}",
+        "system", "avg hops", "relays", "availability", "iterations"
+    );
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, graph.clone(), k, opts.seed);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let (mut hops, mut relays, mut avail) = (Mean::new(), Mean::new(), Mean::new());
+        for _ in 0..30 {
+            let b = rng.gen_range(0..opts.nodes as u32);
+            if graph.degree(UserId(b)) == 0 {
+                continue;
+            }
+            let r = sys.publish(b);
+            if r.delivered > 0 {
+                hops.add(r.avg_hops);
+                relays.add(r.avg_relays);
+            }
+            avail.add(r.availability());
+        }
+        println!(
+            "{:<10} {:>9.2} {:>9.3} {:>12.1}% {:>11}",
+            kind.name(),
+            hops.mean(),
+            relays.mean(),
+            avail.mean() * 100.0,
+            sys.construction_iterations()
+                .map_or("-".into(), |i| i.to_string()),
+        );
+    }
+}
+
+fn cmd_churn(opts: &Opts) {
+    let (graph, mut net) = converged(opts);
+    for _ in 0..5 {
+        net.probe_round();
+    }
+    let model = ChurnModel::default();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let n = graph.num_nodes();
+    let mut overall = Mean::new();
+    for step in 1..=opts.steps {
+        let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
+        let gone = model.sample_departing_peers(&mut rng, &online, n);
+        for &p in &gone {
+            net.set_offline(p);
+        }
+        let rec = net.probe_round();
+        let mut avail = Mean::new();
+        for _ in 0..5 {
+            let b = loop {
+                let b = rng.gen_range(0..n as u32);
+                if net.is_peer_online(b) {
+                    break b;
+                }
+            };
+            avail.add(net.publish(b).availability());
+        }
+        overall.add(avail.mean());
+        println!(
+            "step {step:3}: {:4} departed, availability {:6.2}%, {} links kept on trust, {} replaced",
+            gone.len(),
+            avail.mean() * 100.0,
+            rec.kept,
+            rec.replaced
+        );
+        for &p in &gone {
+            net.set_online(p);
+        }
+    }
+    println!("overall availability: {:.2}%", overall.mean() * 100.0);
+}
+
+fn cmd_stats(opts: &Opts) {
+    let (_, net) = converged(opts);
+    let s = net.overlay_stats(5_000);
+    println!("online peers            : {}", s.online);
+    println!("friend distance (ring)  : {:.4}", s.mean_friend_distance);
+    println!("random distance (ring)  : {:.4}", s.mean_random_distance);
+    println!("clustering ratio        : {:.3}", s.clustering_ratio());
+    println!("friend coverage         : {:.1}%", s.friend_coverage * 100.0);
+    println!("long links social       : {:.1}%", s.social_link_fraction * 100.0);
+    println!("mean connections        : {:.1}", s.mean_connections);
+    println!("max connections         : {}", s.max_connections);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok((cmd, opts)) => match cmd.as_str() {
+            "demo" => cmd_demo(&opts),
+            "compare" => cmd_compare(&opts),
+            "churn" => cmd_churn(&opts),
+            "stats" => cmd_stats(&opts),
+            other => {
+                eprintln!("unknown command '{other}'; see the source header for usage");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # select — facade crate for the SELECT reproduction
+//!
+//! Re-exports the full public API of the workspace: the SELECT system itself
+//! ([`core`]), the social-graph substrate ([`graph`]), the P2P overlay
+//! substrate ([`overlay`]), LSH ([`lsh`]), the simulation engine ([`sim`]),
+//! the baseline pub/sub systems ([`baselines`]) and the realistic threaded
+//! runtime ([`net`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use osn_baselines as baselines;
+pub use osn_graph as graph;
+pub use osn_lsh as lsh;
+pub use osn_net as net;
+pub use osn_overlay as overlay;
+pub use osn_sim as sim;
+pub use select_core as core;
+
+/// Commonly used items across all crates.
+pub mod prelude {
+    pub use osn_graph::prelude::*;
+}

@@ -1,0 +1,133 @@
+//! Failure-injection integration tests: arbitrary peer subsets die, the
+//! recovery machinery reacts, and delivery guarantees are re-checked.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+use select::sim::{ChurnModel, LogNormal, Mean};
+
+fn converged_net(n: usize, seed: u64) -> (SocialGraph, SelectNetwork) {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(n, seed);
+    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+    net.converge(300);
+    for _ in 0..5 {
+        net.probe_round(); // establish CMA trust
+    }
+    (graph, net)
+}
+
+#[test]
+fn random_kill_of_quarter_network_keeps_delivery_to_online_friends() {
+    let (graph, mut net) = converged_net(200, 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut peers: Vec<u32> = (0..graph.num_nodes() as u32).collect();
+    peers.shuffle(&mut rng);
+    for &p in peers.iter().take(graph.num_nodes() / 4) {
+        net.set_offline(p);
+    }
+    net.probe_round();
+    let mut avail = Mean::new();
+    for _ in 0..20 {
+        let b = loop {
+            let b = rng.gen_range(0..graph.num_nodes() as u32);
+            if net.is_peer_online(b) {
+                break b;
+            }
+        };
+        avail.add(net.publish(b).availability());
+    }
+    assert!(
+        avail.mean() > 0.99,
+        "availability {} under 25% failure",
+        avail.mean()
+    );
+}
+
+#[test]
+fn repeated_churn_waves_do_not_degrade_the_overlay() {
+    let (graph, mut net) = converged_net(150, 2);
+    let model = ChurnModel::new(LogNormal::with_median(0.1, 0.5), 0.5);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = graph.num_nodes();
+    for _wave in 0..10 {
+        let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
+        let gone = model.sample_departing_peers(&mut rng, &online, n);
+        for &p in &gone {
+            net.set_offline(p);
+        }
+        net.probe_round();
+        for &p in &gone {
+            net.set_online(p);
+        }
+    }
+    // After the storm the overlay still delivers fully.
+    let r = net.publish(0);
+    assert_eq!(r.delivered, r.subscribers);
+    // Link budgets were never violated along the way.
+    for p in 0..n as u32 {
+        assert!(net.table(p).long_links().len() <= net.k());
+        assert!(net.table(p).incoming_links().len() <= net.k());
+    }
+}
+
+#[test]
+fn mid_dissemination_departure_is_detected_next_round() {
+    let (graph, mut net) = converged_net(150, 4);
+    // Kill a peer that carries links, then check the recovery report sees it.
+    let victim = (0..graph.num_nodes() as u32)
+        .max_by_key(|&p| net.table(p).incoming_links().len())
+        .unwrap();
+    net.set_offline(victim);
+    let report = net.probe_round();
+    assert!(
+        report.unresponsive > 0,
+        "nobody noticed the death of a highly linked peer"
+    );
+    // Depending on CMA trust the links are kept or replaced, never silently
+    // lost from the accounting.
+    assert_eq!(
+        report.unresponsive,
+        report.kept + report.replaced + report.dropped
+    );
+}
+
+#[test]
+fn naive_recovery_ablation_churns_more_links_than_cma() {
+    let graph = datasets::Dataset::Slashdot.generate_with_nodes(150, 6);
+    let build = |cma: bool| {
+        let mut net = SelectNetwork::bootstrap(
+            graph.clone(),
+            SelectConfig::default().with_seed(6).with_cma_recovery(cma),
+        );
+        net.converge(300);
+        for _ in 0..5 {
+            net.probe_round();
+        }
+        net
+    };
+    let mut with_cma = build(true);
+    let mut naive = build(false);
+    // One blink: a set of peers goes down for a single probe round, then
+    // returns.
+    let victims: Vec<u32> = (0..30u32).collect();
+    let blink = |net: &mut SelectNetwork| {
+        for &v in &victims {
+            net.set_offline(v);
+        }
+        let r = net.probe_round();
+        for &v in &victims {
+            net.set_online(v);
+        }
+        r
+    };
+    let r_cma = blink(&mut with_cma);
+    let r_naive = blink(&mut naive);
+    assert!(r_cma.kept > 0, "CMA should trust briefly-failed links");
+    assert_eq!(r_naive.kept, 0);
+    assert!(
+        r_naive.replaced + r_naive.dropped >= r_cma.replaced + r_cma.dropped,
+        "naive mode should churn at least as many links"
+    );
+}

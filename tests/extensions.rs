@@ -1,0 +1,89 @@
+//! Integration tests for the extension features: arbitrary-topic pub/sub
+//! and the message-level protocol execution.
+
+use select::core::protocol::ProtocolNetwork;
+use select::core::topics::{TopicId, TopicRegistry};
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn group_pubsub_on_dataset_preset() {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(300, 5);
+    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(5));
+    net.converge(300);
+
+    let mut registry = TopicRegistry::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for g in 0..10u64 {
+        registry.subscribe_circle(TopicId(g), &net, rng.gen_range(0..300));
+    }
+    for g in 0..10u64 {
+        let members = registry.subscribers(TopicId(g));
+        let publisher = members[0];
+        let r = net.publish_topic(&registry, TopicId(g), publisher);
+        assert_eq!(r.delivered, r.subscribers, "group {g} failed");
+        assert!(r.avg_relays <= r.avg_hops);
+    }
+}
+
+#[test]
+fn topic_delivery_survives_churn() {
+    let graph = datasets::Dataset::Slashdot.generate_with_nodes(200, 7);
+    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(7));
+    net.converge(300);
+    let mut registry = TopicRegistry::new();
+    registry.subscribe_circle(TopicId(1), &net, 0);
+    // A third of the members go offline.
+    let members = registry.subscribers(TopicId(1));
+    for &m in members.iter().skip(1).take(members.len() / 3) {
+        net.set_offline(m);
+    }
+    net.probe_round();
+    let r = net.publish_topic(&registry, TopicId(1), 0);
+    assert_eq!(
+        r.delivered, r.subscribers,
+        "online members must still all receive"
+    );
+}
+
+#[test]
+fn message_level_protocol_full_pipeline() {
+    let graph = datasets::Dataset::Slashdot.generate_with_nodes(200, 9);
+    let net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(9));
+    let mut proto = ProtocolNetwork::new(net);
+    let rounds = proto.converge(300);
+    assert!(rounds < 300, "protocol run must quiesce");
+    let messages = proto.total_messages();
+    assert!(messages > 0);
+
+    let net = proto.into_network();
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let b = rng.gen_range(0..200u32);
+        let r = net.publish(b);
+        assert_eq!(r.delivered, r.subscribers);
+    }
+    // Message-level construction also produces a socially clustered ring.
+    let stats = net.overlay_stats(1_000);
+    assert!(stats.clustering_ratio() < 1.0);
+    assert_eq!(stats.social_link_fraction, 1.0);
+}
+
+#[test]
+fn protocol_message_count_is_linear_per_round() {
+    // Each round every online peer sends one request and receives at most
+    // one reply per request: messages per round ∈ [n, 2n].
+    let graph = datasets::Dataset::Slashdot.generate_with_nodes(150, 11);
+    let net = SelectNetwork::bootstrap(graph, SelectConfig::default().with_seed(11));
+    let mut proto = ProtocolNetwork::new(net);
+    proto.round(); // requests in flight
+    let before = proto.total_messages();
+    proto.round();
+    let per_round = proto.total_messages() - before;
+    assert!(
+        (150..=300).contains(&per_round),
+        "messages per round {per_round} out of [n, 2n]"
+    );
+}

@@ -1,0 +1,127 @@
+//! End-to-end pipeline integration tests: dataset presets → SELECT bootstrap
+//! → convergence → publication, checked against the paper's headline claims
+//! on every preset and across seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use select::baselines::{build_system, SystemKind};
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+use select::sim::Mean;
+
+fn preset_graph(ds: datasets::Dataset, seed: u64) -> SocialGraph {
+    ds.generate_with_nodes(200, seed)
+}
+
+#[test]
+fn full_pipeline_on_every_dataset_preset() {
+    for ds in datasets::Dataset::ALL {
+        let graph = preset_graph(ds, 1);
+        let mut net =
+            SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(1));
+        let conv = net.converge(300);
+        assert!(conv.converged, "{} did not converge", ds.name());
+
+        // Every publication reaches every online friend.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let b = rng.gen_range(0..graph.num_nodes() as u32);
+            let r = net.publish(b);
+            assert_eq!(
+                r.delivered,
+                r.subscribers,
+                "{}: failed {:?}",
+                ds.name(),
+                r.tree.failed
+            );
+        }
+    }
+}
+
+#[test]
+fn select_beats_symphony_on_hops_and_relays_across_seeds() {
+    for seed in [3u64, 5, 11] {
+        let graph = preset_graph(datasets::Dataset::Facebook, seed);
+        let select = build_system(SystemKind::Select, graph.clone(), 8, seed);
+        let symphony = build_system(SystemKind::Symphony, graph.clone(), 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut sel_h, mut sym_h) = (Mean::new(), Mean::new());
+        let (mut sel_r, mut sym_r) = (Mean::new(), Mean::new());
+        for _ in 0..15 {
+            let b = rng.gen_range(0..graph.num_nodes() as u32);
+            let rs = select.publish(b);
+            let ry = symphony.publish(b);
+            if rs.delivered > 0 {
+                sel_h.add(rs.avg_hops);
+                sel_r.add(rs.avg_relays);
+            }
+            if ry.delivered > 0 {
+                sym_h.add(ry.avg_hops);
+                sym_r.add(ry.avg_relays);
+            }
+        }
+        assert!(
+            sel_h.mean() < 0.6 * sym_h.mean(),
+            "seed {seed}: hops {} vs {}",
+            sel_h.mean(),
+            sym_h.mean()
+        );
+        assert!(
+            sel_r.mean() < 0.4 * sym_r.mean(),
+            "seed {seed}: relays {} vs {}",
+            sel_r.mean(),
+            sym_r.mean()
+        );
+    }
+}
+
+#[test]
+fn deterministic_replay_given_seed() {
+    let graph = preset_graph(datasets::Dataset::Slashdot, 7);
+    let run = |g: &SocialGraph| {
+        let mut net = SelectNetwork::bootstrap(g.clone(), SelectConfig::default().with_seed(7));
+        let conv = net.converge(300);
+        let pubs: Vec<(usize, f64, f64)> = (0..20u32)
+            .map(|b| {
+                let r = net.publish(b);
+                (r.delivered, r.avg_hops, r.avg_relays)
+            })
+            .collect();
+        (conv.rounds, pubs)
+    };
+    assert_eq!(run(&graph), run(&graph), "same seed must replay identically");
+}
+
+#[test]
+fn growth_bootstrap_pipeline_delivers() {
+    let graph = preset_graph(datasets::Dataset::GooglePlus, 13);
+    let mut net = SelectNetwork::bootstrap_with_growth(
+        graph.clone(),
+        SelectConfig::default().with_seed(13),
+        &GrowthModel::default(),
+    );
+    net.converge(300);
+    let r = net.publish(0);
+    assert_eq!(r.delivered, r.subscribers);
+    assert!(r.avg_hops < 4.0, "hops {}", r.avg_hops);
+}
+
+#[test]
+fn every_system_achieves_full_availability_on_static_network() {
+    let graph = preset_graph(datasets::Dataset::Facebook, 21);
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, graph.clone(), 8, 21);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let b = rng.gen_range(0..graph.num_nodes() as u32);
+            let r = sys.publish(b);
+            assert_eq!(
+                r.delivered,
+                r.subscribers,
+                "{:?} failed {:?}",
+                kind,
+                r.tree.failed
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property-based tests (proptest) on the system's invariants.
+
+use proptest::prelude::*;
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::{GraphBuilder, SocialGraph, UserId};
+use select::overlay::{RingId, Topology};
+
+/// An arbitrary small connected-ish social graph: a ring backbone (keeps it
+/// connected) plus random chords.
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (6usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..60)).prop_map(
+        |(n, chords)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 0..n as u32 {
+                b.add_edge(UserId(i), UserId((i + 1) % n as u32));
+            }
+            for (u, v) in chords {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(UserId(u), UserId(v));
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ring metric satisfies the metric axioms.
+    #[test]
+    fn ring_metric_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (RingId(a), RingId(b), RingId(c));
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        prop_assert_eq!(a.distance(a).0, 0);
+        if a != b {
+            prop_assert!(a.distance(b).0 > 0);
+        }
+        prop_assert!(
+            a.distance(c).0 as u128 <= a.distance(b).0 as u128 + b.distance(c).0 as u128
+        );
+    }
+
+    /// Midpoints are equidistant (±1 tick) and never farther than the arc.
+    #[test]
+    fn midpoint_is_between(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (RingId(a), RingId(b));
+        let m = a.midpoint(b);
+        prop_assert!(m.distance(a).0.abs_diff(m.distance(b).0) <= 1);
+        prop_assert!(m.distance(a).0 <= a.distance(b).0);
+    }
+
+    /// Every publication on a converged SELECT network reaches every online
+    /// friend, with relays bounded by hops, on arbitrary graphs.
+    #[test]
+    fn publish_reaches_all_friends_on_arbitrary_graphs(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+        publisher_sel in 0u32..40,
+    ) {
+        let mut net = SelectNetwork::bootstrap(
+            graph.clone(),
+            SelectConfig::default().with_seed(seed),
+        );
+        net.converge(150);
+        let b = publisher_sel % graph.num_nodes() as u32;
+        let r = net.publish(b);
+        prop_assert_eq!(r.delivered, r.subscribers);
+        prop_assert!(r.avg_relays <= r.avg_hops);
+        // Every path starts at the publisher and ends at a friend.
+        for path in &r.tree.paths {
+            prop_assert_eq!(path[0], b);
+            let s = *path.last().unwrap();
+            prop_assert!(graph.has_edge(UserId(b), UserId(s)));
+        }
+    }
+
+    /// Identifiers remain unique after convergence, and the reported links
+    /// always point to online peers or socially known ones.
+    #[test]
+    fn identifiers_stay_unique(graph in arb_graph(), seed in 0u64..1000) {
+        let mut net = SelectNetwork::bootstrap(
+            graph.clone(),
+            SelectConfig::default().with_seed(seed),
+        );
+        net.converge(150);
+        let n = graph.num_nodes() as u32;
+        let mut ids: Vec<u64> = (0..n)
+            .map(|p| net.identifier_of(p).0)
+            .collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "identifier collision");
+        // Long links stay within the social neighbourhood.
+        for p in 0..n {
+            for &l in net.table(p).long_links() {
+                prop_assert!(graph.has_edge(UserId(p), UserId(l)));
+            }
+        }
+    }
+
+    /// Lookups between arbitrary (not necessarily adjacent) peers terminate
+    /// and, when delivered, follow existing connections.
+    #[test]
+    fn lookups_follow_real_connections(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+        pair in (0u32..40, 0u32..40),
+    ) {
+        let mut net = SelectNetwork::bootstrap(
+            graph.clone(),
+            SelectConfig::default().with_seed(seed),
+        );
+        net.converge(150);
+        let n = graph.num_nodes() as u32;
+        let (from, to) = (pair.0 % n, pair.1 % n);
+        let out = net.lookup(from, to);
+        if out.delivered() {
+            let path = out.path();
+            for w in path.windows(2) {
+                prop_assert!(
+                    net.links(w[0]).contains(&w[1]),
+                    "hop {}->{} without a connection",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
