@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Repo CI gate: formatting, lints, full test suite. Run before every push.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> ci.sh: all green"

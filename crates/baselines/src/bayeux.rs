@@ -78,7 +78,9 @@ impl PubSubSystem for BayeuxPubSub {
         let subs = self.subscribers_of(b);
         // Publisher → root once; root → subscriber per subscriber. The
         // per-subscriber delivery path is the concatenation.
-        let to_root = self.root_of_topic(b).map(|root| (root, self.dht_route(b, root)));
+        let to_root = self
+            .root_of_topic(b)
+            .map(|root| (root, self.dht_route(b, root)));
         aggregate_publication(b, &subs, |s| {
             let (root, ref up) = match &to_root {
                 Some(pair) => (pair.0, &pair.1),

@@ -48,10 +48,8 @@ pub fn build_system(
 ) -> Box<dyn PubSubSystem> {
     match kind {
         SystemKind::Select => {
-            let mut net = SelectNetwork::bootstrap(
-                graph,
-                SelectConfig::default().with_k(k).with_seed(seed),
-            );
+            let mut net =
+                SelectNetwork::bootstrap(graph, SelectConfig::default().with_k(k).with_seed(seed));
             net.converge(200);
             Box::new(net)
         }

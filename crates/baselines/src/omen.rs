@@ -71,7 +71,12 @@ impl OMenPubSub {
 
     /// Members of topic `b`: publisher + friends.
     fn topic_members(&self, b: u32) -> Vec<u32> {
-        let mut m: Vec<u32> = self.graph.neighbors(UserId(b)).iter().map(|f| f.0).collect();
+        let mut m: Vec<u32> = self
+            .graph
+            .neighbors(UserId(b))
+            .iter()
+            .map(|f| f.0)
+            .collect();
         m.push(b);
         m
     }

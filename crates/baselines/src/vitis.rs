@@ -181,10 +181,7 @@ impl VitisPubSub {
         parent.insert(b, b);
         while let Some(u) = queue.pop_front() {
             for &v in &self.undirected[u as usize] {
-                if cluster.contains(&v)
-                    && self.online[v as usize]
-                    && !parent.contains_key(&v)
-                {
+                if cluster.contains(&v) && self.online[v as usize] && !parent.contains_key(&v) {
                     parent.insert(v, u);
                     queue.push_back(v);
                 }
@@ -291,10 +288,7 @@ mod tests {
         let s = system(2);
         for p in 0..s.len() as u32 {
             for &q in &s.links[p as usize] {
-                assert!(
-                    s.shared_topics(p, q) > 0,
-                    "link {p}-{q} shares no topics"
-                );
+                assert!(s.shared_topics(p, q) > 0, "link {p}-{q} shares no topics");
             }
         }
     }

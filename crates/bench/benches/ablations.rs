@@ -33,7 +33,9 @@ fn bench_ablation_reassignment(c: &mut Criterion) {
                 || graph.clone(),
                 |gr| {
                     black_box(converge_with(
-                        SelectConfig::default().with_seed(SEED).with_reassignment(on),
+                        SelectConfig::default()
+                            .with_seed(SEED)
+                            .with_reassignment(on),
                         &gr,
                     ))
                 },
@@ -91,7 +93,9 @@ fn bench_ablation_centroid(c: &mut Criterion) {
         g.bench_function(label, |b| {
             let mut net = SelectNetwork::bootstrap(
                 graph.clone(),
-                SelectConfig::default().with_seed(SEED).with_centroid_all(all),
+                SelectConfig::default()
+                    .with_seed(SEED)
+                    .with_centroid_all(all),
             );
             b.iter(|| black_box(net.gossip_round()))
         });
@@ -107,7 +111,9 @@ fn bench_ablation_cma(c: &mut Criterion) {
     for (label, cma) in [("cma_recovery", true), ("naive_drop", false)] {
         g.bench_function(label, |b| {
             let mut net = converge_with(
-                SelectConfig::default().with_seed(SEED).with_cma_recovery(cma),
+                SelectConfig::default()
+                    .with_seed(SEED)
+                    .with_cma_recovery(cma),
                 &graph,
             );
             // Take a tenth of the network down so probes have work to do.

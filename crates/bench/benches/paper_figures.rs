@@ -75,8 +75,7 @@ fn bench_fig5_construction(c: &mut Criterion) {
         b.iter_batched(
             || graph.clone(),
             |gr| {
-                let mut net =
-                    SelectNetwork::bootstrap(gr, SelectConfig::default().with_seed(SEED));
+                let mut net = SelectNetwork::bootstrap(gr, SelectConfig::default().with_seed(SEED));
                 black_box(net.converge(200))
             },
             BatchSize::LargeInput,
@@ -111,7 +110,9 @@ fn bench_fig6_probe_round(c: &mut Criterion) {
     net.converge(200);
     let mut g = c.benchmark_group("fig6_probe_round");
     g.sample_size(10);
-    g.bench_function("probe_round_healthy", |b| b.iter(|| black_box(net.probe_round())));
+    g.bench_function("probe_round_healthy", |b| {
+        b.iter(|| black_box(net.probe_round()))
+    });
     g.finish();
 }
 

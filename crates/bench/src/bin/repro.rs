@@ -78,8 +78,8 @@ fn main() {
         match name {
             "table2" => Some(table2::run(0.01, scale.seed)),
             "links-sweep" => {
-                let g = Dataset::Facebook
-                    .generate_with_nodes(*scale.sizes.last().unwrap(), scale.seed);
+                let g =
+                    Dataset::Facebook.generate_with_nodes(*scale.sizes.last().unwrap(), scale.seed);
                 Some(exp_links::run(&g, scale.trials * 3, scale.seed))
             }
             "fig2" => Some(exp_hops::run(scale)),

@@ -106,7 +106,14 @@ pub fn run(scale: &Scale) -> String {
     let graph = Dataset::Facebook.generate_with_nodes(size, scale.seed);
     let mut t = Table::new(
         format!("Ablations — SELECT design choices (Facebook preset, N={size})"),
-        &["variant", "hops", "relays", "rounds", "clustering", "coverage"],
+        &[
+            "variant",
+            "hops",
+            "relays",
+            "rounds",
+            "clustering",
+            "coverage",
+        ],
     );
     for r in run_all_variants(&graph, scale.trials, scale.seed) {
         t.row(vec![

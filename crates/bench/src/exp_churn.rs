@@ -99,17 +99,18 @@ pub fn run(scale: &Scale) -> String {
     let steps = 30.max(scale.trials);
     let mut t = Table::new(
         format!("Fig. 6 — availability under churn (N={size}, {steps} steps, floor 50% online)"),
-        &["Data set", "mean availability", "min availability", "peak churn/step"],
+        &[
+            "Data set",
+            "mean availability",
+            "min availability",
+            "peak churn/step",
+        ],
     );
     let mut out = String::new();
     for ds in Dataset::ALL {
         let graph = ds.generate_with_nodes(size, scale.seed);
         let run = run_churn(&graph, steps, 5, scale.seed);
-        let peak = run
-            .series
-            .iter()
-            .map(|&(_, c, _)| c)
-            .fold(0.0f64, f64::max);
+        let peak = run.series.iter().map(|&(_, c, _)| c).fold(0.0f64, f64::max);
         t.row(vec![
             ds.name().to_string(),
             fmt_f(run.mean_availability * 100.0) + "%",

@@ -32,7 +32,12 @@ pub struct SystemMeasurement {
 }
 
 /// Builds `kind` over `graph` and samples `trials` publications.
-pub fn measure(graph: &SocialGraph, kind: SystemKind, trials: usize, seed: u64) -> SystemMeasurement {
+pub fn measure(
+    graph: &SocialGraph,
+    kind: SystemKind,
+    trials: usize,
+    seed: u64,
+) -> SystemMeasurement {
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
     let sys = build_system(kind, graph.clone(), k, seed);
@@ -101,17 +106,19 @@ pub fn sweep(scale: &Scale) -> Vec<SweepCell> {
         for &size in &scale.sizes {
             let graph = ds.generate_with_nodes(size, scale.seed);
             // One task per (system, repeat); results keyed for stable merge.
-            let mut results: Vec<Vec<(f64, f64)>> =
-                vec![Vec::new(); SystemKind::ALL.len()];
+            let mut results: Vec<Vec<(f64, f64)>> = vec![Vec::new(); SystemKind::ALL.len()];
             crossbeam::scope(|scope| {
                 let mut handles = Vec::new();
                 for (si, kind) in SystemKind::ALL.into_iter().enumerate() {
                     for rep in 0..scale.repeats {
                         let graph = &graph;
-                        handles.push((si, scope.spawn(move |_| {
-                            let m = measure(graph, kind, scale.trials, scale.seed + rep as u64);
-                            (m.hops.mean(), m.relays.mean())
-                        })));
+                        handles.push((
+                            si,
+                            scope.spawn(move |_| {
+                                let m = measure(graph, kind, scale.trials, scale.seed + rep as u64);
+                                (m.hops.mean(), m.relays.mean())
+                            }),
+                        ));
                     }
                 }
                 for (si, h) in handles {
@@ -148,7 +155,16 @@ pub fn render_fig2(cells: &[SweepCell]) -> String {
     for ds in Dataset::ALL {
         let mut t = Table::new(
             format!("Fig. 2 — avg hops per social lookup ({})", ds.name()),
-            &["N", "SELECT", "Symphony", "Bayeux", "Vitis", "OMen", "vs Symphony", "vs best other"],
+            &[
+                "N",
+                "SELECT",
+                "Symphony",
+                "Bayeux",
+                "Vitis",
+                "OMen",
+                "vs Symphony",
+                "vs best other",
+            ],
         );
         for cell in cells.iter().filter(|c| c.dataset == ds) {
             let hops: Vec<f64> = cell.per_system.iter().map(|&(h, _)| h).collect();
@@ -178,7 +194,15 @@ pub fn render_fig3(cells: &[SweepCell]) -> String {
     for ds in Dataset::ALL {
         let mut t = Table::new(
             format!("Fig. 3 — avg relay nodes per routing path ({})", ds.name()),
-            &["N", "SELECT", "Symphony", "Bayeux", "Vitis", "OMen", "reduction vs worst"],
+            &[
+                "N",
+                "SELECT",
+                "Symphony",
+                "Bayeux",
+                "Vitis",
+                "OMen",
+                "reduction vs worst",
+            ],
         );
         for cell in cells.iter().filter(|c| c.dataset == ds) {
             let relays: Vec<f64> = cell.per_system.iter().map(|&(_, r)| r).collect();

@@ -8,8 +8,8 @@
 
 use crate::report::{improvement_pct, Table};
 use crate::Scale;
-use osn_baselines::{OMenPubSub, VitisPubSub};
 use osn_baselines::api::PubSubSystem;
+use osn_baselines::{OMenPubSub, VitisPubSub};
 use osn_graph::datasets::Dataset;
 use osn_graph::SocialGraph;
 use select_core::{SelectConfig, SelectNetwork};
@@ -19,6 +19,12 @@ use select_core::{SelectConfig, SelectNetwork};
 pub struct IterationCell {
     /// SELECT gossip rounds to quiescence.
     pub select: usize,
+    /// Superstep messages SELECT exchanged across the whole run.
+    pub select_messages: u64,
+    /// SELECT link churn (adds + removes) across the whole run.
+    pub select_link_changes: usize,
+    /// Fraction of SELECT's link-budget slots filled by LSH buckets.
+    pub select_bucket_hit_rate: f64,
     /// Vitis gossip-sampling rounds to quiescence.
     pub vitis: usize,
     /// OMen mending rounds until no topic needed a bridge.
@@ -34,12 +40,15 @@ pub fn measure_iterations(graph: &SocialGraph, seed: u64) -> IterationCell {
         graph.clone(),
         SelectConfig::default().with_k(k).with_seed(seed),
     );
-    let select_rounds = select.converge(500).rounds;
+    let report = select.converge(500);
 
     let vitis = VitisPubSub::build(graph.clone(), k, seed);
     let omen = OMenPubSub::build(graph.clone(), k, seed);
     IterationCell {
-        select: select_rounds,
+        select: report.rounds,
+        select_messages: report.telemetry.total_messages(),
+        select_link_changes: report.telemetry.total_link_changes(),
+        select_bucket_hit_rate: report.telemetry.bucket_hit_rate(),
         vitis: vitis.construction_iterations().unwrap_or(0),
         omen: omen.construction_iterations().unwrap_or(0),
     }
@@ -50,7 +59,16 @@ pub fn run(scale: &Scale) -> String {
     let size = *scale.sizes.last().expect("at least one size");
     let mut t = Table::new(
         format!("Fig. 5 — iterations to organize the overlay (N={size}; Symphony/Bayeux excluded)"),
-        &["Data set", "SELECT", "Vitis", "OMen", "SELECT vs worst"],
+        &[
+            "Data set",
+            "SELECT",
+            "msgs",
+            "link churn",
+            "LSH hit %",
+            "Vitis",
+            "OMen",
+            "SELECT vs worst",
+        ],
     );
     for ds in Dataset::ALL {
         let graph = ds.generate_with_nodes(size, scale.seed);
@@ -59,6 +77,9 @@ pub fn run(scale: &Scale) -> String {
         t.row(vec![
             ds.name().to_string(),
             c.select.to_string(),
+            c.select_messages.to_string(),
+            c.select_link_changes.to_string(),
+            format!("{:.1}", c.select_bucket_hit_rate * 100.0),
             c.vitis.to_string(),
             c.omen.to_string(),
             improvement_pct(worst as f64, c.select as f64),
@@ -77,6 +98,12 @@ mod tests {
         let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(21);
         let c = measure_iterations(&g, 21);
         assert!(c.select > 0 && c.vitis > 0 && c.omen > 0);
+        assert!(c.select_messages > 0, "telemetry should count messages");
+        assert!(
+            (0.0..=1.0).contains(&c.select_bucket_hit_rate),
+            "bucket hit rate {} out of range",
+            c.select_bucket_hit_rate
+        );
         assert!(
             c.select < c.vitis && c.select < c.omen,
             "SELECT {} should beat Vitis {} and OMen {}",

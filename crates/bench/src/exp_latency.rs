@@ -18,12 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Mean dissemination latency (ms) over sampled publications for one system.
-pub fn measure_latency(
-    graph: &SocialGraph,
-    kind: SystemKind,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn measure_latency(graph: &SocialGraph, kind: SystemKind, trials: usize, seed: u64) -> f64 {
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
     let sys = build_system(kind, graph.clone(), k, seed);
@@ -51,7 +46,10 @@ pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
     for ds in Dataset::ALL {
         let mut t = Table::new(
-            format!("Fig. 7 — avg dissemination latency, 1.2 MB payloads ({})", ds.name()),
+            format!(
+                "Fig. 7 — avg dissemination latency, 1.2 MB payloads ({})",
+                ds.name()
+            ),
             &["N", "SELECT (ms)", "random/Symphony (ms)", "reduction"],
         );
         for &size in &scale.sizes {

@@ -77,10 +77,7 @@ mod tests {
         let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(61);
         let h1 = hops_at_k(&g, 1, 30, 61);
         let h8 = hops_at_k(&g, 8, 30, 61);
-        assert!(
-            h8 < h1,
-            "K=8 ({h8}) should beat K=1 ({h1})"
-        );
+        assert!(h8 < h1, "K=8 ({h8}) should beat K=1 ({h1})");
     }
 
     #[test]

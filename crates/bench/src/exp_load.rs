@@ -24,10 +24,7 @@ fn bucket_label(i: usize) -> String {
 }
 
 fn bucket_of(degree: usize) -> usize {
-    BUCKETS
-        .iter()
-        .rposition(|&lo| degree >= lo)
-        .unwrap_or(0)
+    BUCKETS.iter().rposition(|&lo| degree >= lo).unwrap_or(0)
 }
 
 /// Runs Fig. 4 on one size per data set and renders percentage-by-degree
@@ -38,8 +35,20 @@ pub fn run(scale: &Scale) -> String {
     for ds in Dataset::ALL {
         let graph = ds.generate_with_nodes(size, scale.seed);
         let mut t = Table::new(
-            format!("Fig. 4 — % of forwarded messages by social degree ({}, N={size})", ds.name()),
-            &["system", &bucket_label(0), &bucket_label(1), &bucket_label(2), &bucket_label(3), &bucket_label(4), &bucket_label(5), "gini"],
+            format!(
+                "Fig. 4 — % of forwarded messages by social degree ({}, N={size})",
+                ds.name()
+            ),
+            &[
+                "system",
+                &bucket_label(0),
+                &bucket_label(1),
+                &bucket_label(2),
+                &bucket_label(3),
+                &bucket_label(4),
+                &bucket_label(5),
+                "gini",
+            ],
         );
         for kind in SystemKind::ALL {
             let m = measure(&graph, kind, scale.trials * scale.repeats, scale.seed);

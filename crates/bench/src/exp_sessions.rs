@@ -53,7 +53,10 @@ pub fn run_sessions(
     let schedules: Vec<PeerSchedule> = (0..n)
         .map(|p| trace.generate(&mut rng, horizon, p % 4 == 0))
         .collect();
-    let long_run: Vec<f64> = schedules.iter().map(|s| s.online_fraction(horizon)).collect();
+    let long_run: Vec<f64> = schedules
+        .iter()
+        .map(|s| s.online_fraction(horizon))
+        .collect();
 
     let mut replacements = 0usize;
     let mut delivery = Mean::new();

@@ -24,11 +24,7 @@ pub fn run(seed: u64) -> String {
     );
     for &c in &fanouts {
         let total = sim.star_total_time(0, c);
-        t.row(vec![
-            c.to_string(),
-            fmt_f(total),
-            fmt_f(total / c as f64),
-        ]);
+        t.row(vec![c.to_string(), fmt_f(total), fmt_f(total / c as f64)]);
     }
     t.render()
 }

@@ -76,8 +76,7 @@ impl Table {
             }
         };
         let mut out = format!("# {}\n", self.title);
-        let line =
-            |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
+        let line = |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
         out.push_str(&line(&self.header));
         out.push('\n');
         for row in &self.rows {

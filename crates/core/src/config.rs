@@ -41,6 +41,12 @@ pub struct SelectConfig {
     /// Ablation: CMA-aware recovery (paper default on); off = drop any
     /// unresponsive link immediately.
     pub cma_recovery: bool,
+    /// Worker threads for the parallel superstep round loop. `0` means "use
+    /// the machine's available parallelism". Results are bit-identical for
+    /// every thread count: rounds compute proposals from an immutable
+    /// snapshot and apply them in vertex order (see DESIGN.md §"Round-loop
+    /// execution model").
+    pub threads: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for SelectConfig {
             use_lookahead: true,
             centroid_all: false,
             cma_recovery: true,
+            threads: 0,
             seed: 0xC0FFEE,
         }
     }
@@ -77,9 +84,26 @@ impl SelectConfig {
         }
     }
 
+    /// Resolves the round-loop worker count: explicit `threads`, or the
+    /// machine's available parallelism when `threads == 0` (minimum 1).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
     /// Returns the config with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with an explicit round-loop worker count
+    /// (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -136,6 +160,14 @@ mod tests {
     fn explicit_k_wins() {
         let c = SelectConfig::default().with_k(7);
         assert_eq!(c.resolved_k(1024), 7);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        let c = SelectConfig::default();
+        assert_eq!(c.threads, 0, "default is auto");
+        assert!(c.resolved_threads() >= 1);
+        assert_eq!(c.with_threads(8).resolved_threads(), 8);
     }
 
     #[test]

@@ -7,16 +7,40 @@
 //! every online peer once: it refreshes its view of its neighbourhood,
 //! re-evaluates its identifier and reconciles its long-range links.
 //!
-//! A round reports how much actually changed; [`SelectNetwork::converge`]
-//! runs rounds until a stability window passes with no changes — the
-//! iteration count of the paper's Fig. 5.
+//! # Round-loop execution model
+//!
+//! A round runs as two supersteps on [`SuperstepEngine`], each split into a
+//! *compute* half and an *apply* half:
+//!
+//! 1. **Identifier superstep** — every online peer evaluates Algorithm 2
+//!    against the round-start snapshot and proposes its new identifier as a
+//!    message to itself ([`SuperstepEngine::step_parallel`], sharded across
+//!    `SelectConfig::threads` workers); the proposals are then applied in
+//!    vertex order on the calling thread.
+//! 2. **Link superstep** — every online peer recomputes its preference list
+//!    (Algorithm 5: LSH buckets + coverage tail, or the random ablation)
+//!    from the post-move snapshot, again in parallel; reconciliation —
+//!    incoming-link admission, evictions, drops — applies sequentially in
+//!    vertex order.
+//!
+//! Because the compute halves only read the snapshot and all mutation
+//! happens in vertex order on one thread, the round is **bit-identical for
+//! every thread count** by construction. Each round reports a
+//! [`RoundTelemetry`]; [`SelectNetwork::converge`] aggregates them and runs
+//! rounds until a stability window passes with no changes — the iteration
+//! count of the paper's Fig. 5.
 
-use crate::links::create_links;
+use crate::links::{create_links, LinkSelection};
 use crate::network::{ConvergenceReport, SelectNetwork};
 use crate::reassign::{evaluate_position, evaluate_position_centroid_all};
+use crate::stats::{ConvergenceTelemetry, RoundTelemetry};
 use osn_overlay::table::Admission;
+use osn_overlay::RingId;
+use osn_sim::SuperstepEngine;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Change counters of one gossip round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,39 +58,106 @@ impl RoundChanges {
     }
 }
 
+/// A peer's recomputed link preference list (the compute half of the link
+/// superstep; applied by `reconcile_links` in vertex order).
+struct LinkProposal {
+    /// Ordered preference list, consumed until K links are accepted.
+    targets: Vec<u32>,
+    /// The LSH selection backing the list (None in the random ablation).
+    selection: Option<LinkSelection>,
+    /// Link-budget slots filled by LSH bucket representatives.
+    bucket_hits: u64,
+    /// Link-budget slots left to the coverage/strength tail (or the random
+    /// ablation's blind draw).
+    bucket_fallbacks: u64,
+}
+
+/// Message type of the gossip round's supersteps: each online peer addresses
+/// its own vertex with what it wants to change.
+enum Proposal {
+    /// Identifier superstep: move to this ring position.
+    Move(RingId),
+    /// Link superstep: reconcile against this preference list.
+    Links(LinkProposal),
+}
+
 impl SelectNetwork {
     /// Runs one synchronous gossip round over all online peers.
     pub fn gossip_round(&mut self) -> RoundChanges {
-        let n = self.len() as u32;
-        let eps_ticks = (self.cfg.convergence_eps * u64::MAX as f64) as u64;
-        let mut changes = RoundChanges::default();
+        self.gossip_round_telemetry().changes()
+    }
 
-        // Phase 1: identifier reassignment (Algorithm 2), asynchronous
-        // in-place updates in peer order — later peers see earlier moves,
-        // which is what damps oscillation in practice.
+    /// Runs one gossip round and reports its full [`RoundTelemetry`].
+    pub fn gossip_round_telemetry(&mut self) -> RoundTelemetry {
+        let started = Instant::now();
+        let threads = self.cfg.resolved_threads();
+        let n = self.len();
+        let eps_ticks = (self.cfg.convergence_eps * u64::MAX as f64) as u64;
+        self.round_counter += 1;
+        let mut tel = RoundTelemetry {
+            round: self.round_counter,
+            ..RoundTelemetry::default()
+        };
+        let mut engine: SuperstepEngine<Proposal> = SuperstepEngine::new(n);
+
+        // Superstep 1 — identifier reassignment (Algorithm 2). The compute
+        // half reads only the round-start snapshot, so every peer sees the
+        // same positions no matter how vertices are sharded.
         if self.cfg.reassign_ids {
-            for p in 0..n {
-                if self.online[p as usize] && self.maybe_reassign(p, eps_ticks) {
-                    changes.id_moves += 1;
+            let net = &*self;
+            engine.step_parallel(true, threads, |p, _mail, out| {
+                if net.online[p as usize] {
+                    if let Some(pos) = net.propose_reassignment(p, eps_ticks) {
+                        out.push((p, Proposal::Move(pos)));
+                    }
                 }
-            }
+            });
+            engine.step(false, |p, mail, _| {
+                for m in mail {
+                    if let Proposal::Move(pos) = m {
+                        tel.id_movement += self.positions[p as usize].distance(pos).as_unit_len();
+                        self.move_peer(p, pos);
+                        tel.id_moves += 1;
+                    }
+                }
+            });
         }
 
-        // Phase 2: link reassignment (Algorithm 5) per peer.
-        for p in 0..n {
-            if !self.online[p as usize] {
-                continue;
-            }
-            changes.link_changes += self.reassign_links_of(p);
+        // Superstep 2 — link reassignment (Algorithm 5). Preference lists
+        // are pure functions of the post-move snapshot; admission control
+        // and drops apply in vertex order.
+        {
+            let net = &*self;
+            let round_salt = self.round_counter;
+            engine.step_parallel(true, threads, |p, _mail, out| {
+                if net.online[p as usize] {
+                    out.push((p, Proposal::Links(net.propose_links(p, round_salt))));
+                }
+            });
+            engine.step(false, |p, mail, _| {
+                for m in mail {
+                    if let Proposal::Links(prop) = m {
+                        if let Some(sel) = prop.selection {
+                            self.selections[p as usize] = sel;
+                        }
+                        tel.lsh_bucket_hits += prop.bucket_hits;
+                        tel.lsh_bucket_fallbacks += prop.bucket_fallbacks;
+                        tel.link_changes += self.reconcile_links(p, &prop.targets);
+                    }
+                }
+            });
         }
 
         // Ring short links follow the new positions.
         self.refresh_short_links();
-        changes
+        tel.messages = engine.messages_sent_total();
+        tel.wall_nanos = started.elapsed().as_nanos() as u64;
+        tel
     }
 
-    /// One peer's Algorithm 2 step, gated by the cluster stop radius and by
-    /// hub anchoring. Returns whether the peer moved.
+    /// One peer's Algorithm 2 evaluation, gated by the cluster stop radius
+    /// and by hub anchoring. Pure: reads the snapshot, returns the position
+    /// the peer proposes to move to (None = stays put).
     ///
     /// Hub anchoring: a peer whose social degree is at least its strongest
     /// friend's does not move — it *is* the anchor its neighbourhood
@@ -74,7 +165,7 @@ impl SelectNetwork {
     /// breaks down for high-degree users; without an anchor rule the
     /// midpoint dynamics are a global averaging process that drags the whole
     /// network into one spot, erasing Fig. 8's per-community regions.
-    fn maybe_reassign(&mut self, p: u32, eps_ticks: u64) -> bool {
+    fn propose_reassignment(&self, p: u32, eps_ticks: u64) -> Option<RingId> {
         use osn_graph::UserId;
         let radius_ticks = (self.cfg.cluster_radius * u64::MAX as f64) as u64;
         // The *guide* is p's highest-ranked online friend under the
@@ -90,7 +181,7 @@ impl SelectNetwork {
             .max_by_key(|&f| rank(f));
         let guide = match guide {
             Some(g) if rank(g) > rank(p) => g,
-            _ => return false, // p is a local maximum: it anchors
+            _ => return None, // p is a local maximum: it anchors
         };
         // Already settled inside the guide's cluster region?
         if self.positions[p as usize]
@@ -98,7 +189,7 @@ impl SelectNetwork {
             .0
             <= radius_ticks
         {
-            return false;
+            return None;
         }
         let pos_of = |f: u32| self.online[f as usize].then(|| self.positions[f as usize]);
         let mut new = if self.cfg.centroid_all {
@@ -114,21 +205,16 @@ impl SelectNetwork {
                 new = Some(self.positions[guide as usize]);
             }
         }
-        if let Some(new_pos) = new {
-            if self.positions[p as usize].distance(new_pos).0 > eps_ticks {
-                self.move_peer(p, new_pos);
-                return true;
-            }
-        }
-        false
+        new.filter(|&new_pos| self.positions[p as usize].distance(new_pos).0 > eps_ticks)
     }
 
-    /// Recomputes peer `p`'s long-range link targets and reconciles its
-    /// table (and the remote incoming tables) against them. Returns the
-    /// number of link changes.
-    pub(crate) fn reassign_links_of(&mut self, p: u32) -> usize {
+    /// The compute half of the link superstep: peer `p`'s ordered preference
+    /// list, derived purely from the snapshot (plus a per-peer RNG stream in
+    /// the random-picker ablation — the shared network RNG would make the
+    /// result depend on peer scheduling order).
+    fn propose_links(&self, p: u32, round_salt: u64) -> LinkProposal {
         let neighbourhood = self.online_friends(p);
-        let targets: Vec<u32> = if self.cfg.use_lsh_picker {
+        if self.cfg.use_lsh_picker {
             // A friend's advertised connection set is its current links plus
             // its social adjacency. Long links converge onto social edges
             // anyway (they are only ever established between friends), and
@@ -143,13 +229,19 @@ impl SelectNetwork {
                 self.cfg.seed ^ (p as u64).rotate_left(32),
                 |u| {
                     let mut links = self.tables[u as usize].all_links(u);
-                    links.extend(self.graph.neighbors(osn_graph::UserId(u)).iter().map(|f| f.0));
+                    links.extend(
+                        self.graph
+                            .neighbors(osn_graph::UserId(u))
+                            .iter()
+                            .map(|f| f.0),
+                    );
                     links
                 },
                 |u| self.bandwidth[u as usize],
             );
             let mut targets = selection.targets.clone();
-            self.selections[p as usize] = selection;
+            let bucket_hits = targets.len().min(self.k) as u64;
+            let bucket_fallbacks = self.k.saturating_sub(targets.len()) as u64;
             // Friends converge to similar connections, so buckets collapse
             // and the picker returns fewer than K targets. The rest of the
             // preference list continues the same avoid-link-overlap goal:
@@ -203,12 +295,23 @@ impl SelectNetwork {
                     }
                 }
             }
-            targets
+            LinkProposal {
+                targets,
+                selection: Some(selection),
+                bucket_hits,
+                bucket_fallbacks,
+            }
         } else {
             // Ablation: uniform-random friends, socially blind within C_p.
             // Sticky: existing online links are kept and only the remaining
             // budget is drawn randomly, otherwise the overlay would rewire
-            // forever and never converge.
+            // forever and never converge. The draw comes from a per-peer,
+            // per-round stream so it is independent of execution order.
+            let mut rng = StdRng::seed_from_u64(
+                self.cfg.seed
+                    ^ round_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (p as u64).rotate_left(32),
+            );
             let mut targets: Vec<u32> = self.tables[p as usize]
                 .long_links()
                 .iter()
@@ -220,16 +323,33 @@ impl SelectNetwork {
                 .copied()
                 .filter(|u| !targets.contains(u))
                 .collect();
-            pool.shuffle(&mut self.rng);
+            pool.shuffle(&mut rng);
             for u in pool {
                 if targets.len() >= self.k {
                     break;
                 }
                 targets.push(u);
             }
-            targets
-        };
-        self.reconcile_links(p, &targets)
+            let bucket_fallbacks = self.k as u64;
+            LinkProposal {
+                targets,
+                selection: None,
+                bucket_hits: 0,
+                bucket_fallbacks,
+            }
+        }
+    }
+
+    /// Recomputes peer `p`'s long-range link targets and reconciles its
+    /// table (and the remote incoming tables) against them. Returns the
+    /// number of link changes. Sequential-path equivalent of one link
+    /// superstep restricted to `p`; used by [`Self::partial_gossip_round`].
+    pub(crate) fn reassign_links_of(&mut self, p: u32) -> usize {
+        let prop = self.propose_links(p, self.round_counter);
+        if let Some(sel) = prop.selection {
+            self.selections[p as usize] = sel;
+        }
+        self.reconcile_links(p, &prop.targets)
     }
 
     /// Reconciles `p`'s long links against an ordered preference list:
@@ -249,9 +369,9 @@ impl SelectNetwork {
             .filter(|&u| {
                 self.cfg.cma_recovery
                     && !self.online[u as usize]
-                    && self.cma[p as usize].get(&u).is_some_and(|c| {
-                        !c.is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs)
-                    })
+                    && self.cma[p as usize]
+                        .get(&u)
+                        .is_some_and(|c| !c.is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs))
             })
             .collect();
 
@@ -299,28 +419,35 @@ impl SelectNetwork {
     }
 
     /// Runs gossip rounds until [`RoundChanges::is_quiescent`] holds for
-    /// `stability_window` consecutive rounds, or `max_rounds` elapse.
+    /// `stability_window` consecutive rounds, or `max_rounds` elapse. The
+    /// report carries the full per-round [`ConvergenceTelemetry`].
     pub fn converge(&mut self, max_rounds: usize) -> ConvergenceReport {
+        let started = Instant::now();
+        let mut telemetry = ConvergenceTelemetry::new(self.cfg.resolved_threads());
         let mut quiet = 0usize;
+        let mut rounds = 0usize;
+        let mut converged = false;
         for round in 1..=max_rounds {
-            let ch = self.gossip_round();
-            if ch.is_quiescent() {
+            let tel = self.gossip_round_telemetry();
+            let quiescent = tel.is_quiescent();
+            telemetry.rounds.push(tel);
+            rounds = round;
+            if quiescent {
                 quiet += 1;
                 if quiet >= self.cfg.stability_window {
-                    self.last_convergence = Some(round);
-                    return ConvergenceReport {
-                        rounds: round,
-                        converged: true,
-                    };
+                    converged = true;
+                    break;
                 }
             } else {
                 quiet = 0;
             }
         }
-        self.last_convergence = Some(max_rounds);
+        self.last_convergence = Some(rounds);
+        telemetry.total_wall_nanos = started.elapsed().as_nanos() as u64;
         ConvergenceReport {
-            rounds: max_rounds,
-            converged: false,
+            rounds,
+            converged,
+            telemetry,
         }
     }
 
@@ -330,12 +457,16 @@ impl SelectNetwork {
     pub fn partial_gossip_round(&mut self, fraction: f64) -> RoundChanges {
         let n = self.len() as u32;
         let eps_ticks = (self.cfg.convergence_eps * u64::MAX as f64) as u64;
+        self.round_counter += 1;
         let mut changes = RoundChanges::default();
         let mut acted: Vec<u32> = (0..n).filter(|&p| self.online[p as usize]).collect();
         acted.retain(|_| self.rng.gen_bool(fraction.clamp(0.0, 1.0)));
         for p in acted {
-            if self.cfg.reassign_ids && self.maybe_reassign(p, eps_ticks) {
-                changes.id_moves += 1;
+            if self.cfg.reassign_ids {
+                if let Some(pos) = self.propose_reassignment(p, eps_ticks) {
+                    self.move_peer(p, pos);
+                    changes.id_moves += 1;
+                }
             }
             changes.link_changes += self.reassign_links_of(p);
         }
@@ -364,7 +495,10 @@ mod tests {
             let mut count = 0u64;
             for p in 0..n.len() as u32 {
                 for &f in &n.online_friends(p) {
-                    total += n.identifier_of(p).distance(n.identifier_of(f)).as_unit_len();
+                    total += n
+                        .identifier_of(p)
+                        .distance(n.identifier_of(f))
+                        .as_unit_len();
                     count += 1;
                 }
             }
@@ -427,7 +561,9 @@ mod tests {
         let g = BarabasiAlbert::new(80, 3).generate(5);
         let mut n = SelectNetwork::bootstrap(
             g,
-            SelectConfig::default().with_seed(5).with_reassignment(false),
+            SelectConfig::default()
+                .with_seed(5)
+                .with_reassignment(false),
         );
         let ids: Vec<_> = (0..80u32).map(|p| n.identifier_of(p)).collect();
         n.gossip_round();
@@ -473,6 +609,48 @@ mod tests {
         for p in 0..a.len() as u32 {
             assert_eq!(a.identifier_of(p), b.identifier_of(p));
             assert_eq!(a.table(p).long_links(), b.table(p).long_links());
+        }
+    }
+
+    #[test]
+    fn telemetry_accounts_for_the_round() {
+        let mut n = net(11);
+        let tel = n.gossip_round_telemetry();
+        assert_eq!(tel.round, 1);
+        assert!(tel.id_moves > 0, "bootstrap round should move identifiers");
+        assert!(tel.id_movement > 0.0);
+        assert!(tel.link_changes > 0, "bootstrap round should create links");
+        // One Move proposal per id move, one Links proposal per online peer.
+        assert_eq!(tel.messages, tel.id_moves as u64 + n.online_count() as u64);
+        assert!((0.0..=1.0).contains(&tel.bucket_hit_rate()));
+        assert_eq!(tel.changes().id_moves, tel.id_moves);
+        // Counter keeps running across rounds.
+        assert_eq!(n.gossip_round_telemetry().round, 2);
+    }
+
+    #[test]
+    fn quiescent_round_has_quiescent_telemetry() {
+        let mut n = net(12);
+        let report = n.converge(300);
+        assert!(report.converged);
+        let tel = n.gossip_round_telemetry();
+        assert!(tel.is_quiescent());
+        assert_eq!(tel.id_movement, 0.0);
+        let last = report.telemetry.rounds.last().unwrap();
+        assert!(last.is_quiescent(), "converged run ends quiescent");
+    }
+
+    #[test]
+    fn converge_report_carries_round_telemetry() {
+        let mut n = net(13);
+        let report = n.converge(300);
+        assert_eq!(report.telemetry.rounds.len(), report.rounds);
+        assert!(report.telemetry.total_messages() > 0);
+        assert!(report.telemetry.total_id_moves() > 0);
+        assert!(report.telemetry.threads >= 1);
+        // Rounds are numbered consecutively from 1.
+        for (i, r) in report.telemetry.rounds.iter().enumerate() {
+            assert_eq!(r.round, i as u64 + 1);
         }
     }
 }

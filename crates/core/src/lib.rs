@@ -51,5 +51,8 @@ pub mod strength;
 pub mod topics;
 
 pub use config::SelectConfig;
+pub use gossip::RoundChanges;
 pub use network::{ConvergenceReport, SelectNetwork};
 pub use pubsub::{DisseminationReport, RoutingTree};
+pub use recovery::RecoveryReport;
+pub use stats::{ConvergenceTelemetry, OverlayStats, RoundTelemetry};

@@ -92,10 +92,8 @@ pub fn create_links(
         index.insert(u, &bm);
         bitmaps.push((u, bm));
     }
-    let cov: std::collections::HashMap<u32, usize> = bitmaps
-        .iter()
-        .map(|(u, bm)| (*u, coverage(bm)))
-        .collect();
+    let cov: std::collections::HashMap<u32, usize> =
+        bitmaps.iter().map(|(u, bm)| (*u, coverage(bm))).collect();
 
     let mut selection = LinkSelection {
         targets: Vec::with_capacity(k),

@@ -6,6 +6,7 @@
 use crate::config::SelectConfig;
 use crate::links::LinkSelection;
 use crate::projection::assign_identifier;
+use crate::stats::ConvergenceTelemetry;
 use crate::strength::StrengthIndex;
 use osn_graph::growth::{GrowthModel, JoinEvent};
 use osn_graph::{SocialGraph, UserId};
@@ -16,12 +17,16 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Result of [`SelectNetwork::converge`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConvergenceReport {
     /// Gossip rounds executed (the paper's Fig. 5 "iterations").
     pub rounds: usize,
     /// Whether the stability window was reached before the round cap.
     pub converged: bool,
+    /// Per-round telemetry of the run (equality ignores wall-clock time and
+    /// the thread count, so reports from different thread counts compare
+    /// equal exactly when the protocol results are bit-identical).
+    pub telemetry: ConvergenceTelemetry,
 }
 
 /// A fully decentralized SELECT overlay, simulated in-process.
@@ -45,6 +50,9 @@ pub struct SelectNetwork {
     pub(crate) selections: Vec<LinkSelection>,
     /// Rounds the most recent [`SelectNetwork::converge`] call took.
     pub(crate) last_convergence: Option<usize>,
+    /// Lifetime gossip-round counter; salts the per-peer RNG streams of the
+    /// random-picker ablation so successive rounds draw fresh shuffles.
+    pub(crate) round_counter: u64,
     pub(crate) rng: StdRng,
 }
 
@@ -83,9 +91,7 @@ impl SelectNetwork {
                             .ring
                             .successor(ipos)
                             .and_then(|s| net.ring.position_of(s));
-                        crate::projection::assign_identifier_invited(
-                            ipos, succ_pos, user.0, seed,
-                        )
+                        crate::projection::assign_identifier_invited(ipos, succ_pos, user.0, seed)
                     }
                     None => assign_identifier(user.0, None, seed),
                 };
@@ -117,6 +123,7 @@ impl SelectNetwork {
             cma: vec![HashMap::new(); n],
             selections: vec![LinkSelection::default(); n],
             last_convergence: None,
+            round_counter: 0,
             rng,
             graph,
         }
@@ -281,7 +288,7 @@ mod tests {
         assert_eq!(net.online_count(), 100);
         assert_eq!(net.len(), 100);
         assert_eq!(net.k(), 7); // log2(100) ≈ 6.6 → 7
-        // Short links are stitched consistently.
+                                // Short links are stitched consistently.
         for p in 0..100u32 {
             let s = net.table(p).successor.expect("successor");
             assert_eq!(net.table(s).predecessor, Some(p));

@@ -18,12 +18,14 @@
 use crate::links::create_links;
 use crate::network::SelectNetwork;
 use crate::reassign::evaluate_position;
+use crate::stats::{ConvergenceTelemetry, RoundTelemetry};
 use osn_graph::UserId;
 use osn_overlay::RingId;
 use osn_sim::SuperstepEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Gossip wire messages (Algorithms 3–4).
 #[derive(Clone, Debug)]
@@ -251,9 +253,7 @@ impl ProtocolNetwork {
         if self.net.identifier_of(p).distance(guide_pos).0 <= radius {
             return false;
         }
-        let new = evaluate_position(p, &self.net.strengths, |f| {
-            view.positions.get(&f).copied()
-        });
+        let new = evaluate_position(p, &self.net.strengths, |f| view.positions.get(&f).copied());
         let mut target = match new {
             Some(t) => t,
             None => return false,
@@ -290,13 +290,7 @@ impl ProtocolNetwork {
             cfg.seed ^ (p as u64).rotate_left(32),
             |u| {
                 let mut links = view.links.get(&u).cloned().unwrap_or_default();
-                links.extend(
-                    self.net
-                        .graph()
-                        .neighbors(UserId(u))
-                        .iter()
-                        .map(|f| f.0),
-                );
+                links.extend(self.net.graph().neighbors(UserId(u)).iter().map(|f| f.0));
                 links
             },
             |u| self.net.bandwidth_of(u),
@@ -317,20 +311,43 @@ impl ProtocolNetwork {
     /// Runs protocol rounds until quiescence (a stability window with no
     /// moves or link changes), returning the rounds used.
     pub fn converge(&mut self, max_rounds: usize) -> usize {
+        self.converge_telemetry(max_rounds).rounds.len()
+    }
+
+    /// Like [`Self::converge`], but records the same per-round telemetry the
+    /// direct path's [`crate::SelectNetwork::converge`] reports, so the two
+    /// execution models can be compared round for round. The message-level
+    /// protocol has no LSH-budget accounting (link selection happens inside
+    /// each peer's cache), so the bucket counters stay zero.
+    pub fn converge_telemetry(&mut self, max_rounds: usize) -> ConvergenceTelemetry {
+        let started = Instant::now();
+        let mut tel = ConvergenceTelemetry::new(1);
         let window = self.net.config().stability_window;
         let mut quiet = 0;
         for round in 1..=max_rounds {
+            let round_start = Instant::now();
             let s = self.round();
+            tel.rounds.push(RoundTelemetry {
+                round: round as u64,
+                id_moves: s.id_moves,
+                id_movement: 0.0,
+                link_changes: s.link_changes,
+                messages: s.messages as u64,
+                lsh_bucket_hits: 0,
+                lsh_bucket_fallbacks: 0,
+                wall_nanos: round_start.elapsed().as_nanos() as u64,
+            });
             if s.id_moves == 0 && s.link_changes == 0 && round > 2 {
                 quiet += 1;
                 if quiet >= window {
-                    return round;
+                    break;
                 }
             } else {
                 quiet = 0;
             }
         }
-        max_rounds
+        tel.total_wall_nanos = started.elapsed().as_nanos() as u64;
+        tel
     }
 }
 
@@ -390,6 +407,21 @@ mod tests {
         }
         // Long links are still social edges only.
         assert_eq!(p_stats.social_link_fraction, 1.0);
+    }
+
+    #[test]
+    fn converge_telemetry_mirrors_round_stats() {
+        let mut proto = ProtocolNetwork::new(bootstrap(5));
+        let tel = proto.converge_telemetry(300);
+        assert!(!tel.rounds.is_empty());
+        assert!(tel.total_messages() > 0);
+        assert!(tel.total_id_moves() > 0, "cached reassignment never fired");
+        // Rounds are numbered consecutively from 1.
+        for (i, r) in tel.rounds.iter().enumerate() {
+            assert_eq!(r.round, i as u64 + 1);
+        }
+        // The message-level path has no LSH budget accounting.
+        assert_eq!(tel.bucket_hit_rate(), 1.0);
     }
 
     #[test]

@@ -146,8 +146,7 @@ impl SelectNetwork {
             let mut frontier: Vec<u32> = parent.keys().copied().collect();
             frontier.sort_unstable(); // deterministic expansion order
             let mut depth = 0usize;
-            while !missing.is_empty() && !frontier.is_empty() && depth < self.cfg.max_route_hops
-            {
+            while !missing.is_empty() && !frontier.is_empty() && depth < self.cfg.max_route_hops {
                 depth += 1;
                 let mut next = Vec::new();
                 for &u in &frontier {

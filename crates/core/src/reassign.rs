@@ -69,10 +69,8 @@ mod tests {
 
     /// 0 strongly tied to 1 and 2 (they share friend 3); 4 is a weak friend.
     fn fixture() -> StrengthIndex {
-        let g = GraphBuilder::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)],
-        );
+        let g =
+            GraphBuilder::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)]);
         StrengthIndex::build(&g)
     }
 

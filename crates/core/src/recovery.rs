@@ -6,12 +6,20 @@
 //! cascade reassignment through connected peers), while an unresponsive link
 //! with a low CMA is replaced by another peer **from the same LSH bucket**,
 //! preserving the coverage the bucket represented.
+//!
+//! Like the gossip round loop, a probe round runs on [`SuperstepEngine`]:
+//! probes are computed in parallel from the round-start snapshot of every
+//! peer's long links (a probe only reads the remote peer's liveness), then
+//! the CMA updates, keeps, replacements and drops apply in vertex order on
+//! the calling thread — bit-identical for every thread count.
 
 use crate::network::SelectNetwork;
 use osn_overlay::table::Admission;
+use osn_sim::SuperstepEngine;
+use std::time::Instant;
 
 /// Counters from one probe/recovery round.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RecoveryReport {
     /// Probes sent (one per long link per peer).
     pub probes: usize,
@@ -23,61 +31,104 @@ pub struct RecoveryReport {
     pub replaced: usize,
     /// Links dropped with no replacement available.
     pub dropped: usize,
+    /// Wall-clock time of the round in nanoseconds. Excluded from equality.
+    pub wall_nanos: u64,
 }
+
+impl PartialEq for RecoveryReport {
+    fn eq(&self, other: &Self) -> bool {
+        // wall_nanos intentionally omitted: timing may differ, results not.
+        self.probes == other.probes
+            && self.unresponsive == other.unresponsive
+            && self.kept == other.kept
+            && self.replaced == other.replaced
+            && self.dropped == other.dropped
+    }
+}
+
+impl Eq for RecoveryReport {}
+
+/// One peer's probe outcomes: `(link, responded)` per long link held at the
+/// round-start snapshot.
+struct ProbeReport(Vec<(u32, bool)>);
 
 impl SelectNetwork {
     /// Runs one probe round over every online peer's long links.
     pub fn probe_round(&mut self) -> RecoveryReport {
+        let started = Instant::now();
+        let threads = self.cfg.resolved_threads();
         let mut report = RecoveryReport::default();
-        let n = self.len() as u32;
-        for p in 0..n {
-            if !self.online[p as usize] {
-                continue;
+        let mut engine: SuperstepEngine<ProbeReport> = SuperstepEngine::new(self.len());
+
+        // Compute half: probe outcomes from the snapshot (a probe is a
+        // liveness check of the remote peer — pure reads).
+        let net = &*self;
+        engine.step_parallel(true, threads, |p, _mail, out| {
+            if !net.online[p as usize] {
+                return;
             }
-            let links: Vec<u32> = self.tables[p as usize].long_links().to_vec();
-            for u in links {
-                report.probes += 1;
-                let responded = self.online[u as usize];
-                self.cma[p as usize]
-                    .entry(u)
-                    .or_default()
-                    .observe_probe(responded);
-                if responded {
-                    continue;
-                }
-                report.unresponsive += 1;
-                let trusted = self.cfg.cma_recovery
-                    && !self.cma[p as usize][&u]
-                        .is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs);
-                if trusted {
-                    report.kept += 1;
-                    continue;
-                }
-                // Replace: prefer an online peer from the same LSH bucket,
-                // else any online friend not already linked.
-                self.tables[p as usize].remove_long(u);
-                self.tables[u as usize].remove_incoming(p);
-                match self.find_replacement(p, u) {
-                    Some(r) => {
-                        let bw_p = self.bandwidth[p as usize];
-                        let bandwidth = &self.bandwidth;
-                        match self.tables[r as usize].offer_incoming(p, bw_p, |q| {
-                            bandwidth[q as usize]
-                        }) {
-                            Admission::Accepted { evicted } => {
-                                self.tables[p as usize].add_long(r);
-                                if let Some(w) = evicted {
-                                    self.tables[w as usize].remove_long(r);
-                                }
-                                report.replaced += 1;
-                            }
-                            Admission::Rejected => report.dropped += 1,
-                        }
+            let probes: Vec<(u32, bool)> = net.tables[p as usize]
+                .long_links()
+                .iter()
+                .map(|&u| (u, net.online[u as usize]))
+                .collect();
+            if !probes.is_empty() {
+                out.push((p, ProbeReport(probes)));
+            }
+        });
+
+        // Apply half, in vertex order: CMA updates, trust decisions and
+        // replacements. A link evicted earlier in this apply phase (by a
+        // lower-indexed peer's replacement) is skipped — it is already gone.
+        engine.step(false, |p, mail, _| {
+            for ProbeReport(probes) in mail {
+                for (u, responded) in probes {
+                    if !self.tables[p as usize].long_links().contains(&u) {
+                        continue;
                     }
-                    None => report.dropped += 1,
+                    report.probes += 1;
+                    self.cma[p as usize]
+                        .entry(u)
+                        .or_default()
+                        .observe_probe(responded);
+                    if responded {
+                        continue;
+                    }
+                    report.unresponsive += 1;
+                    let trusted = self.cfg.cma_recovery
+                        && !self.cma[p as usize][&u]
+                            .is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs);
+                    if trusted {
+                        report.kept += 1;
+                        continue;
+                    }
+                    // Replace: prefer an online peer from the same LSH
+                    // bucket, else any online friend not already linked.
+                    self.tables[p as usize].remove_long(u);
+                    self.tables[u as usize].remove_incoming(p);
+                    match self.find_replacement(p, u) {
+                        Some(r) => {
+                            let bw_p = self.bandwidth[p as usize];
+                            let bandwidth = &self.bandwidth;
+                            match self.tables[r as usize]
+                                .offer_incoming(p, bw_p, |q| bandwidth[q as usize])
+                            {
+                                Admission::Accepted { evicted } => {
+                                    self.tables[p as usize].add_long(r);
+                                    if let Some(w) = evicted {
+                                        self.tables[w as usize].remove_long(r);
+                                    }
+                                    report.replaced += 1;
+                                }
+                                Admission::Rejected => report.dropped += 1,
+                            }
+                        }
+                        None => report.dropped += 1,
+                    }
                 }
             }
-        }
+        });
+        report.wall_nanos = started.elapsed().as_nanos() as u64;
         report
     }
 
@@ -86,9 +137,7 @@ impl SelectNetwork {
     /// linked.
     fn find_replacement(&self, p: u32, dead: u32) -> Option<u32> {
         let table = &self.tables[p as usize];
-        let viable = |q: u32| {
-            q != p && q != dead && self.online[q as usize] && !table.has_link(q)
-        };
+        let viable = |q: u32| q != p && q != dead && self.online[q as usize] && !table.has_link(q);
         self.selections[p as usize]
             .bucket_peers_of(dead)
             .iter()
@@ -112,8 +161,8 @@ impl SelectNetwork {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::config::SelectConfig;
-    use crate::network::SelectNetwork;
     use osn_graph::generators::{BarabasiAlbert, Generator};
 
     fn converged_net(seed: u64) -> SelectNetwork {
@@ -179,7 +228,9 @@ mod tests {
         let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(4);
         let mut n = SelectNetwork::bootstrap(
             g,
-            SelectConfig::default().with_seed(4).with_cma_recovery(false),
+            SelectConfig::default()
+                .with_seed(4)
+                .with_cma_recovery(false),
         );
         n.converge(100);
         let (p, u) = linked_pair(&n);
@@ -211,5 +262,30 @@ mod tests {
         let r = n.probe_round();
         assert!(r.probes > 0);
         assert_eq!(r.unresponsive, r.kept + r.replaced + r.dropped);
+    }
+
+    #[test]
+    fn probe_round_is_thread_count_invariant() {
+        let reports: Vec<RecoveryReport> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(7);
+                let mut n = SelectNetwork::bootstrap(
+                    g,
+                    SelectConfig::default().with_seed(7).with_threads(t),
+                );
+                n.converge(100);
+                for p in 0..20u32 {
+                    n.set_offline(p);
+                }
+                let mut last = RecoveryReport::default();
+                for _ in 0..5 {
+                    last = n.probe_round();
+                }
+                last
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
     }
 }

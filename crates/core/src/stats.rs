@@ -1,8 +1,156 @@
 //! Overlay-quality statistics: the measurements the evaluation plots, as a
-//! public API so downstream users can monitor a running overlay.
+//! public API so downstream users can monitor a running overlay — plus the
+//! per-round telemetry the superstep round loop records while converging.
 
+use crate::gossip::RoundChanges;
 use crate::network::SelectNetwork;
 use osn_graph::UserId;
+
+/// What one gossip round did, as recorded by the superstep round loop.
+///
+/// Everything except `wall_nanos` is a pure function of the network state
+/// and the seed, so two runs of the same network — at *any* thread count —
+/// produce equal telemetry. Equality deliberately ignores `wall_nanos`
+/// (wall-clock time is the one legitimately nondeterministic output).
+#[derive(Clone, Debug, Default)]
+pub struct RoundTelemetry {
+    /// Round counter (1-based across the network's lifetime).
+    pub round: u64,
+    /// Peers that moved their identifier by more than the tolerance.
+    pub id_moves: usize,
+    /// Total identifier movement this round, in unit-ring lengths.
+    pub id_movement: f64,
+    /// Long-range links added or removed across the network.
+    pub link_changes: usize,
+    /// Superstep messages exchanged (move + link proposals).
+    pub messages: u64,
+    /// Link-budget slots filled by LSH bucket representatives.
+    pub lsh_bucket_hits: u64,
+    /// Link-budget slots that fell through to the coverage/strength tail
+    /// (or, in the random-picker ablation, were drawn blindly).
+    pub lsh_bucket_fallbacks: u64,
+    /// Wall-clock time of the round in nanoseconds. Excluded from equality.
+    pub wall_nanos: u64,
+}
+
+impl RoundTelemetry {
+    /// Whether the round was fully quiescent (no moves, no link churn).
+    pub fn is_quiescent(&self) -> bool {
+        self.id_moves == 0 && self.link_changes == 0
+    }
+
+    /// Fraction of link-budget slots the LSH buckets provided directly
+    /// (1.0 when no slot was considered).
+    pub fn bucket_hit_rate(&self) -> f64 {
+        let total = self.lsh_bucket_hits + self.lsh_bucket_fallbacks;
+        if total == 0 {
+            1.0
+        } else {
+            self.lsh_bucket_hits as f64 / total as f64
+        }
+    }
+
+    /// The round's change counters in the legacy [`RoundChanges`] shape.
+    pub fn changes(&self) -> RoundChanges {
+        RoundChanges {
+            id_moves: self.id_moves,
+            link_changes: self.link_changes,
+        }
+    }
+}
+
+impl PartialEq for RoundTelemetry {
+    fn eq(&self, other: &Self) -> bool {
+        // wall_nanos intentionally omitted: timing may differ, results not.
+        self.round == other.round
+            && self.id_moves == other.id_moves
+            && self.id_movement == other.id_movement
+            && self.link_changes == other.link_changes
+            && self.messages == other.messages
+            && self.lsh_bucket_hits == other.lsh_bucket_hits
+            && self.lsh_bucket_fallbacks == other.lsh_bucket_fallbacks
+    }
+}
+
+/// Aggregate telemetry of one [`SelectNetwork::converge`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceTelemetry {
+    /// Worker threads the run executed with (informational; excluded from
+    /// equality so runs at different thread counts can be compared).
+    pub threads: usize,
+    /// One entry per executed round, in order.
+    pub rounds: Vec<RoundTelemetry>,
+    /// Total wall-clock time in nanoseconds. Excluded from equality.
+    pub total_wall_nanos: u64,
+}
+
+impl ConvergenceTelemetry {
+    /// Telemetry for a run about to start on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ConvergenceTelemetry {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Total superstep messages across all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Total identifier moves across all rounds.
+    pub fn total_id_moves(&self) -> usize {
+        self.rounds.iter().map(|r| r.id_moves).sum()
+    }
+
+    /// Total identifier movement in unit-ring lengths.
+    pub fn total_id_movement(&self) -> f64 {
+        self.rounds.iter().map(|r| r.id_movement).sum()
+    }
+
+    /// Total link churn (adds + removes) across all rounds.
+    pub fn total_link_changes(&self) -> usize {
+        self.rounds.iter().map(|r| r.link_changes).sum()
+    }
+
+    /// LSH bucket hit rate aggregated over the whole run.
+    pub fn bucket_hit_rate(&self) -> f64 {
+        let hits: u64 = self.rounds.iter().map(|r| r.lsh_bucket_hits).sum();
+        let total: u64 = self
+            .rounds
+            .iter()
+            .map(|r| r.lsh_bucket_hits + r.lsh_bucket_fallbacks)
+            .sum();
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rounds, {} msgs, {} id moves ({:.4} ring), {} link changes, \
+             bucket hit rate {:.1}%, {:.1} ms on {} thread(s)",
+            self.rounds.len(),
+            self.total_messages(),
+            self.total_id_moves(),
+            self.total_id_movement(),
+            self.total_link_changes(),
+            self.bucket_hit_rate() * 100.0,
+            self.total_wall_nanos as f64 / 1e6,
+            self.threads,
+        )
+    }
+}
+
+impl PartialEq for ConvergenceTelemetry {
+    fn eq(&self, other: &Self) -> bool {
+        // threads and total_wall_nanos omitted: execution detail, not result.
+        self.rounds == other.rounds
+    }
+}
 
 /// A snapshot of overlay quality.
 #[derive(Clone, Debug, PartialEq)]

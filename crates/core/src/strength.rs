@@ -45,7 +45,10 @@ impl StrengthIndex {
 
     /// The two strongest friends of `p` satisfying `alive`.
     pub fn top2(&self, p: u32, alive: impl Fn(u32) -> bool) -> (Option<u32>, Option<u32>) {
-        let mut it = self.ranked[p as usize].iter().copied().filter(|&f| alive(f));
+        let mut it = self.ranked[p as usize]
+            .iter()
+            .copied()
+            .filter(|&f| alive(f));
         (it.next(), it.next())
     }
 }

@@ -54,16 +54,27 @@ impl Generator for BarabasiAlbert {
         let mut rng = StdRng::seed_from_u64(seed);
         let (n, m) = (self.n, self.m);
         // Flat endpoint list: every added edge pushes both endpoints, so a
-        // uniform draw from it is degree-proportional.
+        // uniform draw from it is degree-proportional. The adjacency lists
+        // back the triangle-closing step (uniform neighbour of a node).
         let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+        let mut neigh: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut builder = GraphBuilder::with_capacity(n, n * m);
+        let link = |builder: &mut GraphBuilder,
+                    endpoints: &mut Vec<u32>,
+                    neigh: &mut Vec<Vec<u32>>,
+                    a: u32,
+                    b: u32| {
+            builder.add_edge(UserId(a), UserId(b));
+            endpoints.push(a);
+            endpoints.push(b);
+            neigh[a as usize].push(b);
+            neigh[b as usize].push(a);
+        };
 
         // Seed clique over the first m+1 nodes keeps early degrees nonzero.
         for u in 0..=(m as u32) {
             for v in (u + 1)..=(m as u32) {
-                builder.add_edge(UserId(u), UserId(v));
-                endpoints.push(u);
-                endpoints.push(v);
+                link(&mut builder, &mut endpoints, &mut neigh, u, v);
             }
         }
 
@@ -71,37 +82,31 @@ impl Generator for BarabasiAlbert {
         for u in (m as u32 + 1)..(n as u32) {
             targets.clear();
             let mut last_target: Option<u32> = None;
+            // After enough consecutive rejections, force degree sampling so
+            // closure_p = 1.0 cannot spin on an exhausted neighbourhood.
+            let mut rejections = 0u32;
             while targets.len() < m {
-                let candidate = if let (Some(t), true) =
-                    (last_target, rng.gen_bool(self.closure_p))
-                {
-                    // Triadic closure: pick a random endpoint adjacent to the
-                    // last chosen target by re-sampling an edge incident to it.
-                    // We approximate "random neighbour of t" by rejection from
-                    // the endpoint list: draw positions until we find `t`,
-                    // then take its paired endpoint. Bounded attempts keep the
-                    // loop O(1) amortized; fall back to degree sampling.
-                    let mut found = None;
-                    for _ in 0..8 {
-                        let i = rng.gen_range(0..endpoints.len());
-                        if endpoints[i] == t {
-                            found = Some(endpoints[i ^ 1]);
-                            break;
-                        }
-                    }
-                    found.unwrap_or_else(|| endpoints[rng.gen_range(0..endpoints.len())])
+                let closing = rejections < 16 && rng.gen_bool(self.closure_p);
+                let candidate = if let (Some(t), true) = (last_target, closing) {
+                    // Triadic closure: a uniform neighbour of the last chosen
+                    // target, closing the triangle u–t–candidate. Every node
+                    // that can be a target has degree ≥ 1, so the list is
+                    // never empty.
+                    let ns = &neigh[t as usize];
+                    ns[rng.gen_range(0..ns.len())]
                 } else {
                     endpoints[rng.gen_range(0..endpoints.len())]
                 };
                 if candidate != u && !targets.contains(&candidate) {
                     targets.push(candidate);
                     last_target = Some(candidate);
+                    rejections = 0;
+                } else {
+                    rejections += 1;
                 }
             }
             for &t in &targets {
-                builder.add_edge(UserId(u), UserId(t));
-                endpoints.push(u);
-                endpoints.push(t);
+                link(&mut builder, &mut endpoints, &mut neigh, u, t);
             }
         }
         builder.build()

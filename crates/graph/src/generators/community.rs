@@ -74,8 +74,8 @@ impl Generator for PlantedPartition {
                     break;
                 }
                 let (u, v) = pair_from_index(n as u64, idx);
-                let same_block = self.community_of(UserId(u as u32))
-                    == self.community_of(UserId(v as u32));
+                let same_block =
+                    self.community_of(UserId(u as u32)) == self.community_of(UserId(v as u32));
                 if same_block == same {
                     builder.add_edge(UserId(u as u32), UserId(v as u32));
                 }

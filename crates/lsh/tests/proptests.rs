@@ -4,10 +4,12 @@ use osn_lsh::{BitSampling, Bitmap, LshFamily, LshIndex, MinHash};
 use proptest::prelude::*;
 
 fn arb_bitmap(dim: usize) -> impl Strategy<Value = Bitmap> {
-    proptest::collection::vec(any::<bool>(), dim)
-        .prop_map(move |bits| {
-            Bitmap::from_set_bits(dim, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i))
-        })
+    proptest::collection::vec(any::<bool>(), dim).prop_map(move |bits| {
+        Bitmap::from_set_bits(
+            dim,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        )
+    })
 }
 
 proptest! {

@@ -111,6 +111,10 @@ impl ThreadedNetwork {
         for (u, v) in tree.edges() {
             children.entry(u).or_default().push(v);
         }
+        // edges() iterates a HashSet; sort so forwarding order is stable.
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
         let expect: HashSet<u32> = children.values().flatten().copied().collect();
         let children = std::sync::Arc::new(children);
 

@@ -164,7 +164,17 @@ impl ThrottledNetwork {
         for (u, v) in tree.edges() {
             children.entry(u).or_default().push(v);
         }
-        let expect = children.values().flatten().filter(|&&v| v != tree.publisher).count();
+        // edges() iterates a HashSet; sort so each node serializes its
+        // uploads to children in a stable order (the recorded per-delivery
+        // elapsed times depend on it).
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
+        let expect = children
+            .values()
+            .flatten()
+            .filter(|&&v| v != tree.publisher)
+            .count();
         let start = Instant::now();
         self.senders[tree.publisher as usize]
             .send(Msg::Payload {

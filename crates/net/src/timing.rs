@@ -64,7 +64,8 @@ impl TransferSim {
 
     /// One-link payload latency `latency(a,b) + payload/bw(a)`.
     pub fn link_cost(&self, from: u32, to: u32) -> f64 {
-        self.links.latency_of(from, to, self.seed) + transfer_time(self.payload, self.bandwidth_of(from))
+        self.links.latency_of(from, to, self.seed)
+            + transfer_time(self.payload, self.bandwidth_of(from))
     }
 
     /// Simulates store-and-forward dissemination over `tree`.

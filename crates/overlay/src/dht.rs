@@ -83,9 +83,7 @@ impl PrefixDht {
                     let d = digit(ids[q as usize], l);
                     let slot = &mut tables[p][l * DIGITS + d];
                     // XOR-closest deterministic choice.
-                    if *slot == u32::MAX
-                        || (ids[q as usize] ^ id) < (ids[*slot as usize] ^ id)
-                    {
+                    if *slot == u32::MAX || (ids[q as usize] ^ id) < (ids[*slot as usize] ^ id) {
                         *slot = q;
                     }
                 }

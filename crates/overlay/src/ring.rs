@@ -98,10 +98,11 @@ impl RingIndex {
     /// Successor of `peer`'s own position, skipping `peer` itself.
     pub fn successor_of_peer(&self, peer: u32) -> Option<u32> {
         let pos = self.position_of(peer)?;
-        let mut it = self
-            .set
-            .range((pos.0, peer + 1)..)
-            .chain(self.set.iter().take_while(move |&&(p, q)| (p, q) < (pos.0, peer)));
+        let mut it = self.set.range((pos.0, peer + 1)..).chain(
+            self.set
+                .iter()
+                .take_while(move |&&(p, q)| (p, q) < (pos.0, peer)),
+        );
         // The chained iterator walks the full ring once, excluding `peer`.
         it.next().map(|&(_, p)| p)
     }
@@ -111,7 +112,12 @@ impl RingIndex {
         let pos = self.position_of(peer)?;
         let before = self.set.range(..(pos.0, peer)).next_back();
         before
-            .or_else(|| self.set.iter().next_back().filter(|&&(p, q)| (p, q) != (pos.0, peer)))
+            .or_else(|| {
+                self.set
+                    .iter()
+                    .next_back()
+                    .filter(|&&(p, q)| (p, q) != (pos.0, peer))
+            })
             .map(|&(_, p)| p)
     }
 

@@ -184,9 +184,7 @@ mod tests {
             pos: (0..n)
                 .map(|i| Some(RingId::from_unit(i as f64 / n as f64)))
                 .collect(),
-            adj: (0..n)
-                .map(|i| vec![(i + 1) % n, (i + n - 1) % n])
-                .collect(),
+            adj: (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect(),
         }
     }
 
@@ -194,7 +192,12 @@ mod tests {
     fn ring_walk_both_directions() {
         let t = ring8();
         let out = route_greedy(&t, 0, 2, 64);
-        assert_eq!(out, RouteOutcome::Delivered { path: vec![0, 1, 2] });
+        assert_eq!(
+            out,
+            RouteOutcome::Delivered {
+                path: vec![0, 1, 2]
+            }
+        );
         // Counter-clockwise is shorter to 6.
         let out = route_greedy(&t, 0, 6, 64);
         assert_eq!(out.path(), &[0, 7, 6]);

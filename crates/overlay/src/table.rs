@@ -69,9 +69,7 @@ impl RoutingTable {
 
     /// Whether `peer` is among this table's outgoing links.
     pub fn has_link(&self, peer: u32) -> bool {
-        self.successor == Some(peer)
-            || self.predecessor == Some(peer)
-            || self.long.contains(&peer)
+        self.successor == Some(peer) || self.predecessor == Some(peer) || self.long.contains(&peer)
     }
 
     /// Adds a long-range link (idempotent). Returns true if newly added.

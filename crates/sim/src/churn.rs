@@ -233,7 +233,11 @@ mod tests {
         let horizon = 100_000;
         let avg = |mostly: bool, rng: &mut StdRng| {
             (0..40)
-                .map(|_| trace.generate(rng, horizon, mostly).online_fraction(horizon))
+                .map(|_| {
+                    trace
+                        .generate(rng, horizon, mostly)
+                        .online_fraction(horizon)
+                })
                 .sum::<f64>()
                 / 40.0
         };

@@ -107,6 +107,11 @@ impl<M: Send> SuperstepEngine<M> {
     /// Unlike `step`, the vertex function receives no `&mut Self` — state it
     /// mutates must be vertex-partitioned by the caller (e.g. a slice of
     /// per-vertex cells) to stay data-race free.
+    ///
+    /// With `threads <= 1` the superstep runs inline on the calling thread —
+    /// no scope or spawn overhead — through the exact same code path a
+    /// single shard would take, so `threads = 1` remains the reference
+    /// behaviour larger counts must reproduce.
     pub fn step_parallel(
         &mut self,
         run_all: bool,
@@ -122,6 +127,19 @@ impl<M: Send> SuperstepEngine<M> {
 
         let n = self.inboxes.len();
         let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            let mut out: Vec<(u32, M)> = Vec::new();
+            for v in 0..n as u32 {
+                let mail = std::mem::take(&mut self.inboxes[v as usize]);
+                if run_all || !mail.is_empty() {
+                    vertex_fn(v, mail, &mut out);
+                }
+            }
+            for (to, msg) in out {
+                self.send(to, msg);
+            }
+            return delivered;
+        }
         let chunk = n.div_ceil(threads);
         // Take the inboxes out so shards own their slices.
         let mut inboxes = std::mem::take(&mut self.inboxes);

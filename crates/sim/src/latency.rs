@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn latency_distribution_has_plausible_median() {
         let m = LinkModel::default();
-        let mut ls: Vec<f64> = (0..2_000u32)
-            .map(|i| m.latency_of(i, i + 1, 7))
-            .collect();
+        let mut ls: Vec<f64> = (0..2_000u32).map(|i| m.latency_of(i, i + 1, 7)).collect();
         ls.sort_by(f64::total_cmp);
         let median = ls[1_000];
         assert!(

@@ -72,7 +72,11 @@ impl PublishWorkload {
         let mut prefix: Vec<f64> = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            acc += if self.degree_weighted { w as f64 } else { (w > 0) as u8 as f64 };
+            acc += if self.degree_weighted {
+                w as f64
+            } else {
+                (w > 0) as u8 as f64
+            };
             prefix.push(acc);
         }
 

@@ -2,7 +2,7 @@
 
 use osn_sim::collect::{gini, Histogram, Mean};
 use osn_sim::engine::EventQueue;
-use osn_sim::{Cma, ChurnModel, Exponential, LogNormal};
+use osn_sim::{ChurnModel, Cma, Exponential, LogNormal};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +62,42 @@ proptest! {
         }
     }
 
+    /// At every observation step the CMA stays within the closed hull of the
+    /// inputs seen so far — the incremental update never over/undershoots.
+    #[test]
+    fn cma_observe_is_numerically_stable(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut cma = Cma::new();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &xs {
+            cma.observe(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            prop_assert!(
+                cma.value() >= lo - 1e-6 && cma.value() <= hi + 1e-6,
+                "CMA {} escaped hull [{lo}, {hi}]",
+                cma.value()
+            );
+        }
+    }
+
+    /// A seeded CMA behaves exactly like `count` prior observations at the
+    /// seed mean: further observations land on the weighted mean.
+    #[test]
+    fn cma_seeded_matches_weighted_mean(
+        seed_mean in -100.0f64..100.0,
+        seed_count in 1u64..50,
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let mut cma = Cma::seeded(seed_mean, seed_count);
+        for &x in &xs {
+            cma.observe(x);
+        }
+        let expect = (seed_mean * seed_count as f64 + xs.iter().sum::<f64>())
+            / (seed_count + xs.len() as u64) as f64;
+        prop_assert!((cma.value() - expect).abs() < 1e-9);
+        prop_assert_eq!(cma.count(), seed_count + xs.len() as u64);
+    }
+
     /// Event queue pops in non-decreasing time order, always.
     #[test]
     fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..10_000, 1..60)) {
@@ -77,6 +113,39 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    /// Interleaved schedule/pop programs never violate time order, FIFO
+    /// tie-breaking, or conservation of events.
+    #[test]
+    fn event_queue_interleaved_scheduling_stays_ordered(
+        ops in proptest::collection::vec((0u64..100, 0usize..4), 1..80),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut scheduled = 0usize;
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        for (id, &(delta, pops)) in ops.iter().enumerate() {
+            // Scheduling is always relative to `now`, so causality holds.
+            q.schedule(q.now() + delta, id);
+            scheduled += 1;
+            for _ in 0..pops {
+                if let Some(e) = q.pop() {
+                    popped.push(e);
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), scheduled, "events lost or duplicated");
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            if w[0].0 == w[1].0 {
+                // Equal timestamps must come out in insertion order (the
+                // payload here is the insertion sequence number).
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {w:?}");
+            }
+        }
     }
 
     /// Histogram mean is bounded by its min/max recorded values.

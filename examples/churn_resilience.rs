@@ -5,11 +5,11 @@
 //! cargo run --release --example churn_resilience
 //! ```
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
 use select::sim::{ChurnModel, Mean};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let seed = 11;

@@ -9,11 +9,11 @@
 //! cargo run --release --example notification_feed
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
 use select::sim::{Mean, PublishWorkload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let seed = 7;
@@ -58,11 +58,11 @@ fn main() {
     }
 
     println!("notifications delivered : {notified}");
-    println!("availability            : {:.2}%", availability.mean() * 100.0);
+    println!(
+        "availability            : {:.2}%",
+        availability.mean() * 100.0
+    );
     println!("avg hops per delivery   : {:.2}", hops.mean());
     println!("avg relay nodes         : {:.3}", relays.mean());
-    println!(
-        "worst publication hops  : {:.2}",
-        hops.max().unwrap_or(0.0)
-    );
+    println!("worst publication hops  : {:.2}", hops.max().unwrap_or(0.0));
 }

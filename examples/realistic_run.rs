@@ -23,11 +23,7 @@ fn main() {
     net.converge(300);
 
     // Pick a publisher with a decent audience.
-    let publisher = graph
-        .nodes()
-        .max_by_key(|&u| graph.degree(u))
-        .unwrap()
-        .0;
+    let publisher = graph.nodes().max_by_key(|&u| graph.degree(u)).unwrap().0;
     let report = net.publish(publisher);
     println!(
         "publisher {publisher}: {} subscribers, tree of {} edges",
@@ -37,7 +33,9 @@ fn main() {
 
     // Virtual-time prediction (heterogeneous bandwidth, serialized uploads).
     let sim = TransferSim::with_bandwidths(
-        (0..graph.num_nodes() as u32).map(|p| net.bandwidth_of(p)).collect(),
+        (0..graph.num_nodes() as u32)
+            .map(|p| net.bandwidth_of(p))
+            .collect(),
         seed,
     );
     let timing = sim.simulate(&report.tree);

@@ -11,8 +11,8 @@
 //! ```
 
 use select::core::{SelectConfig, SelectNetwork};
-use select::graph::prelude::*;
 use select::graph::io;
+use select::graph::prelude::*;
 
 fn main() -> std::io::Result<()> {
     let path = std::env::args().nth(1).map(std::path::PathBuf::from);

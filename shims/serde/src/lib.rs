@@ -1,0 +1,12 @@
+//! Offline shim for `serde`. The workspace derives `Serialize`/
+//! `Deserialize` on a few data types but never serializes anything (there
+//! is no serde_json or bincode in the tree), so the derives are no-ops and
+//! the traits are empty markers kept for name resolution.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the `Serialize`/`Deserialize` derives
+//! expand to nothing. Nothing in this workspace serializes — the derives
+//! exist on a handful of data types for downstream compatibility — so
+//! no-op expansion keeps those types compiling without the real serde
+//! machinery.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

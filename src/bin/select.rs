@@ -7,6 +7,10 @@
 //! select stats   [--dataset NAME] [--nodes N]              overlay statistics
 //! ```
 //!
+//! All commands accept `--threads N` (round-loop workers; `0` = available
+//! parallelism — results are bit-identical for every value). Commands that
+//! converge print the per-round telemetry the run recorded.
+//!
 //! For regenerating the paper's tables and figures use the `repro` binary in
 //! `osn-bench`; this CLI is the quick interactive front end.
 
@@ -22,6 +26,7 @@ struct Opts {
     nodes: usize,
     seed: u64,
     steps: usize,
+    threads: usize,
 }
 
 fn parse(args: &[String]) -> Result<(String, Opts), String> {
@@ -31,6 +36,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
         nodes: 600,
         seed: 42,
         steps: 20,
+        threads: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,6 +69,12 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--steps needs a number")?;
             }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
             other if cmd.is_none() && !other.starts_with("--") => {
                 cmd = Some(other.to_string());
             }
@@ -80,10 +92,37 @@ fn converged(opts: &Opts) -> (SocialGraph, SelectNetwork) {
         graph.num_nodes(),
         metrics::average_degree(&graph)
     );
-    let mut net =
-        SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(opts.seed));
+    let mut net = SelectNetwork::bootstrap(
+        graph.clone(),
+        SelectConfig::default()
+            .with_seed(opts.seed)
+            .with_threads(opts.threads),
+    );
     let conv = net.converge(300);
-    eprintln!("[select] converged in {} rounds", conv.rounds);
+    eprintln!(
+        "[select] {} in {} rounds: {}",
+        if conv.converged {
+            "converged"
+        } else {
+            "round cap hit"
+        },
+        conv.rounds,
+        conv.telemetry.summary()
+    );
+    // Per-round telemetry: every round until quiescence, one line each.
+    for r in &conv.telemetry.rounds {
+        eprintln!(
+            "[select]   round {:3}: {:4} msgs, {:3} id moves ({:.4} ring), \
+             {:4} link changes, bucket hit rate {:5.1}%, {:.2} ms",
+            r.round,
+            r.messages,
+            r.id_moves,
+            r.id_movement,
+            r.link_changes,
+            r.bucket_hit_rate() * 100.0,
+            r.wall_nanos as f64 / 1e6
+        );
+    }
     (graph, net)
 }
 
@@ -183,8 +222,14 @@ fn cmd_stats(opts: &Opts) {
     println!("friend distance (ring)  : {:.4}", s.mean_friend_distance);
     println!("random distance (ring)  : {:.4}", s.mean_random_distance);
     println!("clustering ratio        : {:.3}", s.clustering_ratio());
-    println!("friend coverage         : {:.1}%", s.friend_coverage * 100.0);
-    println!("long links social       : {:.1}%", s.social_link_fraction * 100.0);
+    println!(
+        "friend coverage         : {:.1}%",
+        s.friend_coverage * 100.0
+    );
+    println!(
+        "long links social       : {:.1}%",
+        s.social_link_fraction * 100.0
+    );
     println!("mean connections        : {:.1}", s.mean_connections);
     println!("max connections         : {}", s.max_connections);
 }

@@ -72,6 +72,80 @@ fn repeated_churn_waves_do_not_degrade_the_overlay() {
     }
 }
 
+/// Structural soundness of the link graph: budgets, caps and the mutual
+/// long/incoming registration that the Admission handshake maintains.
+fn assert_link_invariants(net: &SelectNetwork, when: &str) {
+    let n = net.len() as u32;
+    for p in 0..n {
+        let long = net.table(p).long_links();
+        let incoming = net.table(p).incoming_links();
+        assert!(
+            long.len() <= net.k(),
+            "{when}: peer {p} exceeds K-link budget ({} > {})",
+            long.len(),
+            net.k()
+        );
+        assert!(
+            incoming.len() <= net.k(),
+            "{when}: peer {p} exceeds incoming cap ({} > {})",
+            incoming.len(),
+            net.k()
+        );
+        for &u in long {
+            assert_ne!(u, p, "{when}: peer {p} holds a self link");
+            assert!(
+                net.table(u).incoming_links().contains(&p),
+                "{when}: link {p}->{u} not registered incoming at {u}"
+            );
+        }
+        for &u in incoming {
+            assert!(
+                net.table(u).long_links().contains(&p),
+                "{when}: stale incoming {u}@{p} with no long link at {u}"
+            );
+        }
+        let mut sorted = long.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            long.len(),
+            "{when}: duplicate long links at {p}"
+        );
+    }
+}
+
+#[test]
+fn churn_waves_preserve_link_budget_and_mirror_invariants() {
+    // Repeated blink churn with probe *and* gossip rounds interleaved must
+    // never break the K budget, the incoming cap, or the mutual registration
+    // established by the offer_incoming/remove_incoming handshake.
+    let (graph, mut net) = converged_net(180, 9);
+    assert_link_invariants(&net, "after converge");
+    let model = ChurnModel::new(LogNormal::with_median(0.1, 0.5), 0.6);
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = graph.num_nodes();
+    for wave in 0..12 {
+        let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
+        let gone = model.sample_departing_peers(&mut rng, &online, n);
+        for &p in &gone {
+            net.set_offline(p);
+        }
+        // Two probe rounds so low-CMA links actually get replaced, then one
+        // gossip round so reconcile_links also runs against the churned state.
+        net.probe_round();
+        net.probe_round();
+        assert_link_invariants(&net, &format!("wave {wave} after probes"));
+        net.gossip_round();
+        assert_link_invariants(&net, &format!("wave {wave} after gossip"));
+        for &p in &gone {
+            net.set_online(p);
+        }
+    }
+    net.probe_round();
+    assert_link_invariants(&net, "after the storm");
+}
+
 #[test]
 fn mid_dissemination_departure_is_detected_next_round() {
     let (graph, mut net) = converged_net(150, 4);

@@ -1,12 +1,12 @@
 //! Integration tests for the extension features: arbitrary-topic pub/sub
 //! and the message-level protocol execution.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use select::core::protocol::ProtocolNetwork;
 use select::core::topics::{TopicId, TopicRegistry};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[test]
 fn group_pubsub_on_dataset_preset() {

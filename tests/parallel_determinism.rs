@@ -1,0 +1,93 @@
+//! Thread-count invariance of the superstep round loop: `converge`,
+//! per-round telemetry, the resulting overlay state and subsequent publish
+//! traces must be bit-identical for every worker count (the determinism
+//! contract of DESIGN.md's round-loop execution model).
+
+use select::core::{ConvergenceReport, SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+
+/// Full observable outcome of one converge-then-publish run.
+#[derive(Debug, PartialEq)]
+struct RunOutcome {
+    report: ConvergenceReport,
+    /// Per-peer (identifier, long links, sorted incoming links).
+    state: Vec<(select::overlay::RingId, Vec<u32>, Vec<u32>)>,
+    /// Publish traces from a fixed broadcaster set.
+    publishes: Vec<(usize, usize, u64, usize)>,
+}
+
+fn run(threads: usize) -> RunOutcome {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(42).with_threads(threads),
+    );
+    let report = net.converge(300);
+    assert!(report.converged, "threads={threads} did not converge");
+    let state = (0..net.len() as u32)
+        .map(|p| {
+            let mut incoming = net.table(p).incoming_links().to_vec();
+            incoming.sort_unstable();
+            (
+                net.identifier_of(p),
+                net.table(p).long_links().to_vec(),
+                incoming,
+            )
+        })
+        .collect();
+    let publishes = (0..20u32)
+        .map(|b| {
+            let r = net.publish(b);
+            (
+                r.delivered,
+                r.subscribers,
+                r.avg_hops.to_bits(),
+                r.total_relays,
+            )
+        })
+        .collect();
+    RunOutcome {
+        report,
+        state,
+        publishes,
+    }
+}
+
+#[test]
+fn converge_is_thread_count_invariant() {
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let other = run(threads);
+        assert_eq!(
+            base.report, other.report,
+            "threads={threads} diverged in report/telemetry"
+        );
+        assert_eq!(
+            base.state, other.state,
+            "threads={threads} diverged in overlay state"
+        );
+        assert_eq!(
+            base.publishes, other.publishes,
+            "threads={threads} diverged in publish traces"
+        );
+    }
+    // Telemetry is substantive, not just equal-and-empty.
+    assert!(base.report.telemetry.total_messages() > 0);
+    assert!(base.report.telemetry.total_id_moves() > 0);
+    assert_eq!(base.report.telemetry.rounds.len(), base.report.rounds);
+}
+
+#[test]
+fn auto_thread_default_matches_explicit_one() {
+    // threads = 0 resolves to available parallelism; whatever it picks must
+    // agree with the single-thread reference.
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(150, 7);
+    let mut auto = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(7));
+    let mut one =
+        SelectNetwork::bootstrap(graph, SelectConfig::default().with_seed(7).with_threads(1));
+    assert_eq!(auto.converge(300), one.converge(300));
+    for p in 0..auto.len() as u32 {
+        assert_eq!(auto.identifier_of(p), one.identifier_of(p));
+        assert_eq!(auto.table(p).long_links(), one.table(p).long_links());
+    }
+}

@@ -17,8 +17,7 @@ fn preset_graph(ds: datasets::Dataset, seed: u64) -> SocialGraph {
 fn full_pipeline_on_every_dataset_preset() {
     for ds in datasets::Dataset::ALL {
         let graph = preset_graph(ds, 1);
-        let mut net =
-            SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(1));
+        let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(1));
         let conv = net.converge(300);
         assert!(conv.converged, "{} did not converge", ds.name());
 
@@ -89,7 +88,11 @@ fn deterministic_replay_given_seed() {
             .collect();
         (conv.rounds, pubs)
     };
-    assert_eq!(run(&graph), run(&graph), "same seed must replay identically");
+    assert_eq!(
+        run(&graph),
+        run(&graph),
+        "same seed must replay identically"
+    );
 }
 
 #[test]
@@ -116,11 +119,9 @@ fn every_system_achieves_full_availability_on_static_network() {
             let b = rng.gen_range(0..graph.num_nodes() as u32);
             let r = sys.publish(b);
             assert_eq!(
-                r.delivered,
-                r.subscribers,
+                r.delivered, r.subscribers,
                 "{:?} failed {:?}",
-                kind,
-                r.tree.failed
+                kind, r.tree.failed
             );
         }
     }

@@ -8,8 +8,11 @@ use select::overlay::{RingId, Topology};
 /// An arbitrary small connected-ish social graph: a ring backbone (keeps it
 /// connected) plus random chords.
 fn arb_graph() -> impl Strategy<Value = SocialGraph> {
-    (6usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..60)).prop_map(
-        |(n, chords)| {
+    (
+        6usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40), 0..60),
+    )
+        .prop_map(|(n, chords)| {
             let mut b = GraphBuilder::new(n);
             for i in 0..n as u32 {
                 b.add_edge(UserId(i), UserId((i + 1) % n as u32));
@@ -21,8 +24,7 @@ fn arb_graph() -> impl Strategy<Value = SocialGraph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {
