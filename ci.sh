@@ -9,7 +9,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run --workspace --offline
+
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
+
+echo "==> fault-injection suite (explicit, so a filtered test run can't skip it)"
+cargo test -q --offline --test churn_failure_injection --test properties
 
 echo "==> ci.sh: all green"

@@ -150,6 +150,8 @@ pub fn aggregate_publication(
             total_relays as f64 / delivered as f64
         },
         total_relays,
+        // Baselines run fault-free: the injection layer is SELECT-side.
+        delivery: Default::default(),
         tree,
     }
 }

@@ -1,6 +1,8 @@
 //! Tunable parameters of the SELECT system, including the ablation switches
 //! DESIGN.md §6 calls out.
 
+use osn_sim::FaultPlan;
+
 /// Configuration for [`crate::SelectNetwork`].
 #[derive(Clone, Debug)]
 pub struct SelectConfig {
@@ -47,6 +49,18 @@ pub struct SelectConfig {
     /// snapshot and apply them in vertex order (see DESIGN.md §"Round-loop
     /// execution model").
     pub threads: usize,
+    /// Mid-flight fault injection: per-link drops, delay jitter and
+    /// mid-publication crashes, all derived from the plan's own seed.
+    /// Disabled by default (all probabilities zero).
+    pub fault_plan: FaultPlan,
+    /// Maximum ack-driven retransmission attempts per subscriber after the
+    /// initial dissemination. `0` disables reliable delivery (fire and
+    /// forget — the ablation the acceptance criteria measure against).
+    pub retry_max: usize,
+    /// Base of the bounded exponential retry backoff, in virtual
+    /// milliseconds: attempt `k` waits `retry_backoff_ms << (k - 1)`,
+    /// capped at 8 doublings.
+    pub retry_backoff_ms: u64,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -68,6 +82,9 @@ impl Default for SelectConfig {
             centroid_all: false,
             cma_recovery: true,
             threads: 0,
+            fault_plan: FaultPlan::disabled(),
+            retry_max: 3,
+            retry_backoff_ms: 50,
             seed: 0xC0FFEE,
         }
     }
@@ -142,6 +159,25 @@ impl SelectConfig {
         self.cma_recovery = on;
         self
     }
+
+    /// Returns the config with a fault-injection plan installed.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns the config with the retransmission budget set
+    /// (`0` = fire and forget).
+    pub fn with_retry_max(mut self, retries: usize) -> Self {
+        self.retry_max = retries;
+        self
+    }
+
+    /// Returns the config with the retry backoff base set (virtual ms).
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +204,19 @@ mod tests {
         assert_eq!(c.threads, 0, "default is auto");
         assert!(c.resolved_threads() >= 1);
         assert_eq!(c.with_threads(8).resolved_threads(), 8);
+    }
+
+    #[test]
+    fn fault_plan_defaults_off() {
+        let c = SelectConfig::default();
+        assert!(!c.fault_plan.is_active());
+        assert_eq!(c.retry_max, 3);
+        let c = c
+            .with_fault_plan(FaultPlan::seeded(11).with_drop_prob(0.2))
+            .with_retry_max(5)
+            .with_retry_backoff_ms(10);
+        assert!(c.fault_plan.is_active());
+        assert_eq!((c.retry_max, c.retry_backoff_ms), (5, 10));
     }
 
     #[test]

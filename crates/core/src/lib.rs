@@ -55,4 +55,4 @@ pub use gossip::RoundChanges;
 pub use network::{ConvergenceReport, SelectNetwork};
 pub use pubsub::{DisseminationReport, RoutingTree};
 pub use recovery::RecoveryReport;
-pub use stats::{ConvergenceTelemetry, OverlayStats, RoundTelemetry};
+pub use stats::{ConvergenceTelemetry, DeliveryTelemetry, OverlayStats, RoundTelemetry};

@@ -12,7 +12,8 @@
 //! nodes are intermediate peers that are not themselves subscribers.
 
 use crate::network::SelectNetwork;
-use osn_overlay::{route_greedy, route_with_lookahead, RouteOutcome};
+use crate::stats::DeliveryTelemetry;
+use osn_overlay::{route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome};
 use std::collections::{HashMap, HashSet};
 
 /// The routing tree of one publication.
@@ -64,6 +65,9 @@ pub struct DisseminationReport {
     pub avg_relays: f64,
     /// Total relay-node occurrences across the tree.
     pub total_relays: usize,
+    /// What the fault plan injected and reliable delivery did about it
+    /// (all zero when the configured [`osn_sim::FaultPlan`] is inactive).
+    pub delivery: DeliveryTelemetry,
     /// The underlying routing tree.
     pub tree: RoutingTree,
 }
@@ -101,31 +105,54 @@ impl SelectNetwork {
     /// [`SelectNetwork::lookup`] (direct link → lookahead → greedy), which
     /// may cross non-subscriber relays.
     pub fn publish(&self, b: u32) -> DisseminationReport {
-        self.disseminate(b, self.online_friends(b))
+        self.publish_at(b, 0)
+    }
+
+    /// Like [`Self::publish`], with an explicit publication nonce.
+    ///
+    /// The nonce identifies this publication to the configured
+    /// [`osn_sim::FaultPlan`]: two publications with different nonces draw
+    /// independent fault schedules, while replaying the same nonce replays
+    /// the exact same drops, delays and crashes — at any thread count.
+    pub fn publish_at(&self, b: u32, nonce: u64) -> DisseminationReport {
+        self.disseminate_at(b, self.online_friends(b), nonce)
     }
 
     /// Disseminates from `b` to an explicit online subscriber set — the
     /// general form behind both friend notifications ([`Self::publish`])
     /// and arbitrary-topic publication ([`crate::topics`]).
     pub fn disseminate(&self, b: u32, subscribers: Vec<u32>) -> DisseminationReport {
+        self.disseminate_at(b, subscribers, 0)
+    }
+
+    /// [`Self::disseminate`] under an explicit publication nonce (see
+    /// [`Self::publish_at`]).
+    pub fn disseminate_at(&self, b: u32, subscribers: Vec<u32>, nonce: u64) -> DisseminationReport {
         let subscriber_set: HashSet<u32> = subscribers.iter().copied().collect();
         let mut tree = RoutingTree {
             publisher: b,
             ..RoutingTree::default()
         };
-        let mut total_hops = 0usize;
-        let mut total_relays = 0usize;
+        let max_hops = self.cfg.max_route_hops;
 
         // Stage 1: BFS over connections restricted to {b} ∪ subscribers —
-        // the relay-free part of the tree.
-        let mut parent: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        // the relay-free part of the tree. Depth is tracked from the
+        // publisher so the hop budget bounds the *full* path, not a stage.
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut depth: HashMap<u32, usize> = HashMap::new();
         parent.insert(b, b);
+        depth.insert(b, 0);
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(b);
         while let Some(u) = queue.pop_front() {
+            let d = depth[&u];
+            if d >= max_hops {
+                continue;
+            }
             for v in self.connections_of(u) {
                 if subscriber_set.contains(&v) && !parent.contains_key(&v) {
                     parent.insert(v, u);
+                    depth.insert(v, d + 1);
                     queue.push_back(v);
                 }
             }
@@ -135,7 +162,9 @@ impl SelectNetwork {
         // applies at every hop, not just at the publisher), so the residue
         // is reached by a multi-source BFS from the already-reached set over
         // the full connection graph; intermediates picked up here may be
-        // non-subscribers — the relay nodes.
+        // non-subscribers — the relay nodes. Expansion goes bucket-by-bucket
+        // in publisher-distance order, so stage-1 depth plus the stage-2
+        // extension can never exceed the hop budget combined.
         let unreached: Vec<u32> = subscribers
             .iter()
             .copied()
@@ -143,26 +172,31 @@ impl SelectNetwork {
             .collect();
         if !unreached.is_empty() {
             let mut missing: HashSet<u32> = unreached.iter().copied().collect();
-            let mut frontier: Vec<u32> = parent.keys().copied().collect();
-            frontier.sort_unstable(); // deterministic expansion order
-            let mut depth = 0usize;
-            while !missing.is_empty() && !frontier.is_empty() && depth < self.cfg.max_route_hops {
-                depth += 1;
-                let mut next = Vec::new();
-                for &u in &frontier {
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_hops + 1];
+            for (&p, &d) in &depth {
+                buckets[d].push(p);
+            }
+            let mut d = 0usize;
+            while d < max_hops && !missing.is_empty() {
+                let mut frontier = std::mem::take(&mut buckets[d]);
+                frontier.sort_unstable(); // deterministic expansion order
+                for u in frontier {
                     for v in self.connections_of(u) {
                         if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(v) {
                             e.insert(u);
-                            next.push(v);
+                            depth.insert(v, d + 1);
+                            buckets[d + 1].push(v);
                             missing.remove(&v);
                         }
                     }
                 }
-                next.sort_unstable();
-                frontier = next;
+                d += 1;
             }
         }
 
+        // Per-subscriber planned paths (the routing tree before any fault
+        // hits it), in deterministic subscriber order.
+        let mut planned: Vec<(u32, Vec<u32>)> = Vec::new();
         for &s in &subscribers {
             if parent.contains_key(&s) {
                 let mut path = vec![s];
@@ -187,26 +221,138 @@ impl SelectNetwork {
                         }
                     }
                 }
-                total_hops += path.len() - 1;
-                total_relays += path[1..path.len() - 1]
-                    .iter()
-                    .filter(|q| !subscriber_set.contains(q))
-                    .count();
-                tree.paths.push(path);
+                planned.push((s, path));
                 continue;
             }
             // Last resort: greedy overlay routing from the publisher.
             match self.lookup(b, s) {
-                RouteOutcome::Delivered { path } => {
-                    total_hops += path.len() - 1;
-                    total_relays += path[1..path.len() - 1]
-                        .iter()
-                        .filter(|q| !subscriber_set.contains(q))
-                        .count();
-                    tree.paths.push(path);
-                }
+                RouteOutcome::Delivered { path } => planned.push((s, path)),
                 RouteOutcome::Failed { .. } => tree.failed.push(s),
             }
+        }
+
+        // Mid-flight faults + ack/retry reliable delivery. With the plan
+        // inactive every planned path is delivered verbatim and the
+        // telemetry stays zero — the exact pre-fault behaviour.
+        let plan = self.cfg.fault_plan;
+        let mut telemetry = DeliveryTelemetry::default();
+        let final_paths: Vec<Vec<u32>> = if !plan.is_active() {
+            planned.into_iter().map(|(_, path)| path).collect()
+        } else {
+            let mut delivered_paths = Vec::new();
+            // Peers currently holding a copy (per-publication dedup state)
+            // and relays the publisher has observed crashed.
+            let mut has_message: HashSet<u32> = HashSet::from([b]);
+            let mut observed_dead: HashSet<u32> = HashSet::new();
+
+            // Attempt 0 floods the shared tree: each distinct directed edge
+            // is one physical transmission, simulated exactly once and
+            // memoized so paths sharing a prefix share its fate.
+            let mut edge_ok: HashMap<(u32, u32), bool> = HashMap::new();
+            let mut pending: Vec<(u32, Vec<u32>)> = Vec::new();
+            for (s, path) in planned {
+                let mut alive = true;
+                for w in path.windows(2) {
+                    let (u, v) = (w[0], w[1]);
+                    match edge_ok.entry((u, v)) {
+                        std::collections::hash_map::Entry::Occupied(e) => alive = *e.get(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let ok = if u != b && plan.crashes(nonce, u) {
+                                observed_dead.insert(u);
+                                telemetry.crash_losses += 1;
+                                false
+                            } else if plan.drops(nonce, 0, u, v) {
+                                telemetry.drops_injected += 1;
+                                false
+                            } else {
+                                true
+                            };
+                            e.insert(ok);
+                            if ok && !has_message.insert(v) {
+                                telemetry.duplicates_suppressed += 1;
+                            }
+                            alive = ok;
+                        }
+                    }
+                    if !alive {
+                        break;
+                    }
+                }
+                if alive {
+                    delivered_paths.push(path);
+                } else {
+                    pending.push((s, path));
+                }
+            }
+
+            // Ack-driven retries with bounded exponential backoff: each wave
+            // retransmits to every still-unacked subscriber, re-routing
+            // around relays observed dead. Retransmissions are unicast, so
+            // every traversed edge is a fresh transmission.
+            let mut backoff = self.cfg.retry_backoff_ms;
+            for attempt in 1..=self.cfg.retry_max as u32 {
+                if pending.is_empty() {
+                    break;
+                }
+                telemetry.backoff_ms += backoff;
+                backoff = (backoff * 2).min(self.cfg.retry_backoff_ms << 8);
+                let mut still = Vec::new();
+                for (s, original) in pending {
+                    telemetry.retries += 1;
+                    let rerouted = if observed_dead.is_empty() {
+                        None
+                    } else {
+                        match route_greedy_excluding(self, b, s, max_hops, &observed_dead) {
+                            RouteOutcome::Delivered { path } => {
+                                telemetry.reroutes += 1;
+                                Some(path)
+                            }
+                            RouteOutcome::Failed { .. } => None,
+                        }
+                    };
+                    let path = rerouted.unwrap_or_else(|| original.clone());
+                    let mut alive = true;
+                    for w in path.windows(2) {
+                        let (u, v) = (w[0], w[1]);
+                        if u != b && plan.crashes(nonce, u) {
+                            observed_dead.insert(u);
+                            telemetry.crash_losses += 1;
+                            alive = false;
+                            break;
+                        }
+                        if plan.drops(nonce, attempt, u, v) {
+                            telemetry.drops_injected += 1;
+                            alive = false;
+                            break;
+                        }
+                        if !has_message.insert(v) {
+                            telemetry.duplicates_suppressed += 1;
+                        }
+                    }
+                    if alive {
+                        delivered_paths.push(path);
+                    } else {
+                        still.push((s, original));
+                    }
+                }
+                pending = still;
+            }
+            telemetry.residual_losses = pending.len() as u64;
+            for (s, _) in pending {
+                tree.failed.push(s);
+            }
+            delivered_paths
+        };
+
+        let mut total_hops = 0usize;
+        let mut total_relays = 0usize;
+        for path in final_paths {
+            total_hops += path.len() - 1;
+            total_relays += path[1..path.len() - 1]
+                .iter()
+                .filter(|q| !subscriber_set.contains(q))
+                .count();
+            tree.paths.push(path);
         }
 
         let delivered = tree.paths.len();
@@ -225,6 +371,7 @@ impl SelectNetwork {
                 total_relays as f64 / delivered as f64
             },
             total_relays,
+            delivery: telemetry,
             tree,
         }
     }
@@ -329,6 +476,155 @@ mod tests {
         n.set_offline(f);
         let after = n.publish(b).subscribers;
         assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_telemetry() {
+        let n = converged(8);
+        let r = n.publish(0);
+        assert_eq!(r.delivery, Default::default());
+        assert_eq!(r.delivery.faults_injected(), 0);
+    }
+
+    #[test]
+    fn drops_with_retries_still_deliver() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(9);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default()
+                .with_seed(9)
+                .with_fault_plan(osn_sim::FaultPlan::seeded(9).with_drop_prob(0.10))
+                .with_retry_max(6),
+        );
+        n.converge(100);
+        let mut drops = 0;
+        let mut retries = 0;
+        for (i, b) in [0u32, 3, 7, 20, 50, 90].iter().enumerate() {
+            let r = n.publish_at(*b, i as u64);
+            assert_eq!(
+                r.delivered, r.subscribers,
+                "retries should recover 10% drops: {:?}",
+                r.delivery
+            );
+            drops += r.delivery.drops_injected;
+            retries += r.delivery.retries;
+        }
+        assert!(drops > 0, "fault plan never fired");
+        assert!(retries > 0, "drops happened but nothing was retried");
+    }
+
+    #[test]
+    fn retries_disabled_measurably_degrade_availability() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(10);
+        let plan = osn_sim::FaultPlan::seeded(10).with_drop_prob(0.15);
+        let build = |retries: usize| {
+            let mut n = SelectNetwork::bootstrap(
+                g.clone(),
+                SelectConfig::default()
+                    .with_seed(10)
+                    .with_fault_plan(plan)
+                    .with_retry_max(retries),
+            );
+            n.converge(100);
+            n
+        };
+        let reliable = build(6);
+        let fire_and_forget = build(0);
+        let avail = |net: &SelectNetwork| {
+            let mut total = 0.0;
+            for nonce in 0..20u64 {
+                total += net.publish_at((nonce * 7) as u32, nonce).availability();
+            }
+            total / 20.0
+        };
+        let with_retries = avail(&reliable);
+        let without = avail(&fire_and_forget);
+        assert!(
+            with_retries > without + 0.05,
+            "retries must be load-bearing: {with_retries} vs {without}"
+        );
+        assert!(
+            with_retries > 0.99,
+            "reliable delivery should recover drops"
+        );
+    }
+
+    #[test]
+    fn crashed_relays_are_routed_around() {
+        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(11);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default()
+                .with_seed(11)
+                .with_fault_plan(
+                    osn_sim::FaultPlan::seeded(11)
+                        .with_crash_prob(0.08)
+                        .with_drop_prob(0.02),
+                )
+                .with_retry_max(6),
+        );
+        n.converge(100);
+        let mut tele = crate::stats::DeliveryTelemetry::default();
+        for nonce in 0..30u64 {
+            let r = n.publish_at((nonce * 5) as u32, nonce);
+            tele.absorb(&r.delivery);
+        }
+        assert!(tele.crash_losses > 0, "crash schedule never fired");
+        assert!(
+            tele.reroutes > 0,
+            "crashes observed but no retry ever re-routed: {tele:?}"
+        );
+    }
+
+    #[test]
+    fn same_nonce_replays_bit_identically() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(12);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default()
+                .with_seed(12)
+                .with_fault_plan(
+                    osn_sim::FaultPlan::seeded(12)
+                        .with_drop_prob(0.2)
+                        .with_crash_prob(0.05),
+                )
+                .with_retry_max(4),
+        );
+        n.converge(100);
+        let a = n.publish_at(5, 77);
+        let b = n.publish_at(5, 77);
+        assert_eq!(a.delivery, b.delivery);
+        assert_eq!(a.tree.paths, b.tree.paths);
+        assert_eq!(a.tree.failed, b.tree.failed);
+        // A different nonce draws a fresh schedule (with these rates, 20
+        // publications with identical faults would be astronomical luck).
+        let c = n.publish_at(5, 78);
+        assert!(
+            a.delivery != c.delivery || a.tree.paths != c.tree.paths,
+            "nonces 77 and 78 drew identical fault schedules"
+        );
+    }
+
+    #[test]
+    fn full_paths_respect_hop_budget() {
+        // Regression: stage 2 used to bound only its own extension depth,
+        // so stage-1 depth + stage-2 extension could exceed max_route_hops.
+        for seed in [13u64, 14, 15] {
+            let g = BarabasiAlbert::with_closure(200, 3, 0.4).generate(seed);
+            let mut cfg = SelectConfig::default().with_seed(seed);
+            cfg.max_route_hops = 3;
+            let mut n = SelectNetwork::bootstrap(g, cfg);
+            n.converge(100);
+            for b in (0..200u32).step_by(17) {
+                let r = n.publish(b);
+                for path in &r.tree.paths {
+                    assert!(
+                        path.len() - 1 <= 3,
+                        "publisher {b}: path {path:?} exceeds max_route_hops=3"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub struct RecoveryReport {
     pub replaced: usize,
     /// Links dropped with no replacement available.
     pub dropped: usize,
+    /// Long links lost to third-party eviction while replacements were
+    /// admitted (a replacement's `offer_incoming` displacing the weakest
+    /// holder). Every eviction is either relinked or counted as a loss:
+    /// `evictions == evicted_relinked + eviction_losses`.
+    pub evictions: usize,
+    /// Evicted links re-established to a fresh same-bucket/fallback peer.
+    pub evicted_relinked: usize,
+    /// Evicted links that could not be re-established this round.
+    pub eviction_losses: usize,
     /// Wall-clock time of the round in nanoseconds. Excluded from equality.
     pub wall_nanos: u64,
 }
@@ -43,6 +52,9 @@ impl PartialEq for RecoveryReport {
             && self.kept == other.kept
             && self.replaced == other.replaced
             && self.dropped == other.dropped
+            && self.evictions == other.evictions
+            && self.evicted_relinked == other.evicted_relinked
+            && self.eviction_losses == other.eviction_losses
     }
 }
 
@@ -80,6 +92,10 @@ impl SelectNetwork {
         // Apply half, in vertex order: CMA updates, trust decisions and
         // replacements. A link evicted earlier in this apply phase (by a
         // lower-indexed peer's replacement) is skipped — it is already gone.
+        // Evictions are queued (in vertex order) and repaired after the
+        // sweep, so no peer silently loses a long link to someone else's
+        // replacement.
+        let mut evicted_queue: Vec<(u32, u32)> = Vec::new();
         engine.step(false, |p, mail, _| {
             for ProbeReport(probes) in mail {
                 for (u, responded) in probes {
@@ -117,6 +133,7 @@ impl SelectNetwork {
                                     self.tables[p as usize].add_long(r);
                                     if let Some(w) = evicted {
                                         self.tables[w as usize].remove_long(r);
+                                        evicted_queue.push((w, r));
                                     }
                                     report.replaced += 1;
                                 }
@@ -128,6 +145,41 @@ impl SelectNetwork {
                 }
             }
         });
+
+        // Eviction repair: every peer displaced by a replacement above gets
+        // its own replacement attempt (same-bucket first, §III-F), instead
+        // of silently running under its link budget. Repairs can cascade —
+        // the fresh link may evict someone else — so the worklist carries a
+        // budget; anything past it is recorded as a loss, never dropped
+        // from the accounting.
+        let mut cascade_budget = 4 * self.len();
+        while let Some((w, lost)) = evicted_queue.pop() {
+            report.evictions += 1;
+            if cascade_budget == 0 || !self.online[w as usize] {
+                report.eviction_losses += 1;
+                continue;
+            }
+            cascade_budget -= 1;
+            match self.find_replacement(w, lost) {
+                Some(r) => {
+                    let bw_w = self.bandwidth[w as usize];
+                    let bandwidth = &self.bandwidth;
+                    match self.tables[r as usize].offer_incoming(w, bw_w, |q| bandwidth[q as usize])
+                    {
+                        Admission::Accepted { evicted } => {
+                            self.tables[w as usize].add_long(r);
+                            if let Some(w2) = evicted {
+                                self.tables[w2 as usize].remove_long(r);
+                                evicted_queue.push((w2, r));
+                            }
+                            report.evicted_relinked += 1;
+                        }
+                        Admission::Rejected => report.eviction_losses += 1,
+                    }
+                }
+                None => report.eviction_losses += 1,
+            }
+        }
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         report
     }
@@ -262,6 +314,50 @@ mod tests {
         let r = n.probe_round();
         assert!(r.probes > 0);
         assert_eq!(r.unresponsive, r.kept + r.replaced + r.dropped);
+    }
+
+    #[test]
+    fn evictions_are_accounted_and_repaired() {
+        // Regression: a replacement's offer_incoming used to evict peer w's
+        // long link silently — no repair attempt, no counter. Run churn
+        // waves heavy enough to force evictions and check every one is
+        // either relinked or recorded as a loss, with link budgets intact.
+        let mut evictions = 0usize;
+        let mut relinked = 0usize;
+        for seed in 0..6u64 {
+            let g = BarabasiAlbert::with_closure(120, 5, 0.5).generate(seed);
+            let mut n = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(seed));
+            n.converge(100);
+            for wave in 0..4 {
+                let victims: Vec<u32> = (0..120u32).filter(|p| (p + wave) % 3 == 0).collect();
+                for &v in &victims {
+                    n.set_offline(v);
+                }
+                for _ in 0..4 {
+                    let r = n.probe_round();
+                    assert_eq!(
+                        r.evictions,
+                        r.evicted_relinked + r.eviction_losses,
+                        "eviction accounting broken: {r:?}"
+                    );
+                    evictions += r.evictions;
+                    relinked += r.evicted_relinked;
+                }
+                for &v in &victims {
+                    n.set_online(v);
+                }
+            }
+            // Budgets hold after the storm — repair never overfills.
+            for p in 0..n.len() as u32 {
+                assert!(n.table(p).long_links().len() <= n.k());
+                assert!(n.table(p).incoming_links().len() <= n.k());
+            }
+        }
+        assert!(evictions > 0, "test never exercised the eviction path");
+        assert!(
+            relinked > 0,
+            "no evicted peer ever recovered its link budget ({evictions} evictions)"
+        );
     }
 
     #[test]

@@ -152,6 +152,67 @@ impl PartialEq for ConvergenceTelemetry {
     }
 }
 
+/// What reliable delivery did (and what the fault plan did to it) during
+/// one publication — or, summed with [`DeliveryTelemetry::absorb`], during a
+/// whole experiment.
+///
+/// Every field is a pure function of the network state, the config seed and
+/// the fault-plan seed, so telemetry from runs at different thread counts
+/// is comparable with plain `==`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryTelemetry {
+    /// Link transmissions the fault plan dropped in flight.
+    pub drops_injected: u64,
+    /// Transmissions lost because the forwarding relay was crashed for
+    /// this publication.
+    pub crash_losses: u64,
+    /// Retransmission attempts made by the publisher.
+    pub retries: u64,
+    /// Retries that re-routed around relays observed dead (as opposed to
+    /// plain retransmission along the original path).
+    pub reroutes: u64,
+    /// Copies that reached a peer which already held the message and were
+    /// suppressed by per-publication dedup.
+    pub duplicates_suppressed: u64,
+    /// Subscribers still unreached when the retry budget ran out.
+    pub residual_losses: u64,
+    /// Total virtual backoff the publisher waited across retry waves, ms.
+    pub backoff_ms: u64,
+}
+
+impl DeliveryTelemetry {
+    /// Adds another publication's counters into this accumulator.
+    pub fn absorb(&mut self, other: &DeliveryTelemetry) {
+        self.drops_injected += other.drops_injected;
+        self.crash_losses += other.crash_losses;
+        self.retries += other.retries;
+        self.reroutes += other.reroutes;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.residual_losses += other.residual_losses;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// Faults injected in flight (drops plus crash losses).
+    pub fn faults_injected(&self) -> u64 {
+        self.drops_injected + self.crash_losses
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} drops, {} crash losses, {} retries ({} rerouted), \
+             {} dups suppressed, {} residual losses, {} ms backoff",
+            self.drops_injected,
+            self.crash_losses,
+            self.retries,
+            self.reroutes,
+            self.duplicates_suppressed,
+            self.residual_losses,
+            self.backoff_ms,
+        )
+    }
+}
+
 /// A snapshot of overlay quality.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OverlayStats {

@@ -12,8 +12,11 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_sim::FaultPlan;
 use select_core::pubsub::RoutingTree;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -23,6 +26,9 @@ enum NetMsg {
     /// forwarded to `children[self]`.
     Payload {
         pub_id: u64,
+        /// Retransmission attempt (0 = the original dissemination); feeds
+        /// the fault plan so retries redraw their drop decisions.
+        attempt: u32,
         payload: Bytes,
         /// Forwarding plan: child lists per peer for this publication.
         children: std::sync::Arc<HashMap<u32, Vec<u32>>>,
@@ -46,6 +52,10 @@ pub struct PublishResult {
     pub delivered_to: HashSet<u32>,
     /// Total bytes received across all peers.
     pub bytes_received: usize,
+    /// Transmissions the fault plan dropped during this publication.
+    pub drops_injected: u64,
+    /// Direct retransmissions the publisher sent after ack timeouts.
+    pub retries: u64,
 }
 
 /// A network of peer actors.
@@ -54,12 +64,26 @@ pub struct ThreadedNetwork {
     handles: Vec<JoinHandle<()>>,
     deliveries: Receiver<Delivery>,
     next_pub_id: u64,
+    /// Retransmission waves `publish` may use after the first ack window.
+    retry_max: u32,
+    drops: Arc<AtomicU64>,
 }
 
 impl ThreadedNetwork {
-    /// Spawns `n` peer actors.
+    /// Spawns `n` peer actors on a fault-free network.
     pub fn spawn(n: usize) -> Self {
+        Self::spawn_with_faults(n, FaultPlan::disabled(), 0)
+    }
+
+    /// Spawns `n` peer actors whose forwards run through `plan`: before
+    /// each child send the actor draws the plan's drop decision (keyed by
+    /// publication, attempt and directed link — deterministic and
+    /// replayable) and sleeps its delay jitter (virtual ms compressed to
+    /// wall µs). `retry_max` bounds the publisher-side ack-driven
+    /// retransmission waves of [`ThreadedNetwork::publish`].
+    pub fn spawn_with_faults(n: usize, plan: FaultPlan, retry_max: u32) -> Self {
         let (delivery_tx, deliveries) = unbounded::<Delivery>();
+        let drops = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<NetMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -71,8 +95,9 @@ impl ThreadedNetwork {
         for (id, rx) in receivers.into_iter().enumerate() {
             let peers = senders.clone();
             let delivery_tx = delivery_tx.clone();
+            let drops = drops.clone();
             handles.push(std::thread::spawn(move || {
-                actor_loop(id as u32, rx, peers, delivery_tx)
+                actor_loop(id as u32, rx, peers, delivery_tx, plan, drops)
             }));
         }
         ThreadedNetwork {
@@ -80,6 +105,8 @@ impl ThreadedNetwork {
             handles,
             deliveries,
             next_pub_id: 1,
+            retry_max,
+            drops,
         }
     }
 
@@ -95,6 +122,12 @@ impl ThreadedNetwork {
 
     /// Publishes `payload` along `tree`, blocking until every subscriber in
     /// the tree received it (or `timeout` elapsed).
+    ///
+    /// With a retry budget (see [`ThreadedNetwork::spawn_with_faults`]) the
+    /// timeout is split into `retry_max + 1` ack windows: subscribers still
+    /// unacked when a window closes are retransmitted to directly, with a
+    /// fresh attempt number so the fault plan redraws its drop decisions.
+    /// Per-actor dedup keeps redundant copies from double-delivering.
     ///
     /// # Panics
     /// Panics if the tree's publisher is out of range.
@@ -117,33 +150,63 @@ impl ThreadedNetwork {
         }
         let expect: HashSet<u32> = children.values().flatten().copied().collect();
         let children = std::sync::Arc::new(children);
+        let drops_before = self.drops.load(Ordering::Relaxed);
 
         self.senders[tree.publisher as usize]
             .send(NetMsg::Payload {
                 pub_id,
-                payload,
-                children,
+                attempt: 0,
+                payload: payload.clone(),
+                children: children.clone(),
             })
             .expect("publisher actor alive");
 
         let mut result = PublishResult {
             delivered_to: HashSet::new(),
             bytes_received: 0,
+            drops_injected: 0,
+            retries: 0,
         };
-        let deadline = std::time::Instant::now() + timeout;
-        while result.delivered_to.len() < expect.len() {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.deliveries.recv_timeout(remaining) {
-                // The publisher's own local delivery does not count.
-                Ok(d) if d.pub_id == pub_id && d.peer != tree.publisher => {
-                    if result.delivered_to.insert(d.peer) {
-                        result.bytes_received += d.bytes;
+        let windows = self.retry_max + 1;
+        let window = timeout / windows;
+        for attempt in 0..windows {
+            let deadline = std::time::Instant::now() + window;
+            while result.delivered_to.len() < expect.len() {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                match self.deliveries.recv_timeout(remaining) {
+                    // The publisher's own local delivery does not count.
+                    Ok(d) if d.pub_id == pub_id && d.peer != tree.publisher => {
+                        if result.delivered_to.insert(d.peer) {
+                            result.bytes_received += d.bytes;
+                        }
                     }
+                    Ok(_) => {} // stale delivery from an earlier publication
+                    Err(_) => break,
                 }
-                Ok(_) => {} // stale delivery from an earlier publication
-                Err(_) => break,
+            }
+            if result.delivered_to.len() >= expect.len() || attempt + 1 >= windows {
+                break;
+            }
+            // Ack window closed with subscribers missing: retransmit to
+            // each directly. The shared children map rides along, so a
+            // relay that lost its whole subtree re-forwards downstream.
+            let mut unreached: Vec<u32> = expect
+                .iter()
+                .copied()
+                .filter(|p| !result.delivered_to.contains(p) && *p != tree.publisher)
+                .collect();
+            unreached.sort_unstable();
+            for peer in unreached {
+                result.retries += 1;
+                let _ = self.senders[peer as usize].send(NetMsg::Payload {
+                    pub_id,
+                    attempt: attempt + 1,
+                    payload: payload.clone(),
+                    children: children.clone(),
+                });
             }
         }
+        result.drops_injected = self.drops.load(Ordering::Relaxed) - drops_before;
         result
     }
 
@@ -163,14 +226,17 @@ fn actor_loop(
     rx: Receiver<NetMsg>,
     peers: Vec<Sender<NetMsg>>,
     deliveries: Sender<Delivery>,
+    plan: FaultPlan,
+    drops: Arc<AtomicU64>,
 ) {
     // Each actor remembers publications it already handled so duplicate
-    // forwards (diamond trees) deliver once.
+    // forwards (diamond trees, retransmissions) deliver once.
     let mut seen: HashSet<u64> = HashSet::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             NetMsg::Payload {
                 pub_id,
+                attempt,
                 payload,
                 children,
             } => {
@@ -184,8 +250,19 @@ fn actor_loop(
                 });
                 if let Some(kids) = children.get(&id) {
                     for &c in kids {
+                        if plan.drops(pub_id, attempt, id, c) {
+                            drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        // Delay jitter: virtual ms compressed to wall µs so
+                        // tests stay fast while ordering pressure is real.
+                        let jitter = plan.delay_ms(pub_id, attempt, id, c);
+                        if jitter > 0.0 {
+                            std::thread::sleep(Duration::from_micros(jitter.ceil() as u64));
+                        }
                         let _ = peers[c as usize].send(NetMsg::Payload {
                             pub_id,
+                            attempt,
                             payload: payload.clone(),
                             children: children.clone(),
                         });
@@ -261,6 +338,64 @@ mod tests {
         let t = tree(0, vec![]);
         let r = net.publish(&t, Bytes::from_static(b"y"), Duration::from_millis(200));
         assert!(r.delivered_to.is_empty());
+        net.shutdown();
+    }
+
+    #[test]
+    fn fault_free_spawn_reports_zero_faults() {
+        let mut net = ThreadedNetwork::spawn(4);
+        let t = tree(0, vec![vec![0, 1, 2], vec![0, 3]]);
+        let r = net.publish(&t, Bytes::from_static(b"z"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2, 3]));
+        assert_eq!(r.drops_injected, 0);
+        assert_eq!(r.retries, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn fire_and_forget_drops_match_the_plan() {
+        // Star tree 0 -> {1..=8}; no retries, so delivery is exactly the
+        // set of children whose (pub 1, attempt 0) edge survives the plan.
+        let plan = FaultPlan::seeded(42).with_drop_prob(0.4);
+        let expected: HashSet<u32> = (1..=8u32).filter(|&c| !plan.drops(1, 0, 0, c)).collect();
+        let dropped = 8 - expected.len() as u64;
+        assert!(
+            !expected.is_empty() && dropped > 0,
+            "seed 42 should mix outcomes (expected {expected:?})"
+        );
+        let mut net = ThreadedNetwork::spawn_with_faults(9, plan, 0);
+        let paths: Vec<Vec<u32>> = (1..=8u32).map(|c| vec![0, c]).collect();
+        let t = tree(0, paths);
+        let r = net.publish(&t, Bytes::from_static(b"d"), Duration::from_millis(800));
+        assert_eq!(r.delivered_to, expected);
+        assert_eq!(r.drops_injected, dropped);
+        assert_eq!(r.retries, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn retries_recover_dropped_subscribers() {
+        // Same lossy star, but with a retry budget: retransmissions go
+        // straight to unacked peers, so everyone is reached.
+        let plan = FaultPlan::seeded(42).with_drop_prob(0.4);
+        let mut net = ThreadedNetwork::spawn_with_faults(9, plan, 3);
+        let paths: Vec<Vec<u32>> = (1..=8u32).map(|c| vec![0, c]).collect();
+        let t = tree(0, paths);
+        let r = net.publish(&t, Bytes::from_static(b"r"), Duration::from_secs(4));
+        assert_eq!(r.delivered_to.len(), 8, "retries should reach all peers");
+        assert!(r.retries > 0, "the lossy plan must have forced retries");
+        assert!(r.drops_injected > 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn delay_jitter_does_not_lose_messages() {
+        let plan = FaultPlan::seeded(7).with_max_delay_ms(30.0);
+        let mut net = ThreadedNetwork::spawn_with_faults(5, plan, 0);
+        let t = tree(0, vec![vec![0, 1, 2], vec![0, 3, 4]]);
+        let r = net.publish(&t, Bytes::from_static(b"j"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2, 3, 4]));
+        assert_eq!(r.drops_injected, 0);
         net.shutdown();
     }
 }

@@ -12,6 +12,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use osn_sim::latency::transfer_time;
+use osn_sim::FaultPlan;
 use select_core::pubsub::RoutingTree;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -81,6 +82,23 @@ impl ThrottledNetwork {
     /// # Panics
     /// Panics if `bandwidth.len() != n` or `compression <= 0`.
     pub fn spawn(n: usize, bandwidth: Vec<f64>, compression: f64) -> Self {
+        Self::spawn_with_faults(n, bandwidth, compression, FaultPlan::disabled())
+    }
+
+    /// Like [`ThrottledNetwork::spawn`], but each upload additionally runs
+    /// through `plan`: dropped transmissions still pay their upload sleep
+    /// (the sender's NIC drained before the packet was lost) and the plan's
+    /// delay jitter stretches the transfer, so fault-induced latency shows
+    /// up in arrival times, not just in missing deliveries.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth.len() != n` or `compression <= 0`.
+    pub fn spawn_with_faults(
+        n: usize,
+        bandwidth: Vec<f64>,
+        compression: f64,
+        plan: FaultPlan,
+    ) -> Self {
         assert_eq!(bandwidth.len(), n, "one bandwidth per peer");
         assert!(compression > 0.0);
         let (delivery_tx, deliveries) = unbounded();
@@ -116,9 +134,18 @@ impl ThrottledNetwork {
                                 for c in kids {
                                     // Serialized upload: sleep before *each*
                                     // child's send, like one NIC draining.
+                                    // Fault jitter stretches the transfer
+                                    // (compressed on the same scale).
+                                    let jitter =
+                                        plan.delay_ms(pub_id, 0, id as u32, c) / compression;
                                     std::thread::sleep(Duration::from_secs_f64(
-                                        (per_upload / 1_000.0).max(0.0),
+                                        ((per_upload + jitter) / 1_000.0).max(0.0),
                                     ));
+                                    if plan.drops(pub_id, 0, id as u32, c) {
+                                        // The upload time was spent, but the
+                                        // packet is lost on the wire.
+                                        continue;
+                                    }
                                     let _ = peers[c as usize].send(Msg::Payload {
                                         pub_id,
                                         bytes,
@@ -300,6 +327,26 @@ mod tests {
             fast < slow,
             "4× bandwidth should finish faster: {fast:?} vs {slow:?}"
         );
+    }
+
+    #[test]
+    fn drops_truncate_the_lossy_subtree() {
+        // Star 0 -> {1..=6}: deliveries must be exactly the children whose
+        // (pub 1, attempt 0) link survives the plan — computed up front, so
+        // the threaded run is checked against the deterministic oracle.
+        let plan = FaultPlan::seeded(9).with_drop_prob(0.5);
+        let survivors: Vec<u32> = (1..=6u32).filter(|&c| !plan.drops(1, 0, 0, c)).collect();
+        assert!(
+            !survivors.is_empty() && survivors.len() < 6,
+            "seed 9 should mix outcomes (survivors {survivors:?})"
+        );
+        let mut net = ThrottledNetwork::spawn_with_faults(7, vec![BW; 7], COMPRESSION, plan);
+        let paths: Vec<Vec<u32>> = (1..=6u32).map(|c| vec![0, c]).collect();
+        let r = net.publish(&tree(0, paths), BYTES, Duration::from_millis(900));
+        net.shutdown();
+        let mut got: Vec<u32> = r.deliveries.iter().map(|d| d.peer).collect();
+        got.sort_unstable();
+        assert_eq!(got, survivors);
     }
 
     #[test]

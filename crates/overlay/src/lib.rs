@@ -33,7 +33,9 @@ pub mod table;
 
 pub use id::{RingDistance, RingId};
 pub use ring::RingIndex;
-pub use routing::{route_greedy, route_with_lookahead, RouteOutcome, Topology};
+pub use routing::{
+    route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome, Topology,
+};
 pub use symphony::SymphonyOverlay;
 pub use table::RoutingTable;
 
@@ -42,7 +44,9 @@ pub mod prelude {
     pub use crate::dht::PrefixDht;
     pub use crate::id::{RingDistance, RingId};
     pub use crate::ring::RingIndex;
-    pub use crate::routing::{route_greedy, route_with_lookahead, RouteOutcome, Topology};
+    pub use crate::routing::{
+        route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome, Topology,
+    };
     pub use crate::symphony::SymphonyOverlay;
     pub use crate::table::RoutingTable;
 }

@@ -8,6 +8,7 @@
 //! is forwarded along that affirmed path.
 
 use crate::id::RingId;
+use std::collections::HashSet;
 
 /// Read-only view of an overlay that routing operates over.
 pub trait Topology {
@@ -77,7 +78,7 @@ impl RouteOutcome {
 /// minimal ring distance to the target, requiring strict progress; stalls
 /// and budget exhaustion yield [`RouteOutcome::Failed`].
 pub fn route_greedy(topo: &impl Topology, from: u32, to: u32, max_hops: usize) -> RouteOutcome {
-    route_impl(topo, from, to, max_hops, false)
+    route_impl(topo, from, to, max_hops, false, None)
 }
 
 /// Greedy routing with one level of lookahead over neighbour link sets.
@@ -87,7 +88,24 @@ pub fn route_with_lookahead(
     to: u32,
     max_hops: usize,
 ) -> RouteOutcome {
-    route_impl(topo, from, to, max_hops, true)
+    route_impl(topo, from, to, max_hops, true, None)
+}
+
+/// Greedy routing that refuses to traverse the peers in `excluded`.
+///
+/// This is the re-route primitive of reliable delivery: after a failed
+/// attempt the publisher excludes every relay it observed dead and asks for
+/// a fresh path. The *target* is never excluded — the exclusion set holds
+/// suspected-dead relays, and a route that ends at the target does not
+/// relay through it.
+pub fn route_greedy_excluding(
+    topo: &impl Topology,
+    from: u32,
+    to: u32,
+    max_hops: usize,
+    excluded: &HashSet<u32>,
+) -> RouteOutcome {
+    route_impl(topo, from, to, max_hops, true, Some(excluded))
 }
 
 fn route_impl(
@@ -96,7 +114,9 @@ fn route_impl(
     to: u32,
     max_hops: usize,
     lookahead: bool,
+    excluded: Option<&HashSet<u32>>,
 ) -> RouteOutcome {
+    let usable = |n: u32| n == to || excluded.is_none_or(|e| !e.contains(&n));
     let mut path = vec![from];
     if from == to {
         return RouteOutcome::Delivered { path };
@@ -122,11 +142,13 @@ fn route_impl(
         }
 
         // Lookahead: a neighbour that affirms a link to the target gives a
-        // guaranteed 2-hop delivery.
-        if lookahead {
+        // guaranteed 2-hop delivery — if two more hops fit the budget
+        // (path.len() counts nodes, so hops after the double push is
+        // path.len() + 1).
+        if lookahead && path.len() < max_hops {
             if let Some(&via) = links
                 .iter()
-                .filter(|&&n| topo.is_online(n))
+                .filter(|&&n| topo.is_online(n) && usable(n))
                 .find(|&&n| topo.links(n).contains(&to))
             {
                 if topo.is_online(to) {
@@ -140,7 +162,7 @@ fn route_impl(
         // Greedy step: strictly closer online neighbour.
         let next = links
             .iter()
-            .filter(|&&n| topo.is_online(n))
+            .filter(|&&n| topo.is_online(n) && usable(n))
             .map(|&n| (n, topo.position(n).unwrap().distance(target_pos)))
             .min_by_key(|&(_, d)| d);
         match next {
@@ -267,6 +289,52 @@ mod tests {
         t.adj[0].push(5);
         let look = route_with_lookahead(&t, 0, 5, 16);
         assert_eq!(look.path(), &[0, 5]);
+    }
+
+    #[test]
+    fn lookahead_respects_hop_budget() {
+        // Regression: the 2-hop lookahead push used to ignore max_hops, so a
+        // budget of 1 could return a 2-hop Delivered path.
+        let mut t = ring8();
+        t.adj[1].push(5); // 0 → 1 → 5 is the lookahead path
+        let out = route_with_lookahead(&t, 0, 5, 1);
+        assert!(!out.delivered(), "2-hop path delivered on a 1-hop budget");
+        assert!(out.hops() <= 1, "budget overrun: {:?}", out.path());
+        // With budget 2 the same route is legal again.
+        let out = route_with_lookahead(&t, 0, 5, 2);
+        assert_eq!(out.path(), &[0, 1, 5]);
+    }
+
+    #[test]
+    fn excluding_relay_finds_detour() {
+        let mut t = ring8();
+        t.adj[1].push(5); // preferred lookahead via 1
+        t.adj[2].push(5); // detour via 2
+        let fast = route_greedy_excluding(&t, 0, 5, 16, &HashSet::new());
+        assert_eq!(fast.path(), &[0, 1, 5]);
+        let detour = route_greedy_excluding(&t, 0, 5, 16, &HashSet::from([1]));
+        assert!(detour.delivered());
+        assert!(
+            !detour.path().contains(&1),
+            "excluded relay used: {detour:?}"
+        );
+    }
+
+    #[test]
+    fn excluded_target_is_still_reachable() {
+        // The exclusion set holds suspected relays; the target itself must
+        // stay routable (delivery to it is the whole point of the retry).
+        let t = ring8();
+        let out = route_greedy_excluding(&t, 0, 2, 16, &HashSet::from([2]));
+        assert!(out.delivered());
+        assert_eq!(*out.path().last().unwrap(), 2);
+    }
+
+    #[test]
+    fn excluding_every_relay_fails_cleanly() {
+        let t = ring8();
+        let out = route_greedy_excluding(&t, 0, 4, 16, &HashSet::from([1, 7]));
+        assert!(!out.delivered());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`churn`] — the log-normal churn process of Berta et al. used in Fig. 6,
 //!   and per-peer availability session traces.
 //! * [`cma`] — Cumulative Moving Average online-behaviour tracking (§III-F).
+//! * [`fault`] — seeded mid-flight fault injection (link drops, delay
+//!   jitter, mid-publication crashes) that replays bit-identically at any
+//!   thread count.
 //! * [`latency`] — heterogeneous per-peer bandwidth and per-link latency
 //!   models for the realistic experiments (§IV-D, 1.2 MB payloads).
 //! * [`workload`] — exponential-rate publication workload (Jiang et al.).
@@ -26,6 +29,7 @@ pub mod cma;
 pub mod collect;
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod workload;
 
@@ -34,5 +38,6 @@ pub use cma::Cma;
 pub use collect::{Histogram, Mean};
 pub use dist::{Exponential, LogNormal};
 pub use engine::{EventQueue, SuperstepEngine};
+pub use fault::FaultPlan;
 pub use latency::{BandwidthModel, LinkModel};
 pub use workload::PublishWorkload;

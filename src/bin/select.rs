@@ -11,6 +11,13 @@
 //! parallelism — results are bit-identical for every value). Commands that
 //! converge print the per-round telemetry the run recorded.
 //!
+//! Fault injection (demo and churn): `--drop-prob P` drops each transmission
+//! with probability P, `--crash-prob P` fails relays mid-publication,
+//! `--delay-ms MS` adds up-to-MS delivery jitter, `--fault-seed S` seeds the
+//! plan (defaults to `--seed`), and `--retries N` bounds the ack-driven
+//! retransmission waves (default 3; 0 = fire-and-forget). All decisions are
+//! deterministic in the seed, so a faulty run replays bit-identically.
+//!
 //! For regenerating the paper's tables and figures use the `repro` binary in
 //! `osn-bench`; this CLI is the quick interactive front end.
 
@@ -19,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use select::baselines::{build_system, SystemKind};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
-use select::sim::{ChurnModel, Mean};
+use select::sim::{ChurnModel, FaultPlan, Mean};
 
 struct Opts {
     dataset: datasets::Dataset,
@@ -27,6 +34,20 @@ struct Opts {
     seed: u64,
     steps: usize,
     threads: usize,
+    drop_prob: f64,
+    crash_prob: f64,
+    delay_ms: f64,
+    fault_seed: Option<u64>,
+    retries: usize,
+}
+
+impl Opts {
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::seeded(self.fault_seed.unwrap_or(self.seed))
+            .with_drop_prob(self.drop_prob)
+            .with_crash_prob(self.crash_prob)
+            .with_max_delay_ms(self.delay_ms)
+    }
 }
 
 fn parse(args: &[String]) -> Result<(String, Opts), String> {
@@ -37,6 +58,11 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
         seed: 42,
         steps: 20,
         threads: 0,
+        drop_prob: 0.0,
+        crash_prob: 0.0,
+        delay_ms: 0.0,
+        fault_seed: None,
+        retries: 3,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -75,6 +101,40 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads needs a number")?;
             }
+            "--drop-prob" => {
+                opts.drop_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or("--drop-prob needs a probability in [0, 1]")?;
+            }
+            "--crash-prob" => {
+                opts.crash_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or("--crash-prob needs a probability in [0, 1]")?;
+            }
+            "--delay-ms" => {
+                opts.delay_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|d: &f64| *d >= 0.0)
+                    .ok_or("--delay-ms needs a non-negative number")?;
+            }
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fault-seed needs a number")?,
+                );
+            }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retries needs a number")?;
+            }
             other if cmd.is_none() && !other.starts_with("--") => {
                 cmd = Some(other.to_string());
             }
@@ -92,11 +152,23 @@ fn converged(opts: &Opts) -> (SocialGraph, SelectNetwork) {
         graph.num_nodes(),
         metrics::average_degree(&graph)
     );
+    let plan = opts.fault_plan();
+    if plan.is_active() {
+        eprintln!(
+            "[select] fault plan: drop {:.1}%, crash {:.1}%, delay ≤{:.0} ms, retries {}",
+            opts.drop_prob * 100.0,
+            opts.crash_prob * 100.0,
+            opts.delay_ms,
+            opts.retries
+        );
+    }
     let mut net = SelectNetwork::bootstrap(
         graph.clone(),
         SelectConfig::default()
             .with_seed(opts.seed)
-            .with_threads(opts.threads),
+            .with_threads(opts.threads)
+            .with_fault_plan(plan)
+            .with_retry_max(opts.retries),
     );
     let conv = net.converge(300);
     eprintln!(
@@ -129,13 +201,17 @@ fn converged(opts: &Opts) -> (SocialGraph, SelectNetwork) {
 fn cmd_demo(opts: &Opts) {
     let (graph, net) = converged(opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    for _ in 0..5 {
+    let fault_mode = opts.fault_plan().is_active();
+    for nonce in 1..=5u64 {
         let b = rng.gen_range(0..graph.num_nodes() as u32);
-        let r = net.publish(b);
+        let r = net.publish_at(b, nonce);
         println!(
             "publish from {b:5}: {:3}/{:3} delivered, {:.2} hops, {:.3} relays",
             r.delivered, r.subscribers, r.avg_hops, r.avg_relays
         );
+        if fault_mode {
+            println!("                   {}", r.delivery.summary());
+        }
     }
 }
 
@@ -183,6 +259,8 @@ fn cmd_churn(opts: &Opts) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let n = graph.num_nodes();
     let mut overall = Mean::new();
+    let mut delivery = select::core::DeliveryTelemetry::default();
+    let mut nonce = 0u64;
     for step in 1..=opts.steps {
         let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
         let gone = model.sample_departing_peers(&mut rng, &online, n);
@@ -198,7 +276,10 @@ fn cmd_churn(opts: &Opts) {
                     break b;
                 }
             };
-            avail.add(net.publish(b).availability());
+            nonce += 1;
+            let r = net.publish_at(b, nonce);
+            delivery.absorb(&r.delivery);
+            avail.add(r.availability());
         }
         overall.add(avail.mean());
         println!(
@@ -213,6 +294,9 @@ fn cmd_churn(opts: &Opts) {
         }
     }
     println!("overall availability: {:.2}%", overall.mean() * 100.0);
+    if opts.fault_plan().is_active() {
+        println!("fault telemetry     : {}", delivery.summary());
+    }
 }
 
 fn cmd_stats(opts: &Opts) {

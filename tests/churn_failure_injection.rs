@@ -4,9 +4,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use select::core::{SelectConfig, SelectNetwork};
+use select::core::{DeliveryTelemetry, SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
-use select::sim::{ChurnModel, LogNormal, Mean};
+use select::sim::{ChurnModel, FaultPlan, LogNormal, Mean};
 
 fn converged_net(n: usize, seed: u64) -> (SocialGraph, SelectNetwork) {
     let graph = datasets::Dataset::Facebook.generate_with_nodes(n, seed);
@@ -165,6 +165,81 @@ fn mid_dissemination_departure_is_detected_next_round() {
         report.unresponsive,
         report.kept + report.replaced + report.dropped
     );
+}
+
+/// Per-publication delivered paths, per-publication failed subscribers, and
+/// the run's aggregated fault telemetry.
+type FaultTrace = (Vec<Vec<Vec<u32>>>, Vec<Vec<u32>>, DeliveryTelemetry);
+
+/// One full churn-plus-faults scenario: converge, run waves of departures
+/// with probe rounds, publish with the fault plan active, record everything.
+fn faulty_churn_trace(threads: usize) -> FaultTrace {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(160, 11);
+    let plan = FaultPlan::seeded(0xbeef)
+        .with_drop_prob(0.12)
+        .with_crash_prob(0.03)
+        .with_max_delay_ms(20.0);
+    let mut net = SelectNetwork::bootstrap(
+        graph.clone(),
+        SelectConfig::default()
+            .with_seed(11)
+            .with_threads(threads)
+            .with_fault_plan(plan)
+            .with_retry_max(3),
+    );
+    net.converge(300);
+    for _ in 0..3 {
+        net.probe_round();
+    }
+    let model = ChurnModel::new(LogNormal::with_median(0.1, 0.5), 0.5);
+    let mut rng = StdRng::seed_from_u64(17);
+    let n = graph.num_nodes();
+    let mut paths = Vec::new();
+    let mut failed = Vec::new();
+    let mut telemetry = DeliveryTelemetry::default();
+    let mut nonce = 0u64;
+    for _wave in 0..6 {
+        let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
+        let gone = model.sample_departing_peers(&mut rng, &online, n);
+        for &p in &gone {
+            net.set_offline(p);
+        }
+        net.probe_round();
+        for _ in 0..4 {
+            let b = loop {
+                let b = rng.gen_range(0..n as u32);
+                if net.is_peer_online(b) {
+                    break b;
+                }
+            };
+            nonce += 1;
+            let r = net.publish_at(b, nonce);
+            telemetry.absorb(&r.delivery);
+            paths.push(r.tree.paths);
+            failed.push(r.tree.failed);
+        }
+        for &p in &gone {
+            net.set_online(p);
+        }
+    }
+    (paths, failed, telemetry)
+}
+
+#[test]
+fn seeded_fault_runs_replay_bit_identically_across_thread_counts() {
+    let (p1, f1, t1) = faulty_churn_trace(1);
+    let (p2, f2, t2) = faulty_churn_trace(2);
+    let (p8, f8, t8) = faulty_churn_trace(8);
+    assert!(
+        t1.faults_injected() > 0,
+        "the plan never fired; the replay check is vacuous"
+    );
+    assert_eq!(p1, p2, "threads=2 diverged from threads=1");
+    assert_eq!(p1, p8, "threads=8 diverged from threads=1");
+    assert_eq!(f1, f2);
+    assert_eq!(f1, f8);
+    assert_eq!(t1, t2);
+    assert_eq!(t1, t8);
 }
 
 #[test]

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::{GraphBuilder, SocialGraph, UserId};
 use select::overlay::{RingId, Topology};
+use select::sim::FaultPlan;
 
 /// An arbitrary small connected-ish social graph: a ring backbone (keeps it
 /// connected) plus random chords.
@@ -101,6 +102,66 @@ proptest! {
                 prop_assert!(graph.has_edge(UserId(p), UserId(l)));
             }
         }
+    }
+
+    /// With churn and an active fault plan, every *delivered* path still
+    /// respects the hop budget and crosses only online relays — and the
+    /// whole report is bit-identical at 1, 2 and 8 round-loop threads.
+    #[test]
+    fn faulty_deliveries_respect_budget_and_liveness(
+        graph in arb_graph(),
+        seed in 0u64..500,
+        publisher_sel in 0u32..40,
+        dead_sel in proptest::collection::vec(0u32..40, 0..6),
+    ) {
+        let n = graph.num_nodes() as u32;
+        let b = publisher_sel % n;
+        let plan = FaultPlan::seeded(seed ^ 0xfa)
+            .with_drop_prob(0.2)
+            .with_crash_prob(0.05);
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut net = SelectNetwork::bootstrap(
+                graph.clone(),
+                SelectConfig::default()
+                    .with_seed(seed)
+                    .with_threads(threads)
+                    .with_fault_plan(plan)
+                    .with_retry_max(2),
+            );
+            net.converge(150);
+            for d in &dead_sel {
+                let d = d % n;
+                if d != b {
+                    net.set_offline(d);
+                }
+            }
+            net.probe_round();
+            let max_hops = net.config().max_route_hops;
+            let r = net.publish_at(b, 7);
+            for path in &r.tree.paths {
+                prop_assert!(
+                    path.len() - 1 <= max_hops,
+                    "path {path:?} exceeds max_route_hops={max_hops}"
+                );
+                for &hop in path {
+                    prop_assert!(
+                        net.is_peer_online(hop),
+                        "delivered path {path:?} crosses offline peer {hop}"
+                    );
+                }
+            }
+            prop_assert_eq!(
+                r.delivered + r.tree.failed.len(),
+                r.subscribers,
+                "every subscriber must be accounted delivered or failed"
+            );
+            reports.push(r);
+        }
+        prop_assert_eq!(&reports[0].tree.paths, &reports[1].tree.paths);
+        prop_assert_eq!(&reports[0].tree.paths, &reports[2].tree.paths);
+        prop_assert_eq!(reports[0].delivery, reports[1].delivery);
+        prop_assert_eq!(reports[0].delivery, reports[2].delivery);
     }
 
     /// Lookups between arbitrary (not necessarily adjacent) peers terminate
