@@ -15,7 +15,17 @@ cargo bench --no-run --workspace --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> count-allocs feature (the counting allocator must keep compiling and passing)"
+cargo test -q --offline -p osn-bench --features count-allocs
+
 echo "==> fault-injection suite (explicit, so a filtered test run can't skip it)"
 cargo test -q --offline --test churn_failure_injection --test properties
+
+echo "==> golden-state pin (flattened storage must stay bit-identical)"
+cargo test -q --offline --test golden_state --test parallel_determinism
+
+echo "==> hot-path bench (quick preset, release) + schema check"
+cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- --quick hotpath
+cargo run -q --release --offline -p osn-bench --bin repro -- hotpath --check
 
 echo "==> ci.sh: all green"

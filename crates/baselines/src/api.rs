@@ -4,7 +4,45 @@ use osn_graph::{SocialGraph, UserId};
 use osn_overlay::RouteOutcome;
 use select_core::pubsub::{DisseminationReport, RoutingTree};
 use select_core::SelectNetwork;
-use std::collections::HashSet;
+use std::cell::RefCell;
+
+/// Epoch-stamped membership set: `begin` invalidates all entries in O(1),
+/// so per-publication subscriber tests reuse one allocation instead of
+/// building a fresh `HashSet` per publish.
+#[derive(Default)]
+struct StampSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn insert(&mut self, v: u32) {
+        let i = v as usize;
+        if i >= self.stamps.len() {
+            self.stamps.resize(i + 1, 0);
+        }
+        self.stamps[i] = self.epoch;
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.stamps
+            .get(v as usize)
+            .is_some_and(|&s| s == self.epoch)
+    }
+}
+
+thread_local! {
+    /// Per-thread subscriber set for [`aggregate_publication`].
+    static SUBSCRIBER_SET: RefCell<StampSet> = RefCell::new(StampSet::default());
+}
 
 /// Which system a [`PubSubSystem`] instance is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -114,27 +152,30 @@ pub fn aggregate_publication(
     subscribers: &[u32],
     mut route: impl FnMut(u32) -> RouteOutcome,
 ) -> DisseminationReport {
-    let subscriber_set: HashSet<u32> = subscribers.iter().copied().collect();
-    let mut tree = RoutingTree {
-        publisher,
-        ..RoutingTree::default()
-    };
+    let mut tree = RoutingTree::new(publisher);
     let mut total_hops = 0usize;
     let mut total_relays = 0usize;
-    for &s in subscribers {
-        match route(s) {
-            RouteOutcome::Delivered { path } => {
-                total_hops += path.len() - 1;
-                total_relays += path[1..path.len() - 1]
-                    .iter()
-                    .filter(|q| !subscriber_set.contains(q))
-                    .count();
-                tree.paths.push(path);
-            }
-            RouteOutcome::Failed { .. } => tree.failed.push(s),
+    SUBSCRIBER_SET.with(|cell| {
+        let set = &mut *cell.borrow_mut();
+        set.begin();
+        for &s in subscribers {
+            set.insert(s);
         }
-    }
-    let delivered = tree.paths.len();
+        for &s in subscribers {
+            match route(s) {
+                RouteOutcome::Delivered { path } => {
+                    total_hops += path.len() - 1;
+                    total_relays += path[1..path.len() - 1]
+                        .iter()
+                        .filter(|&&q| !set.contains(q))
+                        .count();
+                    tree.push_path(&path);
+                }
+                RouteOutcome::Failed { .. } => tree.failed.push(s),
+            }
+        }
+    });
+    let delivered = tree.num_paths();
     DisseminationReport {
         publisher,
         subscribers: subscribers.len(),

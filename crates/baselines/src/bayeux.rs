@@ -13,11 +13,12 @@ use osn_graph::SocialGraph;
 use osn_overlay::dht::PrefixDht;
 use osn_overlay::{RingId, RouteOutcome};
 use select_core::pubsub::DisseminationReport;
+use std::sync::Arc;
 
 /// Bayeux baseline system.
 #[derive(Clone, Debug)]
 pub struct BayeuxPubSub {
-    graph: SocialGraph,
+    graph: Arc<SocialGraph>,
     dht: PrefixDht,
     seed: u64,
     max_hops: usize,
@@ -25,7 +26,8 @@ pub struct BayeuxPubSub {
 
 impl BayeuxPubSub {
     /// Builds the prefix DHT over the graph's users.
-    pub fn build(graph: SocialGraph, seed: u64) -> Self {
+    pub fn build(graph: impl Into<Arc<SocialGraph>>, seed: u64) -> Self {
+        let graph = graph.into();
         let dht = PrefixDht::build(graph.num_nodes(), seed);
         BayeuxPubSub {
             graph,
@@ -131,7 +133,7 @@ mod tests {
         let b = 3u32;
         let root = s.root_of_topic(b).unwrap();
         let r = s.publish(b);
-        for path in &r.tree.paths {
+        for path in r.tree.paths() {
             assert!(
                 path.contains(&root) || path.len() == 1,
                 "path {path:?} skips root {root}"

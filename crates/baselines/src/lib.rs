@@ -37,15 +37,21 @@ pub use vitis::VitisPubSub;
 
 use osn_graph::SocialGraph;
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Builds any system by kind over the same social graph, with matched link
 /// budgets — the apples-to-apples constructor the experiment drivers use.
+///
+/// Accepts an owned graph or a shared `Arc<SocialGraph>`; pass a clone of
+/// the same `Arc` to every call when comparing systems so all of them read
+/// one immutable copy instead of each materializing its own.
 pub fn build_system(
     kind: SystemKind,
-    graph: SocialGraph,
+    graph: impl Into<Arc<SocialGraph>>,
     k: usize,
     seed: u64,
 ) -> Box<dyn PubSubSystem> {
+    let graph = graph.into();
     match kind {
         SystemKind::Select => {
             let mut net =

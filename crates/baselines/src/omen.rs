@@ -24,11 +24,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use select_core::pubsub::DisseminationReport;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// OMen baseline system.
 #[derive(Clone, Debug)]
 pub struct OMenPubSub {
-    graph: SocialGraph,
+    graph: Arc<SocialGraph>,
     /// Generic substrate the mending starts from (also the routing fallback).
     dht: SymphonyOverlay,
     /// Mended topic-connectivity edges, bidirectional.
@@ -50,7 +51,8 @@ const SHADOW_SIZE: usize = 8;
 impl OMenPubSub {
     /// Builds the overlay: Symphony substrate + iterative TCO mending with a
     /// per-peer TCO degree cap of `2k`.
-    pub fn build(graph: SocialGraph, k: usize, seed: u64) -> Self {
+    pub fn build(graph: impl Into<Arc<SocialGraph>>, k: usize, seed: u64) -> Self {
+        let graph = graph.into();
         let n = graph.num_nodes();
         let dht = SymphonyOverlay::build(n, k.max(2), seed);
         let mut sys = OMenPubSub {

@@ -8,11 +8,12 @@
 use crate::api::{PubSubSystem, SystemKind};
 use osn_graph::SocialGraph;
 use osn_overlay::{route_greedy, RouteOutcome, SymphonyOverlay, Topology};
+use std::sync::Arc;
 
 /// Symphony baseline system.
 #[derive(Clone, Debug)]
 pub struct SymphonyPubSub {
-    graph: SocialGraph,
+    graph: Arc<SocialGraph>,
     overlay: SymphonyOverlay,
     seed: u64,
     max_hops: usize,
@@ -20,7 +21,8 @@ pub struct SymphonyPubSub {
 
 impl SymphonyPubSub {
     /// Builds the overlay with `k` long links per peer.
-    pub fn build(graph: SocialGraph, k: usize, seed: u64) -> Self {
+    pub fn build(graph: impl Into<Arc<SocialGraph>>, k: usize, seed: u64) -> Self {
+        let graph = graph.into();
         let overlay = SymphonyOverlay::build(graph.num_nodes(), k, seed);
         SymphonyPubSub {
             graph,

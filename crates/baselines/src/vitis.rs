@@ -22,11 +22,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::pubsub::DisseminationReport;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Vitis baseline system.
 #[derive(Clone, Debug)]
 pub struct VitisPubSub {
-    graph: SocialGraph,
+    graph: Arc<SocialGraph>,
     /// Structured substrate: ring + harmonic long links (Vitis is a hybrid
     /// of a navigable overlay and unstructured interest clusters; the
     /// structured half carries rendezvous routing between cluster
@@ -54,7 +55,8 @@ const STABILITY: usize = 3;
 impl VitisPubSub {
     /// Builds the overlay with a cluster-link budget of `k` per peer,
     /// running the gossip construction to quiescence.
-    pub fn build(graph: SocialGraph, k: usize, seed: u64) -> Self {
+    pub fn build(graph: impl Into<Arc<SocialGraph>>, k: usize, seed: u64) -> Self {
+        let graph = graph.into();
         let n = graph.num_nodes();
         let substrate = SymphonyOverlay::build(n, k.max(2), seed);
         let mut sys = VitisPubSub {
@@ -306,7 +308,7 @@ mod tests {
     fn publish_paths_start_at_publisher() {
         let s = system(4);
         let r = s.publish(5);
-        for p in &r.tree.paths {
+        for p in r.tree.paths() {
             assert_eq!(p[0], 5);
         }
     }
@@ -334,7 +336,7 @@ mod tests {
         s.set_offline(10);
         assert!(!PubSubSystem::is_online(&s, 10));
         let r = s.publish(0);
-        assert!(!r.tree.paths.iter().any(|p| p.contains(&10)));
+        assert!(!r.tree.paths().any(|p| p.contains(&10)));
         s.set_online(10);
         assert!(PubSubSystem::is_online(&s, 10));
     }

@@ -8,16 +8,17 @@ use osn_graph::datasets::Dataset;
 use osn_graph::SocialGraph;
 use select_core::{SelectConfig, SelectNetwork};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const N: usize = 250;
 const SEED: u64 = 7;
 
-fn graph() -> SocialGraph {
-    Dataset::Slashdot.generate_with_nodes(N, SEED)
+fn graph() -> Arc<SocialGraph> {
+    Arc::new(Dataset::Slashdot.generate_with_nodes(N, SEED))
 }
 
-fn converge_with(cfg: SelectConfig, graph: &SocialGraph) -> SelectNetwork {
-    let mut net = SelectNetwork::bootstrap(graph.clone(), cfg);
+fn converge_with(cfg: SelectConfig, graph: &Arc<SocialGraph>) -> SelectNetwork {
+    let mut net = SelectNetwork::bootstrap(Arc::clone(graph), cfg);
     net.converge(200);
     net
 }

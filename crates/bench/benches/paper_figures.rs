@@ -10,12 +10,13 @@ use osn_graph::SocialGraph;
 use osn_net::TransferSim;
 use select_core::{SelectConfig, SelectNetwork};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const N: usize = 300;
 const SEED: u64 = 42;
 
-fn graph() -> SocialGraph {
-    Dataset::Facebook.generate_with_nodes(N, SEED)
+fn graph() -> Arc<SocialGraph> {
+    Arc::new(Dataset::Facebook.generate_with_nodes(N, SEED))
 }
 
 /// Table II: data-set generation throughput.
@@ -37,7 +38,7 @@ fn bench_fig2_hops(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_publish_hops");
     g.sample_size(10);
     for kind in SystemKind::ALL {
-        let sys = build_system(kind, graph.clone(), 8, SEED);
+        let sys = build_system(kind, Arc::clone(&graph), 8, SEED);
         g.bench_function(kind.name(), |b| {
             let mut p = 0u32;
             b.iter(|| {
@@ -131,7 +132,7 @@ fn bench_fig7_transfer_sim(c: &mut Criterion) {
 
 /// Fig. 8: identifier-distribution measurement (converge + histogram).
 fn bench_fig8_id_distribution(c: &mut Criterion) {
-    let graph = Dataset::Facebook.generate_with_nodes(150, SEED);
+    let graph = Arc::new(Dataset::Facebook.generate_with_nodes(150, SEED));
     let mut g = c.benchmark_group("fig8_id_distribution");
     g.sample_size(10);
     g.bench_function("measure_ids_150", |b| {

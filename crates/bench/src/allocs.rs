@@ -1,0 +1,79 @@
+//! Heap-allocation accounting for the hot-path bench (feature
+//! `count-allocs`).
+//!
+//! With the feature enabled this crate installs a counting wrapper around
+//! the system allocator; [`snapshot`] then exposes the process-lifetime
+//! allocation counters so a harness can difference them around a measured
+//! region. Without the feature there is no allocator override and
+//! [`snapshot`] returns `None` — the bench still runs, it just reports
+//! `allocs_per_publish: null`.
+
+#[cfg(feature = "count-allocs")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator with relaxed atomic counters on every allocation.
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A grow/shrink is one fresh allocation's worth of work; count
+            // only the newly requested bytes.
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(new_size as u64, Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// `(allocations, bytes requested)` since process start, or `None` when the
+/// `count-allocs` feature is off.
+pub fn snapshot() -> Option<(u64, u64)> {
+    #[cfg(feature = "count-allocs")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        Some((
+            counting::ALLOCS.load(Relaxed),
+            counting::BYTES.load(Relaxed),
+        ))
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_feature_state() {
+        let snap = snapshot();
+        assert_eq!(snap.is_some(), cfg!(feature = "count-allocs"));
+        if snapshot().is_some() {
+            let before = snapshot().unwrap();
+            let v: Vec<u64> = std::hint::black_box(vec![1, 2, 3]);
+            drop(v);
+            let after = snapshot().unwrap();
+            assert!(after.0 > before.0, "allocation was not counted");
+        }
+    }
+}

@@ -18,8 +18,13 @@
 //!   scalability   construction cost and quality vs network size
 //!   sessions      CMA recovery under realistic session traces
 //!   churn-compare availability under churn across all five systems
+//!   hotpath       converge/publish hot-path bench → BENCH_hotpath.json
+//!                 (with --check: validate an existing file instead)
 //!   all           everything above, in paper order
 //! ```
+//!
+//! Build with `--features count-allocs` to include allocations/publish in
+//! the hotpath report.
 
 use osn_bench::report::report_to_csv as report_to_csv_blocks;
 use osn_bench::*;
@@ -28,16 +33,28 @@ use osn_graph::datasets::Dataset;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::standard();
+    let mut preset = "standard";
     let mut seed: Option<u64> = None;
     let mut cmd: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut check_only = false;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--standard" => scale = Scale::standard(),
-            "--full" => scale = Scale::full(),
+            "--quick" => {
+                scale = Scale::quick();
+                preset = "quick";
+            }
+            "--standard" => {
+                scale = Scale::standard();
+                preset = "standard";
+            }
+            "--full" => {
+                scale = Scale::full();
+                preset = "full";
+            }
+            "--check" => check_only = true,
             "--csv" => {
                 csv_dir = it.next().map(std::path::PathBuf::from);
                 if csv_dir.is_none() {
@@ -78,8 +95,9 @@ fn main() {
         match name {
             "table2" => Some(table2::run(0.01, scale.seed)),
             "links-sweep" => {
-                let g =
-                    Dataset::Facebook.generate_with_nodes(*scale.sizes.last().unwrap(), scale.seed);
+                let g = std::sync::Arc::new(
+                    Dataset::Facebook.generate_with_nodes(*scale.sizes.last().unwrap(), scale.seed),
+                );
                 Some(exp_links::run(&g, scale.trials * 3, scale.seed))
             }
             "fig2" => Some(exp_hops::run(scale)),
@@ -102,6 +120,29 @@ fn main() {
                 30.max(scale.trials),
                 scale.seed,
             )),
+            "hotpath" => {
+                if check_only {
+                    let text = std::fs::read_to_string("BENCH_hotpath.json")
+                        .expect("read BENCH_hotpath.json (run `repro hotpath` first)");
+                    match hotpath::check_json(&text) {
+                        Ok(()) => Some("BENCH_hotpath.json: schema OK\n".to_string()),
+                        Err(e) => {
+                            eprintln!("BENCH_hotpath.json: schema violation: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    let (n, publishes) = hotpath::preset_params(preset);
+                    let m = hotpath::measure(n, publishes, scale.seed);
+                    let json = hotpath::render_json(preset, scale.seed, &m);
+                    hotpath::check_json(&json).expect("emitted JSON failed its own schema check");
+                    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+                    Some(format!(
+                        "{}\nwrote BENCH_hotpath.json\n",
+                        hotpath::render_table(preset, &m)
+                    ))
+                }
+            }
             _ => None,
         }
     };

@@ -11,6 +11,7 @@ use osn_sim::Mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// One ablation row.
 #[derive(Clone, Debug)]
@@ -32,12 +33,12 @@ pub struct AblationResult {
 /// Runs one configuration to convergence and measures it.
 pub fn measure_variant(
     label: &'static str,
-    graph: &SocialGraph,
+    graph: &Arc<SocialGraph>,
     cfg: SelectConfig,
     trials: usize,
     seed: u64,
 ) -> AblationResult {
-    let mut net = SelectNetwork::bootstrap(graph.clone(), cfg);
+    let mut net = SelectNetwork::bootstrap(Arc::clone(graph), cfg);
     let conv = net.converge(400);
     let stats = net.overlay_stats(1_000);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xab1a);
@@ -65,7 +66,7 @@ pub fn measure_variant(
 }
 
 /// All ablation variants on one graph.
-pub fn run_all_variants(graph: &SocialGraph, trials: usize, seed: u64) -> Vec<AblationResult> {
+pub fn run_all_variants(graph: &Arc<SocialGraph>, trials: usize, seed: u64) -> Vec<AblationResult> {
     let base = SelectConfig::default().with_seed(seed);
     vec![
         measure_variant("full SELECT", graph, base.clone(), trials, seed),
@@ -103,7 +104,7 @@ pub fn run_all_variants(graph: &SocialGraph, trials: usize, seed: u64) -> Vec<Ab
 /// Renders the ablation table for the Facebook preset.
 pub fn run(scale: &Scale) -> String {
     let size = *scale.sizes.last().expect("at least one size");
-    let graph = Dataset::Facebook.generate_with_nodes(size, scale.seed);
+    let graph = Arc::new(Dataset::Facebook.generate_with_nodes(size, scale.seed));
     let mut t = Table::new(
         format!("Ablations — SELECT design choices (Facebook preset, N={size})"),
         &[
@@ -134,7 +135,7 @@ mod tests {
     use osn_graph::generators::{BarabasiAlbert, Generator};
 
     fn variants() -> Vec<AblationResult> {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(71);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(71));
         run_all_variants(&g, 10, 71)
     }
 

@@ -14,6 +14,7 @@ use osn_sim::{ChurnModel, FaultPlan, Mean};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{DeliveryTelemetry, SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Result of one churn run.
 #[derive(Clone, Debug)]
@@ -31,7 +32,7 @@ pub struct ChurnRun {
 
 /// Runs `steps` fault-free churn steps on a converged SELECT network.
 pub fn run_churn(
-    graph: &SocialGraph,
+    graph: &Arc<SocialGraph>,
     steps: usize,
     publishes_per_step: usize,
     seed: u64,
@@ -50,7 +51,7 @@ pub fn run_churn(
 /// crashes and delay jitter into every publication, and `retry_max`
 /// ack-driven retransmission waves available per subscriber.
 pub fn run_churn_with_faults(
-    graph: &SocialGraph,
+    graph: &Arc<SocialGraph>,
     steps: usize,
     publishes_per_step: usize,
     seed: u64,
@@ -61,7 +62,7 @@ pub fn run_churn_with_faults(
         .with_seed(seed)
         .with_fault_plan(plan)
         .with_retry_max(retry_max);
-    let mut net = SelectNetwork::bootstrap(graph.clone(), cfg);
+    let mut net = SelectNetwork::bootstrap(Arc::clone(graph), cfg);
     net.converge(300);
     // Build CMA trust before the storm.
     for _ in 0..5 {
@@ -143,7 +144,7 @@ pub fn run(scale: &Scale) -> String {
     );
     let mut out = String::new();
     for ds in Dataset::ALL {
-        let graph = ds.generate_with_nodes(size, scale.seed);
+        let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let run = run_churn(&graph, steps, 5, scale.seed);
         let peak = run.series.iter().map(|&(_, c, _)| c).fold(0.0f64, f64::max);
         t.row(vec![
@@ -177,7 +178,7 @@ pub fn run(scale: &Scale) -> String {
         ],
     );
     for ds in Dataset::ALL {
-        let graph = ds.generate_with_nodes(size, scale.seed);
+        let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let with = run_churn_with_faults(&graph, steps, 5, scale.seed, plan, 3);
         let without = run_churn_with_faults(&graph, steps, 5, scale.seed, plan, 0);
         ft.row(vec![
@@ -203,7 +204,7 @@ mod tests {
 
     #[test]
     fn availability_stays_high_under_churn() {
-        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(31);
+        let g = Arc::new(BarabasiAlbert::with_closure(150, 4, 0.4).generate(31));
         let run = run_churn(&g, 12, 4, 31);
         assert!(
             run.mean_availability > 0.99,
@@ -219,7 +220,7 @@ mod tests {
 
     #[test]
     fn churn_actually_happens() {
-        let g = BarabasiAlbert::new(150, 3).generate(32);
+        let g = Arc::new(BarabasiAlbert::new(150, 3).generate(32));
         let run = run_churn(&g, 12, 2, 32);
         let peak = run.series.iter().map(|&(_, c, _)| c).fold(0.0f64, f64::max);
         assert!(peak > 0.0, "no peer ever departed");
@@ -229,7 +230,7 @@ mod tests {
 
     #[test]
     fn retries_rescue_availability_under_faults() {
-        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(33);
+        let g = Arc::new(BarabasiAlbert::with_closure(150, 4, 0.4).generate(33));
         let plan = FaultPlan::seeded(33)
             .with_drop_prob(0.15)
             .with_crash_prob(0.03);

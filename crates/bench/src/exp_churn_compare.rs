@@ -13,6 +13,7 @@ use osn_graph::{SocialGraph, UserId};
 use osn_sim::{ChurnModel, Mean};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Availability statistics of one system under the churn schedule.
 #[derive(Clone, Debug)]
@@ -27,14 +28,14 @@ pub struct SystemChurnResult {
 
 /// Runs the same churn schedule against one system.
 pub fn run_system(
-    graph: &SocialGraph,
+    graph: &Arc<SocialGraph>,
     kind: SystemKind,
     steps: usize,
     seed: u64,
 ) -> SystemChurnResult {
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
-    let mut sys = build_system(kind, graph.clone(), k, seed);
+    let mut sys = build_system(kind, Arc::clone(graph), k, seed);
     // Warm-up maintenance (builds SELECT's CMA trust; no-op elsewhere).
     for _ in 0..5 {
         sys.maintenance_round();
@@ -76,7 +77,7 @@ pub fn run_system(
 
 /// Renders the comparison on one data set.
 pub fn run(size: usize, steps: usize, seed: u64) -> String {
-    let graph = Dataset::Facebook.generate_with_nodes(size, seed);
+    let graph = Arc::new(Dataset::Facebook.generate_with_nodes(size, seed));
     let mut t = Table::new(
         format!("Churn comparison — availability across systems (Facebook preset, N={size}, {steps} steps)"),
         &["system", "mean availability", "min availability"],
@@ -99,14 +100,14 @@ mod tests {
 
     #[test]
     fn select_sustains_full_availability() {
-        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(91);
+        let g = Arc::new(BarabasiAlbert::with_closure(150, 4, 0.4).generate(91));
         let r = run_system(&g, SystemKind::Select, 10, 91);
         assert!(r.mean > 0.99, "SELECT availability {} dropped", r.mean);
     }
 
     #[test]
     fn every_system_delivers_to_someone_under_churn() {
-        let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(92);
+        let g = Arc::new(BarabasiAlbert::with_closure(120, 4, 0.4).generate(92));
         for kind in SystemKind::ALL {
             let r = run_system(&g, kind, 6, 92);
             assert!(

@@ -15,6 +15,7 @@ use osn_graph::{SocialGraph, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Number of equal ring sectors in the rendered histogram.
 pub const SECTORS: usize = 16;
@@ -47,9 +48,9 @@ impl IdDistribution {
 /// Uses the paper's evolving-network bootstrap (users join over time,
 /// invitees land next to their inviter — §IV), which is where most of the
 /// ring clustering comes from; reassignment then tightens it.
-pub fn measure_ids(graph: &SocialGraph, seed: u64) -> IdDistribution {
+pub fn measure_ids(graph: &Arc<SocialGraph>, seed: u64) -> IdDistribution {
     let mut net = SelectNetwork::bootstrap_with_growth(
-        graph.clone(),
+        Arc::clone(graph),
         SelectConfig::default().with_seed(seed),
         &osn_graph::growth::GrowthModel::default(),
     );
@@ -111,7 +112,7 @@ pub fn run(scale: &Scale) -> String {
         ],
     );
     for ds in Dataset::ALL {
-        let graph = ds.generate_with_nodes(size, scale.seed);
+        let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let d = measure_ids(&graph, scale.seed);
         t.row(vec![
             ds.name().to_string(),
@@ -126,7 +127,7 @@ pub fn run(scale: &Scale) -> String {
     // have a single hub core).
     {
         use osn_graph::generators::{Generator, PlantedPartition};
-        let graph = PlantedPartition::new(size, 8, 0.2, 0.004).generate(scale.seed);
+        let graph = Arc::new(PlantedPartition::new(size, 8, 0.2, 0.004).generate(scale.seed));
         let d = measure_ids(&graph, scale.seed);
         t.row(vec![
             "Community(8)".to_string(),
@@ -139,7 +140,7 @@ pub fn run(scale: &Scale) -> String {
     out.push_str(&t.render());
 
     // One detailed histogram (first data set) as the visual series.
-    let graph = Dataset::Facebook.generate_with_nodes(size, scale.seed);
+    let graph = Arc::new(Dataset::Facebook.generate_with_nodes(size, scale.seed));
     let d = measure_ids(&graph, scale.seed);
     out.push('\n');
     out.push_str(&crate::report::render_series(
@@ -164,7 +165,7 @@ mod tests {
         // BA graphs have local triangles but no macro-communities, so the
         // achievable ratio is modest; the planted-partition test below is
         // the strong-structure case.
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(51);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(51));
         let d = measure_ids(&g, 51);
         assert!(
             d.clustering_ratio() < 0.9,
@@ -176,7 +177,7 @@ mod tests {
 
     #[test]
     fn community_graph_shows_strong_clustering() {
-        let g = PlantedPartition::new(200, 4, 0.25, 0.005).generate(52);
+        let g = Arc::new(PlantedPartition::new(200, 4, 0.25, 0.005).generate(52));
         let d = measure_ids(&g, 52);
         assert!(
             d.clustering_ratio() < 0.6,
@@ -187,7 +188,7 @@ mod tests {
 
     #[test]
     fn histogram_accounts_for_every_peer() {
-        let g = BarabasiAlbert::new(150, 3).generate(53);
+        let g = Arc::new(BarabasiAlbert::new(150, 3).generate(53));
         let d = measure_ids(&g, 53);
         assert_eq!(d.histogram.iter().sum::<usize>(), 150);
     }

@@ -13,6 +13,7 @@ use osn_baselines::{OMenPubSub, VitisPubSub};
 use osn_graph::datasets::Dataset;
 use osn_graph::SocialGraph;
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Convergence iterations of the three iterative systems on one graph.
 #[derive(Clone, Copy, Debug)]
@@ -32,18 +33,18 @@ pub struct IterationCell {
 }
 
 /// Measures one graph.
-pub fn measure_iterations(graph: &SocialGraph, seed: u64) -> IterationCell {
+pub fn measure_iterations(graph: &Arc<SocialGraph>, seed: u64) -> IterationCell {
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
 
     let mut select = SelectNetwork::bootstrap(
-        graph.clone(),
+        Arc::clone(graph),
         SelectConfig::default().with_k(k).with_seed(seed),
     );
     let report = select.converge(500);
 
-    let vitis = VitisPubSub::build(graph.clone(), k, seed);
-    let omen = OMenPubSub::build(graph.clone(), k, seed);
+    let vitis = VitisPubSub::build(Arc::clone(graph), k, seed);
+    let omen = OMenPubSub::build(Arc::clone(graph), k, seed);
     IterationCell {
         select: report.rounds,
         select_messages: report.telemetry.total_messages(),
@@ -71,7 +72,7 @@ pub fn run(scale: &Scale) -> String {
         ],
     );
     for ds in Dataset::ALL {
-        let graph = ds.generate_with_nodes(size, scale.seed);
+        let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let c = measure_iterations(&graph, scale.seed);
         let worst = c.vitis.max(c.omen);
         t.row(vec![
@@ -95,7 +96,7 @@ mod tests {
 
     #[test]
     fn select_converges_in_fewer_iterations() {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(21);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(21));
         let c = measure_iterations(&g, 21);
         assert!(c.select > 0 && c.vitis > 0 && c.omen > 0);
         assert!(c.select_messages > 0, "telemetry should count messages");

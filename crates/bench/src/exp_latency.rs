@@ -16,12 +16,18 @@ use osn_net::TransferSim;
 use osn_sim::Mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Mean dissemination latency (ms) over sampled publications for one system.
-pub fn measure_latency(graph: &SocialGraph, kind: SystemKind, trials: usize, seed: u64) -> f64 {
+pub fn measure_latency(
+    graph: &Arc<SocialGraph>,
+    kind: SystemKind,
+    trials: usize,
+    seed: u64,
+) -> f64 {
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
-    let sys = build_system(kind, graph.clone(), k, seed);
+    let sys = build_system(kind, Arc::clone(graph), k, seed);
     let sim = TransferSim::new(n, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1a7);
     let mut acc = Mean::new();
@@ -53,7 +59,7 @@ pub fn run(scale: &Scale) -> String {
             &["N", "SELECT (ms)", "random/Symphony (ms)", "reduction"],
         );
         for &size in &scale.sizes {
-            let graph = ds.generate_with_nodes(size, scale.seed);
+            let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
             let sel = measure_latency(&graph, SystemKind::Select, scale.trials, scale.seed);
             let sym = measure_latency(&graph, SystemKind::Symphony, scale.trials, scale.seed);
             t.row(vec![
@@ -76,7 +82,7 @@ mod tests {
 
     #[test]
     fn select_latency_beats_random_overlay() {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(41);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(41));
         let sel = measure_latency(&g, SystemKind::Select, 10, 41);
         let sym = measure_latency(&g, SystemKind::Symphony, 10, 41);
         assert!(sel > 0.0 && sym > 0.0);
@@ -88,8 +94,8 @@ mod tests {
 
     #[test]
     fn latency_growth_is_tame_for_select() {
-        let small = BarabasiAlbert::with_closure(120, 4, 0.4).generate(42);
-        let large = BarabasiAlbert::with_closure(480, 4, 0.4).generate(42);
+        let small = Arc::new(BarabasiAlbert::with_closure(120, 4, 0.4).generate(42));
+        let large = Arc::new(BarabasiAlbert::with_closure(480, 4, 0.4).generate(42));
         let l_small = measure_latency(&small, SystemKind::Select, 10, 42);
         let l_large = measure_latency(&large, SystemKind::Select, 10, 42);
         // 4× the peers should cost far less than 4× the latency.

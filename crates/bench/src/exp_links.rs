@@ -10,11 +10,12 @@ use osn_sim::Mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Mean lookup hops on a converged SELECT overlay with link budget `k`.
-pub fn hops_at_k(graph: &SocialGraph, k: usize, trials: usize, seed: u64) -> f64 {
+pub fn hops_at_k(graph: &Arc<SocialGraph>, k: usize, trials: usize, seed: u64) -> f64 {
     let mut net = SelectNetwork::bootstrap(
-        graph.clone(),
+        Arc::clone(graph),
         SelectConfig::default().with_k(k).with_seed(seed),
     );
     net.converge(200);
@@ -37,7 +38,7 @@ pub fn hops_at_k(graph: &SocialGraph, k: usize, trials: usize, seed: u64) -> f64
 }
 
 /// Runs the sweep over K ∈ {1, 2, 4, …} up to 2·log2(N).
-pub fn run(graph: &SocialGraph, trials: usize, seed: u64) -> String {
+pub fn run(graph: &Arc<SocialGraph>, trials: usize, seed: u64) -> String {
     let n = graph.num_nodes();
     let log2n = (n as f64).log2().round() as usize;
     let mut ks = vec![1usize, 2, 4];
@@ -74,7 +75,7 @@ mod tests {
 
     #[test]
     fn more_links_fewer_hops() {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(61);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(61));
         let h1 = hops_at_k(&g, 1, 30, 61);
         let h8 = hops_at_k(&g, 8, 30, 61);
         assert!(h8 < h1, "K=8 ({h8}) should beat K=1 ({h1})");
@@ -84,7 +85,7 @@ mod tests {
     fn saturation_beyond_log_n() {
         // Once K covers the neighbourhood (≈ 2·log2 N for this graph's
         // average degree), doubling K again buys almost nothing.
-        let g = BarabasiAlbert::with_closure(250, 4, 0.4).generate(62);
+        let g = Arc::new(BarabasiAlbert::with_closure(250, 4, 0.4).generate(62));
         let log2n = 8; // log2(250) ≈ 8
         let at_double = hops_at_k(&g, 2 * log2n, 30, 62);
         let at_quad = hops_at_k(&g, 4 * log2n, 30, 62);

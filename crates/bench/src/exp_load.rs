@@ -11,6 +11,7 @@ use crate::report::{fmt_f, Table};
 use crate::Scale;
 use osn_baselines::SystemKind;
 use osn_graph::datasets::Dataset;
+use std::sync::Arc;
 
 /// Degree-bucket edges used for the rendered distribution.
 const BUCKETS: [usize; 6] = [0, 8, 16, 32, 64, 128];
@@ -33,7 +34,7 @@ pub fn run(scale: &Scale) -> String {
     let size = *scale.sizes.last().expect("at least one size");
     let mut out = String::new();
     for ds in Dataset::ALL {
-        let graph = ds.generate_with_nodes(size, scale.seed);
+        let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let mut t = Table::new(
             format!(
                 "Fig. 4 — % of forwarded messages by social degree ({}, N={size})",
@@ -84,7 +85,7 @@ mod tests {
 
     #[test]
     fn select_spreads_load_better_than_vitis() {
-        let g = BarabasiAlbert::with_closure(250, 4, 0.4).generate(11);
+        let g = Arc::new(BarabasiAlbert::with_closure(250, 4, 0.4).generate(11));
         let sel = measure(&g, SystemKind::Select, 30, 11);
         let vit = measure(&g, SystemKind::Vitis, 30, 11);
         // Gini over the degree-keyed load: lower = more balanced.
@@ -98,7 +99,7 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_hundred() {
-        let g = BarabasiAlbert::new(150, 3).generate(12);
+        let g = Arc::new(BarabasiAlbert::new(150, 3).generate(12));
         let m = measure(&g, SystemKind::Select, 10, 12);
         let total: f64 = m.load.series().iter().map(|&(_, p)| p).sum();
         assert!((total - 100.0).abs() < 1e-6, "total {total}");

@@ -21,10 +21,11 @@ mod tests {
     use crate::exp_hops::measure;
     use osn_baselines::SystemKind;
     use osn_graph::generators::{BarabasiAlbert, Generator};
+    use std::sync::Arc;
 
     #[test]
     fn select_has_far_fewer_relays_than_symphony_and_bayeux() {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(7);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(7));
         let sel = measure(&g, SystemKind::Select, 15, 7);
         let sym = measure(&g, SystemKind::Symphony, 15, 7);
         let bay = measure(&g, SystemKind::Bayeux, 15, 7);
@@ -44,7 +45,7 @@ mod tests {
 
     #[test]
     fn select_relays_are_near_zero() {
-        let g = BarabasiAlbert::with_closure(200, 4, 0.4).generate(8);
+        let g = Arc::new(BarabasiAlbert::with_closure(200, 4, 0.4).generate(8));
         let sel = measure(&g, SystemKind::Select, 15, 8);
         assert!(
             sel.relays.mean() < 0.75,

@@ -14,6 +14,7 @@ use osn_sim::Mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One size point of the scalability sweep.
@@ -40,12 +41,12 @@ pub fn sweep(sizes: &[usize], trials: usize, seed: u64) -> Vec<ScalePoint> {
     let mut out = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let t0 = Instant::now();
-        let graph = Dataset::Twitter.generate_with_nodes(n, seed);
+        let graph = Arc::new(Dataset::Twitter.generate_with_nodes(n, seed));
         let gen_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let mut net =
-            SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+            SelectNetwork::bootstrap(Arc::clone(&graph), SelectConfig::default().with_seed(seed));
         let conv = net.converge(100);
         let build_secs = t1.elapsed().as_secs_f64();
 

@@ -16,6 +16,7 @@ use osn_sim::Mean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use select_core::{SelectConfig, SelectNetwork};
+use std::sync::Arc;
 
 /// Result of one session-trace run.
 #[derive(Clone, Debug)]
@@ -32,14 +33,14 @@ pub struct SessionRun {
 
 /// Runs `steps` probe steps driven by per-peer session schedules.
 pub fn run_sessions(
-    graph: &SocialGraph,
+    graph: &Arc<SocialGraph>,
     steps: usize,
     cma_recovery: bool,
     seed: u64,
 ) -> SessionRun {
     let n = graph.num_nodes();
     let mut net = SelectNetwork::bootstrap(
-        graph.clone(),
+        Arc::clone(graph),
         SelectConfig::default()
             .with_seed(seed)
             .with_cma_recovery(cma_recovery),
@@ -104,7 +105,7 @@ pub fn run_sessions(
 
 /// Renders CMA-vs-naive session results.
 pub fn run(size: usize, steps: usize, seed: u64) -> String {
-    let graph = Dataset::Slashdot.generate_with_nodes(size, seed);
+    let graph = Arc::new(Dataset::Slashdot.generate_with_nodes(size, seed));
     let mut t = Table::new(
         format!("Session traces — CMA recovery steers links to available peers (N={size}, {steps} steps)"),
         &[
@@ -135,7 +136,7 @@ mod tests {
 
     #[test]
     fn links_point_at_better_than_average_peers() {
-        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(81);
+        let g = Arc::new(BarabasiAlbert::with_closure(150, 4, 0.4).generate(81));
         let r = run_sessions(&g, 25, true, 81);
         assert!(
             r.link_target_availability > r.population_availability,
@@ -147,7 +148,7 @@ mod tests {
 
     #[test]
     fn delivery_stays_high_under_sessions() {
-        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(82);
+        let g = Arc::new(BarabasiAlbert::with_closure(150, 4, 0.4).generate(82));
         let r = run_sessions(&g, 20, true, 82);
         assert!(
             r.delivery_availability > 0.9,
@@ -158,7 +159,7 @@ mod tests {
 
     #[test]
     fn naive_mode_still_functions() {
-        let g = BarabasiAlbert::with_closure(120, 4, 0.4).generate(83);
+        let g = Arc::new(BarabasiAlbert::with_closure(120, 4, 0.4).generate(83));
         let r = run_sessions(&g, 15, false, 83);
         assert!(r.delivery_availability > 0.5);
     }

@@ -21,9 +21,14 @@
 //! | Twitter scalability claim | [`exp_scalability`] | `scalability` |
 //! | §III-F session traces | [`exp_sessions`] | `sessions` |
 //! | Churn across systems | [`exp_churn_compare`] | `churn-compare` |
+//!
+//! Beyond the paper figures, [`hotpath`] benchmarks the converge/publish hot
+//! path itself and emits the machine-readable `BENCH_hotpath.json`
+//! (subcommand `hotpath`, schema-checked via `--check`).
 
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod exp_ablation;
 pub mod exp_churn;
 pub mod exp_churn_compare;
@@ -37,6 +42,7 @@ pub mod exp_relays;
 pub mod exp_scalability;
 pub mod exp_sessions;
 pub mod exp_star;
+pub mod hotpath;
 pub mod report;
 pub mod table2;
 

@@ -40,7 +40,14 @@ use osn_sim::SuperstepEngine;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-worker neighbourhood buffer for the link superstep's compute
+    /// half, so each parallel `propose_links` call reuses one allocation.
+    static NEIGH_BUF: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Change counters of one gossip round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,8 +70,9 @@ impl RoundChanges {
 struct LinkProposal {
     /// Ordered preference list, consumed until K links are accepted.
     targets: Vec<u32>,
-    /// The LSH selection backing the list (None in the random ablation).
-    selection: Option<LinkSelection>,
+    /// The LSH bucket member lists backing the list (None in the random
+    /// ablation); applied to the flat per-edge bucket table in vertex order.
+    buckets: Option<Vec<Vec<u32>>>,
     /// Link-budget slots filled by LSH bucket representatives.
     bucket_hits: u64,
     /// Link-budget slots left to the coverage/strength tail (or the random
@@ -137,8 +145,8 @@ impl SelectNetwork {
             engine.step(false, |p, mail, _| {
                 for m in mail {
                     if let Proposal::Links(prop) = m {
-                        if let Some(sel) = prop.selection {
-                            self.selections[p as usize] = sel;
+                        if let Some(buckets) = &prop.buckets {
+                            self.store_buckets(p, buckets);
                         }
                         tel.lsh_bucket_hits += prop.bucket_hits;
                         tel.lsh_bucket_fallbacks += prop.bucket_fallbacks;
@@ -213,7 +221,16 @@ impl SelectNetwork {
     /// the random-picker ablation — the shared network RNG would make the
     /// result depend on peer scheduling order).
     fn propose_links(&self, p: u32, round_salt: u64) -> LinkProposal {
-        let neighbourhood = self.online_friends(p);
+        NEIGH_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            self.online_friends_into(p, &mut buf);
+            self.propose_links_with(p, round_salt, &buf)
+        })
+    }
+
+    /// [`Self::propose_links`] over a precomputed (sorted ascending) online
+    /// neighbourhood.
+    fn propose_links_with(&self, p: u32, round_salt: u64, neighbourhood: &[u32]) -> LinkProposal {
         if self.cfg.use_lsh_picker {
             // A friend's advertised connection set is its current links plus
             // its social adjacency. Long links converge onto social edges
@@ -222,8 +239,11 @@ impl SelectNetwork {
             // bitmap → bucket → link feedback loop from flapping forever —
             // with purely dynamic `R_u` the pick in a bucket changes every
             // round and the overlay never quiesces.
-            let selection = create_links(
-                &neighbourhood,
+            let LinkSelection {
+                mut targets,
+                buckets,
+            } = create_links(
+                neighbourhood,
                 self.k,
                 self.cfg.lsh_samples,
                 self.cfg.seed ^ (p as u64).rotate_left(32),
@@ -239,7 +259,6 @@ impl SelectNetwork {
                 },
                 |u| self.bandwidth[u as usize],
             );
-            let mut targets = selection.targets.clone();
             let bucket_hits = targets.len().min(self.k) as u64;
             let bucket_fallbacks = self.k.saturating_sub(targets.len()) as u64;
             // Friends converge to similar connections, so buckets collapse
@@ -252,30 +271,28 @@ impl SelectNetwork {
             // actually accepted, so admission rejections don't waste budget.
             {
                 use std::collections::HashSet;
-                let in_neigh: HashSet<u32> = neighbourhood.iter().copied().collect();
-                let reach = |f: u32| -> Vec<u32> {
-                    let mut r: Vec<u32> = self
-                        .graph
+                // The neighbourhood is sorted ascending, so membership is a
+                // binary search instead of a per-call hash set.
+                let reach = |f: u32| {
+                    self.graph
                         .neighbors(osn_graph::UserId(f))
                         .iter()
                         .map(|x| x.0)
-                        .filter(|q| in_neigh.contains(q))
-                        .collect();
-                    r.push(f);
-                    r
+                        .filter(|q| neighbourhood.binary_search(q).is_ok())
+                        .chain(std::iter::once(f))
                 };
                 let mut covered: HashSet<u32> = HashSet::new();
                 for &t in &targets {
                     covered.extend(reach(t));
                 }
-                let ranked = self.strengths.ranked_friends(p).to_vec();
+                let ranked = self.strengths.ranked_friends(p);
                 loop {
                     let mut best: Option<(usize, u32)> = None;
-                    for &f in &ranked {
+                    for &f in ranked {
                         if !self.online[f as usize] || targets.contains(&f) {
                             continue;
                         }
-                        let gain = reach(f).iter().filter(|q| !covered.contains(q)).count();
+                        let gain = reach(f).filter(|q| !covered.contains(q)).count();
                         if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
                             best = Some((gain, f));
                         }
@@ -289,7 +306,7 @@ impl SelectNetwork {
                     }
                 }
                 // Tail: remaining online friends in strength order.
-                for &f in &ranked {
+                for &f in ranked {
                     if self.online[f as usize] && !targets.contains(&f) {
                         targets.push(f);
                     }
@@ -297,7 +314,7 @@ impl SelectNetwork {
             }
             LinkProposal {
                 targets,
-                selection: Some(selection),
+                buckets: Some(buckets),
                 bucket_hits,
                 bucket_fallbacks,
             }
@@ -333,7 +350,7 @@ impl SelectNetwork {
             let bucket_fallbacks = self.k as u64;
             LinkProposal {
                 targets,
-                selection: None,
+                buckets: None,
                 bucket_hits: 0,
                 bucket_fallbacks,
             }
@@ -346,8 +363,8 @@ impl SelectNetwork {
     /// superstep restricted to `p`; used by [`Self::partial_gossip_round`].
     pub(crate) fn reassign_links_of(&mut self, p: u32) -> usize {
         let prop = self.propose_links(p, self.round_counter);
-        if let Some(sel) = prop.selection {
-            self.selections[p as usize] = sel;
+        if let Some(buckets) = &prop.buckets {
+            self.store_buckets(p, buckets);
         }
         self.reconcile_links(p, &prop.targets)
     }
@@ -367,11 +384,14 @@ impl SelectNetwork {
             .iter()
             .copied()
             .filter(|&u| {
+                // A never-probed slot (count 0) is *not* trusted: the old
+                // per-peer map simply had no entry for it.
                 self.cfg.cma_recovery
                     && !self.online[u as usize]
-                    && self.cma[p as usize]
-                        .get(&u)
-                        .is_some_and(|c| !c.is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs))
+                    && self.edge_slot(p, u).is_some_and(|s| {
+                        let c = &self.cma[s];
+                        c.count() > 0 && !c.is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs)
+                    })
             })
             .collect();
 

@@ -46,6 +46,7 @@ pub mod protocol;
 pub mod pubsub;
 pub mod reassign;
 pub mod recovery;
+mod scratch;
 pub mod stats;
 pub mod strength;
 pub mod topics;

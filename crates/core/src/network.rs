@@ -4,7 +4,6 @@
 //! implement their protocol steps as `impl SelectNetwork` blocks.
 
 use crate::config::SelectConfig;
-use crate::links::LinkSelection;
 use crate::projection::assign_identifier;
 use crate::stats::ConvergenceTelemetry;
 use crate::strength::StrengthIndex;
@@ -14,7 +13,11 @@ use osn_overlay::{RingId, RingIndex, RoutingTable, Topology};
 use osn_sim::{BandwidthModel, Cma};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel in [`SelectNetwork::link_buckets`]: this neighbour slot is not in
+/// any LSH bucket of the current selection.
+pub(crate) const NO_BUCKET: u16 = u16::MAX;
 
 /// Result of [`SelectNetwork::converge`].
 #[derive(Clone, Debug, PartialEq)]
@@ -30,9 +33,16 @@ pub struct ConvergenceReport {
 }
 
 /// A fully decentralized SELECT overlay, simulated in-process.
+///
+/// The social graph is shared behind an [`Arc`]: cloning the network (or
+/// building several systems over the same data set) never duplicates the
+/// CSR arrays. Per-edge protocol state (CMA availability estimates, LSH
+/// bucket assignments) lives in flat side tables indexed by the graph's
+/// stable [`SocialGraph::neighbor_slot`] — struct-of-arrays instead of one
+/// hash map per peer.
 #[derive(Clone, Debug)]
 pub struct SelectNetwork {
-    pub(crate) graph: SocialGraph,
+    pub(crate) graph: Arc<SocialGraph>,
     pub(crate) cfg: SelectConfig,
     /// Resolved long-link budget K.
     pub(crate) k: usize,
@@ -44,10 +54,16 @@ pub struct SelectNetwork {
     pub(crate) bandwidth: Vec<f64>,
     pub(crate) online: Vec<bool>,
     pub(crate) strengths: StrengthIndex,
-    /// Per peer: CMA availability estimate of each probed friend.
-    pub(crate) cma: Vec<HashMap<u32, Cma>>,
-    /// Last LSH selection per peer (replacement pools for recovery).
-    pub(crate) selections: Vec<LinkSelection>,
+    /// CMA availability estimate per directed social edge, indexed by
+    /// [`SocialGraph::neighbor_slot`]. A slot with `count() == 0` has never
+    /// been probed (the old per-peer map had no entry).
+    pub(crate) cma: Vec<Cma>,
+    /// LSH bucket id per directed social edge ([`NO_BUCKET`] = not in the
+    /// owner's current selection), indexed like `cma`. Together with the CSR
+    /// adjacency this replaces the per-peer bucket member lists: the members
+    /// of peer `p`'s bucket `b` are exactly the neighbours whose slot stores
+    /// `b`, in ascending id order.
+    pub(crate) link_buckets: Vec<u16>,
     /// Rounds the most recent [`SelectNetwork::converge`] call took.
     pub(crate) last_convergence: Option<usize>,
     /// Lifetime gossip-round counter; salts the per-peer RNG streams of the
@@ -59,7 +75,12 @@ pub struct SelectNetwork {
 impl SelectNetwork {
     /// Bootstraps with **flat projection**: every peer joins at once with a
     /// uniform-hash identifier (Algorithm 1's independent-subscription arm).
-    pub fn bootstrap(graph: SocialGraph, cfg: SelectConfig) -> Self {
+    ///
+    /// Accepts either an owned [`SocialGraph`] or a shared
+    /// `Arc<SocialGraph>`; pass the `Arc` when several systems are built
+    /// over the same graph so they share one CSR copy.
+    pub fn bootstrap(graph: impl Into<Arc<SocialGraph>>, cfg: SelectConfig) -> Self {
+        let graph = graph.into();
         let n = graph.num_nodes();
         let mut net = Self::empty_shell(graph, cfg);
         for p in 0..n as u32 {
@@ -75,10 +96,11 @@ impl SelectNetwork {
     /// Bootstraps by **replaying a growth schedule** (paper §IV): users join
     /// over time, invited users land next to their inviter (Algorithm 1).
     pub fn bootstrap_with_growth(
-        graph: SocialGraph,
+        graph: impl Into<Arc<SocialGraph>>,
         cfg: SelectConfig,
         growth: &GrowthModel,
     ) -> Self {
+        let graph = graph.into();
         let seed = cfg.seed;
         let events: Vec<JoinEvent> = growth.schedule(&graph, seed ^ 0x9_0417);
         let mut net = Self::empty_shell(graph, cfg);
@@ -104,13 +126,14 @@ impl SelectNetwork {
         net
     }
 
-    fn empty_shell(graph: SocialGraph, cfg: SelectConfig) -> Self {
+    fn empty_shell(graph: Arc<SocialGraph>, cfg: SelectConfig) -> Self {
         let n = graph.num_nodes();
         assert!(n >= 2, "need at least two peers");
         let k = cfg.resolved_k(n);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let bandwidth = BandwidthModel::default().sample_all(&mut rng, n);
         let strengths = StrengthIndex::build(&graph);
+        let edges = graph.num_directed_edges();
         SelectNetwork {
             cfg,
             k,
@@ -120,8 +143,8 @@ impl SelectNetwork {
             bandwidth,
             online: vec![false; n],
             strengths,
-            cma: vec![HashMap::new(); n],
-            selections: vec![LinkSelection::default(); n],
+            cma: vec![Cma::default(); edges],
+            link_buckets: vec![NO_BUCKET; edges],
             last_convergence: None,
             round_counter: 0,
             rng,
@@ -136,6 +159,12 @@ impl SelectNetwork {
 
     /// The underlying social graph.
     pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The shared handle to the social graph; clone it to build another
+    /// system over the same data set without copying the CSR arrays.
+    pub fn graph_arc(&self) -> &Arc<SocialGraph> {
         &self.graph
     }
 
@@ -186,25 +215,87 @@ impl SelectNetwork {
 
     /// Online friends of `p` — the reachable part of `C_p`.
     pub fn online_friends(&self, p: u32) -> Vec<u32> {
-        self.graph
-            .neighbors(UserId(p))
-            .iter()
-            .map(|f| f.0)
-            .filter(|&f| self.online[f as usize])
-            .collect()
+        let mut out = Vec::new();
+        self.online_friends_into(p, &mut out);
+        out
+    }
+
+    /// [`SelectNetwork::online_friends`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn online_friends_into(&self, p: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.graph
+                .neighbors(UserId(p))
+                .iter()
+                .map(|f| f.0)
+                .filter(|&f| self.online[f as usize]),
+        );
     }
 
     /// All connections `p` can forward over: outgoing (ring + long) plus
     /// incoming (connections are bidirectional channels).
     pub fn connections_of(&self, p: u32) -> Vec<u32> {
-        let mut out = self.tables[p as usize].all_links(p);
+        let mut out = Vec::new();
+        self.connections_of_into(p, &mut out);
+        out
+    }
+
+    /// [`SelectNetwork::connections_of`] into a caller-owned buffer
+    /// (cleared first); the publish pipeline calls this once per BFS
+    /// expansion, so the steady path reuses one allocation.
+    pub fn connections_of_into(&self, p: u32, out: &mut Vec<u32>) {
+        self.tables[p as usize].all_links_into(p, out);
         for &q in self.tables[p as usize].incoming_links() {
             if !out.contains(&q) {
                 out.push(q);
             }
         }
         out.retain(|&q| self.online[q as usize]);
-        out
+    }
+
+    /// Flat-edge slot of the directed social edge `(p, u)`, if `u` is a
+    /// friend of `p`; indexes [`SelectNetwork::cma`] and
+    /// [`SelectNetwork::link_buckets`].
+    #[inline]
+    pub(crate) fn edge_slot(&self, p: u32, u: u32) -> Option<usize> {
+        self.graph.neighbor_slot(UserId(p), UserId(u))
+    }
+
+    /// Overwrites `p`'s LSH bucket assignments with `buckets` (one member
+    /// list per bucket id). Members must be friends of `p`; the per-edge
+    /// slots outside the new selection are reset to [`NO_BUCKET`].
+    pub(crate) fn store_buckets(&mut self, p: u32, buckets: &[Vec<u32>]) {
+        debug_assert!(buckets.len() < NO_BUCKET as usize, "bucket id overflow");
+        let base = self.graph.neighbor_base(UserId(p));
+        let end = base + self.graph.degree(UserId(p));
+        self.link_buckets[base..end].fill(NO_BUCKET);
+        for (b, members) in buckets.iter().enumerate() {
+            for &u in members {
+                let slot = self
+                    .edge_slot(p, u)
+                    .expect("bucket member is a social friend");
+                self.link_buckets[slot] = b as u16;
+            }
+        }
+    }
+
+    /// Members of the bucket of `p`'s selection that contains `member`, in
+    /// ascending peer id order (the CSR neighbour order, which matches the
+    /// insertion order of the old per-peer member lists). Empty if `member`
+    /// is not in any bucket.
+    pub(crate) fn bucket_peers_of(&self, p: u32, member: u32) -> impl Iterator<Item = u32> + '_ {
+        let bucket = self
+            .edge_slot(p, member)
+            .map(|s| self.link_buckets[s])
+            .filter(|&b| b != NO_BUCKET);
+        let base = self.graph.neighbor_base(UserId(p));
+        self.graph
+            .neighbors(UserId(p))
+            .iter()
+            .enumerate()
+            .filter(move |&(i, _)| bucket.is_some_and(|b| self.link_buckets[base + i] == b))
+            .map(|(_, u)| u.0)
     }
 
     /// Takes `p` offline (churn departure). Its links stay in neighbours'
@@ -269,6 +360,9 @@ impl Topology for SelectNetwork {
     }
     fn links(&self, peer: u32) -> Vec<u32> {
         self.connections_of(peer)
+    }
+    fn links_into(&self, peer: u32, out: &mut Vec<u32>) {
+        self.connections_of_into(peer, out);
     }
 }
 

@@ -295,8 +295,11 @@ impl ProtocolNetwork {
             },
             |u| self.net.bandwidth_of(u),
         );
-        let mut candidates = selection.targets.clone();
-        self.net.selections[p as usize] = selection;
+        let crate::links::LinkSelection {
+            targets: mut candidates,
+            buckets,
+        } = selection;
+        self.net.store_buckets(p, &buckets);
         // Preference tail: remaining known friends by reported nMutual.
         let mut rest: Vec<u32> = known
             .iter()

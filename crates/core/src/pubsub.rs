@@ -12,27 +12,75 @@
 //! nodes are intermediate peers that are not themselves subscribers.
 
 use crate::network::SelectNetwork;
+use crate::scratch::{PublishScratch, PUBLISH_SCRATCH};
 use crate::stats::DeliveryTelemetry;
 use osn_overlay::{route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome};
 use std::collections::{HashMap, HashSet};
 
 /// The routing tree of one publication.
-#[derive(Clone, Debug, Default)]
+///
+/// Paths are stored in one arena (`nodes` + exclusive end offsets) instead
+/// of a `Vec<Vec<u32>>`: the steady publish path appends each delivered
+/// path with [`RoutingTree::push_path`] and never allocates per path once
+/// the arena is warm. Read paths back with [`RoutingTree::paths`] or
+/// [`RoutingTree::path`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoutingTree {
     /// The publishing peer.
     pub publisher: u32,
-    /// Per-subscriber delivery paths (`path[0] == publisher`,
-    /// `path.last() == subscriber`); only delivered paths appear.
-    pub paths: Vec<Vec<u32>>,
+    /// Concatenated node sequences of all delivered paths.
+    nodes: Vec<u32>,
+    /// Exclusive end offset of each path in `nodes`.
+    ends: Vec<u32>,
     /// Subscribers that could not be reached.
     pub failed: Vec<u32>,
 }
 
 impl RoutingTree {
+    /// An empty tree rooted at `publisher`.
+    pub fn new(publisher: u32) -> Self {
+        RoutingTree {
+            publisher,
+            ..RoutingTree::default()
+        }
+    }
+
+    /// Builds a tree from explicit per-subscriber paths (tests, baselines).
+    pub fn from_paths<P: AsRef<[u32]>>(publisher: u32, paths: impl IntoIterator<Item = P>) -> Self {
+        let mut tree = RoutingTree::new(publisher);
+        for p in paths {
+            tree.push_path(p.as_ref());
+        }
+        tree
+    }
+
+    /// Appends one delivered path (`path[0] == publisher`,
+    /// `path.last() == subscriber`).
+    pub fn push_path(&mut self, path: &[u32]) {
+        self.nodes.extend_from_slice(path);
+        self.ends.push(self.nodes.len() as u32);
+    }
+
+    /// Number of delivered paths.
+    pub fn num_paths(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The `i`-th delivered path, in subscriber order.
+    pub fn path(&self, i: usize) -> &[u32] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.nodes[start..self.ends[i] as usize]
+    }
+
+    /// Iterator over all delivered paths.
+    pub fn paths(&self) -> impl ExactSizeIterator<Item = &[u32]> + '_ {
+        (0..self.num_paths()).map(move |i| self.path(i))
+    }
+
     /// Distinct directed edges of the tree (deduplicated across paths).
     pub fn edges(&self) -> HashSet<(u32, u32)> {
         let mut edges = HashSet::new();
-        for path in &self.paths {
+        for path in self.paths() {
             for w in path.windows(2) {
                 edges.insert((w[0], w[1]));
             }
@@ -115,7 +163,16 @@ impl SelectNetwork {
     /// independent fault schedules, while replaying the same nonce replays
     /// the exact same drops, delays and crashes — at any thread count.
     pub fn publish_at(&self, b: u32, nonce: u64) -> DisseminationReport {
-        self.disseminate_at(b, self.online_friends(b), nonce)
+        PUBLISH_SCRATCH.with(|cell| {
+            let scr = &mut *cell.borrow_mut();
+            // The subscriber list lives in scratch too: a steady-state
+            // publish reuses one buffer instead of collecting a fresh Vec.
+            let mut subs = std::mem::take(&mut scr.subs);
+            self.online_friends_into(b, &mut subs);
+            let report = self.disseminate_scratch(scr, b, &subs, nonce);
+            scr.subs = subs;
+            report
+        })
     }
 
     /// Disseminates from `b` to an explicit online subscriber set — the
@@ -128,32 +185,88 @@ impl SelectNetwork {
     /// [`Self::disseminate`] under an explicit publication nonce (see
     /// [`Self::publish_at`]).
     pub fn disseminate_at(&self, b: u32, subscribers: Vec<u32>, nonce: u64) -> DisseminationReport {
-        let subscriber_set: HashSet<u32> = subscribers.iter().copied().collect();
-        let mut tree = RoutingTree {
-            publisher: b,
-            ..RoutingTree::default()
-        };
+        PUBLISH_SCRATCH
+            .with(|cell| self.disseminate_scratch(&mut cell.borrow_mut(), b, &subscribers, nonce))
+    }
+
+    /// Fills `out` with the planned delivery path for subscriber `s`
+    /// (`out[0] == b`, `out.last() == s`) from the BFS parents recorded in
+    /// `scr`, falling back to [`Self::lookup`] for unreached subscribers.
+    /// Returns false (leaving `out` unspecified) if `s` is unreachable.
+    fn planned_path_into(&self, b: u32, s: u32, scr: &PublishScratch, out: &mut Vec<u32>) -> bool {
+        if scr.has_parent(s) {
+            out.clear();
+            out.push(s);
+            let mut cur = s;
+            while cur != b {
+                cur = scr.parent_of(cur);
+                out.push(cur);
+            }
+            out.reverse();
+            // §III-E guarantees delivery "within 1 or 2 hops" when the
+            // routing table or lookahead set affirms the subscriber: a
+            // long chain through subscribers is replaced by a shorter
+            // lookahead path when that path stays relay-light (≤ 1).
+            if out.len() > 3 {
+                if let RouteOutcome::Delivered { path: direct } = self.lookup(b, s) {
+                    let direct_relays = direct[1..direct.len().saturating_sub(1)]
+                        .iter()
+                        .filter(|&&q| !scr.is_subscriber(q))
+                        .count();
+                    if direct.len() < out.len() && direct_relays <= 1 {
+                        out.clear();
+                        out.extend_from_slice(&direct);
+                    }
+                }
+            }
+            return true;
+        }
+        // Last resort: greedy overlay routing from the publisher.
+        match self.lookup(b, s) {
+            RouteOutcome::Delivered { path } => {
+                out.clear();
+                out.extend_from_slice(&path);
+                true
+            }
+            RouteOutcome::Failed { .. } => false,
+        }
+    }
+
+    /// The dissemination pipeline over a borrowed scratch arena. Steady
+    /// path (inactive fault plan): no per-publication allocations beyond
+    /// arena growth — BFS state, membership tests, frontiers, connection
+    /// lists and path construction all reuse the thread-local scratch, and
+    /// delivered paths land directly in the tree arena.
+    fn disseminate_scratch(
+        &self,
+        scr: &mut PublishScratch,
+        b: u32,
+        subscribers: &[u32],
+        nonce: u64,
+    ) -> DisseminationReport {
+        scr.begin(self.len());
+        for &s in subscribers {
+            scr.mark_subscriber(s);
+        }
+        let mut tree = RoutingTree::new(b);
         let max_hops = self.cfg.max_route_hops;
+        let mut conn = std::mem::take(&mut scr.conn);
 
         // Stage 1: BFS over connections restricted to {b} ∪ subscribers —
         // the relay-free part of the tree. Depth is tracked from the
         // publisher so the hop budget bounds the *full* path, not a stage.
-        let mut parent: HashMap<u32, u32> = HashMap::new();
-        let mut depth: HashMap<u32, usize> = HashMap::new();
-        parent.insert(b, b);
-        depth.insert(b, 0);
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(b);
-        while let Some(u) = queue.pop_front() {
-            let d = depth[&u];
+        scr.set_parent(b, b, 0);
+        scr.queue.push_back(b);
+        while let Some(u) = scr.queue.pop_front() {
+            let d = scr.depth_of(u);
             if d >= max_hops {
                 continue;
             }
-            for v in self.connections_of(u) {
-                if subscriber_set.contains(&v) && !parent.contains_key(&v) {
-                    parent.insert(v, u);
-                    depth.insert(v, d + 1);
-                    queue.push_back(v);
+            self.connections_of_into(u, &mut conn);
+            for &v in &conn {
+                if scr.is_subscriber(v) && !scr.has_parent(v) {
+                    scr.set_parent(v, u, d + 1);
+                    scr.queue.push_back(v);
                 }
             }
         }
@@ -165,69 +278,33 @@ impl SelectNetwork {
         // non-subscribers — the relay nodes. Expansion goes bucket-by-bucket
         // in publisher-distance order, so stage-1 depth plus the stage-2
         // extension can never exceed the hop budget combined.
-        let unreached: Vec<u32> = subscribers
-            .iter()
-            .copied()
-            .filter(|s| !parent.contains_key(s))
-            .collect();
-        if !unreached.is_empty() {
-            let mut missing: HashSet<u32> = unreached.iter().copied().collect();
-            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_hops + 1];
-            for (&p, &d) in &depth {
-                buckets[d].push(p);
+        let mut missing = subscribers.iter().filter(|&&s| !scr.has_parent(s)).count();
+        if missing > 0 {
+            scr.ensure_buckets(max_hops + 1);
+            for i in 0..scr.reached().len() {
+                let p = scr.reached()[i];
+                let d = scr.depth_of(p);
+                scr.buckets[d].push(p);
             }
             let mut d = 0usize;
-            while d < max_hops && !missing.is_empty() {
-                let mut frontier = std::mem::take(&mut buckets[d]);
+            while d < max_hops && missing > 0 {
+                let mut frontier = std::mem::take(&mut scr.buckets[d]);
                 frontier.sort_unstable(); // deterministic expansion order
-                for u in frontier {
-                    for v in self.connections_of(u) {
-                        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(v) {
-                            e.insert(u);
-                            depth.insert(v, d + 1);
-                            buckets[d + 1].push(v);
-                            missing.remove(&v);
+                for &u in &frontier {
+                    self.connections_of_into(u, &mut conn);
+                    for &v in &conn {
+                        if !scr.has_parent(v) {
+                            scr.set_parent(v, u, d + 1);
+                            scr.buckets[d + 1].push(v);
+                            if scr.is_subscriber(v) {
+                                missing -= 1;
+                            }
                         }
                     }
                 }
+                frontier.clear();
+                scr.buckets[d] = frontier; // hand the capacity back
                 d += 1;
-            }
-        }
-
-        // Per-subscriber planned paths (the routing tree before any fault
-        // hits it), in deterministic subscriber order.
-        let mut planned: Vec<(u32, Vec<u32>)> = Vec::new();
-        for &s in &subscribers {
-            if parent.contains_key(&s) {
-                let mut path = vec![s];
-                let mut cur = s;
-                while cur != b {
-                    cur = parent[&cur];
-                    path.push(cur);
-                }
-                path.reverse();
-                // §III-E guarantees delivery "within 1 or 2 hops" when the
-                // routing table or lookahead set affirms the subscriber: a
-                // long chain through subscribers is replaced by a shorter
-                // lookahead path when that path stays relay-light (≤ 1).
-                if path.len() > 3 {
-                    if let RouteOutcome::Delivered { path: direct } = self.lookup(b, s) {
-                        let direct_relays = direct[1..direct.len().saturating_sub(1)]
-                            .iter()
-                            .filter(|q| !subscriber_set.contains(q))
-                            .count();
-                        if direct.len() < path.len() && direct_relays <= 1 {
-                            path = direct;
-                        }
-                    }
-                }
-                planned.push((s, path));
-                continue;
-            }
-            // Last resort: greedy overlay routing from the publisher.
-            match self.lookup(b, s) {
-                RouteOutcome::Delivered { path } => planned.push((s, path)),
-                RouteOutcome::Failed { .. } => tree.failed.push(s),
             }
         }
 
@@ -236,9 +313,37 @@ impl SelectNetwork {
         // telemetry stays zero — the exact pre-fault behaviour.
         let plan = self.cfg.fault_plan;
         let mut telemetry = DeliveryTelemetry::default();
-        let final_paths: Vec<Vec<u32>> = if !plan.is_active() {
-            planned.into_iter().map(|(_, path)| path).collect()
+        let mut total_hops = 0usize;
+        let mut total_relays = 0usize;
+        let mut path = std::mem::take(&mut scr.path);
+
+        if !plan.is_active() {
+            // Steady path: plan each subscriber's path in the shared buffer
+            // and append it straight into the tree arena.
+            for &s in subscribers {
+                if self.planned_path_into(b, s, scr, &mut path) {
+                    total_hops += path.len() - 1;
+                    total_relays += path[1..path.len() - 1]
+                        .iter()
+                        .filter(|&&q| !scr.is_subscriber(q))
+                        .count();
+                    tree.push_path(&path);
+                } else {
+                    tree.failed.push(s);
+                }
+            }
         } else {
+            // Fault path: materialize the planned per-subscriber paths (the
+            // retry machinery reorders and replays them, so it keeps owned
+            // copies), in deterministic subscriber order.
+            let mut planned: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &s in subscribers {
+                if self.planned_path_into(b, s, scr, &mut path) {
+                    planned.push((s, path.clone()));
+                } else {
+                    tree.failed.push(s);
+                }
+            }
             let mut delivered_paths = Vec::new();
             // Peers currently holding a copy (per-publication dedup state)
             // and relays the publisher has observed crashed.
@@ -341,21 +446,19 @@ impl SelectNetwork {
             for (s, _) in pending {
                 tree.failed.push(s);
             }
-            delivered_paths
-        };
-
-        let mut total_hops = 0usize;
-        let mut total_relays = 0usize;
-        for path in final_paths {
-            total_hops += path.len() - 1;
-            total_relays += path[1..path.len() - 1]
-                .iter()
-                .filter(|q| !subscriber_set.contains(q))
-                .count();
-            tree.paths.push(path);
+            for path in delivered_paths {
+                total_hops += path.len() - 1;
+                total_relays += path[1..path.len() - 1]
+                    .iter()
+                    .filter(|&&q| !scr.is_subscriber(q))
+                    .count();
+                tree.push_path(&path);
+            }
         }
+        scr.path = path;
+        scr.conn = conn;
 
-        let delivered = tree.paths.len();
+        let delivered = tree.num_paths();
         DisseminationReport {
             publisher: b,
             subscribers: subscribers.len(),
@@ -422,7 +525,7 @@ mod tests {
         let n = converged(3);
         let b = 10u32;
         let r = n.publish(b);
-        for path in &r.tree.paths {
+        for path in r.tree.paths() {
             assert_eq!(path[0], b);
             let s = *path.last().unwrap();
             assert!(n.graph().has_edge(UserId(b), UserId(s)));
@@ -434,10 +537,10 @@ mod tests {
         let n = converged(4);
         let r = n.publish(0);
         let edges = r.tree.edges();
-        let raw: usize = r.tree.paths.iter().map(|p| p.len() - 1).sum();
+        let raw: usize = r.tree.paths().map(|p| p.len() - 1).sum();
         assert!(edges.len() <= raw);
         // Every path edge is in the set.
-        for path in &r.tree.paths {
+        for path in r.tree.paths() {
             for w in path.windows(2) {
                 assert!(edges.contains(&(w[0], w[1])));
             }
@@ -446,11 +549,7 @@ mod tests {
 
     #[test]
     fn forwards_count_distinct_children() {
-        let tree = RoutingTree {
-            publisher: 0,
-            paths: vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 4]],
-            failed: vec![],
-        };
+        let tree = RoutingTree::from_paths(0, [vec![0, 1, 2], vec![0, 1, 3], vec![0, 4]]);
         let f = tree.forwards_per_peer();
         assert_eq!(f[&0], 2); // 0->1 (shared) and 0->4
         assert_eq!(f[&1], 2); // 1->2, 1->3
@@ -594,13 +693,12 @@ mod tests {
         let a = n.publish_at(5, 77);
         let b = n.publish_at(5, 77);
         assert_eq!(a.delivery, b.delivery);
-        assert_eq!(a.tree.paths, b.tree.paths);
-        assert_eq!(a.tree.failed, b.tree.failed);
+        assert_eq!(a.tree, b.tree);
         // A different nonce draws a fresh schedule (with these rates, 20
         // publications with identical faults would be astronomical luck).
         let c = n.publish_at(5, 78);
         assert!(
-            a.delivery != c.delivery || a.tree.paths != c.tree.paths,
+            a.delivery != c.delivery || a.tree != c.tree,
             "nonces 77 and 78 drew identical fault schedules"
         );
     }
@@ -617,7 +715,7 @@ mod tests {
             n.converge(100);
             for b in (0..200u32).step_by(17) {
                 let r = n.publish(b);
-                for path in &r.tree.paths {
+                for path in r.tree.paths() {
                     assert!(
                         path.len() - 1 <= 3,
                         "publisher {b}: path {path:?} exceeds max_route_hops=3"

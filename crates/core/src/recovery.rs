@@ -103,17 +103,16 @@ impl SelectNetwork {
                         continue;
                     }
                     report.probes += 1;
-                    self.cma[p as usize]
-                        .entry(u)
-                        .or_default()
-                        .observe_probe(responded);
+                    let slot = self
+                        .edge_slot(p, u)
+                        .expect("long links connect social friends");
+                    self.cma[slot].observe_probe(responded);
                     if responded {
                         continue;
                     }
                     report.unresponsive += 1;
                     let trusted = self.cfg.cma_recovery
-                        && !self.cma[p as usize][&u]
-                            .is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs);
+                        && !self.cma[slot].is_poor(self.cfg.cma_threshold, self.cfg.cma_min_obs);
                     if trusted {
                         report.kept += 1;
                         continue;
@@ -190,10 +189,7 @@ impl SelectNetwork {
     fn find_replacement(&self, p: u32, dead: u32) -> Option<u32> {
         let table = &self.tables[p as usize];
         let viable = |q: u32| q != p && q != dead && self.online[q as usize] && !table.has_link(q);
-        self.selections[p as usize]
-            .bucket_peers_of(dead)
-            .iter()
-            .copied()
+        self.bucket_peers_of(p, dead)
             .find(|&q| viable(q))
             .or_else(|| {
                 self.strengths
@@ -207,7 +203,7 @@ impl SelectNetwork {
     /// Convenience: the CMA value `p` currently holds for `u` (0 if never
     /// probed).
     pub fn cma_of(&self, p: u32, u: u32) -> f64 {
-        self.cma[p as usize].get(&u).map_or(0.0, |c| c.value())
+        self.edge_slot(p, u).map_or(0.0, |s| self.cma[s].value())
     }
 }
 

@@ -72,6 +72,33 @@ impl SocialGraph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Total number of directed adjacency entries (`2 × num_edges`).
+    ///
+    /// Flat per-edge side tables (one slot per directed edge) are sized by
+    /// this and indexed via [`SocialGraph::neighbor_slot`].
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// First adjacency slot of `u`'s neighbour list in the flat edge space.
+    #[inline]
+    pub fn neighbor_base(&self, u: UserId) -> usize {
+        self.offsets[u.index()] as usize
+    }
+
+    /// Global adjacency slot of the directed edge `(u, v)`, if present;
+    /// O(log degree(u)).
+    ///
+    /// Slots are stable for the graph's lifetime and dense in
+    /// `0..num_directed_edges()`, so they index flat per-edge side tables
+    /// (CMA estimates, bucket assignments) without hashing.
+    #[inline]
+    pub fn neighbor_slot(&self, u: UserId, v: UserId) -> Option<usize> {
+        let base = self.neighbor_base(u);
+        self.neighbors(u).binary_search(&v).ok().map(|i| base + i)
+    }
+
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = UserId> + '_ {
         (0..self.num_nodes() as u32).map(UserId)
@@ -232,6 +259,26 @@ mod tests {
         for (u, v) in edges {
             assert!(u < v);
         }
+    }
+
+    #[test]
+    fn neighbor_slots_are_dense_and_stable() {
+        let g = triangle_plus_leaf();
+        assert_eq!(g.num_directed_edges(), 8);
+        // Every directed edge maps to a distinct slot in 0..8, in CSR order.
+        let mut seen = vec![false; g.num_directed_edges()];
+        for u in g.nodes() {
+            let base = g.neighbor_base(u);
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let slot = g.neighbor_slot(u, v).expect("edge has a slot");
+                assert_eq!(slot, base + i);
+                assert!(!seen[slot], "slot reused");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Non-edges have no slot.
+        assert_eq!(g.neighbor_slot(UserId(3), UserId(1)), None);
     }
 
     #[test]

@@ -279,11 +279,7 @@ mod tests {
     use super::*;
 
     fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
-        RoutingTree {
-            publisher,
-            paths,
-            failed: vec![],
-        }
+        RoutingTree::from_paths(publisher, paths)
     }
 
     #[test]

@@ -250,11 +250,7 @@ mod tests {
     use crate::timing::TransferSim;
 
     fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
-        RoutingTree {
-            publisher,
-            paths,
-            failed: vec![],
-        }
+        RoutingTree::from_paths(publisher, paths)
     }
 
     /// 1.2 MB at 1200 B/ms = 1000 virtual ms; compression 100 → 10 ms wall.

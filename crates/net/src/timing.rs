@@ -108,8 +108,7 @@ impl TransferSim {
         // Latency statistics over the subscribers actually reached (exclude
         // the publisher itself).
         let subscriber_arrivals: Vec<f64> = tree
-            .paths
-            .iter()
+            .paths()
             .filter_map(|p| p.last())
             .filter(|&&s| s != tree.publisher)
             .filter_map(|s| timing.arrival.get(s).copied())
@@ -134,11 +133,7 @@ mod tests {
     use super::*;
 
     fn chain_tree() -> RoutingTree {
-        RoutingTree {
-            publisher: 0,
-            paths: vec![vec![0, 1, 2, 3]],
-            failed: vec![],
-        }
+        RoutingTree::from_paths(0, [vec![0, 1, 2, 3]])
     }
 
     #[test]
@@ -155,11 +150,7 @@ mod tests {
     fn fanout_serializes_uploads() {
         // Publisher with 3 direct children: later children wait for earlier
         // uploads.
-        let tree = RoutingTree {
-            publisher: 0,
-            paths: vec![vec![0, 1], vec![0, 2], vec![0, 3]],
-            failed: vec![],
-        };
+        let tree = RoutingTree::from_paths(0, [vec![0, 1], vec![0, 2], vec![0, 3]]);
         let sim = TransferSim::new(4, 2);
         let t = sim.simulate(&tree);
         let upload = transfer_time(sim.payload, sim.bandwidth_of(0));
@@ -172,11 +163,7 @@ mod tests {
     fn shared_prefix_transfers_once() {
         // Paths 0→1→2 and 0→1→3: node 0 uploads once to 1 (one tree edge),
         // so 1's arrival equals a single upload + latency.
-        let tree = RoutingTree {
-            publisher: 0,
-            paths: vec![vec![0, 1, 2], vec![0, 1, 3]],
-            failed: vec![],
-        };
+        let tree = RoutingTree::from_paths(0, [vec![0, 1, 2], vec![0, 1, 3]]);
         let sim = TransferSim::new(4, 3);
         let t = sim.simulate(&tree);
         let expected = transfer_time(sim.payload, sim.bandwidth_of(0))
@@ -195,11 +182,7 @@ mod tests {
 
     #[test]
     fn empty_tree_zero_latency() {
-        let tree = RoutingTree {
-            publisher: 5,
-            paths: vec![],
-            failed: vec![],
-        };
+        let tree = RoutingTree::new(5);
         let sim = TransferSim::new(6, 5);
         let t = sim.simulate(&tree);
         assert_eq!(t.max_latency, 0.0);

@@ -8,6 +8,7 @@
 //! is forwarded along that affirmed path.
 
 use crate::id::RingId;
+use std::cell::RefCell;
 use std::collections::HashSet;
 
 /// Read-only view of an overlay that routing operates over.
@@ -16,10 +17,27 @@ pub trait Topology {
     fn position(&self, peer: u32) -> Option<RingId>;
     /// Outgoing links of `peer` (successor, predecessor, long-range).
     fn links(&self, peer: u32) -> Vec<u32>;
+    /// Writes the outgoing links of `peer` into `out` (cleared first).
+    ///
+    /// The routing loop calls this once per hop; overlays that can fill a
+    /// caller-owned buffer should override it so steady-state lookups do not
+    /// allocate. The order must match [`Topology::links`] — greedy
+    /// tie-breaking depends on it.
+    fn links_into(&self, peer: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.links(peer));
+    }
     /// Whether the peer is currently online.
     fn is_online(&self, peer: u32) -> bool {
         self.position(peer).is_some()
     }
+}
+
+thread_local! {
+    /// Reusable per-hop link buffers for [`route_impl`]: the current peer's
+    /// links and the neighbour-of-neighbour set probed by lookahead.
+    static ROUTE_BUFS: RefCell<(Vec<u32>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Result of a routing attempt.
@@ -132,52 +150,59 @@ fn route_impl(
     let mut current = from;
     let mut current_dist = topo.position(from).unwrap().distance(target_pos);
 
-    while path.len() <= max_hops {
-        let links = topo.links(current);
+    ROUTE_BUFS.with(|bufs| {
+        let (links, nn) = &mut *bufs.borrow_mut();
+        while path.len() <= max_hops {
+            topo.links_into(current, links);
 
-        // Direct link to the target: done in one hop.
-        if links.contains(&to) && topo.is_online(to) {
-            path.push(to);
-            return RouteOutcome::Delivered { path };
-        }
+            // Direct link to the target: done in one hop.
+            if links.contains(&to) && topo.is_online(to) {
+                path.push(to);
+                return RouteOutcome::Delivered { path };
+            }
 
-        // Lookahead: a neighbour that affirms a link to the target gives a
-        // guaranteed 2-hop delivery — if two more hops fit the budget
-        // (path.len() counts nodes, so hops after the double push is
-        // path.len() + 1).
-        if lookahead && path.len() < max_hops {
-            if let Some(&via) = links
+            // Lookahead: a neighbour that affirms a link to the target gives a
+            // guaranteed 2-hop delivery — if two more hops fit the budget
+            // (path.len() counts nodes, so hops after the double push is
+            // path.len() + 1).
+            if lookahead && path.len() < max_hops {
+                let via = links
+                    .iter()
+                    .filter(|&&n| topo.is_online(n) && usable(n))
+                    .find(|&&n| {
+                        topo.links_into(n, nn);
+                        nn.contains(&to)
+                    })
+                    .copied();
+                if let Some(via) = via {
+                    if topo.is_online(to) {
+                        path.push(via);
+                        path.push(to);
+                        return RouteOutcome::Delivered { path };
+                    }
+                }
+            }
+
+            // Greedy step: strictly closer online neighbour.
+            let next = links
                 .iter()
                 .filter(|&&n| topo.is_online(n) && usable(n))
-                .find(|&&n| topo.links(n).contains(&to))
-            {
-                if topo.is_online(to) {
-                    path.push(via);
-                    path.push(to);
-                    return RouteOutcome::Delivered { path };
+                .map(|&n| (n, topo.position(n).unwrap().distance(target_pos)))
+                .min_by_key(|&(_, d)| d);
+            match next {
+                Some((n, d)) if d < current_dist => {
+                    current = n;
+                    current_dist = d;
+                    path.push(n);
+                    if n == to {
+                        return RouteOutcome::Delivered { path };
+                    }
                 }
+                _ => return RouteOutcome::Failed { path },
             }
         }
-
-        // Greedy step: strictly closer online neighbour.
-        let next = links
-            .iter()
-            .filter(|&&n| topo.is_online(n) && usable(n))
-            .map(|&n| (n, topo.position(n).unwrap().distance(target_pos)))
-            .min_by_key(|&(_, d)| d);
-        match next {
-            Some((n, d)) if d < current_dist => {
-                current = n;
-                current_dist = d;
-                path.push(n);
-                if n == to {
-                    return RouteOutcome::Delivered { path };
-                }
-            }
-            _ => return RouteOutcome::Failed { path },
-        }
-    }
-    RouteOutcome::Failed { path }
+        RouteOutcome::Failed { path }
+    })
 }
 
 #[cfg(test)]

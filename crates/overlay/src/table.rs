@@ -54,6 +54,14 @@ impl RoutingTable {
     /// deduplicated, excluding `self_id`.
     pub fn all_links(&self, self_id: u32) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.long.len() + 2);
+        self.all_links_into(self_id, &mut out);
+        out
+    }
+
+    /// [`RoutingTable::all_links`] into a caller-owned buffer (cleared
+    /// first), so hot paths can reuse one allocation across peers.
+    pub fn all_links_into(&self, self_id: u32, out: &mut Vec<u32>) {
+        out.clear();
         if let Some(s) = self.successor {
             out.push(s);
         }
@@ -64,7 +72,6 @@ impl RoutingTable {
         out.sort_unstable();
         out.dedup();
         out.retain(|&p| p != self_id);
-        out
     }
 
     /// Whether `peer` is among this table's outgoing links.

@@ -13,7 +13,7 @@ use select::sim::Mean;
 
 fn main() {
     let seed = 17;
-    let graph = datasets::Dataset::Slashdot.generate_with_nodes(600, seed);
+    let graph = std::sync::Arc::new(datasets::Dataset::Slashdot.generate_with_nodes(600, seed));
     let n = graph.num_nodes();
     let k = ((n as f64).log2().round() as usize).max(2);
     println!(
@@ -27,7 +27,7 @@ fn main() {
     );
 
     for kind in SystemKind::ALL {
-        let sys = build_system(kind, graph.clone(), k, seed);
+        let sys = build_system(kind, std::sync::Arc::clone(&graph), k, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut hops = Mean::new();
         let mut relays = Mean::new();

@@ -13,9 +13,12 @@ use select::sim::{ChurnModel, Mean};
 
 fn main() {
     let seed = 11;
-    let graph = datasets::Dataset::Slashdot.generate_with_nodes(800, seed);
+    let graph = std::sync::Arc::new(datasets::Dataset::Slashdot.generate_with_nodes(800, seed));
     let n = graph.num_nodes();
-    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+    let mut net = SelectNetwork::bootstrap(
+        std::sync::Arc::clone(&graph),
+        SelectConfig::default().with_seed(seed),
+    );
     net.converge(300);
     // Build CMA trust with a few healthy probe rounds.
     for _ in 0..5 {

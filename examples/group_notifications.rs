@@ -18,8 +18,11 @@ use select::sim::Mean;
 
 fn main() {
     let seed = 23;
-    let graph = datasets::Dataset::Facebook.generate_with_nodes(800, seed);
-    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+    let graph = std::sync::Arc::new(datasets::Dataset::Facebook.generate_with_nodes(800, seed));
+    let mut net = SelectNetwork::bootstrap(
+        std::sync::Arc::clone(&graph),
+        SelectConfig::default().with_seed(seed),
+    );
     net.converge(300);
     let mut rng = StdRng::seed_from_u64(seed);
 

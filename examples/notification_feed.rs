@@ -18,7 +18,7 @@ use select::sim::{Mean, PublishWorkload};
 fn main() {
     let seed = 7;
     // A Twitter-flavoured graph (heavier degrees), scaled to laptop size.
-    let graph = datasets::Dataset::Twitter.generate_with_nodes(1_500, seed);
+    let graph = std::sync::Arc::new(datasets::Dataset::Twitter.generate_with_nodes(1_500, seed));
     println!(
         "feed network: {} users, avg degree {:.1}",
         graph.num_nodes(),
@@ -29,7 +29,7 @@ fn main() {
     // invitation arm places them near their inviter on the ring).
     let growth = GrowthModel::new(128.0, 0.02);
     let mut net = SelectNetwork::bootstrap_with_growth(
-        graph.clone(),
+        std::sync::Arc::clone(&graph),
         SelectConfig::default().with_seed(seed),
         &growth,
     );

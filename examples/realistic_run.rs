@@ -18,8 +18,11 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let seed = 3;
-    let graph = datasets::Dataset::Facebook.generate_with_nodes(300, seed);
-    let mut net = SelectNetwork::bootstrap(graph.clone(), SelectConfig::default().with_seed(seed));
+    let graph = std::sync::Arc::new(datasets::Dataset::Facebook.generate_with_nodes(300, seed));
+    let mut net = SelectNetwork::bootstrap(
+        std::sync::Arc::clone(&graph),
+        SelectConfig::default().with_seed(seed),
+    );
     net.converge(300);
 
     // Pick a publisher with a decent audience.

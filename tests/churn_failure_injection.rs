@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use select::core::{DeliveryTelemetry, SelectConfig, SelectNetwork};
+use select::core::{DeliveryTelemetry, RoutingTree, SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
 use select::sim::{ChurnModel, FaultPlan, LogNormal, Mean};
 
@@ -169,7 +169,7 @@ fn mid_dissemination_departure_is_detected_next_round() {
 
 /// Per-publication delivered paths, per-publication failed subscribers, and
 /// the run's aggregated fault telemetry.
-type FaultTrace = (Vec<Vec<Vec<u32>>>, Vec<Vec<u32>>, DeliveryTelemetry);
+type FaultTrace = (Vec<RoutingTree>, Vec<Vec<u32>>, DeliveryTelemetry);
 
 /// One full churn-plus-faults scenario: converge, run waves of departures
 /// with probe rounds, publish with the fault plan active, record everything.
@@ -215,8 +215,8 @@ fn faulty_churn_trace(threads: usize) -> FaultTrace {
             nonce += 1;
             let r = net.publish_at(b, nonce);
             telemetry.absorb(&r.delivery);
-            paths.push(r.tree.paths);
-            failed.push(r.tree.failed);
+            failed.push(r.tree.failed.clone());
+            paths.push(r.tree);
         }
         for &p in &gone {
             net.set_online(p);

@@ -1,0 +1,95 @@
+//! Golden-state regression pin for the hot-path storage refactor.
+//!
+//! The hash below was captured on the pre-refactor `HashMap`-per-peer
+//! storage (commit f1fcd4e) and covers everything the flattened CSR/SoA
+//! layout must reproduce bit-for-bit: converged identifiers, long links,
+//! incoming links, and 20 full publish traces (per-path node sequences and
+//! the failed set), at 1 and 8 worker threads. Any layout change that
+//! perturbs protocol results — bucket ordering, CMA trust decisions,
+//! scratch-buffer reuse leaking state between publications — shows up here
+//! as a one-word diff.
+
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+
+/// FNV-1a over a stream of u64 words; stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+/// Converge on Facebook-200 (seed 42), then hash the full overlay state and
+/// 20 publish traces.
+fn converged_state_hash(threads: usize) -> u64 {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(42).with_threads(threads),
+    );
+    let report = net.converge(300);
+    assert!(report.converged, "threads={threads} did not converge");
+
+    let mut h = Fnv::new();
+    h.word(report.rounds as u64);
+    for p in 0..net.len() as u32 {
+        h.word(net.identifier_of(p).0);
+        let table = net.table(p);
+        h.word(table.long_links().len() as u64);
+        for &l in table.long_links() {
+            h.word(l as u64);
+        }
+        let mut incoming = table.incoming_links().to_vec();
+        incoming.sort_unstable();
+        h.word(incoming.len() as u64);
+        for l in incoming {
+            h.word(l as u64);
+        }
+    }
+    for b in 0..20u32 {
+        let r = net.publish(b);
+        h.word(r.delivered as u64);
+        h.word(r.subscribers as u64);
+        h.word(r.avg_hops.to_bits());
+        h.word(r.total_relays as u64);
+        for path in r.tree.paths() {
+            h.word(path.len() as u64);
+            for &q in path.iter() {
+                h.word(q as u64);
+            }
+        }
+        for &s in &r.tree.failed {
+            h.word(s as u64);
+        }
+    }
+    h.0
+}
+
+/// Pre-refactor golden hash; see module docs.
+const GOLDEN: u64 = 0xFDE0_9894_F723_B576;
+
+#[test]
+fn flattened_storage_reproduces_pinned_overlay_single_thread() {
+    assert_eq!(
+        converged_state_hash(1),
+        GOLDEN,
+        "converged overlay diverged from the pre-refactor golden state (threads=1)"
+    );
+}
+
+#[test]
+fn flattened_storage_reproduces_pinned_overlay_eight_threads() {
+    assert_eq!(
+        converged_state_hash(8),
+        GOLDEN,
+        "converged overlay diverged from the pre-refactor golden state (threads=8)"
+    );
+}

@@ -72,7 +72,7 @@ proptest! {
         prop_assert_eq!(r.delivered, r.subscribers);
         prop_assert!(r.avg_relays <= r.avg_hops);
         // Every path starts at the publisher and ends at a friend.
-        for path in &r.tree.paths {
+        for path in r.tree.paths() {
             prop_assert_eq!(path[0], b);
             let s = *path.last().unwrap();
             prop_assert!(graph.has_edge(UserId(b), UserId(s)));
@@ -139,7 +139,7 @@ proptest! {
             net.probe_round();
             let max_hops = net.config().max_route_hops;
             let r = net.publish_at(b, 7);
-            for path in &r.tree.paths {
+            for path in r.tree.paths() {
                 prop_assert!(
                     path.len() - 1 <= max_hops,
                     "path {path:?} exceeds max_route_hops={max_hops}"
@@ -158,8 +158,8 @@ proptest! {
             );
             reports.push(r);
         }
-        prop_assert_eq!(&reports[0].tree.paths, &reports[1].tree.paths);
-        prop_assert_eq!(&reports[0].tree.paths, &reports[2].tree.paths);
+        prop_assert_eq!(&reports[0].tree, &reports[1].tree);
+        prop_assert_eq!(&reports[0].tree, &reports[2].tree);
         prop_assert_eq!(reports[0].delivery, reports[1].delivery);
         prop_assert_eq!(reports[0].delivery, reports[2].delivery);
     }
