@@ -9,6 +9,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> selint (workspace determinism/invariant lints must be clean)"
+cargo run -q --offline -p selint
+
+echo "==> selint negative control (the seeded fixture must trip every rule)"
+if cargo run -q --offline -p selint -- crates/selint/fixtures/violations.rs >/dev/null 2>&1; then
+    echo "selint failed to flag the violation fixture" >&2
+    exit 1
+fi
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace --offline
 
@@ -23,6 +32,32 @@ cargo test -q --offline --test churn_failure_injection --test properties
 
 echo "==> golden-state pin (flattened storage must stay bit-identical)"
 cargo test -q --offline --test golden_state --test parallel_determinism
+
+echo "==> overlay auditor (every invariant on every round, plus the golden pin)"
+cargo test -q --offline -p select-core --features audit
+cargo test -q --offline --features audit --test overlay_audit
+
+if [ "${CI_MIRI:-0}" = "1" ]; then
+    echo "==> miri (CI_MIRI=1): scratch arena + publish pipeline under the interpreter"
+    if rustup component list 2>/dev/null | grep -q "miri.*(installed)"; then
+        cargo miri test -p select-core scratch
+    else
+        echo "miri not installed; skipping (install with: rustup component add miri)"
+    fi
+fi
+
+if [ "${CI_TSAN:-0}" = "1" ]; then
+    echo "==> thread sanitizer (CI_TSAN=1): superstep engine under TSan"
+    if rustc +nightly --version >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src.*(installed)"; then
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -p osn-sim engine -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+    else
+        echo "nightly + rust-src not installed; skipping (the deterministic"
+        echo "thread-sweep model test in crates/sim/src/engine.rs covers the"
+        echo "compute/apply handoff on stable)"
+    fi
+fi
 
 echo "==> hot-path bench (quick preset, release) + schema check"
 cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- --quick hotpath

@@ -21,6 +21,7 @@
 //! The SELECT system itself implements the same trait (via the blanket impl
 //! in [`api`]), so `&dyn PubSubSystem` is the unit of comparison everywhere.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

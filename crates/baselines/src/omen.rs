@@ -83,12 +83,12 @@ impl OMenPubSub {
         m
     }
 
-    /// Connected components of `members` over the current TCO links.
-    fn components(&self, members: &[u32]) -> Vec<Vec<u32>> {
-        let set: HashSet<u32> = members.iter().copied().collect();
+    /// Connected components of `roster` over the current TCO links.
+    fn components(&self, roster: &[u32]) -> Vec<Vec<u32>> {
+        let set: HashSet<u32> = roster.iter().copied().collect();
         let mut seen: HashSet<u32> = HashSet::new();
         let mut comps = Vec::new();
-        for &m in members {
+        for &m in roster {
             if seen.contains(&m) {
                 continue;
             }
@@ -190,18 +190,22 @@ impl OMenPubSub {
     fn tco_paths(&self, b: u32, members: &HashSet<u32>) -> HashMap<u32, Vec<u32>> {
         let mut parent: HashMap<u32, u32> = HashMap::new();
         parent.insert(b, b);
+        // BFS visit order, so path construction iterates deterministically
+        // instead of walking `parent` in hash order.
+        let mut order: Vec<u32> = vec![b];
         let mut queue = VecDeque::new();
         queue.push_back(b);
         while let Some(u) = queue.pop_front() {
             for &v in &self.tco_links[u as usize] {
                 if members.contains(&v) && self.online[v as usize] && !parent.contains_key(&v) {
                     parent.insert(v, u);
+                    order.push(v);
                     queue.push_back(v);
                 }
             }
         }
         let mut paths = HashMap::new();
-        for &v in parent.keys() {
+        for &v in &order {
             let mut path = vec![v];
             let mut cur = v;
             while cur != b {

@@ -181,16 +181,20 @@ impl VitisPubSub {
         let mut queue = VecDeque::new();
         queue.push_back(b);
         parent.insert(b, b);
+        // BFS visit order, so path construction iterates deterministically
+        // instead of walking `parent` in hash order.
+        let mut order: Vec<u32> = vec![b];
         while let Some(u) = queue.pop_front() {
             for &v in &self.undirected[u as usize] {
                 if cluster.contains(&v) && self.online[v as usize] && !parent.contains_key(&v) {
                     parent.insert(v, u);
+                    order.push(v);
                     queue.push_back(v);
                 }
             }
         }
         let mut paths = HashMap::new();
-        for (&v, _) in parent.iter() {
+        for &v in &order {
             let mut path = vec![v];
             let mut cur = v;
             while cur != b {

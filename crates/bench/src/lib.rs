@@ -26,6 +26,7 @@
 //! path itself and emits the machine-readable `BENCH_hotpath.json`
 //! (subcommand `hotpath`, schema-checked via `--check`).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allocs;

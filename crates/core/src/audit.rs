@@ -1,0 +1,320 @@
+//! Runtime overlay auditor (feature `audit`).
+//!
+//! After every gossip / recovery round the auditor re-derives the structural
+//! invariants that Algorithms 3–6 are supposed to maintain and reports the
+//! **first** violation with peer/slot context:
+//!
+//! * **ring-membership** — every online peer is on the ring at its recorded
+//!   identifier; no offline peer is on the ring.
+//! * **ring-symmetry** — each peer's short-range links match the ring
+//!   (`successor`/`predecessor` agree with [`RingIndex`]), and follow the
+//!   mutual relation `pred(succ(p)) == p`.
+//! * **long-degree** — at most `K` outgoing long links, no duplicates, no
+//!   self-links, only social friends.
+//! * **incoming-degree** — at most `max_incoming` (the paper's K) incoming
+//!   links.
+//! * **link-symmetry** — `u ∈ long(p)` ⇔ `p ∈ incoming(u)` in both
+//!   directions (links survive churn on both sides or neither).
+//! * **lsh-representative** — every Algorithm 5 proposal elects exactly one
+//!   representative per non-empty LSH bucket. This one is checked at
+//!   *selection time* inside the link superstep (see
+//!   `gossip::assert_one_representative_per_bucket`), not against
+//!   end-of-round state: links carried over from earlier rounds were chosen
+//!   under an older bucketing and may legitimately collide after the
+//!   neighbourhood re-buckets.
+//! * **csr-agreement** — the CMA and bucket side tables are exactly
+//!   `num_directed_edges` long and every stored bucket id is `< K` or the
+//!   [`NO_BUCKET`] sentinel.
+//! * **cma-range** — every CMA availability estimate lies in `[0, 1]`.
+//!
+//! The auditor is read-only and O(n·(deg+K²)) per call, which is why it sits
+//! behind the `audit` feature instead of running unconditionally.
+
+use crate::network::{SelectNetwork, NO_BUCKET};
+use std::fmt;
+
+/// A violated structural invariant, with enough context to find the peer and
+/// CSR slot involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Stable name of the invariant that failed (see module docs).
+    pub invariant: &'static str,
+    /// The peer the check was evaluated for, if peer-scoped.
+    pub peer: Option<u32>,
+    /// The CSR side-table slot involved, if slot-scoped.
+    pub slot: Option<usize>,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.invariant)?;
+        if let Some(p) = self.peer {
+            write!(f, " peer {p}")?;
+        }
+        if let Some(s) = self.slot {
+            write!(f, " slot {s}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+macro_rules! violated {
+    ($inv:expr, $peer:expr, $slot:expr, $($msg:tt)*) => {
+        return Err(AuditViolation {
+            invariant: $inv,
+            peer: $peer,
+            slot: $slot,
+            detail: format!($($msg)*),
+        })
+    };
+}
+
+impl SelectNetwork {
+    /// Checks every structural invariant and returns the first violation.
+    pub fn audit_overlay(&self) -> Result<(), AuditViolation> {
+        let n = self.graph.num_nodes();
+        let edges = self.graph.num_directed_edges();
+        if self.cma.len() != edges || self.link_buckets.len() != edges {
+            violated!(
+                "csr-agreement",
+                None,
+                None,
+                "side tables must mirror the CSR: cma={} buckets={} edges={}",
+                self.cma.len(),
+                self.link_buckets.len(),
+                edges
+            );
+        }
+
+        for (slot, &b) in self.link_buckets.iter().enumerate() {
+            if b != NO_BUCKET && (b as usize) >= self.k {
+                violated!(
+                    "csr-agreement",
+                    None,
+                    Some(slot),
+                    "bucket id {b} out of range (K = {})",
+                    self.k
+                );
+            }
+        }
+        for (slot, cma) in self.cma.iter().enumerate() {
+            let v = cma.value();
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                violated!("cma-range", None, Some(slot), "CMA estimate {v} ∉ [0, 1]");
+            }
+        }
+
+        for p in 0..n as u32 {
+            if !self.online[p as usize] {
+                if self.ring.contains(p) {
+                    violated!(
+                        "ring-membership",
+                        Some(p),
+                        None,
+                        "offline peer still on the ring"
+                    );
+                }
+                continue;
+            }
+            self.audit_peer(p)?;
+        }
+        Ok(())
+    }
+
+    /// Invariants scoped to one online peer.
+    fn audit_peer(&self, p: u32) -> Result<(), AuditViolation> {
+        let table = &self.tables[p as usize];
+
+        // ring-membership: the ring stores exactly the recorded identifier.
+        match self.ring.position_of(p) {
+            Some(pos) if pos == self.positions[p as usize] => {}
+            got => violated!(
+                "ring-membership",
+                Some(p),
+                None,
+                "ring has {:?}, positions[] has {:?}",
+                got,
+                self.positions[p as usize]
+            ),
+        }
+
+        // ring-symmetry: short links mirror the ring, and succ/pred are
+        // mutual through the neighbouring peers' tables.
+        let succ = self.ring.successor_of_peer(p);
+        let pred = self.ring.predecessor_of_peer(p);
+        if table.successor != succ || table.predecessor != pred {
+            violated!(
+                "ring-symmetry",
+                Some(p),
+                None,
+                "table (succ {:?}, pred {:?}) disagrees with ring (succ {:?}, pred {:?})",
+                table.successor,
+                table.predecessor,
+                succ,
+                pred
+            );
+        }
+        if let Some(s) = succ {
+            if self.tables[s as usize].predecessor != Some(p) {
+                violated!(
+                    "ring-symmetry",
+                    Some(p),
+                    None,
+                    "successor {s} does not point back (its pred: {:?})",
+                    self.tables[s as usize].predecessor
+                );
+            }
+        }
+        if let Some(q) = pred {
+            if self.tables[q as usize].successor != Some(p) {
+                violated!(
+                    "ring-symmetry",
+                    Some(p),
+                    None,
+                    "predecessor {q} does not point back (its succ: {:?})",
+                    self.tables[q as usize].successor
+                );
+            }
+        }
+
+        // long-degree + link-symmetry (outgoing side).
+        let long = table.long_links();
+        if long.len() > self.k {
+            violated!(
+                "long-degree",
+                Some(p),
+                None,
+                "{} long links exceed K = {}",
+                long.len(),
+                self.k
+            );
+        }
+        for (i, &u) in long.iter().enumerate() {
+            if u == p {
+                violated!("long-degree", Some(p), None, "self long link");
+            }
+            if long[..i].contains(&u) {
+                violated!("long-degree", Some(p), None, "duplicate long link to {u}");
+            }
+            let Some(slot) = self.edge_slot(p, u) else {
+                violated!(
+                    "long-degree",
+                    Some(p),
+                    None,
+                    "long link to non-friend {u} (no CSR slot)"
+                );
+            };
+            if !self.tables[u as usize].incoming_links().contains(&p) {
+                violated!(
+                    "link-symmetry",
+                    Some(p),
+                    Some(slot),
+                    "long link to {u} missing from {u}'s incoming set"
+                );
+            }
+        }
+
+        // incoming-degree + link-symmetry (incoming side).
+        let incoming = table.incoming_links();
+        if incoming.len() > table.max_incoming() {
+            violated!(
+                "incoming-degree",
+                Some(p),
+                None,
+                "{} incoming links exceed capacity {}",
+                incoming.len(),
+                table.max_incoming()
+            );
+        }
+        for &q in incoming {
+            if !self.tables[q as usize].long_links().contains(&p) {
+                violated!(
+                    "link-symmetry",
+                    Some(p),
+                    None,
+                    "incoming link from {q} missing from {q}'s long set"
+                );
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Panics with full context on the first violated invariant. Called
+    /// after each superstep round when the `audit` feature is on.
+    #[track_caller]
+    pub fn assert_overlay_invariants(&self, context: &str) {
+        if let Err(v) = self.audit_overlay() {
+            panic!("overlay audit failed after {context}: {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SelectConfig;
+    use crate::network::SelectNetwork;
+    use osn_graph::generators::{BarabasiAlbert, Generator};
+
+    fn converged() -> SelectNetwork {
+        let g = BarabasiAlbert::with_closure(120, 4, 0.3).generate(7);
+        let mut net = SelectNetwork::bootstrap(g, SelectConfig::default().with_seed(7));
+        net.converge(60);
+        net
+    }
+
+    #[test]
+    fn converged_overlay_passes() {
+        let net = converged();
+        net.assert_overlay_invariants("test convergence");
+    }
+
+    #[test]
+    fn foreign_long_link_is_caught() {
+        let mut net = converged();
+        // A long link to a non-friend breaks `long-degree`.
+        let p = 0u32;
+        let stranger = (0..net.len() as u32)
+            .find(|&q| q != p && net.edge_slot(p, q).is_none())
+            .expect("some non-friend exists");
+        net.tables[p as usize].add_long(stranger);
+        let err = net.audit_overlay().unwrap_err();
+        assert_eq!(err.invariant, "long-degree");
+        assert_eq!(err.peer, Some(p));
+    }
+
+    #[test]
+    fn asymmetric_link_is_caught() {
+        let mut net = converged();
+        // Dropping only the incoming half of an established link breaks
+        // `link-symmetry`.
+        let (p, u) = (0..net.len() as u32)
+            .find_map(|p| net.tables[p as usize].long_links().first().map(|&u| (p, u)))
+            .expect("converged overlay has long links");
+        net.tables[u as usize].remove_incoming(p);
+        let err = net.audit_overlay().unwrap_err();
+        assert_eq!(err.invariant, "link-symmetry");
+    }
+
+    #[test]
+    fn corrupted_ring_position_is_caught() {
+        let mut net = converged();
+        let p = 3u32;
+        let pos = net.positions[p as usize];
+        net.positions[p as usize] = osn_overlay::RingId(pos.0.wrapping_add(1));
+        let err = net.audit_overlay().unwrap_err();
+        assert_eq!(err.invariant, "ring-membership");
+        assert_eq!(err.peer, Some(p));
+    }
+
+    #[test]
+    fn out_of_range_bucket_is_caught() {
+        let mut net = converged();
+        net.link_buckets[0] = net.k as u16; // one past the last valid id
+        let err = net.audit_overlay().unwrap_err();
+        assert_eq!(err.invariant, "csr-agreement");
+        assert_eq!(err.slot, Some(0));
+    }
+}

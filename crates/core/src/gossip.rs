@@ -97,6 +97,7 @@ impl SelectNetwork {
 
     /// Runs one gossip round and reports its full [`RoundTelemetry`].
     pub fn gossip_round_telemetry(&mut self) -> RoundTelemetry {
+        // selint: allow(ambient-nondet, wall-clock telemetry only; never feeds protocol state)
         let started = Instant::now();
         let threads = self.cfg.resolved_threads();
         let n = self.len();
@@ -158,6 +159,8 @@ impl SelectNetwork {
 
         // Ring short links follow the new positions.
         self.refresh_short_links();
+        #[cfg(feature = "audit")]
+        self.assert_overlay_invariants("gossip round");
         tel.messages = engine.messages_sent_total();
         tel.wall_nanos = started.elapsed().as_nanos() as u64;
         tel
@@ -259,6 +262,8 @@ impl SelectNetwork {
                 },
                 |u| self.bandwidth[u as usize],
             );
+            #[cfg(feature = "audit")]
+            assert_one_representative_per_bucket(p, &targets, &buckets);
             let bucket_hits = targets.len().min(self.k) as u64;
             let bucket_fallbacks = self.k.saturating_sub(targets.len()) as u64;
             // Friends converge to similar connections, so buckets collapse
@@ -442,6 +447,7 @@ impl SelectNetwork {
     /// `stability_window` consecutive rounds, or `max_rounds` elapse. The
     /// report carries the full per-round [`ConvergenceTelemetry`].
     pub fn converge(&mut self, max_rounds: usize) -> ConvergenceReport {
+        // selint: allow(ambient-nondet, wall-clock telemetry only; never feeds protocol state)
         let started = Instant::now();
         let mut telemetry = ConvergenceTelemetry::new(self.cfg.resolved_threads());
         let mut quiet = 0usize;
@@ -492,6 +498,37 @@ impl SelectNetwork {
         }
         self.refresh_short_links();
         changes
+    }
+}
+
+/// Audit-time check of the Algorithm 5 invariant at its true scope: each
+/// round's `create_links` output elects **exactly one representative per
+/// non-empty LSH bucket**. The end-of-round state auditor cannot check this —
+/// `reconcile_links` keeps established links without re-admission while the
+/// buckets are recomputed every round, so carried-over links may legitimately
+/// share a *current* bucket.
+///
+/// `targets` must be the raw selection (before the coverage/strength tail is
+/// appended); `buckets` the bucket contents it was drawn from.
+#[cfg(feature = "audit")]
+pub(crate) fn assert_one_representative_per_bucket(p: u32, targets: &[u32], buckets: &[Vec<u32>]) {
+    let nonempty = buckets.iter().filter(|b| !b.is_empty()).count();
+    assert_eq!(
+        targets.len(),
+        nonempty,
+        "link audit: peer {p} selected {} representatives for {nonempty} non-empty buckets",
+        targets.len()
+    );
+    let mut represented = vec![false; buckets.len()];
+    for &t in targets {
+        let Some(b) = buckets.iter().position(|m| m.contains(&t)) else {
+            panic!("link audit: peer {p} selected {t}, which is in no bucket");
+        };
+        assert!(
+            !represented[b],
+            "link audit: peer {p} selected two representatives from bucket {b}"
+        );
+        represented[b] = true;
     }
 }
 

@@ -34,8 +34,11 @@
 //! assert_eq!(pub_report.delivered, pub_report.subscribers);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod bitmaps;
 pub mod config;
 pub mod gossip;

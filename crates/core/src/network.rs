@@ -7,6 +7,7 @@ use crate::config::SelectConfig;
 use crate::projection::assign_identifier;
 use crate::stats::ConvergenceTelemetry;
 use crate::strength::StrengthIndex;
+use hotpath::hotpath;
 use osn_graph::growth::{GrowthModel, JoinEvent};
 use osn_graph::{SocialGraph, UserId};
 use osn_overlay::{RingId, RingIndex, RoutingTable, Topology};
@@ -222,6 +223,7 @@ impl SelectNetwork {
 
     /// [`SelectNetwork::online_friends`] into a caller-owned buffer
     /// (cleared first).
+    #[hotpath]
     pub fn online_friends_into(&self, p: u32, out: &mut Vec<u32>) {
         out.clear();
         out.extend(
@@ -244,6 +246,7 @@ impl SelectNetwork {
     /// [`SelectNetwork::connections_of`] into a caller-owned buffer
     /// (cleared first); the publish pipeline calls this once per BFS
     /// expansion, so the steady path reuses one allocation.
+    #[hotpath]
     pub fn connections_of_into(&self, p: u32, out: &mut Vec<u32>) {
         self.tables[p as usize].all_links_into(p, out);
         for &q in self.tables[p as usize].incoming_links() {

@@ -244,6 +244,7 @@ impl ProtocolNetwork {
         // Guide = highest-rank cached friend (local knowledge of the
         // hub-anchoring rule).
         let rank = |x: u32| (self.net.graph().degree(UserId(x)), x);
+        // selint: allow(unordered-iter, max over rank=(degree,id) which is a unique total order)
         let guide = view.positions.keys().copied().max_by_key(|&f| rank(f));
         let guide = match guide {
             Some(g) if rank(g) > rank(p) => g,
@@ -275,6 +276,7 @@ impl ProtocolNetwork {
         // Only friends we have heard from are candidates — a peer cannot
         // connect to someone it knows nothing about.
         let known: Vec<u32> = {
+            // selint: allow(unordered-iter, collected then sorted immediately below)
             let mut k: Vec<u32> = view.positions.keys().copied().collect();
             k.sort_unstable();
             k
@@ -299,6 +301,8 @@ impl ProtocolNetwork {
             targets: mut candidates,
             buckets,
         } = selection;
+        #[cfg(feature = "audit")]
+        crate::gossip::assert_one_representative_per_bucket(p, &candidates, &buckets);
         self.net.store_buckets(p, &buckets);
         // Preference tail: remaining known friends by reported nMutual.
         let mut rest: Vec<u32> = known
@@ -323,11 +327,13 @@ impl ProtocolNetwork {
     /// protocol has no LSH-budget accounting (link selection happens inside
     /// each peer's cache), so the bucket counters stay zero.
     pub fn converge_telemetry(&mut self, max_rounds: usize) -> ConvergenceTelemetry {
+        // selint: allow(ambient-nondet, wall-clock telemetry only; never feeds protocol state)
         let started = Instant::now();
         let mut tel = ConvergenceTelemetry::new(1);
         let window = self.net.config().stability_window;
         let mut quiet = 0;
         for round in 1..=max_rounds {
+            // selint: allow(ambient-nondet, wall-clock telemetry only; never feeds protocol state)
             let round_start = Instant::now();
             let s = self.round();
             tel.rounds.push(RoundTelemetry {

@@ -14,6 +14,7 @@
 use crate::network::SelectNetwork;
 use crate::scratch::{PublishScratch, PUBLISH_SCRATCH};
 use crate::stats::DeliveryTelemetry;
+use hotpath::hotpath;
 use osn_overlay::{route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome};
 use std::collections::{HashMap, HashSet};
 
@@ -77,14 +78,17 @@ impl RoutingTree {
         (0..self.num_paths()).map(move |i| self.path(i))
     }
 
-    /// Distinct directed edges of the tree (deduplicated across paths).
-    pub fn edges(&self) -> HashSet<(u32, u32)> {
-        let mut edges = HashSet::new();
+    /// Distinct directed edges of the tree (deduplicated across paths),
+    /// sorted ascending so every consumer iterates in a deterministic order.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
         for path in self.paths() {
             for w in path.windows(2) {
-                edges.insert((w[0], w[1]));
+                edges.push((w[0], w[1]));
             }
         }
+        edges.sort_unstable();
+        edges.dedup();
         edges
     }
 
@@ -162,6 +166,7 @@ impl SelectNetwork {
     /// [`osn_sim::FaultPlan`]: two publications with different nonces draw
     /// independent fault schedules, while replaying the same nonce replays
     /// the exact same drops, delays and crashes — at any thread count.
+    #[hotpath]
     pub fn publish_at(&self, b: u32, nonce: u64) -> DisseminationReport {
         PUBLISH_SCRATCH.with(|cell| {
             let scr = &mut *cell.borrow_mut();
@@ -193,6 +198,7 @@ impl SelectNetwork {
     /// (`out[0] == b`, `out.last() == s`) from the BFS parents recorded in
     /// `scr`, falling back to [`Self::lookup`] for unreached subscribers.
     /// Returns false (leaving `out` unspecified) if `s` is unreachable.
+    #[hotpath]
     fn planned_path_into(&self, b: u32, s: u32, scr: &PublishScratch, out: &mut Vec<u32>) -> bool {
         if scr.has_parent(s) {
             out.clear();
@@ -237,6 +243,7 @@ impl SelectNetwork {
     /// arena growth — BFS state, membership tests, frontiers, connection
     /// lists and path construction all reuse the thread-local scratch, and
     /// delivered paths land directly in the tree arena.
+    #[hotpath]
     fn disseminate_scratch(
         &self,
         scr: &mut PublishScratch,
@@ -339,6 +346,7 @@ impl SelectNetwork {
             let mut planned: Vec<(u32, Vec<u32>)> = Vec::new();
             for &s in subscribers {
                 if self.planned_path_into(b, s, scr, &mut path) {
+                    // selint: allow(hotpath-alloc, fault path only; retry machinery needs owned paths)
                     planned.push((s, path.clone()));
                 } else {
                     tree.failed.push(s);
@@ -415,6 +423,7 @@ impl SelectNetwork {
                             RouteOutcome::Failed { .. } => None,
                         }
                     };
+                    // selint: allow(hotpath-alloc, fault path only; owned copy survives retry loop)
                     let path = rerouted.unwrap_or_else(|| original.clone());
                     let mut alive = true;
                     for w in path.windows(2) {
@@ -735,5 +744,41 @@ mod tests {
         let r = n.publish(b);
         assert_eq!(r.subscribers, 0);
         assert_eq!(r.availability(), 1.0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The arena layout (`nodes` + end offsets) must round-trip any path
+        /// set exactly: `from_paths` → `num_paths`/`path(i)`/`paths()` give
+        /// back the input, and `edges()` is the sorted dedup of consecutive
+        /// pairs.
+        #[test]
+        fn routing_tree_arena_round_trip(
+            publisher in any::<u32>(),
+            paths in proptest::collection::vec(
+                proptest::collection::vec(any::<u32>(), 0..6),
+                0..10,
+            ),
+        ) {
+            let tree = RoutingTree::from_paths(publisher, &paths);
+            prop_assert_eq!(tree.publisher, publisher);
+            prop_assert_eq!(tree.num_paths(), paths.len());
+            for (i, p) in paths.iter().enumerate() {
+                prop_assert_eq!(tree.path(i), p.as_slice());
+            }
+            let collected: Vec<Vec<u32>> = tree.paths().map(|p| p.to_vec()).collect();
+            prop_assert_eq!(collected, paths.clone());
+            let edges = tree.edges();
+            prop_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges sorted + deduped");
+            for &(a, b) in &edges {
+                prop_assert!(
+                    paths.iter().any(|p| p.windows(2).any(|w| w == [a, b])),
+                    "edge ({a}, {b}) not in any input path"
+                );
+            }
+        }
     }
 }

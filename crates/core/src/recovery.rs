@@ -67,6 +67,7 @@ struct ProbeReport(Vec<(u32, bool)>);
 impl SelectNetwork {
     /// Runs one probe round over every online peer's long links.
     pub fn probe_round(&mut self) -> RecoveryReport {
+        // selint: allow(ambient-nondet, wall-clock telemetry; RecoveryReport equality excludes wall_nanos)
         let started = Instant::now();
         let threads = self.cfg.resolved_threads();
         let mut report = RecoveryReport::default();
@@ -179,6 +180,8 @@ impl SelectNetwork {
                 None => report.eviction_losses += 1,
             }
         }
+        #[cfg(feature = "audit")]
+        self.assert_overlay_invariants("probe round");
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         report
     }

@@ -166,4 +166,85 @@ mod tests {
         assert!(!s.is_subscriber(1));
         assert!(!s.has_parent(1));
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Entries stamped before the u32 epoch wrap must never resurface
+        /// after it, wherever the wrap lands relative to the publication
+        /// and however many publications follow.
+        #[test]
+        fn wraparound_never_leaks_stale_entries(
+            start_back in 0u32..4,
+            peers in proptest::collection::vec(0u32..16, 1..8),
+            rounds in 1usize..8,
+        ) {
+            let mut s = PublishScratch::default();
+            s.begin(16);
+            s.epoch = u32::MAX - start_back; // fast-forward near the boundary
+            for &v in &peers {
+                s.mark_subscriber(v);
+                s.set_parent(v, 0, 1);
+            }
+            for _ in 0..rounds {
+                s.begin(16);
+                for v in 0..16u32 {
+                    prop_assert!(!s.is_subscriber(v), "stale subscriber {v}");
+                    prop_assert!(!s.has_parent(v), "stale parent {v}");
+                }
+                prop_assert!(s.reached().is_empty());
+            }
+        }
+
+        /// Model check: across publications that straddle the epoch wrap,
+        /// the stamped arena agrees with a naive HashMap/HashSet per
+        /// publication — membership, parent/depth values and the insertion
+        /// order of `reached()`.
+        #[test]
+        fn scratch_matches_model_across_wrap(
+            start_back in 0u32..6,
+            ops in proptest::collection::vec(
+                (0u32..12, 0u32..12, 0usize..4, any::<bool>()),
+                1..40,
+            ),
+            splits in proptest::collection::vec(0usize..40, 0..6),
+        ) {
+            use std::collections::{HashMap, HashSet};
+            let mut s = PublishScratch::default();
+            s.begin(12);
+            s.epoch = u32::MAX - start_back;
+            let mut subs: HashSet<u32> = HashSet::new();
+            let mut parents: HashMap<u32, (u32, usize)> = HashMap::new();
+            let mut reached: Vec<u32> = Vec::new();
+            for (i, &(v, parent, depth, is_sub)) in ops.iter().enumerate() {
+                if splits.contains(&i) {
+                    // New publication: the model resets, the arena only
+                    // bumps its epoch (possibly across the wrap).
+                    s.begin(12);
+                    subs.clear();
+                    parents.clear();
+                    reached.clear();
+                }
+                if is_sub {
+                    s.mark_subscriber(v);
+                    subs.insert(v);
+                } else {
+                    s.set_parent(v, parent, depth);
+                    parents.insert(v, (parent, depth));
+                    reached.push(v);
+                }
+                for q in 0..12u32 {
+                    prop_assert_eq!(s.is_subscriber(q), subs.contains(&q));
+                    prop_assert_eq!(s.has_parent(q), parents.contains_key(&q));
+                    if let Some(&(mp, md)) = parents.get(&q) {
+                        prop_assert_eq!(s.parent_of(q), mp);
+                        prop_assert_eq!(s.depth_of(q), md);
+                    }
+                }
+                prop_assert_eq!(s.reached(), reached.as_slice());
+            }
+        }
+    }
 }

@@ -81,6 +81,7 @@ impl TopicRegistry {
     pub fn topics_of(&self, peer: u32) -> Vec<TopicId> {
         let mut v: Vec<TopicId> = self
             .subs
+            // selint: allow(unordered-iter, collected then sorted immediately below)
             .iter()
             .filter(|(_, s)| s.contains(&peer))
             .map(|(&t, _)| t)

@@ -23,6 +23,7 @@
 //! assert!(deg > 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

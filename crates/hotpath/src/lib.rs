@@ -1,0 +1,28 @@
+//! # hotpath — marker attribute for allocation-free hot paths
+//!
+//! `#[hotpath]` expands to the item unchanged; it exists so that `selint`
+//! (the workspace determinism lint, `cargo run -p selint`) can find the
+//! functions that make up the steady-state publish/route pipeline and deny
+//! allocation-prone calls (`collect`, `to_vec`, `clone`, `format!`) inside
+//! them. The attribute is deliberately dependency-free: it uses only the
+//! built-in `proc_macro` crate so the fully offline workspace needs no
+//! `syn`/`quote`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as part of the allocation-free hot path.
+///
+/// Semantically a no-op; `selint` rule L3 (`hotpath-alloc`) bans
+/// allocation-prone calls inside the annotated function's body. Waive a
+/// deliberate allocation with `// selint: allow(hotpath-alloc, reason)`.
+#[proc_macro_attribute]
+pub fn hotpath(attr: TokenStream, item: TokenStream) -> TokenStream {
+    assert!(
+        attr.is_empty(),
+        "#[hotpath] takes no arguments; found: {attr}"
+    );
+    item
+}

@@ -16,6 +16,7 @@
 //! (a property the recovery mechanism relies on when it swaps an unresponsive
 //! peer for another member of the same bucket).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitmap;

@@ -16,6 +16,7 @@
 //!   as message-passing peers and is used by the realistic integration
 //!   tests and the `realistic_run` example.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod runtime;

@@ -141,25 +141,14 @@ impl ThreadedNetwork {
         self.next_pub_id += 1;
 
         let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
+        // edges() is sorted, so each child list arrives already ascending
+        // and forwarding order is stable without re-sorting.
         for (u, v) in tree.edges() {
             children.entry(u).or_default().push(v);
-        }
-        // edges() iterates a HashSet; sort so forwarding order is stable.
-        for c in children.values_mut() {
-            c.sort_unstable();
         }
         let expect: HashSet<u32> = children.values().flatten().copied().collect();
         let children = std::sync::Arc::new(children);
         let drops_before = self.drops.load(Ordering::Relaxed);
-
-        self.senders[tree.publisher as usize]
-            .send(NetMsg::Payload {
-                pub_id,
-                attempt: 0,
-                payload: payload.clone(),
-                children: children.clone(),
-            })
-            .expect("publisher actor alive");
 
         let mut result = PublishResult {
             delivered_to: HashSet::new(),
@@ -167,6 +156,20 @@ impl ThreadedNetwork {
             drops_injected: 0,
             retries: 0,
         };
+        // A tree built against a different network (publisher out of range)
+        // or a runtime already shut down delivers nothing rather than
+        // panicking mid-delivery.
+        let seeded = self.senders.get(tree.publisher as usize).map(|tx| {
+            tx.send(NetMsg::Payload {
+                pub_id,
+                attempt: 0,
+                payload: payload.clone(),
+                children: children.clone(),
+            })
+        });
+        if !matches!(seeded, Some(Ok(()))) {
+            return result;
+        }
         let windows = self.retry_max + 1;
         let window = timeout / windows;
         for attempt in 0..windows {
@@ -197,8 +200,11 @@ impl ThreadedNetwork {
                 .collect();
             unreached.sort_unstable();
             for peer in unreached {
+                let Some(tx) = self.senders.get(peer as usize) else {
+                    continue; // malformed tree edge: no such peer to retry
+                };
                 result.retries += 1;
-                let _ = self.senders[peer as usize].send(NetMsg::Payload {
+                let _ = tx.send(NetMsg::Payload {
                     pub_id,
                     attempt: attempt + 1,
                     payload: payload.clone(),
@@ -260,7 +266,10 @@ fn actor_loop(
                         if jitter > 0.0 {
                             std::thread::sleep(Duration::from_micros(jitter.ceil() as u64));
                         }
-                        let _ = peers[c as usize].send(NetMsg::Payload {
+                        let Some(tx) = peers.get(c as usize) else {
+                            continue; // malformed tree edge: no such peer
+                        };
+                        let _ = tx.send(NetMsg::Payload {
                             pub_id,
                             attempt,
                             payload: payload.clone(),

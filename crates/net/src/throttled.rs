@@ -113,6 +113,7 @@ impl ThrottledNetwork {
         for (id, rx) in receivers.into_iter().enumerate() {
             let peers = senders.clone();
             let delivery_tx = delivery_tx.clone();
+            // selint: allow(panic-path, constructor not delivery; lengths asserted equal above)
             let bw = bandwidth[id];
             handles.push(std::thread::spawn(move || {
                 let mut seen = std::collections::HashSet::new();
@@ -128,10 +129,10 @@ impl ThrottledNetwork {
                             }
                             let _ = delivery_tx.send((pub_id, id as u32, Instant::now()));
                             if let Some(kids) = children.get(&(id as u32)) {
-                                let mut kids = kids.clone();
-                                kids.sort_unstable();
+                                // Child lists are built from the sorted
+                                // edges() and stay ascending.
                                 let per_upload = transfer_time(bytes, bw) / compression;
-                                for c in kids {
+                                for &c in kids {
                                     // Serialized upload: sleep before *each*
                                     // child's send, like one NIC draining.
                                     // Fault jitter stretches the transfer
@@ -146,7 +147,10 @@ impl ThrottledNetwork {
                                         // packet is lost on the wire.
                                         continue;
                                     }
-                                    let _ = peers[c as usize].send(Msg::Payload {
+                                    let Some(tx) = peers.get(c as usize) else {
+                                        continue; // malformed tree edge
+                                    };
+                                    let _ = tx.send(Msg::Payload {
                                         pub_id,
                                         bytes,
                                         children: children.clone(),
@@ -188,14 +192,11 @@ impl ThrottledNetwork {
         let pub_id = self.next_pub_id;
         self.next_pub_id += 1;
         let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
+        // edges() is sorted, so each node serializes its uploads to children
+        // in a stable ascending order (the recorded per-delivery elapsed
+        // times depend on it).
         for (u, v) in tree.edges() {
             children.entry(u).or_default().push(v);
-        }
-        // edges() iterates a HashSet; sort so each node serializes its
-        // uploads to children in a stable order (the recorded per-delivery
-        // elapsed times depend on it).
-        for c in children.values_mut() {
-            c.sort_unstable();
         }
         let expect = children
             .values()
@@ -203,15 +204,19 @@ impl ThrottledNetwork {
             .filter(|&&v| v != tree.publisher)
             .count();
         let start = Instant::now();
-        self.senders[tree.publisher as usize]
-            .send(Msg::Payload {
+        let mut result = TimedPublishResult::default();
+        // A publisher outside this runtime (or one already shut down)
+        // delivers nothing rather than panicking mid-delivery.
+        let seeded = self.senders.get(tree.publisher as usize).map(|tx| {
+            tx.send(Msg::Payload {
                 pub_id,
                 bytes,
                 children: Arc::new(children),
             })
-            .expect("publisher alive");
-
-        let mut result = TimedPublishResult::default();
+        });
+        if !matches!(seeded, Some(Ok(()))) {
+            return result;
+        }
         let deadline = start + timeout;
         let mut got = std::collections::HashSet::new();
         while got.len() < expect {

@@ -61,6 +61,7 @@ impl PrefixDht {
             for (p, &id) in ids.iter().enumerate() {
                 buckets.entry(prefix(id, depth)).or_default().push(p as u32);
             }
+            // selint: allow(unordered-iter, universal predicate is order-independent)
             let all_singleton = buckets.values().all(|v| v.len() == 1);
             buckets_per_level.push(buckets);
             depth += 1;

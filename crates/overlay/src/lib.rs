@@ -22,6 +22,7 @@
 //! assert!((a.distance(b).as_unit_len() - 0.2).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dht;

@@ -8,6 +8,7 @@
 //! is forwarded along that affirmed path.
 
 use crate::id::RingId;
+use hotpath::hotpath;
 use std::cell::RefCell;
 use std::collections::HashSet;
 
@@ -126,6 +127,7 @@ pub fn route_greedy_excluding(
     route_impl(topo, from, to, max_hops, true, Some(excluded))
 }
 
+#[hotpath]
 fn route_impl(
     topo: &impl Topology,
     from: u32,

@@ -6,6 +6,7 @@
 //! admission control ("each peer is allowed to accept only K incoming links",
 //! §III-D) is tracked separately so hub peers cannot be overloaded.
 
+use hotpath::hotpath;
 use serde::{Deserialize, Serialize};
 
 /// Routing state of one peer. Links are peer indices.
@@ -60,6 +61,7 @@ impl RoutingTable {
 
     /// [`RoutingTable::all_links`] into a caller-owned buffer (cleared
     /// first), so hot paths can reuse one allocation across peers.
+    #[hotpath]
     pub fn all_links_into(&self, self_id: u32, out: &mut Vec<u32>) {
         out.clear();
         if let Some(s) = self.successor {

@@ -1,0 +1,45 @@
+//! Seeded fixture: one deliberate violation of every selint rule (L1–L4).
+//! CI runs `cargo run -p selint -- crates/selint/fixtures/violations.rs` and
+//! requires a non-zero exit. This file is never compiled (the `fixtures/`
+//! directory is excluded from workspace scans and from any module tree).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Registry {
+    members: HashMap<u32, u32>,
+}
+
+// L1: nondeterministic-order iteration over a hash container.
+fn l1_unordered_iter(reg: &Registry) -> u32 {
+    let mut acc = 0;
+    for k in reg.members.keys() {
+        acc ^= k;
+    }
+    acc
+}
+
+// L2: ambient nondeterminism.
+fn l2_ambient_clock() -> Instant {
+    Instant::now()
+}
+
+// L3: allocation inside a #[hotpath] function.
+#[hotpath]
+fn l3_hotpath_alloc(route: &[u32]) -> Vec<u32> {
+    route.to_vec()
+}
+
+// L4: panicking indexing and unwrap in a delivery path.
+fn l4_panic_path(senders: &[u32], peer: usize) -> u32 {
+    let first = senders[peer];
+    first + senders.first().copied().unwrap()
+}
+
+// A waived site must NOT count as a finding (negative control).
+fn waived(reg: &Registry) -> Vec<u32> {
+    // selint: allow(unordered-iter, collected then sorted below)
+    let mut ks: Vec<u32> = reg.members.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

@@ -1,0 +1,332 @@
+//! A small Rust lexer: blanks comments and literal contents so the rule pass
+//! can scan for tokens without false positives from strings or docs, and
+//! captures `// selint: allow(rule, reason)` waiver comments.
+//!
+//! The output preserves line structure exactly (every `\n` survives, nothing
+//! moves between lines), so byte offsets in the stripped text map to the same
+//! line numbers as the original source.
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the comment sits on. The waiver covers findings on this
+    /// line and on the line directly below (comment-above style).
+    pub line: usize,
+    /// Rule slug inside `allow(...)`, e.g. `unordered-iter`.
+    pub rule: String,
+    /// Free-text justification (must be non-empty).
+    pub reason: String,
+}
+
+/// Result of [`strip`]: blanked source plus captured waivers and any
+/// malformed waiver comments (which the driver reports as findings).
+#[derive(Debug, Default)]
+pub struct Stripped {
+    /// The source with comment text and string/char contents replaced by
+    /// spaces. Delimiters (`"`, `'`) survive so the text stays scannable.
+    pub code: String,
+    /// Well-formed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// `(line, message)` for comments that mention `selint:` but do not parse
+    /// as `selint: allow(<rule>, <reason>)`.
+    pub malformed: Vec<(usize, String)>,
+}
+
+/// Parses the text of one line comment; returns `Ok(Some)` for a waiver,
+/// `Ok(None)` for an ordinary comment, `Err(msg)` for a malformed waiver.
+fn parse_waiver(text: &str) -> Result<Option<(String, String)>, String> {
+    let Some(at) = text.find("selint:") else {
+        return Ok(None);
+    };
+    let rest = text[at + "selint:".len()..].trim();
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "malformed waiver (expected `selint: allow(<rule>, <reason>)`): {}",
+            text.trim()
+        ));
+    };
+    let Some((rule, reason)) = inner.split_once(',') else {
+        return Err("waiver is missing a reason: every allow() needs a justification".into());
+    };
+    let (rule, reason) = (rule.trim(), reason.trim());
+    if rule.is_empty() || reason.is_empty() {
+        return Err("waiver rule and reason must both be non-empty".into());
+    }
+    Ok(Some((rule.to_string(), reason.to_string())))
+}
+
+/// Strips `source`, preserving line structure. See module docs.
+pub fn strip(source: &str) -> Stripped {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Emits `c` (or a space for blanked chars), tracking line numbers.
+    macro_rules! put {
+        ($c:expr) => {{
+            let c: char = $c;
+            if c == '\n' {
+                line += 1;
+            }
+            out.push(c);
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: blank it, but collect its text for waivers.
+                let start_line = line;
+                let mut text = String::new();
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    text.push(bytes[i] as char);
+                    out.push(' ');
+                    i += 1;
+                }
+                // Doc comments (`///`, `//!`) are prose that may *mention*
+                // the waiver syntax; only plain `//` comments are directives.
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                match if is_doc {
+                    Ok(None)
+                } else {
+                    parse_waiver(&text)
+                } {
+                    Ok(Some((rule, reason))) => waivers.push(Waiver {
+                        line: start_line,
+                        rule,
+                        reason,
+                    }),
+                    Ok(None) => {}
+                    Err(msg) => malformed.push((start_line, msg)),
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment (nests in Rust).
+                let mut depth = 1usize;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        let ch = bytes[i] as char;
+                        put!(if ch == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // String literal: keep the quotes, blank the contents.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.push(' ');
+                            out.push(' ');
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            put!('\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) && {
+                // Raw string r"..." / r#"..."# (also br"" via the 'b' arm).
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                bytes.get(j) == Some(&b'"')
+            } =>
+            {
+                out.push(' ');
+                i += 1;
+                let mut hashes = 0usize;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    out.push(' ');
+                    i += 1;
+                }
+                out.push('"');
+                i += 1; // opening quote
+                'raw: while i < bytes.len() {
+                    if bytes[i] == b'"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if bytes.get(i + 1 + h) != Some(&b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    let ch = bytes[i] as char;
+                    put!(if ch == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                let next = bytes.get(i + 1).copied();
+                let is_escape = next == Some(b'\\');
+                let ident_start = next.is_some_and(|b| b.is_ascii_alphabetic() || b == b'_');
+                // A lifetime is `'` + ident not closed by another `'`
+                // (`'a` yes, `'a'` is the char literal).
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let is_lifetime = ident_start && !is_escape && bytes.get(j) != Some(&b'\'');
+                if is_lifetime {
+                    put!('\'');
+                    i += 1;
+                } else {
+                    // Char literal: blank up to the closing quote.
+                    out.push('\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => {
+                                out.push(' ');
+                                out.push(' ');
+                                i += 2;
+                            }
+                            b'\'' => {
+                                out.push('\'');
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                put!('\n');
+                                i += 1;
+                            }
+                            _ => {
+                                out.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full scalar value.
+                let ch = source[i..].chars().next().unwrap_or(' ');
+                put!(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+
+    Stripped {
+        code: out,
+        waivers,
+        malformed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = strip("let x = \"HashMap.keys()\"; // thread_rng in a comment\n");
+        assert!(!s.code.contains("HashMap"));
+        assert!(!s.code.contains("thread_rng"));
+        assert!(s.code.contains("let x = \""));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* multi\nline */\nb\"str\ning\"c\n";
+        let s = strip(src);
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(s.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip("fn f<'a>(x: &'a str) -> &'a str { x } // Instant::now\n");
+        assert!(s.code.contains("&'a str"));
+        assert!(!s.code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = strip("let c = 'k'; let e = '\\n'; let q = '\\'';\n");
+        assert!(!s.code.contains('k'), "{}", s.code);
+    }
+
+    #[test]
+    fn waiver_is_captured() {
+        let s = strip("x(); // selint: allow(unordered-iter, sorted below)\n");
+        assert_eq!(s.waivers.len(), 1);
+        assert_eq!(s.waivers[0].rule, "unordered-iter");
+        assert_eq!(s.waivers[0].reason, "sorted below");
+        assert_eq!(s.waivers[0].line, 1);
+        assert!(s.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_waiver_is_reported() {
+        let s = strip("// selint: allow(unordered-iter)\n// selint: permit(x, y)\n");
+        assert_eq!(s.malformed.len(), 2);
+        assert!(s.waivers.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_waivers() {
+        let s = strip("/// waive with `// selint: allow(hotpath-alloc, reason)`.\n//! see `selint: allow(x)` syntax\n");
+        assert!(s.malformed.is_empty(), "{:?}", s.malformed);
+        assert!(s.waivers.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip("let x = r#\"thread_rng \"quoted\" inside\"#; Instant::now()\n");
+        assert!(!s.code.contains("thread_rng"));
+        assert!(s.code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("/* outer /* inner */ still comment SystemTime */ code()\n");
+        assert!(!s.code.contains("SystemTime"));
+        assert!(s.code.contains("code()"));
+    }
+}

@@ -1,0 +1,810 @@
+//! # selint — the workspace determinism-and-invariant lint pass
+//!
+//! A repo-specific static-analysis pass (run as `cargo run -p selint`, wired
+//! into `ci.sh`) enforcing the determinism contract that the golden-state
+//! hash pins dynamically. The build environment is fully offline (no `syn`),
+//! so the pass works on a token level: [`lexer::strip`] blanks comments and
+//! literal contents while preserving line structure, then per-line scanners
+//! apply four deny-by-default rules:
+//!
+//! * **L1 `unordered-iter`** — no nondeterministic-order iteration
+//!   (`HashMap`/`HashSet` `iter`/`into_iter`/`keys`/`values`/`drain`/`for`)
+//!   in superstep compute paths: everything under `crates/{core, overlay,
+//!   lsh, sim, baselines}/src` (the code reachable from `gossip.rs`,
+//!   `pubsub.rs` and `recovery.rs`, plus the baselines the paper figures
+//!   compare against).
+//! * **L2 `ambient-nondet`** — no ambient nondeterminism (`Instant::now`,
+//!   `SystemTime`, `thread_rng`, `RandomState`, env reads) in
+//!   `crates/{core, overlay, lsh, sim}/src`.
+//! * **L3 `hotpath-alloc`** — no allocation-prone calls (`collect`,
+//!   `to_vec`, `clone`, `format!`, `to_owned`, `to_string`) inside functions
+//!   annotated `#[hotpath]` (anywhere in the workspace).
+//! * **L4 `panic-path`** — no panicking indexing or `unwrap`/`expect` in the
+//!   fault-injection delivery paths (`crates/sim/src/fault.rs`,
+//!   `crates/net/src/runtime.rs`, `crates/net/src/throttled.rs`).
+//!
+//! Any site can carry a waiver — `// selint: allow(<rule>, <reason>)` on the
+//! same line or the line directly above — but the reason is mandatory and a
+//! malformed waiver is itself a finding. `#[cfg(test)]` / `#[test]` regions
+//! are exempt (tests may allocate, panic and time freely).
+//!
+//! ## Heuristics, stated honestly
+//!
+//! Without type inference the pass classifies iteration receivers by the
+//! file's own declarations: a name bound or declared with `HashMap`/`HashSet`
+//! on a non-test line is *hash-like*; one declared with `Vec`/`VecDeque`/
+//! `BTreeMap`/`BTreeSet`/`BinaryHeap` is *ordered*. `keys()`/`values()`-style
+//! calls are denied unless the receiver is provably ordered; plain `iter()`/
+//! `for … in x` is denied only when the receiver is provably hash-like.
+//! Function parameters are not classified (a hash-typed parameter that is
+//! only probed with `contains`/`get` is fine; one that is iterated should be
+//! restructured or waived at the call site it came from).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// The lint rules. `BadWaiver` is the meta-rule for unparseable waivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: nondeterministic-order iteration over hash containers.
+    UnorderedIter,
+    /// L2: ambient nondeterminism (wall clock, thread RNG, env).
+    AmbientNondet,
+    /// L3: allocation-prone call inside a `#[hotpath]` function.
+    HotpathAlloc,
+    /// L4: panicking indexing/`unwrap` in a fault-injection delivery path.
+    PanicPath,
+    /// A `selint:` comment that does not parse as a valid waiver.
+    BadWaiver,
+}
+
+impl Rule {
+    /// The slug used in waiver comments and diagnostics.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::AmbientNondet => "ambient-nondet",
+            Rule::HotpathAlloc => "hotpath-alloc",
+            Rule::PanicPath => "panic-path",
+            Rule::BadWaiver => "bad-waiver",
+        }
+    }
+
+    /// All waivable rule slugs (everything but `bad-waiver`).
+    pub fn waivable_slugs() -> &'static [&'static str] {
+        &[
+            "unordered-iter",
+            "ambient-nondet",
+            "hotpath-alloc",
+            "panic-path",
+        ]
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.slug(),
+            self.msg
+        )
+    }
+}
+
+/// Which rule families apply to a file. L3 (`#[hotpath]` bodies) always
+/// applies; the others are path-scoped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// L1 unordered-iter applies.
+    pub l1: bool,
+    /// L2 ambient-nondet applies.
+    pub l2: bool,
+    /// L4 panic-path applies.
+    pub l4: bool,
+}
+
+impl Scope {
+    /// Every rule on (used for explicit-path / fixture runs).
+    pub fn all() -> Self {
+        Scope {
+            l1: true,
+            l2: true,
+            l4: true,
+        }
+    }
+}
+
+/// Maps a workspace-relative path (with `/` separators) to its rule scope.
+pub fn scope_for(rel: &str) -> Scope {
+    const L1_DIRS: &[&str] = &[
+        "crates/core/src/",
+        "crates/overlay/src/",
+        "crates/lsh/src/",
+        "crates/sim/src/",
+        "crates/baselines/src/",
+    ];
+    const L2_DIRS: &[&str] = &[
+        "crates/core/src/",
+        "crates/overlay/src/",
+        "crates/lsh/src/",
+        "crates/sim/src/",
+    ];
+    const L4_FILES: &[&str] = &[
+        "crates/sim/src/fault.rs",
+        "crates/net/src/runtime.rs",
+        "crates/net/src/throttled.rs",
+    ];
+    Scope {
+        l1: L1_DIRS.iter().any(|d| rel.starts_with(d)),
+        l2: L2_DIRS.iter().any(|d| rel.starts_with(d)),
+        l4: L4_FILES.contains(&rel),
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The identifier ending immediately before byte offset `end` in `line`
+/// (used to find a method call's receiver: `foo.bar.keys()` → `bar`).
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&line[start..end])
+    }
+}
+
+/// The identifier starting at byte offset `start`.
+fn ident_starting_at(line: &str, start: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut end = start;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    if end == start || bytes[start].is_ascii_digit() {
+        None
+    } else {
+        Some(&line[start..end])
+    }
+}
+
+/// True if `needle` occurs in `hay` as a whole word (ident-boundary on both
+/// sides). `needle` may contain `::` / `!`.
+fn contains_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(off) = hay[from..].find(needle) {
+        let at = from + off;
+        let before_ok = at == 0 || !is_ident_byte(hay.as_bytes()[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= hay.len() || !is_ident_byte(hay.as_bytes()[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// 1-based line number of byte offset `pos` in `code`.
+fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Marks every line covered by `marker` + the braced item that follows it
+/// (used for `#[cfg(test)]`, `#[test]` and `#[hotpath]` regions). A `;`
+/// before the opening `{` means the item has no body (e.g. a gated `use`).
+fn mark_regions(code: &str, marker: &str, flags: &mut [bool]) {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(off) = code[search..].find(marker) {
+        let at = search + off;
+        search = at + marker.len();
+        let mut j = search;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0i64;
+        let mut end = bytes.len().saturating_sub(1);
+        let mut k = open;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let (first, last) = (line_of(code, at), line_of(code, end).min(flags.len()));
+        for f in flags.iter_mut().take(last).skip(first - 1) {
+            *f = true;
+        }
+    }
+}
+
+/// Extracts the declared name from a `let` binding or struct-field line, if
+/// any. `use`/`fn` lines are skipped (params are deliberately unclassified).
+fn decl_name(line: &str) -> Option<&str> {
+    let mut t = line.trim_start();
+    for vis in ["pub(crate) ", "pub(super) ", "pub(in crate) ", "pub "] {
+        if let Some(rest) = t.strip_prefix(vis) {
+            t = rest;
+            break;
+        }
+    }
+    if t.starts_with("use ") || t.starts_with("fn ") || t.starts_with("impl ") {
+        return None;
+    }
+    if let Some(rest) = t.strip_prefix("let ") {
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        return ident_starting_at(rest, 0);
+    }
+    // Struct-field style: `name: Type,` (reject `::` paths and labels).
+    let name = ident_starting_at(t, 0)?;
+    let after = &t[name.len()..];
+    let after = after.trim_start();
+    if after.starts_with(':') && !after.starts_with("::") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ORDERED_TYPES: &[&str] = &["BTreeMap", "BTreeSet", "VecDeque", "BinaryHeap", "Vec"];
+
+/// Per-file receiver classification from non-test declaration lines.
+fn classify_names(lines: &[&str], test: &[bool]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut hash = BTreeSet::new();
+    let mut ordered = BTreeSet::new();
+    for (i, line) in lines.iter().enumerate() {
+        if test[i] {
+            continue;
+        }
+        let is_hash = HASH_TYPES.iter().any(|t| contains_word(line, t).is_some());
+        let is_ordered = ORDERED_TYPES
+            .iter()
+            .any(|t| contains_word(line, t).is_some());
+        if !is_hash && !is_ordered {
+            continue;
+        }
+        if let Some(name) = decl_name(line) {
+            if is_hash {
+                hash.insert(name.to_string());
+            }
+            if is_ordered {
+                ordered.insert(name.to_string());
+            }
+        }
+    }
+    (hash, ordered)
+}
+
+/// Methods whose iteration order is the container's own: denied on any
+/// receiver not provably ordered.
+const ORDER_SENSITIVE_METHODS: &[&str] =
+    &["keys", "values", "values_mut", "into_keys", "into_values"];
+/// Methods denied only on receivers provably hash-like (they are fine on
+/// slices/Vecs, which dominate this codebase).
+const HASH_ONLY_METHODS: &[&str] = &["iter", "into_iter", "drain"];
+
+const L2_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "RandomState",
+    "rand::random",
+    "env::var",
+    "env::vars",
+    "var_os",
+];
+
+const L3_TOKENS: &[&str] = &[
+    ".collect",
+    ".to_vec(",
+    ".clone(",
+    "format!",
+    ".to_owned(",
+    ".to_string(",
+];
+
+const L4_PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Receiver of a method call at byte `at` of `lines[i]`: the identifier just
+/// before the `.`, or — when the `.` starts a rustfmt-wrapped method chain —
+/// the trailing identifier of the previous line.
+fn chain_receiver<'a>(lines: &[&'a str], i: usize, at: usize) -> Option<&'a str> {
+    let line = lines[i];
+    if let Some(r) = ident_ending_at(line, at) {
+        return Some(r);
+    }
+    if line[..at].trim().is_empty() && i > 0 {
+        let prev = lines[i - 1].trim_end();
+        return ident_ending_at(prev, prev.len());
+    }
+    None
+}
+
+/// Scans `line` for panicking subscript expressions (`x[i]` where the `[`
+/// follows an identifier or closing bracket, excluding range slices `[a..b]`
+/// and attributes / `vec![`). Returns byte offsets of offending `[`.
+fn panicking_subscripts(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut hits = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Previous non-space char decides whether this is a subscript.
+        let mut p = i;
+        while p > 0 && bytes[p - 1] == b' ' {
+            p -= 1;
+        }
+        if p == 0 {
+            continue;
+        }
+        let prev = bytes[p - 1];
+        if !(is_ident_byte(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        // Find the matching `]` on this line; unbalanced → skip.
+        let mut depth = 0i64;
+        let mut close = None;
+        for (j, &c) in bytes.iter().enumerate().skip(i) {
+            match c {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        let inner = &line[i + 1..close];
+        if inner.is_empty() || inner.contains("..") {
+            continue; // range slice / array-type position
+        }
+        hits.push(i);
+    }
+    hits
+}
+
+/// Lints one file's source. `rel` is the workspace-relative path (used in
+/// findings and for `#[hotpath]`-independent scoping decisions).
+pub fn lint_source(rel: &str, source: &str, scope: Scope) -> Vec<Finding> {
+    let stripped = lexer::strip(source);
+    let lines: Vec<&str> = stripped.code.lines().collect();
+    let n = lines.len();
+
+    let mut test = vec![false; n];
+    mark_regions(&stripped.code, "#[cfg(test)]", &mut test);
+    mark_regions(&stripped.code, "#[test]", &mut test);
+    let mut hot = vec![false; n];
+    mark_regions(&stripped.code, "#[hotpath]", &mut hot);
+
+    let (hash_names, ordered_names) = classify_names(&lines, &test);
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, line: usize, msg: String| {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule,
+            msg,
+        });
+    };
+
+    for (line_no, msg) in &stripped.malformed {
+        push(Rule::BadWaiver, *line_no, msg.clone());
+    }
+    for w in &stripped.waivers {
+        if !Rule::waivable_slugs().contains(&w.rule.as_str()) {
+            push(
+                Rule::BadWaiver,
+                w.line,
+                format!(
+                    "unknown waiver rule `{}` (expected one of {:?})",
+                    w.rule,
+                    Rule::waivable_slugs()
+                ),
+            );
+        }
+    }
+
+    for (i, line) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        if test[i] {
+            continue;
+        }
+
+        if scope.l1 {
+            for m in ORDER_SENSITIVE_METHODS {
+                let pat = format!(".{m}(");
+                let mut from = 0;
+                while let Some(off) = line[from..].find(&pat) {
+                    let at = from + off;
+                    from = at + pat.len();
+                    let recv = chain_receiver(&lines, i, at).unwrap_or("<expr>");
+                    let ordered_only = ordered_names.contains(recv) && !hash_names.contains(recv);
+                    if !ordered_only {
+                        push(
+                            Rule::UnorderedIter,
+                            line_no,
+                            format!(
+                                "`{recv}.{m}()` iterates in container order; hash containers \
+                                 are nondeterministic here — sort first, use an ordered \
+                                 container, or waive with a reason"
+                            ),
+                        );
+                    }
+                }
+            }
+            for m in HASH_ONLY_METHODS {
+                let pat = format!(".{m}(");
+                let mut from = 0;
+                while let Some(off) = line[from..].find(&pat) {
+                    let at = from + off;
+                    from = at + pat.len();
+                    if let Some(recv) = chain_receiver(&lines, i, at) {
+                        if hash_names.contains(recv) {
+                            push(
+                                Rule::UnorderedIter,
+                                line_no,
+                                format!(
+                                    "`{recv}.{m}()` on a hash container iterates in \
+                                     nondeterministic order"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // `for x in name` / `for x in &name` over a hash-declared name.
+            if let Some(for_at) = contains_word(line, "for") {
+                if let Some(in_rel) = line[for_at..].find(" in ") {
+                    let expr = line[for_at + in_rel + 4..].trim();
+                    let expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
+                    let expr = expr.trim_start_matches('&');
+                    let expr = expr.strip_prefix("mut ").unwrap_or(expr);
+                    let last = expr.rsplit('.').next().unwrap_or(expr);
+                    if !last.is_empty()
+                        && last.bytes().all(is_ident_byte)
+                        && expr
+                            .bytes()
+                            .all(|b| is_ident_byte(b) || b == b'.' || b == b' ')
+                        && hash_names.contains(last)
+                    {
+                        push(
+                            Rule::UnorderedIter,
+                            line_no,
+                            format!(
+                                "`for … in {expr}` iterates a hash container in \
+                                 nondeterministic order"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if scope.l2 {
+            for tok in L2_TOKENS {
+                if contains_word(line, tok).is_some() {
+                    push(
+                        Rule::AmbientNondet,
+                        line_no,
+                        format!(
+                            "`{tok}` is ambient nondeterminism; thread explicit seeds/clocks \
+                             through instead (or waive for telemetry-only uses)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if hot[i] {
+            for tok in L3_TOKENS {
+                if line.contains(tok) {
+                    push(
+                        Rule::HotpathAlloc,
+                        line_no,
+                        format!(
+                            "allocation-prone `{}` inside a #[hotpath] function; reuse a \
+                             scratch buffer or waive with a reason",
+                            tok.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                    );
+                }
+            }
+        }
+
+        if scope.l4 {
+            for tok in L4_PANIC_TOKENS {
+                if line.contains(tok) {
+                    push(
+                        Rule::PanicPath,
+                        line_no,
+                        format!(
+                            "`{}` can panic inside a fault-injection delivery path; return \
+                             a degraded result instead",
+                            tok.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                    );
+                }
+            }
+            for at in panicking_subscripts(line) {
+                let ctx: String = line[at..].chars().take(24).collect();
+                push(
+                    Rule::PanicPath,
+                    line_no,
+                    format!(
+                        "panicking subscript `…{ctx}` in a delivery path; use `.get()` and \
+                         degrade gracefully"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Apply waivers: a waiver covers its own line and the line below.
+    findings.retain(|f| {
+        f.rule == Rule::BadWaiver
+            || !stripped
+                .waivers
+                .iter()
+                .any(|w| w.rule == f.rule.slug() && (w.line == f.line || w.line + 1 == f.line))
+    });
+    findings
+}
+
+/// A whole-workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// All findings, in path order.
+    pub findings: Vec<Finding>,
+}
+
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // `fixtures/` holds selint's deliberately-violating test inputs;
+            // `target/` is build output.
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` (facade `src/`, `tests/` and
+/// every crate under `crates/`; `shims/` are exempt third-party stand-ins).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        report.files += 1;
+        report
+            .findings
+            .extend(lint_source(&rel, &source, scope_for(&rel)));
+    }
+    Ok(report)
+}
+
+/// The workspace root, resolved from this crate's manifest at compile time.
+pub fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/selint sits two levels below the workspace root")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(src: &str) -> Vec<Finding> {
+        lint_source("crates/core/src/x.rs", src, Scope::all())
+    }
+
+    #[test]
+    fn flags_hash_keys_iteration() {
+        let f = lint_all("fn f(m: &M) { for k in view.positions.keys() {} }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn ordered_receiver_is_exempt() {
+        let src =
+            "struct S {\n    m: BTreeMap<u32, u32>,\n}\nfn f(s: &S) { for k in s.m.keys() {} }\n";
+        assert!(lint_all(src).is_empty());
+    }
+
+    #[test]
+    fn hash_declared_iter_is_flagged_and_vec_is_not() {
+        let src = "fn f() {\n    let mut seen = HashSet::new();\n    for x in seen.iter() {}\n    let v: Vec<u32> = Vec::new();\n    for x in v.iter() {}\n}\n";
+        let f = lint_all(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn wrapped_method_chain_resolves_receiver() {
+        let src = "struct S {\n    entries: BTreeMap<u32, u32>,\n}\nfn f(s: &S) -> usize {\n    s.entries\n        .keys()\n        .count()\n}\n";
+        assert!(lint_all(src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_name() {
+        let src = "fn f() {\n    let mut seen = HashSet::new();\n    for x in &seen {\n    }\n}\n";
+        let f = lint_all(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn waiver_suppresses_same_line_and_line_above() {
+        let same = "fn f(v: &V) { let x = v.positions.keys().max(); } // selint: allow(unordered-iter, max of unique total order)\n";
+        assert!(lint_all(same).is_empty());
+        let above = "// selint: allow(unordered-iter, sorted right after)\nfn f(v: &V) { let x = v.positions.keys().max(); }\n";
+        assert!(lint_all(above).is_empty());
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(v: &V) { let x = v.positions.keys().max(); } // selint: allow(ambient-nondet, wrong slug)\n";
+        let f = lint_all(src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn malformed_waiver_is_a_finding() {
+        let f = lint_all("// selint: allow(unordered-iter)\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::BadWaiver);
+    }
+
+    #[test]
+    fn ambient_nondet_tokens() {
+        let f = lint_all("fn f() { let t = Instant::now(); let r = thread_rng(); }\n");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::AmbientNondet));
+    }
+
+    #[test]
+    fn hotpath_alloc_only_inside_hot_fn() {
+        let src = "#[hotpath]\nfn hot(v: &[u32]) { let c = v.to_vec(); }\nfn cold(v: &[u32]) { let c = v.to_vec(); }\n";
+        let f = lint_all(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotpathAlloc);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn panic_path_unwrap_and_subscript() {
+        let f =
+            lint_all("fn f(v: &[u32], i: usize) { let a = v[i]; let b = v.get(0).unwrap(); }\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::PanicPath));
+    }
+
+    #[test]
+    fn subscript_skips_ranges_attrs_and_vec_macro() {
+        let f = lint_all("#[derive(Debug)]\nfn f(v: &[u32]) { let s = &v[1..3]; let w = vec![0; 4]; let t: [u8; 4] = [0; 4]; }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); let v = x[9]; }\n}\n";
+        assert!(lint_all(src).is_empty());
+    }
+
+    #[test]
+    fn string_contents_do_not_fire() {
+        let f = lint_all("fn f() { let s = \"Instant::now and .keys() and x[0]\"; }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_limits_rules() {
+        let nets = scope_for("crates/net/src/runtime.rs");
+        assert!(nets.l4 && !nets.l1 && !nets.l2);
+        let core = scope_for("crates/core/src/gossip.rs");
+        assert!(core.l1 && core.l2 && !core.l4);
+        let bench = scope_for("crates/bench/src/report.rs");
+        assert!(!bench.l1 && !bench.l2 && !bench.l4);
+        let baselines = scope_for("crates/baselines/src/omen.rs");
+        assert!(baselines.l1 && !baselines.l2);
+    }
+
+    #[test]
+    fn unknown_waiver_slug_is_flagged() {
+        let f = lint_all("// selint: allow(no-such-rule, because)\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::BadWaiver);
+    }
+}

@@ -1,0 +1,49 @@
+//! CLI driver for the workspace determinism lint.
+//!
+//! * `cargo run -p selint` — lints the whole workspace with path-based rule
+//!   scopes; exits non-zero if any finding survives waivers.
+//! * `cargo run -p selint -- <file>...` — lints explicit files with **every**
+//!   rule enabled (used for the seeded violation fixture in CI).
+
+#![forbid(unsafe_code)]
+
+use selint::{lint_source, lint_workspace, workspace_root, Scope};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let findings = if args.is_empty() {
+        let report = match lint_workspace(workspace_root()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("selint: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("selint: scanned {} files", report.files);
+        report.findings
+    } else {
+        let mut findings = Vec::new();
+        for arg in &args {
+            match std::fs::read_to_string(arg) {
+                Ok(src) => findings.extend(lint_source(arg, &src, Scope::all())),
+                Err(e) => {
+                    eprintln!("selint: cannot read {arg}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        findings
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("selint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("selint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -347,6 +347,59 @@ mod tests {
     }
 
     #[test]
+    fn compute_apply_handoff_thread_sweep() {
+        // Model of the gossip round's compute→apply handoff (the pattern the
+        // SELECT round loop relies on for bit-identical runs): the compute
+        // half reads a shared snapshot immutably across shards and proposes
+        // updates through the outbox; the apply half mutates state in vertex
+        // order on the calling thread and feeds mail into the next round.
+        // The full observable trace — final state, every applied mutation in
+        // order, and the message count — must be identical at every thread
+        // count, including ragged shard boundaries (37 % {2, 3, 8} != 0).
+        let n = 37usize;
+        let run = |threads: usize| -> (Vec<u64>, Vec<(u32, u64)>, u64) {
+            let mut state: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9e37_79b9)).collect();
+            let mut eng: SuperstepEngine<u64> = SuperstepEngine::new(n);
+            let mut trace: Vec<(u32, u64)> = Vec::new();
+            for round in 0..12u64 {
+                let snapshot = &state;
+                // Compute: a pure function of the snapshot and this round's
+                // mail, fanned out over `threads` shards.
+                eng.step_parallel(true, threads, |v, mail, out| {
+                    let left = snapshot[(v as usize + n - 1) % n];
+                    let right = snapshot[(v as usize + 1) % n];
+                    let inbox: u64 = mail.iter().fold(0u64, |a, &m| a.wrapping_add(m));
+                    let proposal = snapshot[v as usize]
+                        ^ left.wrapping_mul(3)
+                        ^ right.rotate_left(7)
+                        ^ inbox
+                        ^ round;
+                    out.push((v, proposal));
+                    if proposal.is_multiple_of(3) {
+                        out.push(((v + 5) % n as u32, proposal));
+                    }
+                });
+                // Apply: sequential, in vertex order; occasionally emits
+                // mail for the next round's compute half.
+                eng.step(false, |v, mail, eng| {
+                    for m in mail {
+                        state[v as usize] = state[v as usize].wrapping_add(m).rotate_left(13);
+                        trace.push((v, state[v as usize]));
+                        if m.is_multiple_of(7) {
+                            eng.send((v + 1) % n as u32, m >> 1);
+                        }
+                    }
+                });
+            }
+            (state, trace, eng.messages_sent_total())
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
     fn event_queue_orders_by_time_then_fifo() {
         let mut q: EventQueue<&str> = EventQueue::new();
         q.schedule(10, "b");

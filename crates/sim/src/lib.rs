@@ -22,6 +22,7 @@
 //! * [`workload`] — exponential-rate publication workload (Jiang et al.).
 //! * [`collect`] — metric accumulators (means, histograms, per-degree load).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;

@@ -8,6 +8,7 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use osn_baselines as baselines;

@@ -1,0 +1,100 @@
+//! Audit-feature integration test: the [`OverlayAuditor`] must hold on every
+//! round of a real convergence run **and** leave the protocol bit-identical.
+//!
+//! With `--features audit` the auditor re-checks ring symmetry, link
+//! symmetry, degree caps, the selection-time LSH representative rule, CSR
+//! side-table agreement and CMA ranges after every gossip/recovery round. If
+//! any invariant breaks mid-run these tests panic with peer/slot context; if
+//! the audit plumbing itself perturbed protocol state (it must be read-only)
+//! the golden hash diverges — the same pin as `tests/golden_state.rs`.
+//!
+//! Run with: `cargo test --features audit --test overlay_audit`
+#![cfg(feature = "audit")]
+
+use select::core::{SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+
+/// FNV-1a over a stream of u64 words; stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+/// Converge on Facebook-200 (seed 42) with the auditor active on every
+/// round, then hash the full overlay state and 20 publish traces. Mirrors
+/// `tests/golden_state.rs` so both features pin the identical value.
+fn audited_state_hash(threads: usize) -> u64 {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(42).with_threads(threads),
+    );
+    let report = net.converge(300);
+    assert!(report.converged, "threads={threads} did not converge");
+    // One explicit end-state sweep on top of the per-round checks.
+    net.assert_overlay_invariants("audited convergence end state");
+
+    let mut h = Fnv::new();
+    h.word(report.rounds as u64);
+    for p in 0..net.len() as u32 {
+        h.word(net.identifier_of(p).0);
+        let table = net.table(p);
+        h.word(table.long_links().len() as u64);
+        for &l in table.long_links() {
+            h.word(l as u64);
+        }
+        let mut incoming = table.incoming_links().to_vec();
+        incoming.sort_unstable();
+        h.word(incoming.len() as u64);
+        for l in incoming {
+            h.word(l as u64);
+        }
+    }
+    for b in 0..20u32 {
+        let r = net.publish(b);
+        h.word(r.delivered as u64);
+        h.word(r.subscribers as u64);
+        h.word(r.avg_hops.to_bits());
+        h.word(r.total_relays as u64);
+        for path in r.tree.paths() {
+            h.word(path.len() as u64);
+            for &q in path.iter() {
+                h.word(q as u64);
+            }
+        }
+        for &s in &r.tree.failed {
+            h.word(s as u64);
+        }
+    }
+    h.0
+}
+
+/// Same pin as `tests/golden_state.rs`: auditing must not change anything.
+const GOLDEN: u64 = 0xFDE0_9894_F723_B576;
+
+#[test]
+fn audited_convergence_matches_golden_single_thread() {
+    assert_eq!(
+        audited_state_hash(1),
+        GOLDEN,
+        "auditor perturbed the converged overlay (threads=1)"
+    );
+}
+
+#[test]
+fn audited_convergence_matches_golden_eight_threads() {
+    assert_eq!(
+        audited_state_hash(8),
+        GOLDEN,
+        "auditor perturbed the converged overlay (threads=8)"
+    );
+}
