@@ -24,8 +24,11 @@ cargo bench --no-run --workspace --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
-echo "==> count-allocs feature (the counting allocator must keep compiling and passing)"
+echo "==> count-allocs feature (counting allocator + publish alloc-budget gate)"
 cargo test -q --offline -p osn-bench --features count-allocs
+
+echo "==> observability suite (histograms, flight recorder, exporters)"
+cargo test -q --offline -p osn-obs
 
 echo "==> fault-injection suite (explicit, so a filtered test run can't skip it)"
 cargo test -q --offline --test churn_failure_injection --test properties
@@ -62,5 +65,9 @@ fi
 echo "==> hot-path bench (quick preset, release) + schema check"
 cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- --quick hotpath
 cargo run -q --release --offline -p osn-bench --bin repro -- hotpath --check
+
+echo "==> observability overhead bench (quick preset, release) + <=5% gate"
+cargo run -q --release --offline -p osn-bench --bin repro -- --quick obs
+cargo run -q --release --offline -p osn-bench --bin repro -- obs --check
 
 echo "==> ci.sh: all green"

@@ -20,6 +20,8 @@
 //!   churn-compare availability under churn across all five systems
 //!   hotpath       converge/publish hot-path bench → BENCH_hotpath.json
 //!                 (with --check: validate an existing file instead)
+//!   obs           observability overhead bench → BENCH_obs.json
+//!                 (with --check: validate + enforce the ≤5% overhead gate)
 //!   all           everything above, in paper order
 //! ```
 //!
@@ -140,6 +142,28 @@ fn main() {
                     Some(format!(
                         "{}\nwrote BENCH_hotpath.json\n",
                         hotpath::render_table(preset, &m)
+                    ))
+                }
+            }
+            "obs" => {
+                if check_only {
+                    let text = std::fs::read_to_string("BENCH_obs.json")
+                        .expect("read BENCH_obs.json (run `repro obs` first)");
+                    match obs_overhead::check_json(&text) {
+                        Ok(()) => Some("BENCH_obs.json: schema + overhead gate OK\n".to_string()),
+                        Err(e) => {
+                            eprintln!("BENCH_obs.json: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    let (n, publishes) = obs_overhead::preset_params(preset);
+                    let m = obs_overhead::measure(n, publishes, scale.seed);
+                    let json = obs_overhead::render_json(preset, scale.seed, &m);
+                    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+                    Some(format!(
+                        "{}\nwrote BENCH_obs.json\n",
+                        obs_overhead::render_table(preset, &m)
                     ))
                 }
             }

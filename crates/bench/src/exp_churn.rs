@@ -10,6 +10,7 @@ use crate::report::{fmt_f, Table};
 use crate::Scale;
 use osn_graph::datasets::Dataset;
 use osn_graph::{SocialGraph, UserId};
+use osn_obs::Observer;
 use osn_sim::{ChurnModel, FaultPlan, Mean};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,7 +18,7 @@ use select_core::{DeliveryTelemetry, SelectConfig, SelectNetwork};
 use std::sync::Arc;
 
 /// Result of one churn run.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ChurnRun {
     /// `(step, churned_fraction, availability)` series.
     pub series: Vec<(usize, f64, f64)>,
@@ -28,6 +29,9 @@ pub struct ChurnRun {
     /// Fault/retry counters aggregated over every publication of the run
     /// (all zero when the fault plan is disabled).
     pub delivery: DeliveryTelemetry,
+    /// Publish observer accumulated over every publication of the run:
+    /// hop/stretch/retry/latency histograms plus per-peer relay load.
+    pub obs: Observer,
 }
 
 /// Runs `steps` fault-free churn steps on a converged SELECT network.
@@ -76,6 +80,7 @@ pub fn run_churn_with_faults(
     let mut avail_acc = Mean::new();
     let mut min_avail = 1.0f64;
     let mut delivery = DeliveryTelemetry::default();
+    let mut obs = Observer::for_peers(n);
     // Distinct nonce per publication: the plan redraws its per-link fate
     // for each one, like independent packets on a lossy wire.
     let mut nonce = 0u64;
@@ -102,7 +107,7 @@ pub fn run_churn_with_faults(
             }
             let b = candidates[rng.gen_range(0..candidates.len())];
             nonce += 1;
-            let r = net.publish_at(b, nonce);
+            let r = net.publish_observed(b, nonce, &mut obs);
             delivery.absorb(&r.delivery);
             step_avail.add(r.availability());
         }
@@ -126,7 +131,13 @@ pub fn run_churn_with_faults(
         mean_availability: avail_acc.mean(),
         min_availability: min_avail,
         delivery,
+        obs,
     }
+}
+
+/// `p50/p95/p99` rendering for the tail columns.
+fn fmt_tails((p50, p95, p99): (u64, u64, u64)) -> String {
+    format!("{p50}/{p95}/{p99}")
 }
 
 /// Runs Fig. 6 across the data sets.
@@ -140,6 +151,8 @@ pub fn run(scale: &Scale) -> String {
             "mean availability",
             "min availability",
             "peak churn/step",
+            "hops p50/p95/p99",
+            "latency p50/p95/p99 (vms)",
         ],
     );
     let mut out = String::new();
@@ -152,6 +165,8 @@ pub fn run(scale: &Scale) -> String {
             fmt_f(run.mean_availability * 100.0) + "%",
             fmt_f(run.min_availability * 100.0) + "%",
             fmt_f(peak * 100.0) + "%",
+            fmt_tails(run.obs.metrics.hops.tails()),
+            fmt_tails(run.obs.metrics.latency_ms.tails()),
         ]);
     }
     out.push_str(&t.render());
@@ -175,12 +190,19 @@ pub fn run(scale: &Scale) -> String {
             "retries",
             "reroutes",
             "residual",
+            "latency p50/p95/p99 (vms)",
+            "attempts p50/p95/p99",
         ],
     );
     for ds in Dataset::ALL {
         let graph = Arc::new(ds.generate_with_nodes(size, scale.seed));
         let with = run_churn_with_faults(&graph, steps, 5, scale.seed, plan, 3);
         let without = run_churn_with_faults(&graph, steps, 5, scale.seed, plan, 0);
+        let attempts = (
+            with.delivery.attempt_quantile(0.50) as u64,
+            with.delivery.attempt_quantile(0.95) as u64,
+            with.delivery.attempt_quantile(0.99) as u64,
+        );
         ft.row(vec![
             ds.name().to_string(),
             fmt_f(with.mean_availability * 100.0) + "%",
@@ -190,6 +212,8 @@ pub fn run(scale: &Scale) -> String {
             with.delivery.retries.to_string(),
             with.delivery.reroutes.to_string(),
             with.delivery.residual_losses.to_string(),
+            fmt_tails(with.obs.metrics.latency_ms.tails()),
+            fmt_tails(attempts),
         ]);
     }
     out.push('\n');
@@ -226,6 +250,15 @@ mod tests {
         assert!(peak > 0.0, "no peer ever departed");
         assert_eq!(run.series.len(), 12);
         assert_eq!(run.delivery, DeliveryTelemetry::default());
+        assert!(
+            run.obs.metrics.hops.count() > 0,
+            "observer should see every sampled delivery"
+        );
+        let (p50, p95, p99) = run.obs.metrics.latency_ms.tails();
+        assert!(
+            p50 > 0 && p50 <= p95 && p95 <= p99,
+            "latency tails must be ordered: {p50}/{p95}/{p99}"
+        );
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct IterationCell {
     pub select: usize,
     /// Superstep messages SELECT exchanged across the whole run.
     pub select_messages: u64,
+    /// Per-round message count tails `(p50, p95, p99)` from the run's
+    /// message histogram.
+    pub select_msg_tails: (u64, u64, u64),
+    /// Per-peer link-candidate-list-length tails `(p50, p95, p99)`,
+    /// recorded in the link superstep's sharded per-thread histograms.
+    pub select_candidate_tails: (u64, u64, u64),
     /// SELECT link churn (adds + removes) across the whole run.
     pub select_link_changes: usize,
     /// Fraction of SELECT's link-budget slots filled by LSH buckets.
@@ -48,11 +54,18 @@ pub fn measure_iterations(graph: &Arc<SocialGraph>, seed: u64) -> IterationCell 
     IterationCell {
         select: report.rounds,
         select_messages: report.telemetry.total_messages(),
+        select_msg_tails: report.telemetry.messages_histogram().tails(),
+        select_candidate_tails: report.telemetry.link_candidates_histogram().tails(),
         select_link_changes: report.telemetry.total_link_changes(),
         select_bucket_hit_rate: report.telemetry.bucket_hit_rate(),
         vitis: vitis.construction_iterations().unwrap_or(0),
         omen: omen.construction_iterations().unwrap_or(0),
     }
+}
+
+/// `p50/p95/p99` rendering for the tail columns.
+fn fmt_tails((p50, p95, p99): (u64, u64, u64)) -> String {
+    format!("{p50}/{p95}/{p99}")
 }
 
 /// Runs Fig. 5 across the data sets at the largest configured size.
@@ -64,6 +77,8 @@ pub fn run(scale: &Scale) -> String {
             "Data set",
             "SELECT",
             "msgs",
+            "msgs/round p50/p95/p99",
+            "candidates p50/p95/p99",
             "link churn",
             "LSH hit %",
             "Vitis",
@@ -79,6 +94,8 @@ pub fn run(scale: &Scale) -> String {
             ds.name().to_string(),
             c.select.to_string(),
             c.select_messages.to_string(),
+            fmt_tails(c.select_msg_tails),
+            fmt_tails(c.select_candidate_tails),
             c.select_link_changes.to_string(),
             format!("{:.1}", c.select_bucket_hit_rate * 100.0),
             c.vitis.to_string(),
@@ -100,6 +117,16 @@ mod tests {
         let c = measure_iterations(&g, 21);
         assert!(c.select > 0 && c.vitis > 0 && c.omen > 0);
         assert!(c.select_messages > 0, "telemetry should count messages");
+        let (p50, p95, p99) = c.select_msg_tails;
+        assert!(
+            p50 > 0 && p50 <= p95 && p95 <= p99,
+            "per-round message tails must be ordered: {p50}/{p95}/{p99}"
+        );
+        let (c50, c95, c99) = c.select_candidate_tails;
+        assert!(
+            c50 <= c95 && c95 <= c99 && c99 > 0,
+            "link supersteps should record candidate-list lengths: {c50}/{c95}/{c99}"
+        );
         assert!(
             (0.0..=1.0).contains(&c.select_bucket_hit_rate),
             "bucket hit rate {} out of range",

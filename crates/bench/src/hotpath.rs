@@ -334,8 +334,8 @@ pub fn check_json(text: &str) -> Result<(), String> {
 }
 
 /// A minimal JSON reader, sufficient to validate the bench schema without an
-/// external parser dependency.
-mod json {
+/// external parser dependency (also reused by [`crate::obs_overhead`]).
+pub(crate) mod json {
     /// A parsed JSON value. The validator only inspects variant kinds and
     /// string payloads, so the other payloads exist for error messages and
     /// future checks.

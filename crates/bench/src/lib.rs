@@ -24,7 +24,10 @@
 //!
 //! Beyond the paper figures, [`hotpath`] benchmarks the converge/publish hot
 //! path itself and emits the machine-readable `BENCH_hotpath.json`
-//! (subcommand `hotpath`, schema-checked via `--check`).
+//! (subcommand `hotpath`, schema-checked via `--check`), and
+//! [`obs_overhead`] measures the observability layer's publish-throughput
+//! cost and emits `BENCH_obs.json` (subcommand `obs`; `--check` enforces the
+//! ≤5% metrics-on overhead gate).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +47,7 @@ pub mod exp_scalability;
 pub mod exp_sessions;
 pub mod exp_star;
 pub mod hotpath;
+pub mod obs_overhead;
 pub mod report;
 pub mod table2;
 

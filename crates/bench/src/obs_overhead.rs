@@ -1,0 +1,239 @@
+//! Observability-overhead bench: publish throughput with metrics recording
+//! off, on, and on-with-tracing, emitted as `BENCH_obs.json`.
+//!
+//! The observability tentpole (DESIGN.md §9) promises the instrumented
+//! publish path stays within a few percent of the bare one. This harness
+//! measures that directly: the same converged network publishes the same
+//! nonce sequence three times — `publish_at` (no observer), then
+//! `publish_observed` with a metrics-only observer, then with the flight
+//! recorder attached — and the JSON records the throughput ratio. The
+//! `--check` gate fails CI when metrics-on throughput regresses more than
+//! [`MAX_OVERHEAD_PCT`] percent against metrics-off. The three loops are
+//! interleaved per round-robin batch so CPU-frequency drift hits all modes
+//! equally.
+
+use crate::hotpath::json::{self, ObjExt};
+use osn_graph::datasets::Dataset;
+use osn_obs::Observer;
+use select_core::{SelectConfig, SelectNetwork};
+use std::time::Instant;
+
+/// CI gate: maximum tolerated metrics-on publish-throughput regression, in
+/// percent, before `repro obs --check` fails.
+pub const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// One measured run of the overhead harness.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsOverhead {
+    /// Peers in the network.
+    pub n: usize,
+    /// Publications per mode.
+    pub publishes: usize,
+    /// Publishes/sec with no observer installed.
+    pub off_per_sec: f64,
+    /// Publishes/sec with the metrics recorder installed.
+    pub metrics_per_sec: f64,
+    /// Publishes/sec with metrics plus the flight recorder.
+    pub tracing_per_sec: f64,
+}
+
+impl ObsOverhead {
+    /// Throughput loss of metrics-on vs metrics-off, in percent (negative
+    /// when metrics-on happened to run faster).
+    pub fn metrics_overhead_pct(&self) -> f64 {
+        (1.0 - self.metrics_per_sec / self.off_per_sec) * 100.0
+    }
+
+    /// Throughput loss of metrics+tracing vs metrics-off, in percent.
+    pub fn tracing_overhead_pct(&self) -> f64 {
+        (1.0 - self.tracing_per_sec / self.off_per_sec) * 100.0
+    }
+}
+
+/// Harness sizing per `repro` preset: (peers, publishes per mode).
+pub fn preset_params(preset: &str) -> (usize, usize) {
+    match preset {
+        "quick" => (600, 3_000),
+        "full" => (4_000, 12_000),
+        _ => (2_000, 8_000),
+    }
+}
+
+/// Converges Facebook-`n` once, then interleaves `publishes` timed
+/// publications per mode in round-robin batches of 64.
+pub fn measure(n: usize, publishes: usize, seed: u64) -> ObsOverhead {
+    let graph = Dataset::Facebook.generate_with_nodes(n, seed);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(seed).with_threads(1),
+    );
+    net.converge(300);
+    let mut metrics_obs = Observer::for_peers(n);
+    let mut tracing_obs = Observer::for_peers(n).with_tracing(64);
+
+    // Warm-up each mode so lazily-grown buffers exist before timing.
+    for b in 0..(n as u32).min(128) {
+        std::hint::black_box(net.publish_at(b, b as u64));
+        std::hint::black_box(net.publish_observed(b, b as u64, &mut metrics_obs));
+        std::hint::black_box(net.publish_observed(b, b as u64, &mut tracing_obs));
+    }
+
+    const BATCH: usize = 64;
+    let (mut t_off, mut t_metrics, mut t_tracing) = (0.0f64, 0.0f64, 0.0f64);
+    let mut done = 0usize;
+    while done < publishes {
+        let batch = BATCH.min(publishes - done);
+        let t0 = Instant::now();
+        for i in done..done + batch {
+            std::hint::black_box(net.publish_at((i % n) as u32, i as u64));
+        }
+        t_off += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for i in done..done + batch {
+            std::hint::black_box(net.publish_observed((i % n) as u32, i as u64, &mut metrics_obs));
+        }
+        t_metrics += t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        for i in done..done + batch {
+            std::hint::black_box(net.publish_observed((i % n) as u32, i as u64, &mut tracing_obs));
+        }
+        t_tracing += t2.elapsed().as_secs_f64();
+        done += batch;
+    }
+
+    ObsOverhead {
+        n,
+        publishes,
+        off_per_sec: publishes as f64 / t_off,
+        metrics_per_sec: publishes as f64 / t_metrics,
+        tracing_per_sec: publishes as f64 / t_tracing,
+    }
+}
+
+/// Renders `BENCH_obs.json` (`select-obs/v1`).
+pub fn render_json(preset: &str, seed: u64, m: &ObsOverhead) -> String {
+    format!(
+        "{{\n  \"schema\": \"select-obs/v1\",\n  \"preset\": \"{preset}\",\n  \"n\": {},\n  \
+         \"publishes\": {},\n  \"seed\": {seed},\n  \"max_overhead_pct\": {MAX_OVERHEAD_PCT},\n  \
+         \"off_per_sec\": {:.3},\n  \"metrics_per_sec\": {:.3},\n  \"tracing_per_sec\": {:.3},\n  \
+         \"metrics_overhead_pct\": {:.3},\n  \"tracing_overhead_pct\": {:.3}\n}}\n",
+        m.n,
+        m.publishes,
+        m.off_per_sec,
+        m.metrics_per_sec,
+        m.tracing_per_sec,
+        m.metrics_overhead_pct(),
+        m.tracing_overhead_pct(),
+    )
+}
+
+/// Human-readable summary printed alongside the JSON file.
+pub fn render_table(preset: &str, m: &ObsOverhead) -> String {
+    format!(
+        "Observability overhead ({preset}: n={}, {} publishes/mode, threads=1)\n  \
+         off:      {:.0} publishes/sec\n  \
+         metrics:  {:.0} publishes/sec ({:+.1}% overhead)\n  \
+         tracing:  {:.0} publishes/sec ({:+.1}% overhead)\n",
+        m.n,
+        m.publishes,
+        m.off_per_sec,
+        m.metrics_per_sec,
+        m.metrics_overhead_pct(),
+        m.tracing_per_sec,
+        m.tracing_overhead_pct(),
+    )
+}
+
+/// Validates an emitted `BENCH_obs.json` and enforces the overhead gate:
+/// schema `select-obs/v1` with all numeric fields present, and
+/// `metrics_overhead_pct` at most the file's `max_overhead_pct`.
+pub fn check_json(text: &str) -> Result<(), String> {
+    let v = json::parse(text)?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    let get = |k: &str| obj.field(k).ok_or(format!("missing key \"{k}\""));
+    match get("schema")? {
+        json::Value::Str(s) if s == "select-obs/v1" => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    if !matches!(get("preset")?, json::Value::Str(_)) {
+        return Err("\"preset\" is not a string".into());
+    }
+    let num = |k: &str| -> Result<f64, String> {
+        match obj.field(k) {
+            Some(json::Value::Num(x)) => Ok(*x),
+            Some(other) => Err(format!("\"{k}\" has bad type {other:?}")),
+            None => Err(format!("missing key \"{k}\"")),
+        }
+    };
+    for k in [
+        "n",
+        "publishes",
+        "seed",
+        "off_per_sec",
+        "metrics_per_sec",
+        "tracing_per_sec",
+    ] {
+        num(k)?;
+    }
+    let overhead = num("metrics_overhead_pct")?;
+    let budget = num("max_overhead_pct")?;
+    num("tracing_overhead_pct")?;
+    if overhead > budget {
+        return Err(format!(
+            "metrics-on publish throughput regressed {overhead:.1}% (budget {budget:.1}%)"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_passes_its_own_check() {
+        let m = ObsOverhead {
+            n: 600,
+            publishes: 1_000,
+            off_per_sec: 5_000.0,
+            metrics_per_sec: 4_900.0,
+            tracing_per_sec: 4_700.0,
+        };
+        let json = render_json("quick", 42, &m);
+        check_json(&json).expect("schema check failed on our own output");
+        assert!(m.metrics_overhead_pct() > 0.0 && m.metrics_overhead_pct() < 5.0);
+    }
+
+    #[test]
+    fn check_enforces_the_overhead_gate() {
+        let m = ObsOverhead {
+            n: 600,
+            publishes: 1_000,
+            off_per_sec: 5_000.0,
+            metrics_per_sec: 4_000.0, // 20% regression
+            tracing_per_sec: 3_900.0,
+        };
+        let json = render_json("quick", 42, &m);
+        let err = check_json(&json).expect_err("20% overhead must fail the gate");
+        assert!(err.contains("regressed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_documents() {
+        assert!(check_json("not json").is_err());
+        assert!(check_json("{}").is_err());
+        assert!(check_json("{\"schema\": \"select-obs/v0\"}").is_err());
+    }
+
+    #[test]
+    fn small_harness_run_is_consistent() {
+        let m = measure(80, 120, 7);
+        assert_eq!(m.n, 80);
+        assert!(m.off_per_sec > 0.0 && m.metrics_per_sec > 0.0 && m.tracing_per_sec > 0.0);
+        // Debug-mode micro-runs are too noisy for the 5% gate; just confirm
+        // the JSON round-trips structurally.
+        let json = render_json("test-preset", 7, &m);
+        let v = crate::hotpath::json::parse(&json).expect("valid JSON");
+        assert!(v.as_object().is_some());
+    }
+}

@@ -134,15 +134,26 @@ impl SelectNetwork {
 
         // Superstep 2 — link reassignment (Algorithm 5). Preference lists
         // are pure functions of the post-move snapshot; admission control
-        // and drops apply in vertex order.
+        // and drops apply in vertex order. Each worker also records the
+        // per-peer candidate-list length into its own shard histogram;
+        // the shards merge in shard order at the apply barrier below, so
+        // the distribution is bit-identical at any thread count.
         {
             let net = &*self;
             let round_salt = self.round_counter;
-            engine.step_parallel(true, threads, |p, _mail, out| {
+            let mut shards: Vec<osn_obs::Histogram> = (0..threads.max(1))
+                .map(|_| osn_obs::Histogram::new())
+                .collect();
+            engine.step_parallel_sharded(true, &mut shards, |p, _mail, out, hist| {
                 if net.online[p as usize] {
-                    out.push((p, Proposal::Links(net.propose_links(p, round_salt))));
+                    let prop = net.propose_links(p, round_salt);
+                    hist.record(prop.targets.len() as u64);
+                    out.push((p, Proposal::Links(prop)));
                 }
             });
+            for shard in &shards {
+                tel.link_candidates.merge(shard);
+            }
             engine.step(false, |p, mail, _| {
                 for m in mail {
                     if let Proposal::Links(prop) = m {

@@ -345,6 +345,7 @@ impl ProtocolNetwork {
                 lsh_bucket_hits: 0,
                 lsh_bucket_fallbacks: 0,
                 wall_nanos: round_start.elapsed().as_nanos() as u64,
+                link_candidates: osn_obs::Histogram::new(),
             });
             if s.id_moves == 0 && s.link_changes == 0 && round > 2 {
                 quiet += 1;

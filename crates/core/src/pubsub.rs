@@ -15,8 +15,77 @@ use crate::network::SelectNetwork;
 use crate::scratch::{PublishScratch, PUBLISH_SCRATCH};
 use crate::stats::DeliveryTelemetry;
 use hotpath::hotpath;
+use osn_obs::{JourneyStatus, Observer, RouteChoice, TraceEvent};
 use osn_overlay::{route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome};
 use std::collections::{HashMap, HashSet};
+
+/// How a planned delivery path was produced (drives the per-edge
+/// [`RouteChoice`] reported in trace events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PathKind {
+    /// Built from the stage-1/2 BFS parents — the flooded tree.
+    Flood,
+    /// Came from [`SelectNetwork::lookup`]'s preference order (a lookahead
+    /// shortcut replacement or the greedy fallback).
+    Routed,
+}
+
+/// The routing mechanism behind one edge of a planned path. Flood paths
+/// split by receiver: stage 1 only ever parents subscribers, so an edge
+/// into a non-subscriber must come from the stage-2 bucket BFS. Routed
+/// paths classify by length, mirroring §III-E's preference order: 1 hop =
+/// direct link, 2 hops = lookahead affirmation, longer = greedy fallback.
+fn choice_for(kind: PathKind, path_len: usize, to_subscriber: bool) -> RouteChoice {
+    match kind {
+        PathKind::Flood => {
+            if to_subscriber {
+                RouteChoice::SocialFlood
+            } else {
+                RouteChoice::BucketBfs
+            }
+        }
+        PathKind::Routed => match path_len {
+            2 => RouteChoice::Direct,
+            3 => RouteChoice::Lookahead,
+            _ => RouteChoice::Greedy,
+        },
+    }
+}
+
+/// Virtual delivery time of `path` on attempt `attempt`, in milliseconds:
+/// per-link propagation latency (deterministic in the config seed) plus the
+/// fault plan's delay jitter plus whatever backoff the publisher had
+/// already waited (`base_ms`). Pure — observation never touches the clock.
+fn path_latency_ms(
+    lm: &osn_sim::LinkModel,
+    plan: &osn_sim::FaultPlan,
+    seed: u64,
+    nonce: u64,
+    attempt: u32,
+    path: &[u32],
+    base_ms: u64,
+) -> u64 {
+    let mut total = base_ms as f64;
+    for w in path.windows(2) {
+        total += lm.latency_of(w[0], w[1], seed);
+        if plan.is_active() {
+            total += plan.delay_ms(nonce, attempt, w[0], w[1]);
+        }
+    }
+    total.round() as u64
+}
+
+/// Fate of one physical transmission over an edge, memoized per edge on the
+/// initial flood so paths sharing a prefix share its outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EdgeFate {
+    /// Message crossed the link.
+    Ok,
+    /// The fault plan dropped it in flight (the sender did transmit).
+    Dropped,
+    /// The forwarding relay was crashed (nothing was transmitted).
+    Crashed,
+}
 
 /// The routing tree of one publication.
 ///
@@ -174,7 +243,25 @@ impl SelectNetwork {
             // publish reuses one buffer instead of collecting a fresh Vec.
             let mut subs = std::mem::take(&mut scr.subs);
             self.online_friends_into(b, &mut subs);
-            let report = self.disseminate_scratch(scr, b, &subs, nonce);
+            let report = self.disseminate_scratch(scr, b, &subs, nonce, None);
+            scr.subs = subs;
+            report
+        })
+    }
+
+    /// [`Self::publish_at`] with an [`Observer`] attached: dissemination
+    /// metrics (hops, stretch, retries, per-peer relay load, virtual-ms
+    /// delivery latency) land in `obs.metrics`, and — when the observer has
+    /// tracing enabled — every (publication, subscriber) journey is written
+    /// into its flight recorder. Observation is read-only with respect to
+    /// overlay and scratch state: the report, the routing tree and all
+    /// protocol state are byte-identical to [`Self::publish_at`].
+    pub fn publish_observed(&self, b: u32, nonce: u64, obs: &mut Observer) -> DisseminationReport {
+        PUBLISH_SCRATCH.with(|cell| {
+            let scr = &mut *cell.borrow_mut();
+            let mut subs = std::mem::take(&mut scr.subs);
+            self.online_friends_into(b, &mut subs);
+            let report = self.disseminate_scratch(scr, b, &subs, nonce, Some(obs));
             scr.subs = subs;
             report
         })
@@ -190,16 +277,38 @@ impl SelectNetwork {
     /// [`Self::disseminate`] under an explicit publication nonce (see
     /// [`Self::publish_at`]).
     pub fn disseminate_at(&self, b: u32, subscribers: Vec<u32>, nonce: u64) -> DisseminationReport {
-        PUBLISH_SCRATCH
-            .with(|cell| self.disseminate_scratch(&mut cell.borrow_mut(), b, &subscribers, nonce))
+        PUBLISH_SCRATCH.with(|cell| {
+            self.disseminate_scratch(&mut cell.borrow_mut(), b, &subscribers, nonce, None)
+        })
+    }
+
+    /// [`Self::disseminate_at`] with an [`Observer`] attached (see
+    /// [`Self::publish_observed`]).
+    pub fn disseminate_observed(
+        &self,
+        b: u32,
+        subscribers: Vec<u32>,
+        nonce: u64,
+        obs: &mut Observer,
+    ) -> DisseminationReport {
+        PUBLISH_SCRATCH.with(|cell| {
+            self.disseminate_scratch(&mut cell.borrow_mut(), b, &subscribers, nonce, Some(obs))
+        })
     }
 
     /// Fills `out` with the planned delivery path for subscriber `s`
     /// (`out[0] == b`, `out.last() == s`) from the BFS parents recorded in
     /// `scr`, falling back to [`Self::lookup`] for unreached subscribers.
-    /// Returns false (leaving `out` unspecified) if `s` is unreachable.
+    /// Returns how the path was produced, or `None` (leaving `out`
+    /// unspecified) if `s` is unreachable.
     #[hotpath]
-    fn planned_path_into(&self, b: u32, s: u32, scr: &PublishScratch, out: &mut Vec<u32>) -> bool {
+    fn planned_path_into(
+        &self,
+        b: u32,
+        s: u32,
+        scr: &PublishScratch,
+        out: &mut Vec<u32>,
+    ) -> Option<PathKind> {
         if scr.has_parent(s) {
             out.clear();
             out.push(s);
@@ -222,19 +331,20 @@ impl SelectNetwork {
                     if direct.len() < out.len() && direct_relays <= 1 {
                         out.clear();
                         out.extend_from_slice(&direct);
+                        return Some(PathKind::Routed);
                     }
                 }
             }
-            return true;
+            return Some(PathKind::Flood);
         }
         // Last resort: greedy overlay routing from the publisher.
         match self.lookup(b, s) {
             RouteOutcome::Delivered { path } => {
                 out.clear();
                 out.extend_from_slice(&path);
-                true
+                Some(PathKind::Routed)
             }
-            RouteOutcome::Failed { .. } => false,
+            RouteOutcome::Failed { .. } => None,
         }
     }
 
@@ -243,6 +353,13 @@ impl SelectNetwork {
     /// arena growth — BFS state, membership tests, frontiers, connection
     /// lists and path construction all reuse the thread-local scratch, and
     /// delivered paths land directly in the tree arena.
+    ///
+    /// `obs` threads the optional observability hooks through the pipeline:
+    /// `None` is the exact pre-observability behaviour (no extra work, no
+    /// allocations); `Some` records metrics into the preallocated recorder
+    /// (still allocation-free on the steady path) and, when tracing is on,
+    /// journey events into the flight recorder. Observation never feeds
+    /// back into routing, so enabling it cannot change any protocol state.
     #[hotpath]
     fn disseminate_scratch(
         &self,
@@ -250,6 +367,7 @@ impl SelectNetwork {
         b: u32,
         subscribers: &[u32],
         nonce: u64,
+        obs: Option<&mut Observer>,
     ) -> DisseminationReport {
         scr.begin(self.len());
         for &s in subscribers {
@@ -319,36 +437,103 @@ impl SelectNetwork {
         // inactive every planned path is delivered verbatim and the
         // telemetry stays zero — the exact pre-fault behaviour.
         let plan = self.cfg.fault_plan;
+        let seed = self.cfg.seed;
         let mut telemetry = DeliveryTelemetry::default();
         let mut total_hops = 0usize;
         let mut total_relays = 0usize;
         let mut path = std::mem::take(&mut scr.path);
 
+        // Split the observer into its two independently-borrowed halves and
+        // pin the latency model (pure, seed-derived) for this publication.
+        let (mut metrics, mut flight) = match obs {
+            Some(o) => {
+                o.metrics.begin_publish(self.len());
+                (Some(&mut o.metrics), o.flight.as_mut())
+            }
+            None => (None, None),
+        };
+        let lat_model = metrics.is_some().then(osn_sim::LinkModel::default);
+
         if !plan.is_active() {
             // Steady path: plan each subscriber's path in the shared buffer
             // and append it straight into the tree arena.
             for &s in subscribers {
-                if self.planned_path_into(b, s, scr, &mut path) {
+                if let Some(kind) = self.planned_path_into(b, s, scr, &mut path) {
                     total_hops += path.len() - 1;
                     total_relays += path[1..path.len() - 1]
                         .iter()
                         .filter(|&&q| !scr.is_subscriber(q))
                         .count();
+                    if let Some(m) = metrics.as_deref_mut() {
+                        for w in path.windows(2) {
+                            m.note_transmission(w[0], w[1]);
+                        }
+                        let lm = lat_model.as_ref().expect("model set with metrics");
+                        let lat = path_latency_ms(lm, &plan, seed, nonce, 0, &path, 0);
+                        m.note_delivery((path.len() - 1) as u64, lat);
+                        if let Some(fr) = flight.as_deref_mut() {
+                            let id = fr.begin(nonce, b, s);
+                            fr.push(id, TraceEvent::Publish { publisher: b });
+                            for w in path.windows(2) {
+                                fr.push(
+                                    id,
+                                    TraceEvent::Relay {
+                                        from: w[0],
+                                        to: w[1],
+                                        choice: choice_for(
+                                            kind,
+                                            path.len(),
+                                            scr.is_subscriber(w[1]),
+                                        ),
+                                    },
+                                );
+                            }
+                            fr.push(
+                                id,
+                                TraceEvent::Deliver {
+                                    hops: (path.len() - 1) as u32,
+                                    latency_ms: lat as u32,
+                                },
+                            );
+                            fr.finish(id, JourneyStatus::Delivered);
+                        }
+                    }
                     tree.push_path(&path);
                 } else {
+                    if let Some(fr) = flight.as_deref_mut() {
+                        let id = fr.begin(nonce, b, s);
+                        fr.push(id, TraceEvent::Publish { publisher: b });
+                        fr.push(id, TraceEvent::Fail);
+                        fr.finish(id, JourneyStatus::Failed);
+                    }
                     tree.failed.push(s);
                 }
+            }
+            if let Some(m) = metrics.as_deref_mut() {
+                m.note_retries(0);
             }
         } else {
             // Fault path: materialize the planned per-subscriber paths (the
             // retry machinery reorders and replays them, so it keeps owned
             // copies), in deterministic subscriber order.
-            let mut planned: Vec<(u32, Vec<u32>)> = Vec::new();
+            let mut planned: Vec<(u32, Vec<u32>, PathKind)> = Vec::new();
+            let mut journeys: HashMap<u32, osn_obs::JourneyId> = HashMap::new();
             for &s in subscribers {
-                if self.planned_path_into(b, s, scr, &mut path) {
+                if let Some(kind) = self.planned_path_into(b, s, scr, &mut path) {
+                    if let Some(fr) = flight.as_deref_mut() {
+                        let id = fr.begin(nonce, b, s);
+                        fr.push(id, TraceEvent::Publish { publisher: b });
+                        journeys.insert(s, id);
+                    }
                     // selint: allow(hotpath-alloc, fault path only; retry machinery needs owned paths)
-                    planned.push((s, path.clone()));
+                    planned.push((s, path.clone(), kind));
                 } else {
+                    if let Some(fr) = flight.as_deref_mut() {
+                        let id = fr.begin(nonce, b, s);
+                        fr.push(id, TraceEvent::Publish { publisher: b });
+                        fr.push(id, TraceEvent::Fail);
+                        fr.finish(id, JourneyStatus::Failed);
+                    }
                     tree.failed.push(s);
                 }
             }
@@ -361,37 +546,83 @@ impl SelectNetwork {
             // Attempt 0 floods the shared tree: each distinct directed edge
             // is one physical transmission, simulated exactly once and
             // memoized so paths sharing a prefix share its fate.
-            let mut edge_ok: HashMap<(u32, u32), bool> = HashMap::new();
+            let mut edge_fate: HashMap<(u32, u32), EdgeFate> = HashMap::new();
             let mut pending: Vec<(u32, Vec<u32>)> = Vec::new();
-            for (s, path) in planned {
+            for (s, path, kind) in planned {
                 let mut alive = true;
                 for w in path.windows(2) {
                     let (u, v) = (w[0], w[1]);
-                    match edge_ok.entry((u, v)) {
-                        std::collections::hash_map::Entry::Occupied(e) => alive = *e.get(),
+                    let fate = match edge_fate.entry((u, v)) {
+                        std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                         std::collections::hash_map::Entry::Vacant(e) => {
-                            let ok = if u != b && plan.crashes(nonce, u) {
+                            let fate = if u != b && plan.crashes(nonce, u) {
                                 observed_dead.insert(u);
                                 telemetry.crash_losses += 1;
-                                false
+                                EdgeFate::Crashed
                             } else if plan.drops(nonce, 0, u, v) {
                                 telemetry.drops_injected += 1;
-                                false
+                                EdgeFate::Dropped
                             } else {
-                                true
+                                EdgeFate::Ok
                             };
-                            e.insert(ok);
-                            if ok && !has_message.insert(v) {
+                            e.insert(fate);
+                            if let Some(m) = metrics.as_deref_mut() {
+                                // A crashed relay never sends; a dropped
+                                // transmission still left the sender.
+                                if fate != EdgeFate::Crashed {
+                                    m.note_raw_transmission(u);
+                                }
+                            }
+                            if fate == EdgeFate::Ok && !has_message.insert(v) {
                                 telemetry.duplicates_suppressed += 1;
                             }
-                            alive = ok;
+                            fate
+                        }
+                    };
+                    if let Some(fr) = flight.as_deref_mut() {
+                        if let Some(&id) = journeys.get(&s) {
+                            fr.push(
+                                id,
+                                match fate {
+                                    EdgeFate::Ok => TraceEvent::Relay {
+                                        from: u,
+                                        to: v,
+                                        choice: choice_for(kind, path.len(), scr.is_subscriber(v)),
+                                    },
+                                    EdgeFate::Dropped => TraceEvent::Drop {
+                                        from: u,
+                                        to: v,
+                                        attempt: 0,
+                                    },
+                                    EdgeFate::Crashed => TraceEvent::Crash { peer: u },
+                                },
+                            );
                         }
                     }
-                    if !alive {
+                    if fate != EdgeFate::Ok {
+                        alive = false;
                         break;
                     }
                 }
                 if alive {
+                    telemetry.note_delivery_attempt(0);
+                    if let Some(m) = metrics.as_deref_mut() {
+                        let lm = lat_model.as_ref().expect("model set with metrics");
+                        let lat = path_latency_ms(lm, &plan, seed, nonce, 0, &path, 0);
+                        m.note_delivery((path.len() - 1) as u64, lat);
+                        if let Some(fr) = flight.as_deref_mut() {
+                            if let Some(&id) = journeys.get(&s) {
+                                fr.push(
+                                    id,
+                                    TraceEvent::Deliver {
+                                        hops: (path.len() - 1) as u32,
+                                        latency_ms: lat as u32,
+                                    },
+                                );
+                                fr.finish(id, JourneyStatus::Delivered);
+                            }
+                        }
+                    }
                     delivered_paths.push(path);
                 } else {
                     pending.push((s, path));
@@ -407,11 +638,23 @@ impl SelectNetwork {
                 if pending.is_empty() {
                     break;
                 }
+                let wave_backoff = backoff;
                 telemetry.backoff_ms += backoff;
                 backoff = (backoff * 2).min(self.cfg.retry_backoff_ms << 8);
                 let mut still = Vec::new();
                 for (s, original) in pending {
                     telemetry.retries += 1;
+                    if let Some(fr) = flight.as_deref_mut() {
+                        if let Some(&id) = journeys.get(&s) {
+                            fr.push(
+                                id,
+                                TraceEvent::RetryWave {
+                                    attempt,
+                                    backoff_ms: wave_backoff as u32,
+                                },
+                            );
+                        }
+                    }
                     let rerouted = if observed_dead.is_empty() {
                         None
                     } else {
@@ -423,27 +666,93 @@ impl SelectNetwork {
                             RouteOutcome::Failed { .. } => None,
                         }
                     };
+                    let was_rerouted = rerouted.is_some();
                     // selint: allow(hotpath-alloc, fault path only; owned copy survives retry loop)
                     let path = rerouted.unwrap_or_else(|| original.clone());
+                    if was_rerouted && path.len() > 1 {
+                        if let Some(fr) = flight.as_deref_mut() {
+                            if let Some(&id) = journeys.get(&s) {
+                                fr.push(id, TraceEvent::Reroute { via: path[1] });
+                            }
+                        }
+                    }
                     let mut alive = true;
                     for w in path.windows(2) {
                         let (u, v) = (w[0], w[1]);
                         if u != b && plan.crashes(nonce, u) {
                             observed_dead.insert(u);
                             telemetry.crash_losses += 1;
+                            if let Some(fr) = flight.as_deref_mut() {
+                                if let Some(&id) = journeys.get(&s) {
+                                    fr.push(id, TraceEvent::Crash { peer: u });
+                                }
+                            }
                             alive = false;
                             break;
                         }
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.note_raw_transmission(u);
+                        }
                         if plan.drops(nonce, attempt, u, v) {
                             telemetry.drops_injected += 1;
+                            if let Some(fr) = flight.as_deref_mut() {
+                                if let Some(&id) = journeys.get(&s) {
+                                    fr.push(
+                                        id,
+                                        TraceEvent::Drop {
+                                            from: u,
+                                            to: v,
+                                            attempt,
+                                        },
+                                    );
+                                }
+                            }
                             alive = false;
                             break;
+                        }
+                        if let Some(fr) = flight.as_deref_mut() {
+                            if let Some(&id) = journeys.get(&s) {
+                                fr.push(
+                                    id,
+                                    TraceEvent::Relay {
+                                        from: u,
+                                        to: v,
+                                        choice: RouteChoice::Retry,
+                                    },
+                                );
+                            }
                         }
                         if !has_message.insert(v) {
                             telemetry.duplicates_suppressed += 1;
                         }
                     }
                     if alive {
+                        telemetry.note_delivery_attempt(attempt as usize);
+                        if let Some(m) = metrics.as_deref_mut() {
+                            let lm = lat_model.as_ref().expect("model set with metrics");
+                            let lat = path_latency_ms(
+                                lm,
+                                &plan,
+                                seed,
+                                nonce,
+                                attempt,
+                                &path,
+                                telemetry.backoff_ms,
+                            );
+                            m.note_delivery((path.len() - 1) as u64, lat);
+                            if let Some(fr) = flight.as_deref_mut() {
+                                if let Some(&id) = journeys.get(&s) {
+                                    fr.push(
+                                        id,
+                                        TraceEvent::Deliver {
+                                            hops: (path.len() - 1) as u32,
+                                            latency_ms: lat as u32,
+                                        },
+                                    );
+                                    fr.finish(id, JourneyStatus::Delivered);
+                                }
+                            }
+                        }
                         delivered_paths.push(path);
                     } else {
                         still.push((s, original));
@@ -453,7 +762,16 @@ impl SelectNetwork {
             }
             telemetry.residual_losses = pending.len() as u64;
             for (s, _) in pending {
+                if let Some(fr) = flight.as_deref_mut() {
+                    if let Some(&id) = journeys.get(&s) {
+                        fr.push(id, TraceEvent::Fail);
+                        fr.finish(id, JourneyStatus::Failed);
+                    }
+                }
                 tree.failed.push(s);
+            }
+            if let Some(m) = metrics {
+                m.note_retries(telemetry.retries);
             }
             for path in delivered_paths {
                 total_hops += path.len() - 1;

@@ -5,6 +5,7 @@
 use crate::gossip::RoundChanges;
 use crate::network::SelectNetwork;
 use osn_graph::UserId;
+use osn_obs::Histogram;
 
 /// What one gossip round did, as recorded by the superstep round loop.
 ///
@@ -29,6 +30,11 @@ pub struct RoundTelemetry {
     /// Link-budget slots that fell through to the coverage/strength tail
     /// (or, in the random-picker ablation, were drawn blindly).
     pub lsh_bucket_fallbacks: u64,
+    /// Distribution of per-peer link-candidate list lengths this round,
+    /// recorded by the link superstep's sharded per-worker recorders and
+    /// merged in shard order at the apply barrier — bit-identical at any
+    /// thread count, and part of equality so the determinism pins cover it.
+    pub link_candidates: Histogram,
     /// Wall-clock time of the round in nanoseconds. Excluded from equality.
     pub wall_nanos: u64,
 }
@@ -69,6 +75,7 @@ impl PartialEq for RoundTelemetry {
             && self.messages == other.messages
             && self.lsh_bucket_hits == other.lsh_bucket_hits
             && self.lsh_bucket_fallbacks == other.lsh_bucket_fallbacks
+            && self.link_candidates == other.link_candidates
     }
 }
 
@@ -128,13 +135,37 @@ impl ConvergenceTelemetry {
         }
     }
 
-    /// One-line human-readable summary.
+    /// Distribution of superstep messages per round over the whole run.
+    pub fn messages_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for r in &self.rounds {
+            h.record(r.messages);
+        }
+        h
+    }
+
+    /// Per-peer link-candidate distribution aggregated over all rounds.
+    pub fn link_candidates_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for r in &self.rounds {
+            h.merge(&r.link_candidates);
+        }
+        h
+    }
+
+    /// One-line human-readable summary, with tail percentiles (p50/p95/p99)
+    /// for messages per round — means alone hide the heavy early rounds.
     pub fn summary(&self) -> String {
+        let (p50, p95, p99) = self.messages_histogram().tails();
         format!(
-            "{} rounds, {} msgs, {} id moves ({:.4} ring), {} link changes, \
-             bucket hit rate {:.1}%, {:.1} ms on {} thread(s)",
+            "{} rounds, {} msgs (per-round p50/p95/p99 {}/{}/{}), {} id moves \
+             ({:.4} ring), {} link changes, bucket hit rate {:.1}%, {:.1} ms \
+             on {} thread(s)",
             self.rounds.len(),
             self.total_messages(),
+            p50,
+            p95,
+            p99,
             self.total_id_moves(),
             self.total_id_movement(),
             self.total_link_changes(),
@@ -178,9 +209,22 @@ pub struct DeliveryTelemetry {
     pub residual_losses: u64,
     /// Total virtual backoff the publisher waited across retry waves, ms.
     pub backoff_ms: u64,
+    /// Deliveries by the attempt wave that completed them: bin 0 is the
+    /// initial flood, bin `k` the `k`-th retransmission wave (the last bin
+    /// absorbs deeper waves). Only the fault path fills this — a fault-free
+    /// publication reports all-zero telemetry, bins included — and fixed
+    /// `u64` bins keep the struct `Copy` while still giving the summary a
+    /// real attempt distribution instead of a mean.
+    pub delivery_attempts: [u64; 8],
 }
 
 impl DeliveryTelemetry {
+    /// Records one delivery completed by attempt wave `attempt` (0 = the
+    /// initial flood); waves beyond the bins land in the last bin.
+    pub fn note_delivery_attempt(&mut self, attempt: usize) {
+        self.delivery_attempts[attempt.min(self.delivery_attempts.len() - 1)] += 1;
+    }
+
     /// Adds another publication's counters into this accumulator.
     pub fn absorb(&mut self, other: &DeliveryTelemetry) {
         self.drops_injected += other.drops_injected;
@@ -190,6 +234,13 @@ impl DeliveryTelemetry {
         self.duplicates_suppressed += other.duplicates_suppressed;
         self.residual_losses += other.residual_losses;
         self.backoff_ms += other.backoff_ms;
+        for (d, s) in self
+            .delivery_attempts
+            .iter_mut()
+            .zip(other.delivery_attempts.iter())
+        {
+            *d += *s;
+        }
     }
 
     /// Faults injected in flight (drops plus crash losses).
@@ -197,9 +248,28 @@ impl DeliveryTelemetry {
         self.drops_injected + self.crash_losses
     }
 
-    /// One-line human-readable summary.
+    /// The attempt wave at quantile `q` of the delivery-attempt
+    /// distribution (0 when no attempts were binned).
+    pub fn attempt_quantile(&self, q: f64) -> usize {
+        let total: u64 = self.delivery_attempts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.delivery_attempts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return i;
+            }
+        }
+        self.delivery_attempts.len() - 1
+    }
+
+    /// One-line human-readable summary; includes delivery-attempt tail
+    /// percentiles once any delivery has been binned.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} drops, {} crash losses, {} retries ({} rerouted), \
              {} dups suppressed, {} residual losses, {} ms backoff",
             self.drops_injected,
@@ -209,7 +279,16 @@ impl DeliveryTelemetry {
             self.duplicates_suppressed,
             self.residual_losses,
             self.backoff_ms,
-        )
+        );
+        if self.delivery_attempts.iter().any(|&c| c > 0) {
+            line.push_str(&format!(
+                ", attempts p50/p95/p99 {}/{}/{}",
+                self.attempt_quantile(0.50),
+                self.attempt_quantile(0.95),
+                self.attempt_quantile(0.99),
+            ));
+        }
+        line
     }
 }
 

@@ -58,6 +58,31 @@ pub struct PublishResult {
     pub retries: u64,
 }
 
+impl PublishResult {
+    /// Folds this publication into `rec`: hop counts for every delivered
+    /// peer (depth along its tree path), relay load from the tree's
+    /// forwarding fan-out, and the retransmission count. Everything
+    /// recorded is derived from the tree and the delivery set — never from
+    /// wall clocks — so replaying the same tree and fault plan reproduces
+    /// the same histograms.
+    pub fn record_into(&self, tree: &RoutingTree, rec: &mut osn_obs::PublishRecorder) {
+        for path in tree.paths() {
+            let Some(&subscriber) = path.last() else {
+                continue;
+            };
+            if !self.delivered_to.contains(&subscriber) {
+                continue;
+            }
+            rec.hops.record((path.len().saturating_sub(1)) as u64);
+            rec.stretch.record((path.len().saturating_sub(2)) as u64);
+        }
+        for (&peer, &sends) in &tree.forwards_per_peer() {
+            rec.relay_load_add(peer, sends);
+        }
+        rec.note_retries(self.retries);
+    }
+}
+
 /// A network of peer actors.
 pub struct ThreadedNetwork {
     senders: Vec<Sender<NetMsg>>,
@@ -391,6 +416,22 @@ mod tests {
         assert!(r.retries > 0, "the lossy plan must have forced retries");
         assert!(r.drops_injected > 0);
         net.shutdown();
+    }
+
+    #[test]
+    fn record_into_populates_hops_and_relay_load() {
+        let mut net = ThreadedNetwork::spawn(6);
+        let t = tree(0, vec![vec![0, 1, 2], vec![0, 3], vec![0, 1, 4]]);
+        let r = net.publish(&t, Bytes::from_static(b"m"), Duration::from_secs(5));
+        net.shutdown();
+        let mut rec = osn_obs::PublishRecorder::preallocated(6);
+        r.record_into(&t, &mut rec);
+        assert_eq!(rec.hops.count(), 3, "one hop sample per delivered path");
+        assert_eq!(rec.hops.max(), 2);
+        assert_eq!(rec.retries.count(), 1);
+        // Peer 0 fans out to {1, 3} (peer 1 deduped), peer 1 to {2, 4}.
+        assert_eq!(rec.relay_load()[0], 2);
+        assert_eq!(rec.relay_load()[1], 2);
     }
 
     #[test]

@@ -63,6 +63,20 @@ impl TimedPublishResult {
             .max()
             .unwrap_or_default()
     }
+
+    /// Per-delivery latency distribution in *virtual* milliseconds: each
+    /// wall-clock arrival is stretched back by the spawn's `compression`
+    /// factor, undoing the wall-µs compression so the histogram reads on
+    /// the same virtual-ms scale as [`crate::timing::TransferSim`]. Wall
+    /// clocks jitter, so unlike the core recorders this histogram is a
+    /// measurement, not a deterministic replay.
+    pub fn latency_histogram(&self, compression: f64) -> osn_obs::Histogram {
+        let mut h = osn_obs::Histogram::new();
+        for d in &self.deliveries {
+            h.record((d.elapsed.as_secs_f64() * 1_000.0 * compression).round() as u64);
+        }
+        h
+    }
 }
 
 /// A network of upload-throttled peer actors.
@@ -348,6 +362,27 @@ mod tests {
         let mut got: Vec<u32> = r.deliveries.iter().map(|d| d.peer).collect();
         got.sort_unstable();
         assert_eq!(got, survivors);
+    }
+
+    #[test]
+    fn latency_histogram_reads_in_virtual_ms() {
+        let mut net = ThrottledNetwork::spawn(3, vec![BW; 3], COMPRESSION);
+        let r = net.publish(
+            &tree(0, vec![vec![0, 1, 2]]),
+            BYTES,
+            Duration::from_secs(10),
+        );
+        net.shutdown();
+        let h = r.latency_histogram(COMPRESSION);
+        assert_eq!(h.count(), 2);
+        // Each hop is a 1000 virtual-ms transfer; the second arrival must
+        // read at least one full transfer later than the first.
+        assert!(
+            h.min() >= 900,
+            "first hop ≈ 1000 virtual ms, got {}",
+            h.min()
+        );
+        assert!(h.max() >= h.min() + 900, "chain accumulates transfers");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Prometheus-text and JSON snapshot exporters.
+//!
+//! A [`MetricsSnapshot`] is a named bag of histograms and scalar gauges,
+//! built once at the end of a run (never on the hot path) and rendered to
+//! either the Prometheus text exposition format (`--metrics-out x.prom`)
+//! or a JSON document (`--metrics-out x.json`). Rendering is pure string
+//! formatting over frozen counters — no clocks, no ambient state — so the
+//! same run always exports byte-identical files.
+
+use crate::hist::Histogram;
+use std::fmt::Write;
+
+/// A frozen, named view of a run's metrics.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(metric_name, histogram)` pairs, rendered in insertion order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// `(metric_name, value)` scalar gauges, rendered in insertion order.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a histogram under `name` (builder style).
+    pub fn with_histogram(mut self, name: &str, h: Histogram) -> Self {
+        self.histograms.push((sanitize(name), h));
+        self
+    }
+
+    /// Adds a scalar gauge under `name` (builder style).
+    pub fn with_gauge(mut self, name: &str, v: f64) -> Self {
+        self.gauges.push((sanitize(name), v));
+        self
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// each histogram becomes `<name>_bucket{le="…"}` cumulative series
+    /// plus `_sum`/`_count`, each gauge a single sample.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (le, cum) in h.cumulative_buckets() {
+                if le == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document: one object per histogram
+    /// with count/sum/min/max/mean, the p50/p95/p99 tails, and the raw
+    /// `[lower_bound, count]` bucket pairs; gauges as a flat object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let (p50, p95, p99) = h.tails();
+            let _ = write!(
+                out,
+                "{}\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.3}, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"buckets\": [",
+                if i == 0 { "" } else { "," },
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+            );
+            for (j, (lo, c)) in h.nonzero_buckets().enumerate() {
+                let _ = write!(out, "{}[{lo}, {c}]", if j == 0 { "" } else { ", " });
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    \"{name}\": {v}",
+                if i == 0 { "" } else { "," }
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`. Anything else
+/// becomes `_` so caller-supplied names can't produce unparsable output.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() || s.as_bytes()[0].is_ascii_digit() {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 3, 40] {
+            h.record(v);
+        }
+        MetricsSnapshot::new()
+            .with_histogram("select_hops", h)
+            .with_gauge("select_rounds", 17.0)
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE select_hops histogram"));
+        assert!(text.contains("select_hops_bucket{le=\"1\"} 1"));
+        assert!(text.contains("select_hops_bucket{le=\"2\"} 3"));
+        assert!(text.contains("select_hops_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("select_hops_sum 48"));
+        assert!(text.contains("select_hops_count 5"));
+        assert!(text.contains("# TYPE select_rounds gauge"));
+        assert!(text.contains("select_rounds 17"));
+    }
+
+    #[test]
+    fn cumulative_le_bounds_are_inclusive() {
+        let mut h = Histogram::new();
+        h.record(16); // first log bucket: [16, 17)
+        let pairs: Vec<(u64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(pairs, vec![(16, 1)], "upper bound includes the value");
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.contains("\"select_hops\""));
+        assert!(json.contains("\"count\": 5"));
+        assert!(json.contains("\"p50\": 2"));
+        assert!(json.contains("\"buckets\": [[1, 1], [2, 2], [3, 1], [40, 1]]"));
+        assert!(json.contains("\"select_rounds\": 17"));
+        // Must parse as JSON by at least being brace-balanced.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        assert_eq!(sample().to_prometheus(), sample().to_prometheus());
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize("bad name-1"), "bad_name_1");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+}

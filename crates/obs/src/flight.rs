@@ -1,0 +1,439 @@
+//! The flight recorder: an epoch-stamped ring buffer of message journeys.
+//!
+//! When tracing is enabled, every (publication, subscriber) pair gets a
+//! *journey*: publish → each relay decision (with the routing mechanism
+//! that chose the edge) → deliver / drop / retry / fail. Journeys live in a
+//! preallocated ring of fixed-size slots — recording never allocates, old
+//! journeys are overwritten in arrival order, and each slot carries a
+//! monotonically increasing sequence stamp so a handle into a recycled
+//! slot is detected and ignored rather than corrupting a newer journey
+//! (the same stamp-validation idea as `PublishScratch`'s epochs).
+//!
+//! On a delivery failure the recorder can dump the last N journeys —
+//! the hop-by-hop story of what the router tried — without having paid
+//! for string formatting during the run.
+
+use std::fmt;
+
+/// Maximum events stored inline per journey. Longer journeys set the
+/// `truncated` flag and keep their first `MAX_EVENTS` events (the early
+/// hops are the ones that explain the routing decision).
+pub const MAX_EVENTS: usize = 24;
+
+/// The routing mechanism that selected an edge (DESIGN.md §"publish").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Stage-1 flood over subscriber-to-subscriber social links.
+    SocialFlood,
+    /// Stage-2 multi-source BFS over bucket/long links from the reached set.
+    BucketBfs,
+    /// Lookahead shortcut: a `L_p` path replaced a longer BFS chain.
+    Lookahead,
+    /// Direct link from the publisher's connection set.
+    Direct,
+    /// Greedy ring-distance fallback routing.
+    Greedy,
+    /// Retransmission wave after a detected loss.
+    Retry,
+}
+
+impl fmt::Display for RouteChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RouteChoice::SocialFlood => "social-flood",
+            RouteChoice::BucketBfs => "bucket-bfs",
+            RouteChoice::Lookahead => "lookahead",
+            RouteChoice::Direct => "direct",
+            RouteChoice::Greedy => "greedy",
+            RouteChoice::Retry => "retry",
+        })
+    }
+}
+
+/// One structured trace event inside a journey.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Slot padding; never observed through the public iterator.
+    #[default]
+    Empty,
+    /// The publication left the publisher.
+    Publish {
+        /// Publishing peer.
+        publisher: u32,
+    },
+    /// A relay forwarded the message along a chosen edge.
+    Relay {
+        /// Sending peer.
+        from: u32,
+        /// Receiving peer.
+        to: u32,
+        /// Mechanism that picked this edge.
+        choice: RouteChoice,
+    },
+    /// The subscriber received the message.
+    Deliver {
+        /// Path length in edges.
+        hops: u32,
+        /// Delivery latency in virtual milliseconds.
+        latency_ms: u32,
+    },
+    /// A link drop was injected on this edge.
+    Drop {
+        /// Sending peer.
+        from: u32,
+        /// Receiving peer.
+        to: u32,
+        /// Zero-based transmission attempt.
+        attempt: u32,
+    },
+    /// A relay crashed mid-publication.
+    Crash {
+        /// The crashed peer.
+        peer: u32,
+    },
+    /// A retransmission wave started for this subscriber.
+    RetryWave {
+        /// One-based retry attempt.
+        attempt: u32,
+        /// Backoff charged before this wave, in virtual milliseconds.
+        backoff_ms: u32,
+    },
+    /// The router picked a new greedy path around observed-dead peers.
+    Reroute {
+        /// First relay of the replacement path.
+        via: u32,
+    },
+    /// All retransmission attempts exhausted; the delivery was lost.
+    Fail,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Empty => write!(f, "(empty)"),
+            TraceEvent::Publish { publisher } => write!(f, "publish from {publisher}"),
+            TraceEvent::Relay { from, to, choice } => {
+                write!(f, "relay {from} -> {to} [{choice}]")
+            }
+            TraceEvent::Deliver { hops, latency_ms } => {
+                write!(f, "deliver after {hops} hops ({latency_ms} vms)")
+            }
+            TraceEvent::Drop { from, to, attempt } => {
+                write!(f, "DROP {from} -> {to} (attempt {attempt})")
+            }
+            TraceEvent::Crash { peer } => write!(f, "CRASH relay {peer}"),
+            TraceEvent::RetryWave {
+                attempt,
+                backoff_ms,
+            } => write!(f, "retry wave {attempt} (+{backoff_ms} vms backoff)"),
+            TraceEvent::Reroute { via } => write!(f, "reroute via {via}"),
+            TraceEvent::Fail => write!(f, "FAILED: retry budget exhausted"),
+        }
+    }
+}
+
+/// Terminal state of a journey.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JourneyStatus {
+    /// Still being recorded (or the run ended mid-journey).
+    #[default]
+    InFlight,
+    /// The subscriber got the message.
+    Delivered,
+    /// The delivery was lost after exhausting retries.
+    Failed,
+}
+
+/// One recorded message journey: fixed-size, `Copy`-free inline storage.
+#[derive(Clone, Debug)]
+pub struct Journey {
+    /// Monotonic arrival stamp (also the slot-recycling guard).
+    pub seq: u64,
+    /// Publication nonce.
+    pub nonce: u64,
+    /// Publishing peer.
+    pub publisher: u32,
+    /// Target subscriber.
+    pub subscriber: u32,
+    /// Terminal state.
+    pub status: JourneyStatus,
+    /// True when the journey had more than [`MAX_EVENTS`] events.
+    pub truncated: bool,
+    events: [TraceEvent; MAX_EVENTS],
+    len: u8,
+}
+
+impl Default for Journey {
+    fn default() -> Self {
+        Journey {
+            seq: 0,
+            nonce: 0,
+            publisher: 0,
+            subscriber: 0,
+            status: JourneyStatus::InFlight,
+            truncated: false,
+            events: [TraceEvent::Empty; MAX_EVENTS],
+            len: 0,
+        }
+    }
+}
+
+impl Journey {
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events[..self.len as usize]
+    }
+}
+
+impl fmt::Display for Journey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "journey #{} nonce={} {} -> {} [{}]{}",
+            self.seq,
+            self.nonce,
+            self.publisher,
+            self.subscriber,
+            match self.status {
+                JourneyStatus::InFlight => "in-flight",
+                JourneyStatus::Delivered => "delivered",
+                JourneyStatus::Failed => "FAILED",
+            },
+            if self.truncated { " (truncated)" } else { "" },
+        )?;
+        for ev in self.events() {
+            writeln!(f, "    {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a journey being recorded. Becomes inert (all operations
+/// no-ops) if the ring recycles its slot before the journey finishes.
+#[derive(Clone, Copy, Debug)]
+pub struct JourneyId {
+    slot: u32,
+    seq: u64,
+}
+
+/// The ring buffer of journeys.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Journey>,
+    next: usize,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` journeys (minimum 1). All
+    /// slots are preallocated here; recording never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            slots: vec![Journey::default(); capacity.max(1)],
+            next: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of journeys recorded so far (not capped by capacity).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Starts a new journey, recycling the oldest slot when full.
+    pub fn begin(&mut self, nonce: u64, publisher: u32, subscriber: u32) -> JourneyId {
+        self.seq += 1;
+        let slot = self.next;
+        self.next = (self.next + 1) % self.slots.len();
+        let j = &mut self.slots[slot];
+        j.seq = self.seq;
+        j.nonce = nonce;
+        j.publisher = publisher;
+        j.subscriber = subscriber;
+        j.status = JourneyStatus::InFlight;
+        j.truncated = false;
+        j.len = 0;
+        JourneyId {
+            slot: slot as u32,
+            seq: self.seq,
+        }
+    }
+
+    #[inline]
+    fn live(&mut self, id: JourneyId) -> Option<&mut Journey> {
+        let j = self.slots.get_mut(id.slot as usize)?;
+        (j.seq == id.seq).then_some(j)
+    }
+
+    /// Appends an event to the journey; sets `truncated` when the inline
+    /// buffer is full. No-op on a recycled handle.
+    #[inline]
+    pub fn push(&mut self, id: JourneyId, ev: TraceEvent) {
+        if let Some(j) = self.live(id) {
+            if (j.len as usize) < MAX_EVENTS {
+                j.events[j.len as usize] = ev;
+                j.len += 1;
+            } else {
+                j.truncated = true;
+            }
+        }
+    }
+
+    /// Marks the journey's terminal state. No-op on a recycled handle.
+    pub fn finish(&mut self, id: JourneyId, status: JourneyStatus) {
+        if let Some(j) = self.live(id) {
+            j.status = status;
+        }
+    }
+
+    /// All retained journeys, oldest first.
+    pub fn journeys(&self) -> impl Iterator<Item = &Journey> {
+        let mut live: Vec<&Journey> = self.slots.iter().filter(|j| j.seq > 0).collect();
+        live.sort_by_key(|j| j.seq);
+        live.into_iter()
+    }
+
+    /// Retained journeys that ended in [`JourneyStatus::Failed`], oldest
+    /// first.
+    pub fn failed(&self) -> impl Iterator<Item = &Journey> {
+        self.journeys()
+            .filter(|j| j.status == JourneyStatus::Failed)
+    }
+
+    /// Renders up to `max` failed journeys (newest last) into `out` —
+    /// the `--trace-failed` dump. Returns how many were written.
+    pub fn dump_failed(&self, max: usize, out: &mut String) -> usize {
+        use fmt::Write;
+        let failed: Vec<&Journey> = self.failed().collect();
+        let skip = failed.len().saturating_sub(max);
+        let mut written = 0;
+        for j in &failed[skip..] {
+            let _ = write!(out, "{j}");
+            written += 1;
+        }
+        written
+    }
+
+    /// Forgets every retained journey (keeps the allocation).
+    pub fn clear(&mut self) {
+        for j in &mut self.slots {
+            *j = Journey::default();
+        }
+        self.next = 0;
+        self.seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_full_journey() {
+        let mut fr = FlightRecorder::with_capacity(4);
+        let id = fr.begin(99, 0, 3);
+        fr.push(id, TraceEvent::Publish { publisher: 0 });
+        fr.push(
+            id,
+            TraceEvent::Relay {
+                from: 0,
+                to: 1,
+                choice: RouteChoice::SocialFlood,
+            },
+        );
+        fr.push(
+            id,
+            TraceEvent::Relay {
+                from: 1,
+                to: 3,
+                choice: RouteChoice::Greedy,
+            },
+        );
+        fr.push(
+            id,
+            TraceEvent::Deliver {
+                hops: 2,
+                latency_ms: 81,
+            },
+        );
+        fr.finish(id, JourneyStatus::Delivered);
+
+        let j = fr.journeys().next().unwrap();
+        assert_eq!(j.events().len(), 4);
+        assert_eq!(j.status, JourneyStatus::Delivered);
+        assert!(!j.truncated);
+        let text = j.to_string();
+        assert!(text.contains("relay 1 -> 3 [greedy]"), "got: {text}");
+    }
+
+    #[test]
+    fn ring_recycles_and_invalidates_handles() {
+        let mut fr = FlightRecorder::with_capacity(2);
+        let a = fr.begin(1, 0, 1);
+        fr.push(a, TraceEvent::Publish { publisher: 0 });
+        let _b = fr.begin(2, 0, 2);
+        let _c = fr.begin(3, 0, 3); // recycles a's slot
+        fr.push(a, TraceEvent::Fail); // must be ignored
+        fr.finish(a, JourneyStatus::Failed); // must be ignored
+        let nonces: Vec<u64> = fr.journeys().map(|j| j.nonce).collect();
+        assert_eq!(nonces, vec![2, 3]);
+        assert!(fr.journeys().all(|j| j.events().is_empty()));
+        assert_eq!(fr.recorded(), 3);
+    }
+
+    #[test]
+    fn truncation_keeps_early_events() {
+        let mut fr = FlightRecorder::with_capacity(1);
+        let id = fr.begin(7, 0, 1);
+        for i in 0..(MAX_EVENTS as u32 + 5) {
+            fr.push(
+                id,
+                TraceEvent::Relay {
+                    from: i,
+                    to: i + 1,
+                    choice: RouteChoice::BucketBfs,
+                },
+            );
+        }
+        let j = fr.journeys().next().unwrap();
+        assert!(j.truncated);
+        assert_eq!(j.events().len(), MAX_EVENTS);
+        assert_eq!(
+            j.events()[0],
+            TraceEvent::Relay {
+                from: 0,
+                to: 1,
+                choice: RouteChoice::BucketBfs
+            }
+        );
+    }
+
+    #[test]
+    fn dump_failed_caps_and_orders() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        for n in 0..5u64 {
+            let id = fr.begin(n, 0, n as u32 + 1);
+            fr.push(id, TraceEvent::Fail);
+            fr.finish(
+                id,
+                if n % 2 == 0 {
+                    JourneyStatus::Failed
+                } else {
+                    JourneyStatus::Delivered
+                },
+            );
+        }
+        let mut out = String::new();
+        let written = fr.dump_failed(2, &mut out);
+        assert_eq!(written, 2);
+        assert!(!out.contains("nonce=0"), "oldest failure trimmed: {out}");
+        assert!(out.contains("nonce=2") && out.contains("nonce=4"));
+        fr.clear();
+        assert_eq!(fr.journeys().count(), 0);
+    }
+}

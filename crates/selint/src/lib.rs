@@ -150,6 +150,7 @@ pub fn scope_for(rel: &str) -> Scope {
         "crates/overlay/src/",
         "crates/lsh/src/",
         "crates/sim/src/",
+        "crates/obs/src/",
     ];
     const L4_FILES: &[&str] = &[
         "crates/sim/src/fault.rs",
@@ -799,6 +800,10 @@ mod tests {
         assert!(!bench.l1 && !bench.l2 && !bench.l4);
         let baselines = scope_for("crates/baselines/src/omen.rs");
         assert!(baselines.l1 && !baselines.l2);
+        // The observability crate promises "no ambient time, virtual ms
+        // only" — L2 watches it, but it is not hot-path (L1) or fault (L4).
+        let obs = scope_for("crates/obs/src/hist.rs");
+        assert!(obs.l2 && !obs.l1 && !obs.l4);
     }
 
     #[test]

@@ -65,6 +65,23 @@ fn workspace_scan_skips_the_fixture() {
 }
 
 #[test]
+fn obs_scope_catches_ambient_clocks() {
+    // Negative control for the observability determinism contract: if
+    // someone reaches for a wall clock inside crates/obs, the L2 rule must
+    // fire there exactly as it does in core.
+    let snippet = "fn stamp() -> std::time::Instant { std::time::Instant::now() }\n";
+    let findings = lint_source(
+        "crates/obs/src/hist.rs",
+        snippet,
+        scope_for("crates/obs/src/hist.rs"),
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::AmbientNondet),
+        "Instant::now in crates/obs must trip L2; findings: {findings:#?}"
+    );
+}
+
+#[test]
 fn hot_files_are_actually_annotated() {
     // Guards the L3 wiring end-to-end: if someone strips #[hotpath] from the
     // publish pipeline, the lint silently stops covering it. Require the

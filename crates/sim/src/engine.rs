@@ -179,6 +179,85 @@ impl<M: Send> SuperstepEngine<M> {
         }
         delivered
     }
+
+    /// [`SuperstepEngine::step_parallel`] with per-worker shard state: worker
+    /// `i` receives exclusive `&mut shards[i]` alongside its vertices, so the
+    /// compute half can accumulate side metrics (histograms, counters)
+    /// without any shared mutable state. The worker count is
+    /// `shards.len()` (clamped to the vertex count); the caller merges the
+    /// shards **in shard order** after this returns — the superstep apply
+    /// barrier — which keeps any commutative accumulator bit-identical
+    /// across thread counts.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn step_parallel_sharded<S: Send>(
+        &mut self,
+        run_all: bool,
+        shards: &mut [S],
+        vertex_fn: impl Fn(u32, Vec<M>, &mut Vec<(u32, M)>, &mut S) + Sync,
+    ) -> usize {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let pending = std::mem::take(&mut self.outboxes);
+        let delivered = pending.len();
+        for (to, msg) in pending {
+            self.inboxes[to as usize].push(msg);
+        }
+        self.round += 1;
+
+        let n = self.inboxes.len();
+        let threads = shards.len().clamp(1, n.max(1));
+        if threads == 1 {
+            let mut out: Vec<(u32, M)> = Vec::new();
+            for v in 0..n as u32 {
+                let mail = std::mem::take(&mut self.inboxes[v as usize]);
+                if run_all || !mail.is_empty() {
+                    vertex_fn(v, mail, &mut out, &mut shards[0]);
+                }
+            }
+            for (to, msg) in out {
+                self.send(to, msg);
+            }
+            return delivered;
+        }
+        let chunk = n.div_ceil(threads);
+        let mut inboxes = std::mem::take(&mut self.inboxes);
+        let mut shard_outboxes: Vec<Vec<(u32, M)>> = Vec::with_capacity(threads);
+
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = inboxes
+                .chunks_mut(chunk.max(1))
+                .zip(shards.iter_mut())
+                .enumerate()
+                .map(|(shard, (slice, state))| {
+                    let vertex_fn = &vertex_fn;
+                    scope.spawn(move |_| {
+                        let mut out: Vec<(u32, M)> = Vec::new();
+                        for (i, mail) in slice.iter_mut().enumerate() {
+                            let v = (shard * chunk + i) as u32;
+                            let mail = std::mem::take(mail);
+                            if run_all || !mail.is_empty() {
+                                vertex_fn(v, mail, &mut out, state);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                shard_outboxes.push(h.join().expect("superstep shard panicked"));
+            }
+        })
+        .expect("superstep scope failed");
+
+        self.inboxes = inboxes;
+        for out in shard_outboxes {
+            for (to, msg) in out {
+                self.send(to, msg);
+            }
+        }
+        delivered
+    }
 }
 
 /// A time-stamped event scheduler with stable FIFO tie-breaking.
@@ -395,6 +474,36 @@ mod tests {
         };
         let reference = run(1);
         for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_step_accumulators_merge_identically_across_thread_counts() {
+        // Each worker folds per-vertex values into its own shard; merging the
+        // shards in shard order must give the same totals (and the same
+        // message trace) for every worker count, ragged boundaries included.
+        let n = 29usize;
+        let run = |threads: usize| -> (Vec<u64>, u64) {
+            let mut eng: SuperstepEngine<u64> = SuperstepEngine::new(n);
+            let mut merged: Vec<u64> = Vec::new();
+            for round in 0..5u64 {
+                let mut shards: Vec<Vec<u64>> = vec![Vec::new(); threads];
+                eng.step_parallel_sharded(true, &mut shards, |v, _mail, out, acc| {
+                    acc.push((v as u64).wrapping_mul(round + 1));
+                    if v.is_multiple_of(3) {
+                        out.push(((v + 1) % n as u32, round));
+                    }
+                });
+                // Apply barrier: merge in shard order.
+                for s in shards {
+                    merged.extend(s);
+                }
+            }
+            (merged, eng.messages_sent_total())
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
             assert_eq!(run(threads), reference, "threads={threads} diverged");
         }
     }

@@ -18,6 +18,12 @@
 //! retransmission waves (default 3; 0 = fire-and-forget). All decisions are
 //! deterministic in the seed, so a faulty run replays bit-identically.
 //!
+//! Observability (demo and churn): `--metrics-out FILE` writes the publish
+//! histograms (hops, stretch, retries, relay load, latency) after the run —
+//! Prometheus text format if FILE ends in `.prom`, JSON otherwise.
+//! `--trace-failed` keeps a flight recorder on every publication and dumps
+//! the hop-by-hop journeys of failed deliveries to stderr.
+//!
 //! For regenerating the paper's tables and figures use the `repro` binary in
 //! `osn-bench`; this CLI is the quick interactive front end.
 
@@ -26,6 +32,7 @@ use rand::{Rng, SeedableRng};
 use select::baselines::{build_system, SystemKind};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
+use select::obs::{MetricsSnapshot, Observer};
 use select::sim::{ChurnModel, FaultPlan, Mean};
 
 struct Opts {
@@ -39,6 +46,8 @@ struct Opts {
     delay_ms: f64,
     fault_seed: Option<u64>,
     retries: usize,
+    metrics_out: Option<String>,
+    trace_failed: bool,
 }
 
 impl Opts {
@@ -47,6 +56,56 @@ impl Opts {
             .with_drop_prob(self.drop_prob)
             .with_crash_prob(self.crash_prob)
             .with_max_delay_ms(self.delay_ms)
+    }
+
+    /// Builds the publish observer when `--metrics-out` or `--trace-failed`
+    /// asked for one; `None` keeps the publish path un-instrumented.
+    fn observer(&self, n: usize) -> Option<Observer> {
+        if self.metrics_out.is_none() && !self.trace_failed {
+            return None;
+        }
+        let o = Observer::for_peers(n);
+        Some(if self.trace_failed {
+            o.with_tracing(64)
+        } else {
+            o
+        })
+    }
+}
+
+/// Writes `--metrics-out` (Prometheus text for `.prom`, JSON otherwise) and
+/// dumps failed journeys to stderr when tracing was on.
+fn flush_observer(opts: &Opts, obs: &Observer) {
+    if let Some(fr) = &obs.flight {
+        let mut dump = String::new();
+        let failed = fr.dump_failed(16, &mut dump);
+        if failed > 0 {
+            eprint!("[select] {failed} failed journey(s):\n{dump}");
+        } else {
+            eprintln!(
+                "[select] no failed deliveries among the last {} traced journeys",
+                fr.recorded().min(fr.capacity() as u64)
+            );
+        }
+    }
+    let Some(path) = &opts.metrics_out else {
+        return;
+    };
+    let m = &obs.metrics;
+    let snap = MetricsSnapshot::new()
+        .with_histogram("select_publish_hops", m.hops.clone())
+        .with_histogram("select_publish_stretch", m.stretch.clone())
+        .with_histogram("select_publish_retries", m.retries.clone())
+        .with_histogram("select_publish_latency_virtual_ms", m.latency_ms.clone())
+        .with_histogram("select_relay_load", m.relay_load_histogram());
+    let rendered = if path.ends_with(".prom") {
+        snap.to_prometheus()
+    } else {
+        snap.to_json()
+    };
+    match std::fs::write(path, rendered) {
+        Ok(()) => eprintln!("[select] metrics written to {path}"),
+        Err(e) => eprintln!("[select] cannot write {path}: {e}"),
     }
 }
 
@@ -63,6 +122,8 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
         delay_ms: 0.0,
         fault_seed: None,
         retries: 3,
+        metrics_out: None,
+        trace_failed: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -135,6 +196,12 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--retries needs a number")?;
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            "--trace-failed" => {
+                opts.trace_failed = true;
+            }
             other if cmd.is_none() && !other.starts_with("--") => {
                 cmd = Some(other.to_string());
             }
@@ -202,9 +269,13 @@ fn cmd_demo(opts: &Opts) {
     let (graph, net) = converged(opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let fault_mode = opts.fault_plan().is_active();
+    let mut observer = opts.observer(graph.num_nodes());
     for nonce in 1..=5u64 {
         let b = rng.gen_range(0..graph.num_nodes() as u32);
-        let r = net.publish_at(b, nonce);
+        let r = match observer.as_mut() {
+            Some(obs) => net.publish_observed(b, nonce, obs),
+            None => net.publish_at(b, nonce),
+        };
         println!(
             "publish from {b:5}: {:3}/{:3} delivered, {:.2} hops, {:.3} relays",
             r.delivered, r.subscribers, r.avg_hops, r.avg_relays
@@ -212,6 +283,11 @@ fn cmd_demo(opts: &Opts) {
         if fault_mode {
             println!("                   {}", r.delivery.summary());
         }
+    }
+    if let Some(obs) = &observer {
+        let (p50, p95, p99) = obs.metrics.latency_ms.tails();
+        eprintln!("[select] delivery latency p50/p95/p99: {p50}/{p95}/{p99} virtual ms");
+        flush_observer(opts, obs);
     }
 }
 
@@ -260,6 +336,7 @@ fn cmd_churn(opts: &Opts) {
     let n = graph.num_nodes();
     let mut overall = Mean::new();
     let mut delivery = select::core::DeliveryTelemetry::default();
+    let mut observer = opts.observer(n);
     let mut nonce = 0u64;
     for step in 1..=opts.steps {
         let online: Vec<u32> = (0..n as u32).filter(|&p| net.is_peer_online(p)).collect();
@@ -277,7 +354,10 @@ fn cmd_churn(opts: &Opts) {
                 }
             };
             nonce += 1;
-            let r = net.publish_at(b, nonce);
+            let r = match observer.as_mut() {
+                Some(obs) => net.publish_observed(b, nonce, obs),
+                None => net.publish_at(b, nonce),
+            };
             delivery.absorb(&r.delivery);
             avail.add(r.availability());
         }
@@ -296,6 +376,9 @@ fn cmd_churn(opts: &Opts) {
     println!("overall availability: {:.2}%", overall.mean() * 100.0);
     if opts.fault_plan().is_active() {
         println!("fault telemetry     : {}", delivery.summary());
+    }
+    if let Some(obs) = &observer {
+        flush_observer(opts, obs);
     }
 }
 

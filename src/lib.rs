@@ -3,8 +3,8 @@
 //! Re-exports the full public API of the workspace: the SELECT system itself
 //! ([`core`]), the social-graph substrate ([`graph`]), the P2P overlay
 //! substrate ([`overlay`]), LSH ([`lsh`]), the simulation engine ([`sim`]),
-//! the baseline pub/sub systems ([`baselines`]) and the realistic threaded
-//! runtime ([`net`]).
+//! the baseline pub/sub systems ([`baselines`]), the realistic threaded
+//! runtime ([`net`]) and the deterministic observability layer ([`obs`]).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -15,6 +15,7 @@ pub use osn_baselines as baselines;
 pub use osn_graph as graph;
 pub use osn_lsh as lsh;
 pub use osn_net as net;
+pub use osn_obs as obs;
 pub use osn_overlay as overlay;
 pub use osn_sim as sim;
 pub use select_core as core;

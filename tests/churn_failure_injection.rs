@@ -243,6 +243,61 @@ fn seeded_fault_runs_replay_bit_identically_across_thread_counts() {
 }
 
 #[test]
+fn flight_recorder_captures_a_complete_failed_journey_under_faults() {
+    use select::obs::{JourneyStatus, Observer, TraceEvent};
+    // Heavy losses with a tiny retry budget: some delivery must fail, and the
+    // flight recorder must hold its complete hop-by-hop journey.
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(160, 11);
+    let plan = FaultPlan::seeded(0xbeef)
+        .with_drop_prob(0.35)
+        .with_crash_prob(0.10);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default()
+            .with_seed(11)
+            .with_fault_plan(plan)
+            .with_retry_max(1),
+    );
+    net.converge(300);
+    let mut obs = Observer::for_peers(net.len()).with_tracing(256);
+    let mut failed_total = 0usize;
+    for b in 0..40u32 {
+        let r = net.publish_observed(b, b as u64, &mut obs);
+        failed_total += r.tree.failed.len();
+    }
+    assert!(failed_total > 0, "the lossy plan never lost a delivery");
+
+    let fr = obs.flight.as_ref().expect("tracing is on");
+    let failed: Vec<_> = fr.failed().collect();
+    assert!(
+        !failed.is_empty(),
+        "{failed_total} deliveries failed but no journey is marked Failed"
+    );
+    for j in &failed {
+        assert_eq!(j.status, JourneyStatus::Failed);
+        let events = j.events();
+        assert!(
+            matches!(events.first(), Some(TraceEvent::Publish { .. })),
+            "journey does not start at the publisher: {events:?}"
+        );
+        assert!(
+            matches!(events.last(), Some(TraceEvent::Fail)) || j.truncated,
+            "failed journey does not end with Fail: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Drop { .. } | TraceEvent::Crash { .. })),
+            "failed journey records no injected fault: {events:?}"
+        );
+    }
+    // The CLI-facing dump renders at least one of them.
+    let mut dump = String::new();
+    assert!(fr.dump_failed(16, &mut dump) >= 1);
+    assert!(dump.contains("FAILED"), "dump missing status line:\n{dump}");
+}
+
+#[test]
 fn naive_recovery_ablation_churns_more_links_than_cma() {
     let graph = datasets::Dataset::Slashdot.generate_with_nodes(150, 6);
     let build = |cma: bool| {

@@ -28,8 +28,10 @@ impl Fnv {
 }
 
 /// Converge on Facebook-200 (seed 42), then hash the full overlay state and
-/// 20 publish traces.
-fn converged_state_hash(threads: usize) -> u64 {
+/// 20 publish traces. With `observed`, every publish additionally runs the
+/// full metrics + flight-recorder instrumentation — the hash must not move
+/// (observation is read-only; the observer-effect pin).
+fn converged_state_hash_observed(threads: usize, observed: bool) -> u64 {
     let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
     let mut net = SelectNetwork::bootstrap(
         graph,
@@ -37,6 +39,7 @@ fn converged_state_hash(threads: usize) -> u64 {
     );
     let report = net.converge(300);
     assert!(report.converged, "threads={threads} did not converge");
+    let mut obs = select::obs::Observer::for_peers(net.len()).with_tracing(8);
 
     let mut h = Fnv::new();
     h.word(report.rounds as u64);
@@ -55,7 +58,11 @@ fn converged_state_hash(threads: usize) -> u64 {
         }
     }
     for b in 0..20u32 {
-        let r = net.publish(b);
+        let r = if observed {
+            net.publish_observed(b, 0, &mut obs)
+        } else {
+            net.publish(b)
+        };
         h.word(r.delivered as u64);
         h.word(r.subscribers as u64);
         h.word(r.avg_hops.to_bits());
@@ -79,7 +86,7 @@ const GOLDEN: u64 = 0xFDE0_9894_F723_B576;
 #[test]
 fn flattened_storage_reproduces_pinned_overlay_single_thread() {
     assert_eq!(
-        converged_state_hash(1),
+        converged_state_hash_observed(1, false),
         GOLDEN,
         "converged overlay diverged from the pre-refactor golden state (threads=1)"
     );
@@ -88,8 +95,26 @@ fn flattened_storage_reproduces_pinned_overlay_single_thread() {
 #[test]
 fn flattened_storage_reproduces_pinned_overlay_eight_threads() {
     assert_eq!(
-        converged_state_hash(8),
+        converged_state_hash_observed(8, false),
         GOLDEN,
         "converged overlay diverged from the pre-refactor golden state (threads=8)"
+    );
+}
+
+#[test]
+fn observed_publishes_keep_the_golden_hash_single_thread() {
+    assert_eq!(
+        converged_state_hash_observed(1, true),
+        GOLDEN,
+        "metrics/tracing recording perturbed protocol state (threads=1)"
+    );
+}
+
+#[test]
+fn observed_publishes_keep_the_golden_hash_eight_threads() {
+    assert_eq!(
+        converged_state_hash_observed(8, true),
+        GOLDEN,
+        "metrics/tracing recording perturbed protocol state (threads=8)"
     );
 }

@@ -77,6 +77,45 @@ fn converge_is_thread_count_invariant() {
     assert_eq!(base.report.telemetry.rounds.len(), base.report.rounds);
 }
 
+/// Observability histograms are part of the determinism contract: the
+/// sharded per-worker recorders merged at the apply barrier must yield
+/// bit-identical bucket counts for every worker count, and the publish-path
+/// metrics (hops, stretch, latency, relay load) must match because the
+/// publish traces they summarize match.
+#[test]
+fn observability_histograms_are_thread_count_invariant() {
+    let observe = |threads: usize| {
+        let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
+        let mut net = SelectNetwork::bootstrap(
+            graph,
+            SelectConfig::default().with_seed(42).with_threads(threads),
+        );
+        let report = net.converge(300);
+        assert!(report.converged, "threads={threads} did not converge");
+        let mut obs = select::obs::Observer::for_peers(net.len());
+        for b in 0..20u32 {
+            net.publish_observed(b, b as u64, &mut obs);
+        }
+        (report.telemetry.link_candidates_histogram(), obs.metrics)
+    };
+    let (base_candidates, base_metrics) = observe(1);
+    for threads in [2usize, 8] {
+        let (candidates, metrics) = observe(threads);
+        assert_eq!(
+            base_candidates, candidates,
+            "threads={threads} diverged in the link-candidates histogram"
+        );
+        assert_eq!(
+            base_metrics, metrics,
+            "threads={threads} diverged in publish metrics"
+        );
+    }
+    // The invariance is over substantive data, not empty recorders.
+    assert!(base_candidates.count() > 0);
+    assert!(base_metrics.hops.count() > 0);
+    assert!(base_metrics.latency_ms.count() > 0);
+}
+
 #[test]
 fn auto_thread_default_matches_explicit_one() {
     // threads = 0 resolves to available parallelism; whatever it picks must
