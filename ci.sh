@@ -36,6 +36,11 @@ cargo test -q --offline --test churn_failure_injection --test properties
 echo "==> golden-state pin (flattened storage must stay bit-identical)"
 cargo test -q --offline --test golden_state --test parallel_determinism
 
+echo "==> incremental-vs-rebuild equivalence (delta LSH/strength state, batched publish)"
+cargo test -q --offline -p select-core equivalence
+cargo test -q --offline -p select-core batched_publish
+cargo test -q --offline --test golden_state batched
+
 echo "==> overlay auditor (every invariant on every round, plus the golden pin)"
 cargo test -q --offline -p select-core --features audit
 cargo test -q --offline --features audit --test overlay_audit

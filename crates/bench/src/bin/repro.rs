@@ -19,7 +19,8 @@
 //!   sessions      CMA recovery under realistic session traces
 //!   churn-compare availability under churn across all five systems
 //!   hotpath       converge/publish hot-path bench → BENCH_hotpath.json
-//!                 (with --check: validate an existing file instead)
+//!                 (with --check: validate an existing file and enforce the
+//!                 2x batched-routing throughput gate)
 //!   obs           observability overhead bench → BENCH_obs.json
 //!                 (with --check: validate + enforce the ≤5% overhead gate)
 //!   all           everything above, in paper order
@@ -126,10 +127,21 @@ fn main() {
                 if check_only {
                     let text = std::fs::read_to_string("BENCH_hotpath.json")
                         .expect("read BENCH_hotpath.json (run `repro hotpath` first)");
-                    match hotpath::check_json(&text) {
-                        Ok(()) => Some("BENCH_hotpath.json: schema OK\n".to_string()),
+                    if let Err(e) = hotpath::check_json(&text) {
+                        eprintln!("BENCH_hotpath.json: schema violation: {e}");
+                        std::process::exit(1);
+                    }
+                    // Batched-routing acceptance gate: the recorded run must
+                    // hold at least 2x the pre-refactor baseline throughput.
+                    match hotpath::check_speedup(&text, 2.0) {
+                        Ok(Some(ratio)) => Some(format!(
+                            "BENCH_hotpath.json: schema OK, throughput {ratio:.2}x baseline (gate: 2.0x)\n"
+                        )),
+                        Ok(None) => {
+                            Some("BENCH_hotpath.json: schema OK (no baseline to gate against)\n".to_string())
+                        }
                         Err(e) => {
-                            eprintln!("BENCH_hotpath.json: schema violation: {e}");
+                            eprintln!("BENCH_hotpath.json: {e}");
                             std::process::exit(1);
                         }
                     }

@@ -89,8 +89,25 @@ pub fn baseline_for(preset: &str) -> Option<HotpathBaseline> {
     }
 }
 
+/// Same-source publications grouped per batch in the timed loop — the
+/// batched routing path plans one scratch traversal per `BATCH` publishes.
+pub const BATCH: usize = 8;
+
+/// Publishes/sec of the *sequential* publish loop recorded immediately
+/// before the batched-routing change (same harness, threads = 1, seed 42,
+/// `count-allocs` on, release mode), so `BENCH_hotpath.json` carries the
+/// full trajectory: HashMap-era baseline → flattened sequential → batched.
+pub fn pre_batch_for(preset: &str) -> Option<f64> {
+    match preset {
+        "quick" => Some(9_381.96),
+        _ => None,
+    }
+}
+
 /// Runs the hot-path harness: bootstrap + converge on Facebook-`n`, one
-/// warm-up pass over the publishers, then `publishes` timed publications.
+/// warm-up pass over the publishers, then `publishes` timed publications
+/// issued as same-source batches of [`BATCH`] (each report bit-identical to
+/// the equivalent sequential `publish_at`, pinned by the core test suite).
 pub fn measure(n: usize, publishes: usize, seed: u64) -> HotpathMetrics {
     let graph = Dataset::Facebook.generate_with_nodes(n, seed);
     let started = Instant::now();
@@ -109,9 +126,12 @@ pub fn measure(n: usize, publishes: usize, seed: u64) -> HotpathMetrics {
 
     let before = allocs::snapshot();
     let t0 = Instant::now();
-    for i in 0..publishes {
-        let b = (i % n) as u32;
-        std::hint::black_box(net.publish_at(b, i as u64));
+    let mut i = 0usize;
+    while i < publishes {
+        let batch = BATCH.min(publishes - i);
+        let b = ((i / BATCH) % n) as u32;
+        std::hint::black_box(net.publish_batch_at(b, i as u64, batch));
+        i += batch;
     }
     let secs = t0.elapsed().as_secs_f64();
     let after = allocs::snapshot();
@@ -225,12 +245,35 @@ pub fn render_json(preset: &str, seed: u64, m: &HotpathMetrics) -> String {
                 "    \"bytes_per_publish\": {}\n",
                 red(m.bytes_per_publish.unwrap_or(f64::NAN), b.bytes_per_publish)
             ));
-            out.push_str("  }\n");
+            out.push_str("  },\n");
         }
         None => {
             out.push_str("  \"baseline\": null,\n");
-            out.push_str("  \"reduction_pct\": null\n");
+            out.push_str("  \"reduction_pct\": null,\n");
         }
+    }
+    // Throughput trajectory across the optimization PRs. `check_json` ignores
+    // keys it does not know, so older validators keep accepting this file.
+    match pre_batch_for(preset) {
+        Some(pre) => {
+            out.push_str("  \"trajectory\": [\n");
+            if let Some(b) = baseline_for(preset) {
+                out.push_str(&format!(
+                    "    {{ \"stage\": \"hashmap-baseline\", \"commit\": \"{}\", \
+                     \"publishes_per_sec\": {:.3} }},\n",
+                    b.commit, b.publishes_per_sec
+                ));
+            }
+            out.push_str(&format!(
+                "    {{ \"stage\": \"flattened-sequential\", \"publishes_per_sec\": {pre:.3} }},\n"
+            ));
+            out.push_str(&format!(
+                "    {{ \"stage\": \"batched\", \"publishes_per_sec\": {:.3} }}\n",
+                m.publishes_per_sec
+            ));
+            out.push_str("  ]\n");
+        }
+        None => out.push_str("  \"trajectory\": null\n"),
     }
     out.push_str("}\n");
     out
@@ -330,6 +373,53 @@ pub fn check_json(text: &str) -> Result<(), String> {
     match get("reduction_pct")? {
         json::Value::Null | json::Value::Obj(_) => Ok(()),
         other => Err(format!("\"reduction_pct\" has bad type {other:?}")),
+    }
+}
+
+/// Enforces the batched-routing acceptance gate on an emitted
+/// `BENCH_hotpath.json`: `current.publishes_per_sec` must be at least
+/// `min_ratio` × `baseline.publishes_per_sec`. Returns the achieved ratio,
+/// or `Ok(None)` when the document records no baseline (presets without a
+/// recorded history are not gated). Schema errors and regressions both come
+/// back as `Err` so callers can fail the build with the message verbatim.
+///
+/// Deliberately separate from [`check_json`]: the schema check must keep
+/// accepting structurally-valid documents regardless of the numbers in them.
+pub fn check_speedup(text: &str, min_ratio: f64) -> Result<Option<f64>, String> {
+    use json::ObjExt;
+    let v = json::parse(text)?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    let pub_rate = |block: &[(String, json::Value)], name: &str| -> Result<f64, String> {
+        match block.field("publishes_per_sec") {
+            Some(json::Value::Num(x)) => Ok(*x),
+            _ => Err(format!("missing numeric {name}.publishes_per_sec")),
+        }
+    };
+    let base = match obj.field("baseline").ok_or("missing key \"baseline\"")? {
+        json::Value::Null => return Ok(None),
+        b => pub_rate(
+            b.as_object().ok_or("\"baseline\" is not an object")?,
+            "baseline",
+        )?,
+    };
+    let cur = pub_rate(
+        obj.field("current")
+            .ok_or("missing key \"current\"")?
+            .as_object()
+            .ok_or("\"current\" is not an object")?,
+        "current",
+    )?;
+    if base <= 0.0 || base.is_nan() {
+        return Err(format!("baseline.publishes_per_sec {base} is not positive"));
+    }
+    let ratio = cur / base;
+    if ratio >= min_ratio {
+        Ok(Some(ratio))
+    } else {
+        Err(format!(
+            "throughput gate failed: current {cur:.1} pub/s is only {ratio:.2}x the \
+             recorded baseline {base:.1} pub/s (required: {min_ratio:.1}x)"
+        ))
     }
 }
 
@@ -569,6 +659,57 @@ mod tests {
         assert!(check_json(&bad).is_err());
         let bad2 = good.replace("select-hotpath/v1", "select-hotpath/v0");
         assert!(check_json(&bad2).is_err());
+    }
+
+    #[test]
+    fn speedup_gate_compares_current_against_baseline() {
+        let m = HotpathMetrics {
+            n: 600,
+            rounds: 40,
+            converge_wall_ms: 123.4,
+            publishes: 2_000,
+            publishes_per_sec: 10_000.0,
+            peak_rss_kb: 10_000,
+            allocs_per_publish: Some(12.5),
+            bytes_per_publish: Some(4_096.0),
+        };
+        // Quick baseline is 4871.8 pub/s: 10000 pub/s clears a 2.0x gate...
+        let json = render_json("quick", 42, &m);
+        let ratio = check_speedup(&json, 2.0)
+            .expect("2.0x gate must pass")
+            .expect("quick preset has a baseline");
+        assert!((ratio - 10_000.0 / 4_871.8).abs() < 1e-9);
+        // ...but not a 3.0x gate.
+        let err = check_speedup(&json, 3.0).unwrap_err();
+        assert!(err.contains("throughput gate failed"), "{err}");
+        // Presets without a recorded baseline are not gated.
+        let ungated = render_json("full", 42, &m);
+        assert_eq!(check_speedup(&ungated, 2.0), Ok(None));
+        // Garbage still fails loudly.
+        assert!(check_speedup("not json", 2.0).is_err());
+    }
+
+    #[test]
+    fn trajectory_block_tracks_the_optimization_prs() {
+        let m = HotpathMetrics {
+            n: 600,
+            rounds: 40,
+            converge_wall_ms: 123.4,
+            publishes: 2_000,
+            publishes_per_sec: 10_000.0,
+            peak_rss_kb: 10_000,
+            allocs_per_publish: None,
+            bytes_per_publish: None,
+        };
+        let json = render_json("quick", 42, &m);
+        check_json(&json).expect("trajectory key must not break the schema");
+        for stage in ["hashmap-baseline", "flattened-sequential", "batched"] {
+            assert!(json.contains(stage), "missing trajectory stage {stage}");
+        }
+        // No recorded history → explicit null, still schema-valid.
+        let json2 = render_json("full", 42, &m);
+        check_json(&json2).expect("null trajectory must validate");
+        assert!(json2.contains("\"trajectory\": null"));
     }
 
     #[test]

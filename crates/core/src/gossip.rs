@@ -17,11 +17,17 @@
 //!    message to itself ([`SuperstepEngine::step_parallel`], sharded across
 //!    `SelectConfig::threads` workers); the proposals are then applied in
 //!    vertex order on the calling thread.
-//! 2. **Link superstep** — every online peer recomputes its preference list
-//!    (Algorithm 5: LSH buckets + coverage tail, or the random ablation)
-//!    from the post-move snapshot, again in parallel; reconciliation —
-//!    incoming-link admission, evictions, drops — applies sequentially in
-//!    vertex order.
+//! 2. **Link superstep** — every online peer re-evaluates its preference
+//!    list (Algorithm 5: LSH buckets + coverage tail, or the random
+//!    ablation) from the post-move snapshot, again in parallel;
+//!    reconciliation — incoming-link admission, evictions, drops — applies
+//!    sequentially in vertex order. LSH buckets and preference lists are
+//!    **delta-maintained**, not rebuilt each round: a peer whose dependency
+//!    fingerprint (online friends × their table versions) is unchanged
+//!    reuses its cached proposal ([`crate::network::LinkCache`]); churn
+//!    push-invalidates the caches of the affected peer and its neighbours
+//!    at the apply barrier. With the `audit` feature every reuse is checked
+//!    against the from-scratch rebuild.
 //!
 //! Because the compute halves only read the snapshot and all mutation
 //! happens in vertex order on one thread, the round is **bit-identical for
@@ -32,7 +38,7 @@
 
 use crate::links::{create_links, LinkSelection};
 use crate::network::{ConvergenceReport, SelectNetwork};
-use crate::reassign::{evaluate_position, evaluate_position_centroid_all};
+use crate::reassign::{evaluate_position_centroid_live, evaluate_position_live};
 use crate::stats::{ConvergenceTelemetry, RoundTelemetry};
 use osn_overlay::table::Admission;
 use osn_overlay::RingId;
@@ -78,6 +84,10 @@ struct LinkProposal {
     /// Link-budget slots left to the coverage/strength tail (or the random
     /// ablation's blind draw).
     bucket_fallbacks: u64,
+    /// Dependency fingerprint of the snapshot the list was computed from
+    /// (see [`crate::network::LinkCache`]); stored with the cache at apply
+    /// time so the next round can detect an unchanged neighbourhood.
+    deps_sum: u64,
 }
 
 /// Message type of the gossip round's supersteps: each online peer addresses
@@ -87,6 +97,9 @@ enum Proposal {
     Move(RingId),
     /// Link superstep: reconcile against this preference list.
     Links(LinkProposal),
+    /// Link superstep: the peer's cached preference list is still valid
+    /// (dependency fingerprint unchanged); reconcile against the cache.
+    ReuseLinks,
 }
 
 impl SelectNetwork {
@@ -146,9 +159,18 @@ impl SelectNetwork {
                 .collect();
             engine.step_parallel_sharded(true, &mut shards, |p, _mail, out, hist| {
                 if net.online[p as usize] {
-                    let prop = net.propose_links(p, round_salt);
-                    hist.record(prop.targets.len() as u64);
-                    out.push((p, Proposal::Links(prop)));
+                    // Delta-maintenance fast path: if no input of the peer's
+                    // last link computation changed (same online friends,
+                    // same friend tables), the cached preference list *is*
+                    // the recomputation — skip Algorithm 5 entirely.
+                    if let Some(len) = net.cached_targets_len(p) {
+                        hist.record(len as u64);
+                        out.push((p, Proposal::ReuseLinks));
+                    } else {
+                        let prop = net.propose_links(p, round_salt);
+                        hist.record(prop.targets.len() as u64);
+                        out.push((p, Proposal::Links(prop)));
+                    }
                 }
             });
             for shard in &shards {
@@ -156,13 +178,30 @@ impl SelectNetwork {
             }
             engine.step(false, |p, mail, _| {
                 for m in mail {
-                    if let Proposal::Links(prop) = m {
-                        if let Some(buckets) = &prop.buckets {
-                            self.store_buckets(p, buckets);
+                    match m {
+                        Proposal::Links(prop) => {
+                            if let Some(buckets) = &prop.buckets {
+                                self.store_buckets(p, buckets);
+                            }
+                            tel.lsh_bucket_hits += prop.bucket_hits;
+                            tel.lsh_bucket_fallbacks += prop.bucket_fallbacks;
+                            tel.link_changes += self.reconcile_links(p, &prop.targets);
+                            self.refresh_link_cache(p, prop);
                         }
-                        tel.lsh_bucket_hits += prop.bucket_hits;
-                        tel.lsh_bucket_fallbacks += prop.bucket_fallbacks;
-                        tel.link_changes += self.reconcile_links(p, &prop.targets);
+                        Proposal::ReuseLinks => {
+                            let cache = &mut self.link_cache[p as usize];
+                            tel.lsh_bucket_hits += cache.bucket_hits;
+                            tel.lsh_bucket_fallbacks += cache.bucket_fallbacks;
+                            // The stored per-edge bucket table is untouched:
+                            // only `p`'s own proposals write `p`'s slots, so
+                            // the slots still hold exactly the cached
+                            // buckets. Take/restore the target list to
+                            // reconcile without cloning it.
+                            let targets = std::mem::take(&mut cache.targets);
+                            tel.link_changes += self.reconcile_links(p, &targets);
+                            self.link_cache[p as usize].targets = targets;
+                        }
+                        Proposal::Move(_) => {}
                     }
                 }
             });
@@ -194,12 +233,13 @@ impl SelectNetwork {
         // lexicographic (degree, id) order; rank local maxima anchor their
         // neighbourhood and never move.
         let rank = |x: u32| (self.graph.degree(UserId(x)), x);
+        // The live ranking holds exactly p's online friends, so the guide
+        // search needs no per-friend liveness probe.
         let guide = self
-            .graph
-            .neighbors(UserId(p))
+            .strengths
+            .live_ranked(p)
             .iter()
-            .map(|f| f.0)
-            .filter(|&f| self.online[f as usize])
+            .copied()
             .max_by_key(|&f| rank(f));
         let guide = match guide {
             Some(g) if rank(g) > rank(p) => g,
@@ -213,11 +253,14 @@ impl SelectNetwork {
         {
             return None;
         }
-        let pos_of = |f: u32| self.online[f as usize].then(|| self.positions[f as usize]);
+        // Algorithm 2 over the live ranking: its first two entries are the
+        // top-2 online friends, replacing the full-ranked-list rescan.
+        let live = self.strengths.live_ranked(p);
+        let pos_of = |f: u32| self.positions[f as usize];
         let mut new = if self.cfg.centroid_all {
-            evaluate_position_centroid_all(p, &self.strengths, pos_of)
+            evaluate_position_centroid_live(live, pos_of)
         } else {
-            evaluate_position(p, &self.strengths, pos_of)
+            evaluate_position_live(live, pos_of)
         };
         // When the two strongest friends live in different ring regions the
         // centroid lands in no-man's-land between them (the high-degree
@@ -238,8 +281,74 @@ impl SelectNetwork {
         NEIGH_BUF.with(|buf| {
             let mut buf = buf.borrow_mut();
             self.online_friends_into(p, &mut buf);
-            self.propose_links_with(p, round_salt, &buf)
+            let mut prop = self.propose_links_with(p, round_salt, &buf);
+            prop.deps_sum = self.link_deps_sum(p);
+            prop
         })
+    }
+
+    /// Checks whether `p`'s cached link proposal is still valid (LSH picker
+    /// only; the random ablation redraws every round by design). Returns the
+    /// cached target count for telemetry, or `None` on a miss.
+    ///
+    /// With the `audit` feature the from-scratch rebuild stays in the loop
+    /// as the equivalence oracle: every hit recomputes Algorithm 5 and
+    /// asserts the cached targets and the stored per-edge bucket table are
+    /// bit-identical to the rebuild.
+    fn cached_targets_len(&self, p: u32) -> Option<usize> {
+        if !self.cfg.use_lsh_picker {
+            return None;
+        }
+        let cache = &self.link_cache[p as usize];
+        if !cache.valid || cache.deps_sum != self.link_deps_sum(p) {
+            return None;
+        }
+        #[cfg(feature = "audit")]
+        {
+            let fresh = self.propose_links(p, self.round_counter);
+            assert_eq!(
+                fresh.targets, cache.targets,
+                "link-cache audit: cached targets of peer {p} diverged from rebuild"
+            );
+            let buckets = fresh
+                .buckets
+                .as_ref()
+                .expect("LSH picker always returns buckets");
+            let mut in_buckets = 0usize;
+            for (b, members) in buckets.iter().enumerate() {
+                for &u in members {
+                    let slot = self.edge_slot(p, u).expect("bucket member is a friend");
+                    assert_eq!(
+                        self.link_buckets[slot], b as u16,
+                        "link-cache audit: stored bucket of edge ({p},{u}) diverged from rebuild"
+                    );
+                    in_buckets += 1;
+                }
+            }
+            let base = self.graph.neighbor_base(osn_graph::UserId(p));
+            let end = base + self.graph.degree(osn_graph::UserId(p));
+            let stored = self.link_buckets[base..end]
+                .iter()
+                .filter(|&&b| b != crate::network::NO_BUCKET)
+                .count();
+            assert_eq!(
+                stored, in_buckets,
+                "link-cache audit: peer {p} has stale bucket slots the rebuild does not"
+            );
+        }
+        Some(cache.targets.len())
+    }
+
+    /// Stores a freshly computed proposal as `p`'s link cache. Only LSH
+    /// proposals are cacheable; the random ablation (no buckets) is salted
+    /// by round and must redraw.
+    fn refresh_link_cache(&mut self, p: u32, prop: LinkProposal) {
+        let cache = &mut self.link_cache[p as usize];
+        cache.valid = prop.buckets.is_some();
+        cache.deps_sum = prop.deps_sum;
+        cache.bucket_hits = prop.bucket_hits;
+        cache.bucket_fallbacks = prop.bucket_fallbacks;
+        cache.targets = prop.targets;
     }
 
     /// [`Self::propose_links`] over a precomputed (sorted ascending) online
@@ -301,11 +410,14 @@ impl SelectNetwork {
                 for &t in &targets {
                     covered.extend(reach(t));
                 }
-                let ranked = self.strengths.ranked_friends(p);
+                // The delta-maintained live ranking is exactly the ranked
+                // list filtered to online friends, so no per-friend
+                // liveness probe is needed here.
+                let ranked = self.strengths.live_ranked(p);
                 loop {
                     let mut best: Option<(usize, u32)> = None;
                     for &f in ranked {
-                        if !self.online[f as usize] || targets.contains(&f) {
+                        if targets.contains(&f) {
                             continue;
                         }
                         let gain = reach(f).filter(|q| !covered.contains(q)).count();
@@ -323,7 +435,7 @@ impl SelectNetwork {
                 }
                 // Tail: remaining online friends in strength order.
                 for &f in ranked {
-                    if self.online[f as usize] && !targets.contains(&f) {
+                    if !targets.contains(&f) {
                         targets.push(f);
                     }
                 }
@@ -333,6 +445,7 @@ impl SelectNetwork {
                 buckets: Some(buckets),
                 bucket_hits,
                 bucket_fallbacks,
+                deps_sum: 0, // stamped by the caller (propose_links)
             }
         } else {
             // Ablation: uniform-random friends, socially blind within C_p.
@@ -369,6 +482,7 @@ impl SelectNetwork {
                 buckets: None,
                 bucket_hits: 0,
                 bucket_fallbacks,
+                deps_sum: 0, // random ablation is never cached
             }
         }
     }
@@ -378,11 +492,19 @@ impl SelectNetwork {
     /// number of link changes. Sequential-path equivalent of one link
     /// superstep restricted to `p`; used by [`Self::partial_gossip_round`].
     pub(crate) fn reassign_links_of(&mut self, p: u32) -> usize {
+        if self.cached_targets_len(p).is_some() {
+            let targets = std::mem::take(&mut self.link_cache[p as usize].targets);
+            let changes = self.reconcile_links(p, &targets);
+            self.link_cache[p as usize].targets = targets;
+            return changes;
+        }
         let prop = self.propose_links(p, self.round_counter);
         if let Some(buckets) = &prop.buckets {
             self.store_buckets(p, buckets);
         }
-        self.reconcile_links(p, &prop.targets)
+        let changes = self.reconcile_links(p, &prop.targets);
+        self.refresh_link_cache(p, prop);
+        changes
     }
 
     /// Reconciles `p`'s long links against an ordered preference list:
@@ -516,8 +638,8 @@ impl SelectNetwork {
 /// round's `create_links` output elects **exactly one representative per
 /// non-empty LSH bucket**. The end-of-round state auditor cannot check this —
 /// `reconcile_links` keeps established links without re-admission while the
-/// buckets are recomputed every round, so carried-over links may legitimately
-/// share a *current* bucket.
+/// buckets are re-evaluated (incrementally) as the overlay evolves, so
+/// carried-over links may legitimately share a *current* bucket.
 ///
 /// `targets` must be the raw selection (before the coverage/strength tail is
 /// appended); `buckets` the bucket contents it was drawn from.
@@ -719,6 +841,138 @@ mod tests {
         // Rounds are numbered consecutively from 1.
         for (i, r) in report.telemetry.rounds.iter().enumerate() {
             assert_eq!(r.round, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn converged_rounds_reuse_link_caches() {
+        let mut n = net(14);
+        let report = n.converge(300);
+        assert!(report.converged);
+        // Post-convergence every online peer's cache must hit: a further
+        // round does no Algorithm 5 recomputation at all.
+        let hits = (0..n.len() as u32)
+            .filter(|&p| n.online[p as usize] && n.cached_targets_len(p).is_some())
+            .count();
+        assert_eq!(
+            hits,
+            n.online_count(),
+            "quiescent round should be all cache hits"
+        );
+        // Churn invalidates the departed peer's neighbourhood only.
+        let victim = 3u32;
+        n.set_offline(victim);
+        assert!(n.cached_targets_len(victim).is_none());
+        for f in n.online_friends(victim) {
+            assert!(
+                n.cached_targets_len(f).is_none(),
+                "friend {f} of departed {victim} kept a stale cache"
+            );
+        }
+    }
+
+    /// From-scratch rebuild oracle for the delta-maintained state: after an
+    /// arbitrary seeded churn/round sequence, every valid link cache must
+    /// equal a fresh Algorithm 5 run, the stored per-edge bucket table must
+    /// equal the fresh bucket assignment, and the live strength rankings
+    /// must equal the full rankings filtered by liveness — at 1 and 8
+    /// threads, with bit-identical overlay state across the two.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn run(seed: u64, threads: usize, events: &[(u32, bool, u8)]) -> SelectNetwork {
+            let g = BarabasiAlbert::with_closure(100, 4, 0.4).generate(seed);
+            let mut n = SelectNetwork::bootstrap(
+                g,
+                SelectConfig::default()
+                    .with_seed(seed)
+                    .with_threads(threads),
+            );
+            n.converge(60);
+            for &(p, online, rounds) in events {
+                if online {
+                    n.set_online(p % 100);
+                } else {
+                    n.set_offline(p % 100);
+                }
+                for _ in 0..rounds {
+                    n.gossip_round();
+                }
+            }
+            n
+        }
+
+        fn assert_matches_rebuild(n: &SelectNetwork) {
+            for p in 0..n.len() as u32 {
+                // Live strength rankings ≡ filtered rebuild.
+                let want: Vec<u32> = n
+                    .strengths
+                    .ranked_friends(p)
+                    .iter()
+                    .copied()
+                    .filter(|&f| n.online[f as usize])
+                    .collect();
+                assert_eq!(
+                    n.strengths.live_ranked(p),
+                    &want[..],
+                    "live ranking of {p} diverged from rebuild"
+                );
+                // Valid link caches ≡ fresh Algorithm 5 (targets + buckets).
+                let cache = &n.link_cache[p as usize];
+                if !(n.online[p as usize] && cache.valid && cache.deps_sum == n.link_deps_sum(p)) {
+                    continue;
+                }
+                let fresh = n.propose_links(p, n.round_counter);
+                assert_eq!(
+                    fresh.targets, cache.targets,
+                    "cached targets of {p} diverged from rebuild"
+                );
+                let buckets = fresh.buckets.expect("LSH picker returns buckets");
+                for (b, members) in buckets.iter().enumerate() {
+                    for &u in members {
+                        let slot = n.edge_slot(p, u).expect("member is a friend");
+                        assert_eq!(
+                            n.link_buckets[slot], b as u16,
+                            "stored bucket of edge ({p},{u}) diverged from rebuild"
+                        );
+                    }
+                }
+                let total: usize = buckets.iter().map(Vec::len).sum();
+                let base = n.graph.neighbor_base(UserId(p));
+                let end = base + n.graph.degree(UserId(p));
+                let stored = n.link_buckets[base..end]
+                    .iter()
+                    .filter(|&&x| x != crate::network::NO_BUCKET)
+                    .count();
+                assert_eq!(stored, total, "peer {p} holds stale bucket slots");
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            #[test]
+            fn incremental_state_matches_rebuild_after_churn(
+                seed in 0u64..1000,
+                events in proptest::collection::vec(
+                    (0u32..100, any::<bool>(), 0u8..3),
+                    1..10,
+                ),
+            ) {
+                let a = run(seed, 1, &events);
+                assert_matches_rebuild(&a);
+                let b = run(seed, 8, &events);
+                // Bit-identical overlay across thread counts, churn included.
+                for p in 0..a.len() as u32 {
+                    prop_assert_eq!(a.identifier_of(p), b.identifier_of(p));
+                    prop_assert_eq!(
+                        a.table(p).long_links(),
+                        b.table(p).long_links(),
+                        "peer {} long links diverged across thread counts", p
+                    );
+                }
+            }
         }
     }
 }

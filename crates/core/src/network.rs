@@ -20,6 +20,28 @@ use std::sync::Arc;
 /// any LSH bucket of the current selection.
 pub(crate) const NO_BUCKET: u16 = u16::MAX;
 
+/// Cached LSH link-target proposal for one peer, keyed by the wrapping sum
+/// of its online friends' [`RoutingTable::version`] counters. Between churn
+/// events the friend set is fixed and every component of the sum is
+/// monotone, so sum equality ⟺ no input of `create_links` changed — the
+/// cached targets are then bit-identical to a fresh recomputation. Churn
+/// push-invalidates explicitly ([`SelectNetwork::invalidate_link_caches_around`]),
+/// which is what pins the friend set between events.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LinkCache {
+    /// Whether `targets`/`deps_sum` hold a usable snapshot.
+    pub valid: bool,
+    /// Dependency fingerprint the snapshot was computed under.
+    pub deps_sum: u64,
+    /// The proposed long-link targets, in proposal order.
+    pub targets: Vec<u32>,
+    /// Telemetry carried with the snapshot so reuse reports the same
+    /// bucket-hit/fallback counts a recomputation would.
+    pub bucket_hits: u64,
+    /// See `bucket_hits`.
+    pub bucket_fallbacks: u64,
+}
+
 /// Result of [`SelectNetwork::converge`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ConvergenceReport {
@@ -65,6 +87,8 @@ pub struct SelectNetwork {
     /// of peer `p`'s bucket `b` are exactly the neighbours whose slot stores
     /// `b`, in ascending id order.
     pub(crate) link_buckets: Vec<u16>,
+    /// Per-peer cached link proposals; see [`LinkCache`].
+    pub(crate) link_cache: Vec<LinkCache>,
     /// Rounds the most recent [`SelectNetwork::converge`] call took.
     pub(crate) last_convergence: Option<usize>,
     /// Lifetime gossip-round counter; salts the per-peer RNG streams of the
@@ -90,6 +114,7 @@ impl SelectNetwork {
             net.ring.insert(p, pos);
             net.online[p as usize] = true;
         }
+        net.strengths.sync_alive(&net.online);
         net.refresh_short_links();
         net
     }
@@ -123,6 +148,7 @@ impl SelectNetwork {
                 net.online[user.index()] = true;
             }
         }
+        net.strengths.sync_alive(&net.online);
         net.refresh_short_links();
         net
     }
@@ -146,6 +172,7 @@ impl SelectNetwork {
             strengths,
             cma: vec![Cma::default(); edges],
             link_buckets: vec![NO_BUCKET; edges],
+            link_cache: vec![LinkCache::default(); n],
             last_convergence: None,
             round_counter: 0,
             rng,
@@ -307,6 +334,8 @@ impl SelectNetwork {
     pub fn set_offline(&mut self, p: u32) {
         if self.online[p as usize] {
             self.online[p as usize] = false;
+            self.strengths.set_alive(&self.graph, p, false);
+            self.invalidate_link_caches_around(p);
             self.ring.remove(p);
             self.refresh_short_links();
         }
@@ -316,8 +345,32 @@ impl SelectNetwork {
     pub fn set_online(&mut self, p: u32) {
         if !self.online[p as usize] {
             self.online[p as usize] = true;
+            self.strengths.set_alive(&self.graph, p, true);
+            self.invalidate_link_caches_around(p);
             self.ring.insert(p, self.positions[p as usize]);
             self.refresh_short_links();
+        }
+    }
+
+    /// Dependency fingerprint of `p`'s link proposal: wrapping sum of its
+    /// online friends' routing-table versions. See [`LinkCache`].
+    pub(crate) fn link_deps_sum(&self, p: u32) -> u64 {
+        self.graph
+            .neighbors(UserId(p))
+            .iter()
+            .filter(|f| self.online[f.index()])
+            .fold(0u64, |acc, f| {
+                acc.wrapping_add(self.tables[f.index()].version())
+            })
+    }
+
+    /// Churn push-invalidation: `p`'s own cache plus every graph neighbor's
+    /// (their online-friend sets just changed, so their fingerprints are no
+    /// longer comparable across the event).
+    pub(crate) fn invalidate_link_caches_around(&mut self, p: u32) {
+        self.link_cache[p as usize].valid = false;
+        for &f in self.graph.neighbors(UserId(p)) {
+            self.link_cache[f.index()].valid = false;
         }
     }
 
@@ -335,8 +388,9 @@ impl SelectNetwork {
             })
             .collect();
         for (p, s, d) in updates {
-            self.tables[p as usize].successor = s;
-            self.tables[p as usize].predecessor = d;
+            // Version-aware write: only actual ring moves bump the table
+            // version and thus spoil dependent link caches.
+            self.tables[p as usize].set_short_links(s, d);
         }
     }
 

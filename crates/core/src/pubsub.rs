@@ -267,6 +267,85 @@ impl SelectNetwork {
         })
     }
 
+    /// Publishes `count` messages from the same source `b` under consecutive
+    /// nonces `first_nonce..first_nonce + count`, sharing one scratch
+    /// traversal: the two-stage BFS plan is computed once and every
+    /// publication delivers over it. Report `i` is bit-identical to
+    /// `publish_at(b, first_nonce + i)` — with the fault plan inactive the
+    /// planned deliveries are provably nonce-independent, so the remaining
+    /// reports are copies of the first; with faults active each nonce walks
+    /// the shared plan under its own fault schedule.
+    pub fn publish_batch_at(
+        &self,
+        b: u32,
+        first_nonce: u64,
+        count: usize,
+    ) -> Vec<DisseminationReport> {
+        self.publish_batch_inner(b, first_nonce, count, None)
+    }
+
+    /// [`Self::publish_batch_at`] with an [`Observer`] attached: per-nonce
+    /// metrics/tracing land exactly as `count` calls of
+    /// [`Self::publish_observed`] would, plus the batch size itself is
+    /// recorded into `obs.batch_sizes`.
+    pub fn publish_batch_observed(
+        &self,
+        b: u32,
+        first_nonce: u64,
+        count: usize,
+        obs: &mut Observer,
+    ) -> Vec<DisseminationReport> {
+        self.publish_batch_inner(b, first_nonce, count, Some(obs))
+    }
+
+    fn publish_batch_inner(
+        &self,
+        b: u32,
+        first_nonce: u64,
+        count: usize,
+        mut obs: Option<&mut Observer>,
+    ) -> Vec<DisseminationReport> {
+        if let Some(o) = obs.as_deref_mut() {
+            o.batch_sizes.record(count as u64);
+        }
+        if count == 0 {
+            return Vec::new();
+        }
+        PUBLISH_SCRATCH.with(|cell| {
+            let scr = &mut *cell.borrow_mut();
+            let mut subs = std::mem::take(&mut scr.subs);
+            self.online_friends_into(b, &mut subs);
+            self.plan_into_scratch(scr, b, &subs);
+            let mut reports = Vec::with_capacity(count);
+            if self.cfg.fault_plan.is_active() || obs.is_some() {
+                // Per-nonce fault schedules / per-nonce observation over the
+                // shared plan.
+                for i in 0..count {
+                    reports.push(self.deliver_planned(
+                        scr,
+                        b,
+                        &subs,
+                        first_nonce + i as u64,
+                        obs.as_deref_mut(),
+                    ));
+                }
+            } else {
+                // Fault-free, unobserved: the nonce only feeds the fault
+                // plan's draws and delay jitter, both gated on
+                // `plan.is_active()` — every report in the batch is the
+                // same value. Deliver once, copy the rest.
+                let first = self.deliver_planned(scr, b, &subs, first_nonce, None);
+                reports.push(first);
+                for _ in 1..count {
+                    let copy = reports[0].clone();
+                    reports.push(copy);
+                }
+            }
+            scr.subs = subs;
+            reports
+        })
+    }
+
     /// Disseminates from `b` to an explicit online subscriber set — the
     /// general form behind both friend notifications ([`Self::publish`])
     /// and arbitrary-topic publication ([`crate::topics`]).
@@ -369,11 +448,22 @@ impl SelectNetwork {
         nonce: u64,
         obs: Option<&mut Observer>,
     ) -> DisseminationReport {
+        self.plan_into_scratch(scr, b, subscribers);
+        self.deliver_planned(scr, b, subscribers, nonce, obs)
+    }
+
+    /// The planning half of the pipeline: seeds the scratch epoch, marks the
+    /// subscriber set and records the two-stage BFS parents (§III-E) into
+    /// `scr`. Pure with respect to overlay state; after it returns, the plan
+    /// in `scr` stays valid until the next [`PublishScratch::begin`] — which
+    /// is exactly what lets one traversal serve a whole same-source batch of
+    /// [`Self::deliver_planned`] calls.
+    #[hotpath]
+    fn plan_into_scratch(&self, scr: &mut PublishScratch, b: u32, subscribers: &[u32]) {
         scr.begin(self.len());
         for &s in subscribers {
             scr.mark_subscriber(s);
         }
-        let mut tree = RoutingTree::new(b);
         let max_hops = self.cfg.max_route_hops;
         let mut conn = std::mem::take(&mut scr.conn);
 
@@ -432,6 +522,26 @@ impl SelectNetwork {
                 d += 1;
             }
         }
+        scr.conn = conn;
+    }
+
+    /// The delivery half of the pipeline: walks the BFS plan recorded in
+    /// `scr` by [`Self::plan_into_scratch`] and produces the report for one
+    /// publication `nonce`. Never mutates the plan (only the reusable path
+    /// buffer is taken and restored), so it can run any number of times over
+    /// one plan — fault schedules and observation are per-nonce, the
+    /// traversal is shared.
+    #[hotpath]
+    fn deliver_planned(
+        &self,
+        scr: &mut PublishScratch,
+        b: u32,
+        subscribers: &[u32],
+        nonce: u64,
+        obs: Option<&mut Observer>,
+    ) -> DisseminationReport {
+        let mut tree = RoutingTree::new(b);
+        let max_hops = self.cfg.max_route_hops;
 
         // Mid-flight faults + ack/retry reliable delivery. With the plan
         // inactive every planned path is delivered verbatim and the
@@ -783,7 +893,6 @@ impl SelectNetwork {
             }
         }
         scr.path = path;
-        scr.conn = conn;
 
         let delivered = tree.num_paths();
         DisseminationReport {
@@ -1062,6 +1171,97 @@ mod tests {
         let r = n.publish(b);
         assert_eq!(r.subscribers, 0);
         assert_eq!(r.availability(), 1.0);
+    }
+
+    /// Field-by-field equality of two reports (`DisseminationReport` has no
+    /// `PartialEq`: `avg_hops` is a float and telemetry compares exactly).
+    fn assert_reports_equal(a: &DisseminationReport, b: &DisseminationReport, ctx: &str) {
+        assert_eq!(a.publisher, b.publisher, "{ctx}: publisher");
+        assert_eq!(a.subscribers, b.subscribers, "{ctx}: subscribers");
+        assert_eq!(a.delivered, b.delivered, "{ctx}: delivered");
+        assert_eq!(
+            a.avg_hops.to_bits(),
+            b.avg_hops.to_bits(),
+            "{ctx}: avg_hops"
+        );
+        assert_eq!(
+            a.avg_relays.to_bits(),
+            b.avg_relays.to_bits(),
+            "{ctx}: avg_relays"
+        );
+        assert_eq!(a.total_relays, b.total_relays, "{ctx}: total_relays");
+        assert_eq!(a.delivery, b.delivery, "{ctx}: delivery telemetry");
+        assert_eq!(a.tree, b.tree, "{ctx}: routing tree");
+    }
+
+    #[test]
+    fn batched_publish_matches_sequential_fault_free() {
+        let n = converged(21);
+        for b in [0u32, 7, 50, 149] {
+            let batch = n.publish_batch_at(b, 100, 5);
+            assert_eq!(batch.len(), 5);
+            for (i, r) in batch.iter().enumerate() {
+                let seq = n.publish_at(b, 100 + i as u64);
+                assert_reports_equal(r, &seq, &format!("publisher {b}, nonce {}", 100 + i));
+            }
+        }
+        assert!(n.publish_batch_at(0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn batched_publish_matches_sequential_under_faults() {
+        let g = BarabasiAlbert::with_closure(150, 4, 0.4).generate(22);
+        let mut n = SelectNetwork::bootstrap(
+            g,
+            SelectConfig::default()
+                .with_seed(22)
+                .with_fault_plan(
+                    osn_sim::FaultPlan::seeded(22)
+                        .with_drop_prob(0.15)
+                        .with_crash_prob(0.04),
+                )
+                .with_retry_max(5),
+        );
+        n.converge(100);
+        let batch = n.publish_batch_at(9, 40, 6);
+        let mut distinct = false;
+        for (i, r) in batch.iter().enumerate() {
+            let seq = n.publish_at(9, 40 + i as u64);
+            assert_reports_equal(r, &seq, &format!("fault nonce {}", 40 + i));
+            if r.delivery != batch[0].delivery || r.tree != batch[0].tree {
+                distinct = true;
+            }
+        }
+        assert!(
+            distinct,
+            "fault schedules should differ across the batch's nonces"
+        );
+    }
+
+    #[test]
+    fn observed_batch_matches_sequential_observation() {
+        let n = converged(23);
+        let b = 3u32;
+        let count = 4usize;
+        let mut obs_batch = Observer::for_peers(n.len()).with_tracing(16);
+        let mut obs_seq = Observer::for_peers(n.len()).with_tracing(16);
+        let batch = n.publish_batch_observed(b, 10, count, &mut obs_batch);
+        assert_eq!(batch.len(), count);
+        for (i, r) in batch.iter().enumerate() {
+            let seq = n.publish_observed(b, 10 + i as u64, &mut obs_seq);
+            assert_reports_equal(r, &seq, &format!("observed nonce {}", 10 + i));
+        }
+        assert_eq!(
+            obs_batch.metrics, obs_seq.metrics,
+            "batched observation must aggregate identically"
+        );
+        assert_eq!(obs_batch.batch_sizes.count(), 1);
+        assert_eq!(obs_batch.batch_sizes.sum(), count as u64);
+        assert_eq!(
+            obs_seq.batch_sizes.count(),
+            0,
+            "plain publishes record no batch"
+        );
     }
 
     use proptest::prelude::*;

@@ -62,6 +62,45 @@ pub fn evaluate_position_centroid_all(
     Some(RingId::from_unit(theta / std::f64::consts::TAU))
 }
 
+/// Algorithm 2 over a delta-maintained live ranking
+/// ([`StrengthIndex::live_ranked`]): the top-2 are simply the first two
+/// entries of `live` — no liveness rescan of the full ranked list.
+///
+/// Equivalent to [`evaluate_position`] with `pos_of` returning `Some` exactly
+/// for the peers in `live` (pinned by tests below).
+pub fn evaluate_position_live(live: &[u32], pos_of: impl Fn(u32) -> RingId) -> Option<RingId> {
+    match *live {
+        [u, v, ..] => Some(pos_of(u).midpoint(pos_of(v))),
+        [u] => Some(pos_of(u)),
+        [] => None,
+    }
+}
+
+/// Ablation variant of [`evaluate_position_live`]: circular mean of the whole
+/// live ranking. Same math as [`evaluate_position_centroid_all`], without the
+/// per-friend liveness probe.
+pub fn evaluate_position_centroid_live(
+    live: &[u32],
+    pos_of: impl Fn(u32) -> RingId,
+) -> Option<RingId> {
+    if live.is_empty() {
+        return None;
+    }
+    let mut sum_sin = 0.0f64;
+    let mut sum_cos = 0.0f64;
+    for &f in live {
+        let theta = pos_of(f).as_unit() * std::f64::consts::TAU;
+        sum_sin += theta.sin();
+        sum_cos += theta.cos();
+    }
+    let norm = (sum_sin * sum_sin + sum_cos * sum_cos).sqrt() / live.len() as f64;
+    if norm < 1e-9 {
+        return None; // balanced: no meaningful centroid
+    }
+    let theta = sum_sin.atan2(sum_cos);
+    Some(RingId::from_unit(theta / std::f64::consts::TAU))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +173,36 @@ mod tests {
         let new = evaluate_position_centroid_all(0, &idx, pos).unwrap();
         let d = new.distance(RingId::ZERO).as_unit_len();
         assert!(d < 1e-6, "wrapped centroid should sit at 0, was {new}");
+    }
+
+    #[test]
+    fn live_variants_match_filter_based_originals() {
+        let g =
+            GraphBuilder::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)]);
+        let idx = StrengthIndex::build(&g);
+        let positions = [0.1, 0.2, 0.4, 0.9, 0.6].map(RingId::from_unit);
+        // Every liveness subset of 0's four friends.
+        for mask in 0u32..16 {
+            let alive = |f: u32| mask & (1 << f.min(4).saturating_sub(1)) != 0;
+            let live: Vec<u32> = idx
+                .ranked_friends(0)
+                .iter()
+                .copied()
+                .filter(|&f| alive(f))
+                .collect();
+            let pos_opt = |f: u32| alive(f).then(|| positions[f as usize]);
+            let pos = |f: u32| positions[f as usize];
+            assert_eq!(
+                evaluate_position_live(&live, pos),
+                evaluate_position(0, &idx, pos_opt),
+                "top-2 mismatch for mask {mask:04b}"
+            );
+            assert_eq!(
+                evaluate_position_centroid_live(&live, pos),
+                evaluate_position_centroid_all(0, &idx, pos_opt),
+                "centroid mismatch for mask {mask:04b}"
+            );
+        }
     }
 
     #[test]

@@ -195,8 +195,10 @@ impl SelectNetwork {
         self.bucket_peers_of(p, dead)
             .find(|&q| viable(q))
             .or_else(|| {
+                // The live ranking pre-filters liveness; `viable` keeps its
+                // own online check for the bucket arm above, harmless here.
                 self.strengths
-                    .ranked_friends(p)
+                    .live_ranked(p)
                     .iter()
                     .copied()
                     .find(|&q| viable(q))

@@ -7,19 +7,37 @@
 
 use osn_graph::{SocialGraph, UserId};
 
-/// Precomputed strongest-friend rankings for every peer.
+/// Precomputed strongest-friend rankings for every peer, plus delta-maintained
+/// liveness-filtered views of the same rankings.
+///
+/// The static part (`ranked`) is built once per experiment. The live part
+/// (`live`) is the same ranking with offline friends removed, updated
+/// incrementally on churn events via [`StrengthIndex::set_alive`] — one
+/// `O(deg)` splice per affected neighbor instead of a full rescan of every
+/// ranked list each round.
 #[derive(Clone, Debug)]
 pub struct StrengthIndex {
     /// For each peer: friends sorted by descending `s(p, ·)`, ties broken by
     /// ascending friend id for determinism.
     ranked: Vec<Vec<u32>>,
+    /// Rank of each directed edge's target within the edge owner's `ranked`
+    /// list, indexed by the graph's global CSR neighbor slot. Lets churn
+    /// updates find a friend's insertion point by `partition_point` instead
+    /// of a strength recomputation.
+    rank_by_slot: Vec<u32>,
+    /// For each peer: `ranked[p]` filtered to currently-alive friends, kept
+    /// in ranking order at all times.
+    live: Vec<Vec<u32>>,
+    /// Current liveness flag per peer (the index's view; callers drive it).
+    alive: Vec<bool>,
 }
 
 impl StrengthIndex {
-    /// Builds the index over the whole graph.
+    /// Builds the index over the whole graph. All peers start alive.
     pub fn build(graph: &SocialGraph) -> Self {
         let n = graph.num_nodes();
         let mut ranked = Vec::with_capacity(n);
+        let mut rank_by_slot = vec![0u32; graph.num_directed_edges()];
         for p in 0..n as u32 {
             let pu = UserId(p);
             let mut friends: Vec<(f64, u32)> = graph
@@ -28,14 +46,82 @@ impl StrengthIndex {
                 .map(|&f| (graph.social_strength(pu, f), f.0))
                 .collect();
             friends.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            ranked.push(friends.into_iter().map(|(_, f)| f).collect());
+            let list: Vec<u32> = friends.into_iter().map(|(_, f)| f).collect();
+            for (rank, &f) in list.iter().enumerate() {
+                let slot = graph
+                    .neighbor_slot(pu, UserId(f))
+                    .expect("ranked friend must be a graph neighbor");
+                rank_by_slot[slot] = rank as u32;
+            }
+            ranked.push(list);
         }
-        StrengthIndex { ranked }
+        let live = ranked.clone();
+        StrengthIndex {
+            ranked,
+            rank_by_slot,
+            live,
+            alive: vec![true; n],
+        }
     }
 
     /// Friends of `p` in descending strength order.
     pub fn ranked_friends(&self, p: u32) -> &[u32] {
         &self.ranked[p as usize]
+    }
+
+    /// Alive friends of `p` in descending strength order. Delta-maintained:
+    /// exactly `ranked_friends(p)` filtered by the current liveness flags.
+    pub fn live_ranked(&self, p: u32) -> &[u32] {
+        &self.live[p as usize]
+    }
+
+    /// The index's current liveness flag for `p`.
+    pub fn is_alive(&self, p: u32) -> bool {
+        self.alive[p as usize]
+    }
+
+    /// Flips `u`'s liveness and splices `u` into / out of every neighbor's
+    /// live ranking. Idempotent; `O(Σ deg(f))` over `u`'s neighbors.
+    pub fn set_alive(&mut self, graph: &SocialGraph, u: u32, alive: bool) {
+        if self.alive[u as usize] == alive {
+            return;
+        }
+        self.alive[u as usize] = alive;
+        for &f in graph.neighbors(UserId(u)) {
+            let rank_by_slot = &self.rank_by_slot;
+            let live = &mut self.live[f.index()];
+            if alive {
+                let ru = rank_by_slot[graph
+                    .neighbor_slot(f, UserId(u))
+                    .expect("undirected edge present both ways")];
+                let pos = live.partition_point(|&x| {
+                    rank_by_slot[graph
+                        .neighbor_slot(f, UserId(x))
+                        .expect("live entry must be a graph neighbor")]
+                        < ru
+                });
+                live.insert(pos, u);
+            } else if let Some(i) = live.iter().position(|&x| x == u) {
+                live.remove(i);
+            }
+        }
+    }
+
+    /// Bulk-resets liveness to `online` and rebuilds every live ranking in
+    /// one `O(V + E)` pass. Used at bootstrap, where per-event splicing
+    /// would cost `O(Σ deg²)`.
+    pub fn sync_alive(&mut self, online: &[bool]) {
+        debug_assert_eq!(online.len(), self.alive.len());
+        self.alive.copy_from_slice(online);
+        for (p, live) in self.live.iter_mut().enumerate() {
+            live.clear();
+            live.extend(
+                self.ranked[p]
+                    .iter()
+                    .copied()
+                    .filter(|&f| online[f as usize]),
+            );
+        }
     }
 
     /// The strongest friend of `p` satisfying `alive`, if any.
@@ -101,6 +187,81 @@ mod tests {
         let b = StrengthIndex::build(&g);
         for p in 0..5 {
             assert_eq!(a.ranked_friends(p), b.ranked_friends(p));
+        }
+    }
+
+    #[test]
+    fn live_starts_equal_to_ranked() {
+        let g = fixture();
+        let idx = StrengthIndex::build(&g);
+        for p in 0..5 {
+            assert_eq!(idx.live_ranked(p), idx.ranked_friends(p));
+            assert!(idx.is_alive(p));
+        }
+    }
+
+    #[test]
+    fn set_alive_splices_in_rank_order() {
+        let g = fixture();
+        let mut idx = StrengthIndex::build(&g);
+        idx.set_alive(&g, 2, false);
+        assert_eq!(idx.live_ranked(0), &[1, 3, 4]);
+        idx.set_alive(&g, 1, false);
+        assert_eq!(idx.live_ranked(0), &[3, 4]);
+        // Re-join restores the original position.
+        idx.set_alive(&g, 2, true);
+        assert_eq!(idx.live_ranked(0), &[2, 3, 4]);
+        idx.set_alive(&g, 1, true);
+        assert_eq!(idx.live_ranked(0), idx.ranked_friends(0));
+        // Idempotent: flipping to the current state is a no-op.
+        idx.set_alive(&g, 1, true);
+        assert_eq!(idx.live_ranked(0), idx.ranked_friends(0));
+    }
+
+    #[test]
+    fn sync_alive_matches_filter() {
+        let g = fixture();
+        let mut idx = StrengthIndex::build(&g);
+        let online = [true, false, true, false, true];
+        idx.sync_alive(&online);
+        for p in 0..5u32 {
+            let want: Vec<u32> = idx
+                .ranked_friends(p)
+                .iter()
+                .copied()
+                .filter(|&f| online[f as usize])
+                .collect();
+            assert_eq!(idx.live_ranked(p), &want[..]);
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use osn_graph::datasets::Dataset;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Delta-spliced live rankings always equal the from-scratch
+            /// filter of the full ranking, after any toggle sequence.
+            #[test]
+            fn live_ranking_equals_filtered_rebuild(
+                toggles in proptest::collection::vec((0u32..64, any::<bool>()), 0..40)
+            ) {
+                let g = Dataset::Slashdot.generate_with_nodes(64, 7);
+                let mut idx = StrengthIndex::build(&g);
+                for (u, alive) in toggles {
+                    idx.set_alive(&g, u, alive);
+                    for p in 0..64u32 {
+                        let want: Vec<u32> = idx
+                            .ranked_friends(p)
+                            .iter()
+                            .copied()
+                            .filter(|&f| idx.is_alive(f))
+                            .collect();
+                        prop_assert_eq!(idx.live_ranked(p), &want[..]);
+                    }
+                }
+            }
         }
     }
 }

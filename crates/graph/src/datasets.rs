@@ -120,9 +120,19 @@ impl Dataset {
     /// structure.
     pub fn generate_with_nodes(self, n: usize, seed: u64) -> SocialGraph {
         // Small graphs collapse to one community; m must leave room for the
-        // seed clique inside a community block.
+        // seed clique inside a community block. The block-room clamp has to
+        // come *last*: a trailing `.max(1)` would re-exceed the room the
+        // `.min` just enforced for blocks of ≤ 3 nodes.
         let block = COMMUNITY_SIZE.min(n);
-        let m_in = self.m_in().min(block.saturating_sub(2)).max(1);
+        let room = block.saturating_sub(2);
+        if room == 0 {
+            // n ≤ 2: no BA seed clique fits; the preset degenerates to the
+            // complete graph on n nodes (a single edge, or one isolated
+            // node).
+            let edges = if n == 2 { vec![(0u32, 1u32)] } else { vec![] };
+            return crate::builder::GraphBuilder::from_edges(n, edges);
+        }
+        let m_in = self.m_in().max(1).min(room);
         let inter = (self.paper_average_degree() / 2.0 - m_in as f64).max(0.0);
         CommunityBa::new(n, m_in, inter, CLOSURE_P, COMMUNITY_SIZE).generate(seed)
     }
@@ -215,6 +225,33 @@ mod tests {
     #[should_panic(expected = "scale must be in")]
     fn zero_scale_panics() {
         Dataset::Facebook.generate_scaled(0.0, 1);
+    }
+
+    #[test]
+    fn tiny_node_counts_generate_without_panic() {
+        // Regression: the old `.min(room).max(1)` clamp let m_in re-exceed
+        // the seed-clique room for blocks ≤ 3 nodes, tripping the
+        // CommunityBa constructor asserts for n ≤ 2.
+        for ds in Dataset::ALL {
+            for n in 1..=6usize {
+                let g = ds.generate_with_nodes(n, 11);
+                assert_eq!(g.num_nodes(), n, "{} n={n}", ds.name());
+                for u in g.nodes() {
+                    assert!(
+                        g.degree(u) < n,
+                        "{} n={n}: degree {} of node {u:?} exceeds n-1",
+                        ds.name(),
+                        g.degree(u)
+                    );
+                }
+            }
+        }
+        // The degenerate sizes keep their structure: a single edge at n=2,
+        // an isolated node at n=1.
+        let pair = Dataset::Facebook.generate_with_nodes(2, 1);
+        assert_eq!(pair.num_edges(), 1);
+        let lone = Dataset::Facebook.generate_with_nodes(1, 1);
+        assert_eq!(lone.num_edges(), 0);
     }
 
     #[test]

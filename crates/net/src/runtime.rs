@@ -83,6 +83,11 @@ impl PublishResult {
     }
 }
 
+/// Smallest ack window [`ThreadedNetwork::publish`] will wait before
+/// declaring a retransmission wave. Keeps huge retry budgets from slicing
+/// the timeout into windows too short for any ack to arrive.
+const MIN_ACK_WINDOW: Duration = Duration::from_millis(20);
+
 /// A network of peer actors.
 pub struct ThreadedNetwork {
     senders: Vec<Sender<NetMsg>>,
@@ -171,7 +176,17 @@ impl ThreadedNetwork {
         for (u, v) in tree.edges() {
             children.entry(u).or_default().push(v);
         }
-        let expect: HashSet<u32> = children.values().flatten().copied().collect();
+        // The publisher can appear as a tree child (cyclic paths in a
+        // malformed tree, or a path that revisits the source); its local
+        // delivery is filtered out of `delivered_to` below, so counting it
+        // here would make the ack loop unsatisfiable and burn every retry
+        // window.
+        let expect: HashSet<u32> = children
+            .values()
+            .flatten()
+            .copied()
+            .filter(|&p| p != tree.publisher)
+            .collect();
         let children = std::sync::Arc::new(children);
         let drops_before = self.drops.load(Ordering::Relaxed);
 
@@ -196,7 +211,11 @@ impl ThreadedNetwork {
             return result;
         }
         let windows = self.retry_max + 1;
-        let window = timeout / windows;
+        // Floor the per-window duration: with `timeout < retry_max + 1` ms
+        // the division yields (near-)zero windows, `recv_timeout` returns
+        // immediately, and retransmission waves fire back-to-back without
+        // ever waiting for acks.
+        let window = (timeout / windows).max(MIN_ACK_WINDOW);
         for attempt in 0..windows {
             let deadline = std::time::Instant::now() + window;
             while result.delivered_to.len() < expect.len() {
@@ -432,6 +451,42 @@ mod tests {
         // Peer 0 fans out to {1, 3} (peer 1 deduped), peer 1 to {2, 4}.
         assert_eq!(rec.relay_load()[0], 2);
         assert_eq!(rec.relay_load()[1], 2);
+    }
+
+    #[test]
+    fn publisher_in_child_list_does_not_burn_ack_windows() {
+        // A path that revisits the publisher puts it into a child list, so
+        // it lands in the expectation set unless filtered. Before the fix
+        // the ack loop could never satisfy `delivered_to.len() >=
+        // expect.len()` (the publisher's local delivery is excluded) and
+        // burned the entire timeout across every retry window.
+        let mut net = ThreadedNetwork::spawn_with_faults(3, FaultPlan::disabled(), 3);
+        let t = tree(0, vec![vec![0, 1, 0], vec![0, 2]]);
+        let start = std::time::Instant::now();
+        let r = net.publish(&t, Bytes::from_static(b"p"), Duration::from_secs(8));
+        let elapsed = start.elapsed();
+        assert_eq!(r.delivered_to, HashSet::from([1, 2]));
+        assert_eq!(r.retries, 0, "fault-free publish must not retransmit");
+        assert!(
+            elapsed < Duration::from_secs(4),
+            "ack loop burned the timeout ({elapsed:?}) waiting on the publisher's own ack"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn tiny_timeout_with_large_retry_budget_still_waits_for_acks() {
+        // timeout (2 ms) < retry_max + 1 (101) used to yield zero-length
+        // ack windows: recv_timeout broke instantly and 100 retransmission
+        // waves fired back-to-back. The floored window gives the first
+        // wave time to be acked, so a fault-free star needs no retries.
+        let mut net = ThreadedNetwork::spawn_with_faults(5, FaultPlan::disabled(), 100);
+        let paths: Vec<Vec<u32>> = (1..=4u32).map(|c| vec![0, c]).collect();
+        let t = tree(0, paths);
+        let r = net.publish(&t, Bytes::from_static(b"w"), Duration::from_millis(2));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2, 3, 4]));
+        assert_eq!(r.retries, 0, "floored ack window must absorb the acks");
+        net.shutdown();
     }
 
     #[test]

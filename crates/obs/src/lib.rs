@@ -49,6 +49,10 @@ pub struct Observer {
     pub metrics: PublishRecorder,
     /// Per-message journey tracing (opt-in; `None` = zero-cost).
     pub flight: Option<FlightRecorder>,
+    /// Distribution of same-source publish batch sizes (one sample per
+    /// `publish_batch_*` call), showing how much traversal sharing the
+    /// batched routing path actually gets.
+    pub batch_sizes: Histogram,
 }
 
 impl Observer {
@@ -57,6 +61,7 @@ impl Observer {
         Observer {
             metrics: PublishRecorder::preallocated(n),
             flight: None,
+            batch_sizes: Histogram::new(),
         }
     }
 

@@ -101,6 +101,74 @@ fn flattened_storage_reproduces_pinned_overlay_eight_threads() {
     );
 }
 
+/// Same pin over the batched publish path: each of the 20 traces comes out
+/// of a `publish_batch_at` batch instead of a standalone `publish`. The
+/// nonce-0 report of every batch must be bit-identical to the standalone
+/// publish, so the hash must not move.
+fn converged_state_hash_batched(threads: usize) -> u64 {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(200, 42);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(42).with_threads(threads),
+    );
+    let report = net.converge(300);
+    assert!(report.converged, "threads={threads} did not converge");
+
+    let mut h = Fnv::new();
+    h.word(report.rounds as u64);
+    for p in 0..net.len() as u32 {
+        h.word(net.identifier_of(p).0);
+        let table = net.table(p);
+        h.word(table.long_links().len() as u64);
+        for &l in table.long_links() {
+            h.word(l as u64);
+        }
+        let mut incoming = table.incoming_links().to_vec();
+        incoming.sort_unstable();
+        h.word(incoming.len() as u64);
+        for l in incoming {
+            h.word(l as u64);
+        }
+    }
+    for b in 0..20u32 {
+        let batch = net.publish_batch_at(b, 0, 4);
+        assert_eq!(batch.len(), 4);
+        let r = &batch[0];
+        h.word(r.delivered as u64);
+        h.word(r.subscribers as u64);
+        h.word(r.avg_hops.to_bits());
+        h.word(r.total_relays as u64);
+        for path in r.tree.paths() {
+            h.word(path.len() as u64);
+            for &q in path.iter() {
+                h.word(q as u64);
+            }
+        }
+        for &s in &r.tree.failed {
+            h.word(s as u64);
+        }
+    }
+    h.0
+}
+
+#[test]
+fn batched_publishes_keep_the_golden_hash_single_thread() {
+    assert_eq!(
+        converged_state_hash_batched(1),
+        GOLDEN,
+        "batched publish path diverged from the golden state (threads=1)"
+    );
+}
+
+#[test]
+fn batched_publishes_keep_the_golden_hash_eight_threads() {
+    assert_eq!(
+        converged_state_hash_batched(8),
+        GOLDEN,
+        "batched publish path diverged from the golden state (threads=8)"
+    );
+}
+
 #[test]
 fn observed_publishes_keep_the_golden_hash_single_thread() {
     assert_eq!(
