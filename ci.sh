@@ -75,4 +75,7 @@ echo "==> observability overhead bench (quick preset, release) + <=5% gate"
 cargo run -q --release --offline -p osn-bench --bin repro -- --quick obs
 cargo run -q --release --offline -p osn-bench --bin repro -- obs --check
 
+echo "==> full-scale convergence gate (63k Facebook, release) + budget check"
+cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- scale --check
+
 echo "==> ci.sh: all green"

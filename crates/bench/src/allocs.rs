@@ -19,6 +19,21 @@ mod counting {
 
     pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
     pub static BYTES: AtomicU64 = AtomicU64::new(0);
+    /// Bytes currently live (allocated minus freed).
+    pub static LIVE: AtomicU64 = AtomicU64::new(0);
+    /// High-water mark of [`LIVE`], maintained by CAS-max.
+    pub static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// Raises [`PEAK`] to at least `live`.
+    fn raise_peak(live: u64) {
+        let mut peak = PEAK.load(Relaxed);
+        while live > peak {
+            match PEAK.compare_exchange_weak(peak, live, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+    }
 
     /// System allocator with relaxed atomic counters on every allocation.
     struct CountingAlloc;
@@ -27,10 +42,13 @@ mod counting {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Relaxed);
             BYTES.fetch_add(layout.size() as u64, Relaxed);
+            let live = LIVE.fetch_add(layout.size() as u64, Relaxed) + layout.size() as u64;
+            raise_peak(live);
             System.alloc(layout)
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size() as u64, Relaxed);
             System.dealloc(ptr, layout)
         }
 
@@ -39,6 +57,14 @@ mod counting {
             // only the newly requested bytes.
             ALLOCS.fetch_add(1, Relaxed);
             BYTES.fetch_add(new_size as u64, Relaxed);
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            let live = if new >= old {
+                LIVE.fetch_add(new - old, Relaxed) + (new - old)
+            } else {
+                LIVE.fetch_sub(old - new, Relaxed) - (old - new)
+            };
+            raise_peak(live);
             System.realloc(ptr, layout, new_size)
         }
     }
@@ -64,6 +90,31 @@ pub fn snapshot() -> Option<(u64, u64)> {
     }
 }
 
+/// High-water mark of live heap bytes since process start (or since the last
+/// [`reset_high_water`]), or `None` when the `count-allocs` feature is off.
+pub fn live_high_water() -> Option<u64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        Some(counting::PEAK.load(Relaxed))
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
+
+/// Collapses the high-water mark down to the bytes currently live, so a
+/// harness can attribute the next peak to one measured region. No-op when
+/// the `count-allocs` feature is off.
+pub fn reset_high_water() {
+    #[cfg(feature = "count-allocs")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        counting::PEAK.store(counting::LIVE.load(Relaxed), Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +129,26 @@ mod tests {
             drop(v);
             let after = snapshot().unwrap();
             assert!(after.0 > before.0, "allocation was not counted");
+        }
+    }
+
+    #[test]
+    fn high_water_tracks_live_peaks() {
+        assert_eq!(live_high_water().is_some(), cfg!(feature = "count-allocs"));
+        if live_high_water().is_some() {
+            reset_high_water();
+            let floor = live_high_water().unwrap();
+            let v: Vec<u64> = std::hint::black_box(vec![7; 64 * 1024]);
+            let peak = live_high_water().unwrap();
+            assert!(
+                peak >= floor + 64 * 1024 * 8,
+                "peak {peak} did not climb past floor {floor}"
+            );
+            drop(v);
+            // Freeing must not lower the recorded high-water mark.
+            assert!(live_high_water().unwrap() >= peak);
+            reset_high_water();
+            assert!(live_high_water().unwrap() < peak);
         }
     }
 }

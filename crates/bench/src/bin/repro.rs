@@ -23,6 +23,14 @@
 //!                 2x batched-routing throughput gate)
 //!   obs           observability overhead bench → BENCH_obs.json
 //!                 (with --check: validate + enforce the ≤5% overhead gate)
+//!   scale         full-size convergence → BENCH_scale.json. By default runs
+//!                 the 63k Facebook preset; `--full` sweeps all four Table II
+//!                 presets (3.99M-peer Twitter included — release mode, see
+//!                 EXPERIMENTS.md); `--quick` smoke-runs 1% replicas without
+//!                 touching the JSON. Fresh runs merge into the existing
+//!                 file, so partial invocations keep the other presets'
+//!                 recorded numbers. With --check: re-runs Facebook and
+//!                 enforces its converge wall-time + bytes/peer budgets.
 //!   all           everything above, in paper order
 //! ```
 //!
@@ -177,6 +185,66 @@ fn main() {
                         "{}\nwrote BENCH_obs.json\n",
                         obs_overhead::render_table(preset, &m)
                     ))
+                }
+            }
+            "scale" => {
+                if preset == "quick" && !check_only {
+                    // Smoke run: 1% replicas of all four presets, table only.
+                    let runs: Vec<scale::ScaleRun> = scale::PRESETS
+                        .iter()
+                        .map(|p| {
+                            eprintln!("[repro] scale smoke: {} …", p.key);
+                            scale::measure_at(
+                                p.dataset,
+                                p.dataset.scaled_users(0.01),
+                                p.max_rounds,
+                                scale.seed,
+                            )
+                        })
+                        .collect();
+                    Some(scale::render_table(&runs))
+                } else {
+                    let to_run: Vec<&scale::ScalePreset> = if check_only || preset != "full" {
+                        vec![scale::preset("facebook").unwrap()]
+                    } else {
+                        scale::PRESETS.iter().collect()
+                    };
+                    let fresh: Vec<scale::ScaleRun> = to_run
+                        .iter()
+                        .map(|p| {
+                            eprintln!(
+                                "[repro] scale: {} ({} peers) …",
+                                p.key,
+                                p.dataset.paper_users()
+                            );
+                            scale::measure(p, scale.seed)
+                        })
+                        .collect();
+                    let existing = std::fs::read_to_string("BENCH_scale.json")
+                        .ok()
+                        .and_then(|t| scale::parse_runs(&t).ok())
+                        .unwrap_or_default();
+                    let merged = scale::merge_runs(existing, fresh);
+                    let json = scale::render_json(scale.seed, &merged);
+                    scale::check_json(&json).expect("emitted JSON failed its own schema check");
+                    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+                    if check_only {
+                        match scale::check_gate(&json) {
+                            Ok(fb) => Some(format!(
+                                "BENCH_scale.json: Facebook gate OK ({:.0} ms converge, {:.0} bytes/peer)\n",
+                                fb.converge_wall_ms, fb.bytes_per_peer
+                            )),
+                            Err(e) => {
+                                eprintln!("BENCH_scale.json: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    } else {
+                        Some(format!(
+                            "{}\nwrote BENCH_scale.json\n",
+                            scale::render_table(&merged)
+                        ))
+                    }
                 }
             }
             _ => None,

@@ -27,7 +27,10 @@
 //! (subcommand `hotpath`, schema-checked via `--check`), and
 //! [`obs_overhead`] measures the observability layer's publish-throughput
 //! cost and emits `BENCH_obs.json` (subcommand `obs`; `--check` enforces the
-//! ≤5% metrics-on overhead gate).
+//! ≤5% metrics-on overhead gate), and [`scale`] runs end-to-end convergence
+//! at the paper's full data-set sizes and emits `BENCH_scale.json`
+//! (subcommand `scale`; `--check` re-runs the 63k Facebook preset and
+//! enforces its wall-time and bytes-per-peer budgets).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +52,7 @@ pub mod exp_star;
 pub mod hotpath;
 pub mod obs_overhead;
 pub mod report;
+pub mod scale;
 pub mod table2;
 
 /// Shared experiment sizing so quick CI runs and paper-scale runs use the

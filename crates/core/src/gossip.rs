@@ -40,19 +40,73 @@ use crate::links::{create_links, LinkSelection};
 use crate::network::{ConvergenceReport, SelectNetwork};
 use crate::reassign::{evaluate_position_centroid_live, evaluate_position_live};
 use crate::stats::{ConvergenceTelemetry, RoundTelemetry};
+use hotpath::hotpath;
 use osn_overlay::table::Admission;
 use osn_overlay::RingId;
-use osn_sim::SuperstepEngine;
+use osn_sim::{ShardScratch, SuperstepEngine};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::time::Instant;
 
-thread_local! {
-    /// Per-worker neighbourhood buffer for the link superstep's compute
-    /// half, so each parallel `propose_links` call reuses one allocation.
-    static NEIGH_BUF: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+/// Reusable per-shard scratch for the link superstep's compute half: the
+/// online-neighbourhood buffer plus an epoch-stamped coverage set for the
+/// greedy set-cover tail of Algorithm 5. Replaces a per-worker thread-local
+/// buffer and a per-call `HashSet` — each superstep shard owns one of these
+/// inside a [`LinkShard`], so a full round performs no per-peer allocation
+/// once the arenas are warm.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LinkScratch {
+    /// Sorted online neighbourhood of the peer currently being computed.
+    neigh: Vec<u32>,
+    /// Coverage epoch; a `cover_stamp` equal to it marks a covered peer.
+    cover_epoch: u32,
+    /// Per-peer coverage stamps (the old per-call `covered: HashSet<u32>`,
+    /// membership-only, so results are bit-identical).
+    cover_stamp: Vec<u32>,
+}
+
+impl LinkScratch {
+    /// Starts a fresh coverage set over `n` peers: O(1) epoch bump, with a
+    /// full reset every `u32::MAX` uses to keep stale stamps unreachable.
+    fn begin_cover(&mut self, n: usize) {
+        if self.cover_epoch == u32::MAX {
+            self.cover_stamp.iter_mut().for_each(|s| *s = 0);
+            self.cover_epoch = 0;
+        }
+        self.cover_epoch += 1;
+        if self.cover_stamp.len() < n {
+            self.cover_stamp.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn cover(&mut self, v: u32) {
+        self.cover_stamp[v as usize] = self.cover_epoch;
+    }
+
+    #[inline]
+    fn is_covered(&self, v: u32) -> bool {
+        self.cover_stamp[v as usize] == self.cover_epoch
+    }
+}
+
+/// Per-shard state of the link superstep: the candidate-list histogram the
+/// shard records into (merged in shard order at the apply barrier) plus the
+/// compute scratch. Lives in the network's persistent
+/// [`osn_sim::ShardArenas`], so round N + 1 reuses round N's allocations.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LinkShard {
+    pub(crate) hist: osn_obs::Histogram,
+    pub(crate) scratch: LinkScratch,
+}
+
+impl ShardScratch for LinkShard {
+    fn begin_epoch(&mut self, _epoch: u64) {
+        // The histogram must restart empty each round; the scratch is
+        // self-invalidating (epoch-stamped coverage, cleared neigh buffer).
+        self.hist.reset();
+    }
 }
 
 /// Change counters of one gossip round.
@@ -152,30 +206,32 @@ impl SelectNetwork {
         // the shards merge in shard order at the apply barrier below, so
         // the distribution is bit-identical at any thread count.
         {
+            // The arenas are network-owned so their buffers persist across
+            // rounds; taken out for the compute half because the workers
+            // borrow the network immutably.
+            let mut arenas = std::mem::take(&mut self.link_arenas);
             let net = &*self;
             let round_salt = self.round_counter;
-            let mut shards: Vec<osn_obs::Histogram> = (0..threads.max(1))
-                .map(|_| osn_obs::Histogram::new())
-                .collect();
-            engine.step_parallel_sharded(true, &mut shards, |p, _mail, out, hist| {
+            engine.step_parallel_arena(true, threads, &mut arenas, |p, _mail, out, shard| {
                 if net.online[p as usize] {
                     // Delta-maintenance fast path: if no input of the peer's
                     // last link computation changed (same online friends,
                     // same friend tables), the cached preference list *is*
                     // the recomputation — skip Algorithm 5 entirely.
                     if let Some(len) = net.cached_targets_len(p) {
-                        hist.record(len as u64);
+                        shard.hist.record(len as u64);
                         out.push((p, Proposal::ReuseLinks));
                     } else {
-                        let prop = net.propose_links(p, round_salt);
-                        hist.record(prop.targets.len() as u64);
+                        let prop = net.propose_links_in(p, round_salt, &mut shard.scratch);
+                        shard.hist.record(prop.targets.len() as u64);
                         out.push((p, Proposal::Links(prop)));
                     }
                 }
             });
-            for shard in &shards {
-                tel.link_candidates.merge(shard);
+            for shard in arenas.active() {
+                tel.link_candidates.merge(&shard.hist);
             }
+            self.link_arenas = arenas;
             engine.step(false, |p, mail, _| {
                 for m in mail {
                     match m {
@@ -273,18 +329,27 @@ impl SelectNetwork {
         new.filter(|&new_pos| self.positions[p as usize].distance(new_pos).0 > eps_ticks)
     }
 
+    /// [`Self::propose_links_in`] over a throwaway scratch — the convenience
+    /// form for the sequential path ([`Self::reassign_links_of`]), audits and
+    /// equivalence tests, where per-call allocation is not on a hot path.
+    fn propose_links(&self, p: u32, round_salt: u64) -> LinkProposal {
+        let mut scratch = LinkScratch::default();
+        self.propose_links_in(p, round_salt, &mut scratch)
+    }
+
     /// The compute half of the link superstep: peer `p`'s ordered preference
     /// list, derived purely from the snapshot (plus a per-peer RNG stream in
     /// the random-picker ablation — the shared network RNG would make the
-    /// result depend on peer scheduling order).
-    fn propose_links(&self, p: u32, round_salt: u64) -> LinkProposal {
-        NEIGH_BUF.with(|buf| {
-            let mut buf = buf.borrow_mut();
-            self.online_friends_into(p, &mut buf);
-            let mut prop = self.propose_links_with(p, round_salt, &buf);
-            prop.deps_sum = self.link_deps_sum(p);
-            prop
-        })
+    /// result depend on peer scheduling order). `scratch` is the calling
+    /// shard's reusable buffer set.
+    #[hotpath]
+    fn propose_links_in(&self, p: u32, round_salt: u64, scratch: &mut LinkScratch) -> LinkProposal {
+        let mut neigh = std::mem::take(&mut scratch.neigh);
+        self.online_friends_into(p, &mut neigh);
+        let mut prop = self.propose_links_with(p, round_salt, &neigh, scratch);
+        prop.deps_sum = self.link_deps_sum(p);
+        scratch.neigh = neigh;
+        prop
     }
 
     /// Checks whether `p`'s cached link proposal is still valid (LSH picker
@@ -351,9 +416,17 @@ impl SelectNetwork {
         cache.targets = prop.targets;
     }
 
-    /// [`Self::propose_links`] over a precomputed (sorted ascending) online
-    /// neighbourhood.
-    fn propose_links_with(&self, p: u32, round_salt: u64, neighbourhood: &[u32]) -> LinkProposal {
+    /// [`Self::propose_links_in`] over a precomputed (sorted ascending)
+    /// online neighbourhood; `cover` supplies the epoch-stamped coverage set
+    /// of the greedy tail.
+    #[hotpath]
+    fn propose_links_with(
+        &self,
+        p: u32,
+        round_salt: u64,
+        neighbourhood: &[u32],
+        cover: &mut LinkScratch,
+    ) -> LinkProposal {
         if self.cfg.use_lsh_picker {
             // A friend's advertised connection set is its current links plus
             // its social adjacency. Long links converge onto social edges
@@ -395,7 +468,6 @@ impl SelectNetwork {
             // order. `reconcile_links` consumes the list until K links are
             // actually accepted, so admission rejections don't waste budget.
             {
-                use std::collections::HashSet;
                 // The neighbourhood is sorted ascending, so membership is a
                 // binary search instead of a per-call hash set.
                 let reach = |f: u32| {
@@ -406,9 +478,13 @@ impl SelectNetwork {
                         .filter(|q| neighbourhood.binary_search(q).is_ok())
                         .chain(std::iter::once(f))
                 };
-                let mut covered: HashSet<u32> = HashSet::new();
+                // Coverage lives in the shard's epoch-stamped scratch: an
+                // O(1) bump starts this peer's set, no per-call allocation.
+                cover.begin_cover(self.len());
                 for &t in &targets {
-                    covered.extend(reach(t));
+                    for q in reach(t) {
+                        cover.cover(q);
+                    }
                 }
                 // The delta-maintained live ranking is exactly the ranked
                 // list filtered to online friends, so no per-friend
@@ -420,14 +496,16 @@ impl SelectNetwork {
                         if targets.contains(&f) {
                             continue;
                         }
-                        let gain = reach(f).filter(|q| !covered.contains(q)).count();
+                        let gain = reach(f).filter(|&q| !cover.is_covered(q)).count();
                         if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
                             best = Some((gain, f));
                         }
                     }
                     match best {
                         Some((_, f)) => {
-                            covered.extend(reach(f));
+                            for q in reach(f) {
+                                cover.cover(q);
+                            }
                             targets.push(f);
                         }
                         None => break,
@@ -463,11 +541,13 @@ impl SelectNetwork {
                 .iter()
                 .copied()
                 .filter(|&u| self.online[u as usize])
+                // selint: allow(hotpath-alloc, random-picker ablation branch; the LSH production path reuses the shard scratch)
                 .collect();
             let mut pool: Vec<u32> = neighbourhood
                 .iter()
                 .copied()
                 .filter(|u| !targets.contains(u))
+                // selint: allow(hotpath-alloc, random-picker ablation branch; the LSH production path reuses the shard scratch)
                 .collect();
             pool.shuffle(&mut rng);
             for u in pool {

@@ -8,7 +8,7 @@
 //! better bandwidth (Algorithm 6).
 
 use crate::bitmaps::{coverage, friendship_bitmap};
-use osn_lsh::{BitSampling, Bitmap, LshIndex};
+use osn_lsh::{BitSampling, LshIndex};
 
 /// A candidate friend for a long-range link.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,6 +72,10 @@ impl LinkSelection {
 ///
 /// `lsh_seed` keeps the hash family stable per peer across rounds so bucket
 /// membership (and hence recovery replacement pools) is consistent.
+///
+/// `neighbourhood` must be sorted ascending (every caller passes a CSR
+/// neighbour row or a sorted key list); coverage lookup is a binary search
+/// into a vec aligned with it rather than a hash map.
 pub fn create_links(
     neighbourhood: &[u32],
     k: usize,
@@ -80,20 +84,28 @@ pub fn create_links(
     links_of: impl Fn(u32) -> Vec<u32>,
     bandwidth_of: impl Fn(u32) -> f64,
 ) -> LinkSelection {
+    debug_assert!(
+        neighbourhood.windows(2).all(|w| w[0] < w[1]),
+        "create_links neighbourhood must be sorted ascending"
+    );
     if neighbourhood.is_empty() || k == 0 {
         return LinkSelection::default();
     }
     let dim = neighbourhood.len();
     let family = BitSampling::new(dim.max(1), k, lsh_samples.max(1), lsh_seed);
     let mut index = LshIndex::new(family);
-    let mut bitmaps: Vec<(u32, Bitmap)> = Vec::with_capacity(dim);
+    // Coverage per neighbour, index-aligned with `neighbourhood`.
+    let mut cov: Vec<usize> = Vec::with_capacity(dim);
     for &u in neighbourhood {
         let bm = friendship_bitmap(neighbourhood, &links_of(u));
         index.insert(u, &bm);
-        bitmaps.push((u, bm));
+        cov.push(coverage(&bm));
     }
-    let cov: std::collections::HashMap<u32, usize> =
-        bitmaps.iter().map(|(u, bm)| (*u, coverage(bm))).collect();
+    let cov_of = |u: u32| {
+        cov[neighbourhood
+            .binary_search(&u)
+            .expect("bucket member outside neighbourhood")]
+    };
 
     let mut selection = LinkSelection {
         targets: Vec::with_capacity(k),
@@ -105,7 +117,7 @@ pub fn create_links(
             .iter()
             .map(|&u| LinkCandidate {
                 peer: u,
-                coverage: cov[&u],
+                coverage: cov_of(u),
                 bandwidth: bandwidth_of(u),
             })
             .collect();

@@ -94,6 +94,10 @@ pub struct SelectNetwork {
     /// Lifetime gossip-round counter; salts the per-peer RNG streams of the
     /// random-picker ablation so successive rounds draw fresh shuffles.
     pub(crate) round_counter: u64,
+    /// Persistent per-shard scratch arenas of the link superstep (histogram
+    /// plus compute buffers), epoch-stamped so each round restarts them in
+    /// O(shards) without reallocating.
+    pub(crate) link_arenas: osn_sim::ShardArenas<crate::gossip::LinkShard>,
     pub(crate) rng: StdRng,
 }
 
@@ -175,6 +179,7 @@ impl SelectNetwork {
             link_cache: vec![LinkCache::default(); n],
             last_convergence: None,
             round_counter: 0,
+            link_arenas: osn_sim::ShardArenas::new(),
             rng,
             graph,
         }

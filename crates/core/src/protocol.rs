@@ -24,7 +24,6 @@ use osn_overlay::RingId;
 use osn_sim::SuperstepEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Gossip wire messages (Algorithms 3–4).
@@ -61,14 +60,107 @@ pub enum GossipMsg {
 
 /// What one peer has learned from gossip: cached friend positions and link
 /// sets — the lookahead set `L_p`, including staleness.
+///
+/// Storage is slot-aligned with the owner's sorted social neighbour row (a
+/// copy of its CSR slice): one slot per friend instead of three hash maps,
+/// addressed by binary search. Gossip only ever travels over social edges,
+/// so the row covers every possible sender, and iteration over the cache is
+/// deterministic (ascending friend id) for free.
 #[derive(Clone, Debug, Default)]
 pub struct PeerView {
-    /// Last known identifier per friend.
-    pub positions: HashMap<u32, RingId>,
-    /// Last known connection set per friend (`L_p`).
-    pub links: HashMap<u32, Vec<u32>>,
-    /// Last `nMutual` value each friend reported.
-    pub mutual: HashMap<u32, usize>,
+    /// The owner's social neighbourhood, sorted ascending.
+    friends: Vec<u32>,
+    /// Slot-aligned: has this friend ever reported?
+    heard: Vec<bool>,
+    /// Slot-aligned last known identifier (valid only if `heard`).
+    positions: Vec<RingId>,
+    /// Slot-aligned last known connection set (`L_p`).
+    links: Vec<Vec<u32>>,
+    /// Slot-aligned last reported `nMutual`.
+    mutual: Vec<usize>,
+    /// Number of distinct friends heard from so far.
+    known: usize,
+}
+
+impl PeerView {
+    /// An empty view over a sorted social neighbour row.
+    fn new(friends: Vec<u32>) -> Self {
+        debug_assert!(
+            friends.windows(2).all(|w| w[0] < w[1]),
+            "PeerView neighbour row must be sorted ascending"
+        );
+        let n = friends.len();
+        PeerView {
+            friends,
+            heard: vec![false; n],
+            positions: vec![RingId::default(); n],
+            links: vec![Vec::new(); n],
+            mutual: vec![0; n],
+            known: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, friend: u32) -> Option<usize> {
+        self.friends.binary_search(&friend).ok()
+    }
+
+    /// Caches what `friend` just reported. Gossip only travels over social
+    /// edges, so a sender outside the neighbour row is a protocol violation.
+    fn record(&mut self, friend: u32, position: RingId, links: Vec<u32>, n_mutual: usize) {
+        let i = self
+            .slot(friend)
+            .expect("gossip message from a non-friend sender");
+        if !self.heard[i] {
+            self.heard[i] = true;
+            self.known += 1;
+        }
+        self.positions[i] = position;
+        self.links[i] = links;
+        self.mutual[i] = n_mutual;
+    }
+
+    /// Whether the owner has heard from `friend`.
+    pub fn knows(&self, friend: u32) -> bool {
+        self.slot(friend).is_some_and(|i| self.heard[i])
+    }
+
+    /// Number of distinct friends heard from.
+    pub fn known_count(&self) -> usize {
+        self.known
+    }
+
+    /// True until the owner has heard from at least one friend.
+    pub fn is_empty(&self) -> bool {
+        self.known == 0
+    }
+
+    /// Friends heard from, in ascending id order (slot order).
+    pub fn known_friends(&self) -> impl Iterator<Item = u32> + '_ {
+        self.friends
+            .iter()
+            .zip(&self.heard)
+            .filter(|&(_, &h)| h)
+            .map(|(&f, _)| f)
+    }
+
+    /// Last known identifier of `friend`, if heard from.
+    pub fn position_of(&self, friend: u32) -> Option<RingId> {
+        let i = self.slot(friend)?;
+        self.heard[i].then(|| self.positions[i])
+    }
+
+    /// Last known connection set of `friend` (`L_p`), if heard from.
+    pub fn links_of(&self, friend: u32) -> Option<&[u32]> {
+        let i = self.slot(friend)?;
+        self.heard[i].then(|| self.links[i].as_slice())
+    }
+
+    /// Last `nMutual` reported by `friend`, if heard from.
+    pub fn mutual_of(&self, friend: u32) -> Option<usize> {
+        let i = self.slot(friend)?;
+        self.heard[i].then_some(self.mutual[i])
+    }
 }
 
 /// Per-round statistics of the message-level run.
@@ -95,8 +187,19 @@ impl ProtocolNetwork {
     pub fn new(net: SelectNetwork) -> Self {
         let n = net.len();
         let seed = net.config().seed;
+        let views = (0..n as u32)
+            .map(|p| {
+                PeerView::new(
+                    net.graph()
+                        .neighbors(UserId(p))
+                        .iter()
+                        .map(|f| f.0)
+                        .collect(),
+                )
+            })
+            .collect();
         ProtocolNetwork {
-            views: vec![PeerView::default(); n],
+            views,
             engine: SuperstepEngine::new(n),
             rng: StdRng::seed_from_u64(seed ^ 0x9055_1b00),
             net,
@@ -187,10 +290,7 @@ impl ProtocolNetwork {
                             .iter()
                             .filter(|x| own.binary_search(x).is_ok())
                             .count();
-                        let view = &mut views[v as usize];
-                        view.positions.insert(from, position);
-                        view.links.insert(from, links);
-                        view.mutual.insert(from, n_mutual);
+                        views[v as usize].record(from, position, links, n_mutual);
                         replies.push((
                             from,
                             GossipMsg::ExchangeReply {
@@ -208,10 +308,7 @@ impl ProtocolNetwork {
                         n_mutual,
                         links,
                     } => {
-                        let view = &mut views[v as usize];
-                        view.positions.insert(from, position);
-                        view.links.insert(from, links);
-                        view.mutual.insert(from, n_mutual);
+                        views[v as usize].record(from, position, links, n_mutual);
                         touched.push(v);
                     }
                 }
@@ -244,17 +341,18 @@ impl ProtocolNetwork {
         // Guide = highest-rank cached friend (local knowledge of the
         // hub-anchoring rule).
         let rank = |x: u32| (self.net.graph().degree(UserId(x)), x);
-        // selint: allow(unordered-iter, max over rank=(degree,id) which is a unique total order)
-        let guide = view.positions.keys().copied().max_by_key(|&f| rank(f));
+        let guide = view.known_friends().max_by_key(|&f| rank(f));
         let guide = match guide {
             Some(g) if rank(g) > rank(p) => g,
             _ => return false,
         };
-        let guide_pos = view.positions[&guide];
+        let guide_pos = view
+            .position_of(guide)
+            .expect("guide was drawn from known_friends");
         if self.net.identifier_of(p).distance(guide_pos).0 <= radius {
             return false;
         }
-        let new = evaluate_position(p, &self.net.strengths, |f| view.positions.get(&f).copied());
+        let new = evaluate_position(p, &self.net.strengths, |f| view.position_of(f));
         let mut target = match new {
             Some(t) => t,
             None => return false,
@@ -274,13 +372,9 @@ impl ProtocolNetwork {
     fn relink_from_view(&mut self, p: u32) -> usize {
         let view = &self.views[p as usize];
         // Only friends we have heard from are candidates — a peer cannot
-        // connect to someone it knows nothing about.
-        let known: Vec<u32> = {
-            // selint: allow(unordered-iter, collected then sorted immediately below)
-            let mut k: Vec<u32> = view.positions.keys().copied().collect();
-            k.sort_unstable();
-            k
-        };
+        // connect to someone it knows nothing about. Slot order is already
+        // ascending, as `create_links` requires.
+        let known: Vec<u32> = view.known_friends().collect();
         if known.is_empty() {
             return 0;
         }
@@ -291,7 +385,7 @@ impl ProtocolNetwork {
             cfg.lsh_samples,
             cfg.seed ^ (p as u64).rotate_left(32),
             |u| {
-                let mut links = view.links.get(&u).cloned().unwrap_or_default();
+                let mut links: Vec<u32> = view.links_of(u).map(<[u32]>::to_vec).unwrap_or_default();
                 links.extend(self.net.graph().neighbors(UserId(u)).iter().map(|f| f.0));
                 links
             },
@@ -310,7 +404,7 @@ impl ProtocolNetwork {
             .copied()
             .filter(|u| !candidates.contains(u))
             .collect();
-        rest.sort_by_key(|u| std::cmp::Reverse(view.mutual.get(u).copied().unwrap_or(0)));
+        rest.sort_by_key(|&u| std::cmp::Reverse(view.mutual_of(u).unwrap_or(0)));
         candidates.extend(rest);
         self.net.reconcile_links(p, &candidates)
     }
@@ -376,11 +470,11 @@ mod tests {
     fn views_fill_over_rounds() {
         let mut proto = ProtocolNetwork::new(bootstrap(1));
         proto.round();
-        let after_one: usize = (0..120).map(|p| proto.view(p).positions.len()).sum();
+        let after_one: usize = (0..120).map(|p| proto.view(p).known_count()).sum();
         for _ in 0..10 {
             proto.round();
         }
-        let after_many: usize = (0..120).map(|p| proto.view(p).positions.len()).sum();
+        let after_many: usize = (0..120).map(|p| proto.view(p).known_count()).sum();
         assert!(after_many > after_one, "caches should keep growing");
         assert!(proto.total_messages() > 0);
     }
@@ -443,7 +537,7 @@ mod tests {
             proto.round();
         }
         assert!(
-            proto.view(5).positions.is_empty(),
+            proto.view(5).is_empty(),
             "offline peer must not learn anything"
         );
     }
@@ -458,7 +552,7 @@ mod tests {
             let view = proto.view(p);
             for &l in proto.network().table(p).long_links() {
                 assert!(
-                    view.positions.contains_key(&l),
+                    view.knows(l),
                     "peer {p} linked {l} without ever hearing from it"
                 );
             }

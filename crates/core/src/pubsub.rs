@@ -17,7 +17,6 @@ use crate::stats::DeliveryTelemetry;
 use hotpath::hotpath;
 use osn_obs::{JourneyStatus, Observer, RouteChoice, TraceEvent};
 use osn_overlay::{route_greedy, route_greedy_excluding, route_with_lookahead, RouteOutcome};
-use std::collections::{HashMap, HashSet};
 
 /// How a planned delivery path was produced (drives the per-edge
 /// [`RouteChoice`] reported in trace events).
@@ -162,10 +161,16 @@ impl RoutingTree {
     }
 
     /// Messages forwarded per peer: one per distinct outgoing tree edge.
-    pub fn forwards_per_peer(&self) -> HashMap<u32, u64> {
-        let mut forwards = HashMap::new();
+    /// Entries are sorted ascending by peer id; peers that forward nothing
+    /// are absent. [`RoutingTree::edges`] is already sorted, so the counts
+    /// fall out of one grouping pass — no hash map.
+    pub fn forwards_per_peer(&self) -> Vec<(u32, u64)> {
+        let mut forwards: Vec<(u32, u64)> = Vec::new();
         for (from, _) in self.edges() {
-            *forwards.entry(from).or_insert(0) += 1;
+            match forwards.last_mut() {
+                Some((p, c)) if *p == from => *c += 1,
+                _ => forwards.push((from, 1)),
+            }
         }
         forwards
     }
@@ -625,18 +630,21 @@ impl SelectNetwork {
         } else {
             // Fault path: materialize the planned per-subscriber paths (the
             // retry machinery reorders and replays them, so it keeps owned
-            // copies), in deterministic subscriber order.
-            let mut planned: Vec<(u32, Vec<u32>, PathKind)> = Vec::new();
-            let mut journeys: HashMap<u32, osn_obs::JourneyId> = HashMap::new();
+            // copies), in deterministic subscriber order. Each subscriber's
+            // flight-recorder journey handle rides along in its tuple — no
+            // side map to key by subscriber.
+            let mut planned: Vec<(u32, Vec<u32>, PathKind, Option<osn_obs::JourneyId>)> =
+                Vec::new();
             for &s in subscribers {
                 if let Some(kind) = self.planned_path_into(b, s, scr, &mut path) {
+                    let mut journey = None;
                     if let Some(fr) = flight.as_deref_mut() {
                         let id = fr.begin(nonce, b, s);
                         fr.push(id, TraceEvent::Publish { publisher: b });
-                        journeys.insert(s, id);
+                        journey = Some(id);
                     }
                     // selint: allow(hotpath-alloc, fault path only; retry machinery needs owned paths)
-                    planned.push((s, path.clone(), kind));
+                    planned.push((s, path.clone(), kind, journey));
                 } else {
                     if let Some(fr) = flight.as_deref_mut() {
                         let id = fr.begin(nonce, b, s);
@@ -648,25 +656,31 @@ impl SelectNetwork {
                 }
             }
             let mut delivered_paths = Vec::new();
-            // Peers currently holding a copy (per-publication dedup state)
-            // and relays the publisher has observed crashed.
-            let mut has_message: HashSet<u32> = HashSet::from([b]);
-            let mut observed_dead: HashSet<u32> = HashSet::new();
+            // Peers currently holding a copy live in the scratch arena's
+            // per-delivery stamp set (the old per-publication `HashSet`);
+            // relays the publisher has observed crashed in a sorted vec —
+            // tiny, and directly usable as the routing exclusion slice.
+            scr.begin_delivery(self.len());
+            scr.first_receipt(b);
+            let mut observed_dead: Vec<u32> = Vec::new();
 
             // Attempt 0 floods the shared tree: each distinct directed edge
             // is one physical transmission, simulated exactly once and
-            // memoized so paths sharing a prefix share its fate.
-            let mut edge_fate: HashMap<(u32, u32), EdgeFate> = HashMap::new();
-            let mut pending: Vec<(u32, Vec<u32>)> = Vec::new();
-            for (s, path, kind) in planned {
+            // memoized (sorted by edge, binary-searched — tree-sized, not
+            // network-sized) so paths sharing a prefix share its fate.
+            let mut edge_fate: Vec<((u32, u32), EdgeFate)> = Vec::new();
+            let mut pending: Vec<(u32, Vec<u32>, Option<osn_obs::JourneyId>)> = Vec::new();
+            for (s, path, kind, journey) in planned {
                 let mut alive = true;
                 for w in path.windows(2) {
                     let (u, v) = (w[0], w[1]);
-                    let fate = match edge_fate.entry((u, v)) {
-                        std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
+                    let fate = match edge_fate.binary_search_by_key(&(u, v), |e| e.0) {
+                        Ok(i) => edge_fate[i].1,
+                        Err(i) => {
                             let fate = if u != b && plan.crashes(nonce, u) {
-                                observed_dead.insert(u);
+                                if let Err(j) = observed_dead.binary_search(&u) {
+                                    observed_dead.insert(j, u);
+                                }
                                 telemetry.crash_losses += 1;
                                 EdgeFate::Crashed
                             } else if plan.drops(nonce, 0, u, v) {
@@ -675,7 +689,7 @@ impl SelectNetwork {
                             } else {
                                 EdgeFate::Ok
                             };
-                            e.insert(fate);
+                            edge_fate.insert(i, ((u, v), fate));
                             if let Some(m) = metrics.as_deref_mut() {
                                 // A crashed relay never sends; a dropped
                                 // transmission still left the sender.
@@ -683,14 +697,14 @@ impl SelectNetwork {
                                     m.note_raw_transmission(u);
                                 }
                             }
-                            if fate == EdgeFate::Ok && !has_message.insert(v) {
+                            if fate == EdgeFate::Ok && !scr.first_receipt(v) {
                                 telemetry.duplicates_suppressed += 1;
                             }
                             fate
                         }
                     };
                     if let Some(fr) = flight.as_deref_mut() {
-                        if let Some(&id) = journeys.get(&s) {
+                        if let Some(id) = journey {
                             fr.push(
                                 id,
                                 match fate {
@@ -721,7 +735,7 @@ impl SelectNetwork {
                         let lat = path_latency_ms(lm, &plan, seed, nonce, 0, &path, 0);
                         m.note_delivery((path.len() - 1) as u64, lat);
                         if let Some(fr) = flight.as_deref_mut() {
-                            if let Some(&id) = journeys.get(&s) {
+                            if let Some(id) = journey {
                                 fr.push(
                                     id,
                                     TraceEvent::Deliver {
@@ -735,7 +749,7 @@ impl SelectNetwork {
                     }
                     delivered_paths.push(path);
                 } else {
-                    pending.push((s, path));
+                    pending.push((s, path, journey));
                 }
             }
 
@@ -752,10 +766,10 @@ impl SelectNetwork {
                 telemetry.backoff_ms += backoff;
                 backoff = (backoff * 2).min(self.cfg.retry_backoff_ms << 8);
                 let mut still = Vec::new();
-                for (s, original) in pending {
+                for (s, original, journey) in pending {
                     telemetry.retries += 1;
                     if let Some(fr) = flight.as_deref_mut() {
-                        if let Some(&id) = journeys.get(&s) {
+                        if let Some(id) = journey {
                             fr.push(
                                 id,
                                 TraceEvent::RetryWave {
@@ -781,7 +795,7 @@ impl SelectNetwork {
                     let path = rerouted.unwrap_or_else(|| original.clone());
                     if was_rerouted && path.len() > 1 {
                         if let Some(fr) = flight.as_deref_mut() {
-                            if let Some(&id) = journeys.get(&s) {
+                            if let Some(id) = journey {
                                 fr.push(id, TraceEvent::Reroute { via: path[1] });
                             }
                         }
@@ -790,10 +804,12 @@ impl SelectNetwork {
                     for w in path.windows(2) {
                         let (u, v) = (w[0], w[1]);
                         if u != b && plan.crashes(nonce, u) {
-                            observed_dead.insert(u);
+                            if let Err(j) = observed_dead.binary_search(&u) {
+                                observed_dead.insert(j, u);
+                            }
                             telemetry.crash_losses += 1;
                             if let Some(fr) = flight.as_deref_mut() {
-                                if let Some(&id) = journeys.get(&s) {
+                                if let Some(id) = journey {
                                     fr.push(id, TraceEvent::Crash { peer: u });
                                 }
                             }
@@ -806,7 +822,7 @@ impl SelectNetwork {
                         if plan.drops(nonce, attempt, u, v) {
                             telemetry.drops_injected += 1;
                             if let Some(fr) = flight.as_deref_mut() {
-                                if let Some(&id) = journeys.get(&s) {
+                                if let Some(id) = journey {
                                     fr.push(
                                         id,
                                         TraceEvent::Drop {
@@ -821,7 +837,7 @@ impl SelectNetwork {
                             break;
                         }
                         if let Some(fr) = flight.as_deref_mut() {
-                            if let Some(&id) = journeys.get(&s) {
+                            if let Some(id) = journey {
                                 fr.push(
                                     id,
                                     TraceEvent::Relay {
@@ -832,7 +848,7 @@ impl SelectNetwork {
                                 );
                             }
                         }
-                        if !has_message.insert(v) {
+                        if !scr.first_receipt(v) {
                             telemetry.duplicates_suppressed += 1;
                         }
                     }
@@ -851,7 +867,7 @@ impl SelectNetwork {
                             );
                             m.note_delivery((path.len() - 1) as u64, lat);
                             if let Some(fr) = flight.as_deref_mut() {
-                                if let Some(&id) = journeys.get(&s) {
+                                if let Some(id) = journey {
                                     fr.push(
                                         id,
                                         TraceEvent::Deliver {
@@ -865,15 +881,15 @@ impl SelectNetwork {
                         }
                         delivered_paths.push(path);
                     } else {
-                        still.push((s, original));
+                        still.push((s, original, journey));
                     }
                 }
                 pending = still;
             }
             telemetry.residual_losses = pending.len() as u64;
-            for (s, _) in pending {
+            for (s, _, journey) in pending {
                 if let Some(fr) = flight.as_deref_mut() {
-                    if let Some(&id) = journeys.get(&s) {
+                    if let Some(id) = journey {
                         fr.push(id, TraceEvent::Fail);
                         fr.finish(id, JourneyStatus::Failed);
                     }
@@ -987,9 +1003,9 @@ mod tests {
     fn forwards_count_distinct_children() {
         let tree = RoutingTree::from_paths(0, [vec![0, 1, 2], vec![0, 1, 3], vec![0, 4]]);
         let f = tree.forwards_per_peer();
-        assert_eq!(f[&0], 2); // 0->1 (shared) and 0->4
-        assert_eq!(f[&1], 2); // 1->2, 1->3
-        assert!(!f.contains_key(&2));
+        // 0 forwards twice (0->1 shared, 0->4); 1 forwards twice (1->2,
+        // 1->3); leaf 2 forwards nothing and is absent.
+        assert_eq!(f, vec![(0, 2), (1, 2)]);
     }
 
     #[test]

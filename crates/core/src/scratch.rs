@@ -28,6 +28,12 @@ pub(crate) struct PublishScratch {
     depth: Vec<u32>,
     /// Stamp-based subscriber membership (the old per-publish `HashSet`).
     sub_stamp: Vec<u32>,
+    /// Per-delivery receipt epoch; independent of `epoch` because one plan
+    /// serves many deliveries in a batch, each with its own receipt set.
+    msg_epoch: u32,
+    /// Stamp-based "peer already holds a copy" membership for the fault
+    /// path's duplicate suppression (the old per-delivery `HashSet`).
+    msg_stamp: Vec<u32>,
     /// Peers with a parent assigned this publication, in insertion order.
     reached: Vec<u32>,
     /// Per-depth frontier pools for the stage-2 bucket BFS.
@@ -63,6 +69,34 @@ impl PublishScratch {
         self.queue.clear();
         for b in &mut self.buckets {
             b.clear();
+        }
+    }
+
+    /// Starts one delivery walk over `n` peers: invalidates the receipt set
+    /// by epoch bump. Independent of [`Self::begin`] — the BFS plan stays
+    /// valid while each delivery of a batch gets a fresh receipt set.
+    pub fn begin_delivery(&mut self, n: usize) {
+        if self.msg_epoch == u32::MAX {
+            self.msg_stamp.iter_mut().for_each(|s| *s = 0);
+            self.msg_epoch = 0;
+        }
+        self.msg_epoch += 1;
+        if self.msg_stamp.len() < n {
+            self.msg_stamp.resize(n, 0);
+        }
+    }
+
+    /// Marks `v` as holding a copy of the current delivery's message.
+    /// Returns true on the first receipt, false if `v` already had it
+    /// (a duplicate the reliable-delivery layer suppresses).
+    #[inline]
+    pub fn first_receipt(&mut self, v: u32) -> bool {
+        let slot = &mut self.msg_stamp[v as usize];
+        if *slot == self.msg_epoch {
+            false
+        } else {
+            *slot = self.msg_epoch;
+            true
         }
     }
 

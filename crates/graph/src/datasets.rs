@@ -107,12 +107,19 @@ impl Dataset {
         (((1.0 - INTER_FRACTION) * self.paper_average_degree() / 2.0).round() as usize).max(1)
     }
 
-    /// Generates the preset at `scale × paper_users` nodes (min 64 nodes),
-    /// preserving average degree.
-    pub fn generate_scaled(self, scale: f64, seed: u64) -> SocialGraph {
+    /// Node count produced by [`Dataset::generate_scaled`]: `scale ×
+    /// paper_users` rounded half-up, floored at 64 nodes. Rounding used to
+    /// truncate toward zero, so documented scaled sizes came out one short
+    /// of the advertised n (e.g. Slashdot at 1% gave 821, not 822).
+    pub fn scaled_users(self, scale: f64) -> usize {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-        let n = ((self.paper_users() as f64 * scale) as usize).max(64);
-        self.generate_with_nodes(n, seed)
+        (((self.paper_users() as f64 * scale) + 0.5).floor() as usize).max(64)
+    }
+
+    /// Generates the preset at [`Dataset::scaled_users`] nodes, preserving
+    /// average degree.
+    pub fn generate_scaled(self, scale: f64, seed: u64) -> SocialGraph {
+        self.generate_with_nodes(self.scaled_users(scale), seed)
     }
 
     /// Generates the preset with an explicit node count, preserving the
@@ -252,6 +259,74 @@ mod tests {
         assert_eq!(pair.num_edges(), 1);
         let lone = Dataset::Facebook.generate_with_nodes(1, 1);
         assert_eq!(lone.num_edges(), 0);
+    }
+
+    #[test]
+    fn scaled_sizes_round_half_up() {
+        // Regression: `(paper_users as f64 * scale) as usize` truncated
+        // toward zero, so the documented CI scale factors produced graphs
+        // one node short of the advertised size. Pin every preset at the
+        // factors the repro harness uses.
+        let pinned: [(Dataset, f64, usize); 8] = [
+            (Dataset::Facebook, 0.01, 637),
+            (Dataset::Facebook, 0.02, 1_275), // truncation gave 1,274
+            (Dataset::Twitter, 0.01, 39_904),
+            (Dataset::Twitter, 0.02, 79_808),
+            (Dataset::Slashdot, 0.01, 822), // truncation gave 821
+            (Dataset::Slashdot, 0.02, 1_643),
+            (Dataset::GooglePlus, 0.01, 1_076),
+            (Dataset::GooglePlus, 0.02, 2_152),
+        ];
+        for (ds, scale, want) in pinned {
+            assert_eq!(
+                ds.scaled_users(scale),
+                want,
+                "{} at scale {scale}",
+                ds.name()
+            );
+        }
+        // Exact halves round up, scale 1.0 is the full snapshot, and the
+        // generated graph really has the advertised node count.
+        assert_eq!(Dataset::Facebook.scaled_users(0.5), 31_866); // 31,865.5
+        for ds in Dataset::ALL {
+            assert_eq!(ds.scaled_users(1.0), ds.paper_users());
+        }
+        let g = Dataset::Slashdot.generate_scaled(0.01, 5);
+        assert_eq!(g.num_nodes(), 822);
+    }
+
+    #[test]
+    fn min_floor_as_scale_approaches_zero() {
+        // The 64-node floor must hold for every preset across vanishing
+        // scales, not just the one value the old test probed.
+        for ds in Dataset::ALL {
+            for scale in [1e-9, 1e-7, 1e-6, 1e-5] {
+                assert_eq!(ds.scaled_users(scale), 64, "{} at {scale}", ds.name());
+            }
+        }
+        let g = Dataset::GooglePlus.generate_scaled(1e-8, 9);
+        assert_eq!(g.num_nodes(), 64);
+    }
+
+    #[test]
+    fn community_boundary_node_counts() {
+        // n = COMMUNITY_SIZE ± 1 crosses the single/multi-community seam:
+        // 249 and 250 stay one community, 251 splits into two blocks of
+        // 126/125 with inter-community edges drawn between them.
+        for ds in [Dataset::Facebook, Dataset::GooglePlus] {
+            for n in [COMMUNITY_SIZE - 1, COMMUNITY_SIZE, COMMUNITY_SIZE + 1] {
+                let g = ds.generate_with_nodes(n, 17);
+                assert_eq!(g.num_nodes(), n, "{} n={n}", ds.name());
+                assert!(
+                    metrics::is_connected(&g),
+                    "{} n={n} must stay connected",
+                    ds.name()
+                );
+                for u in g.nodes() {
+                    assert!(g.degree(u) < n, "{} n={n}: degree out of range", ds.name());
+                }
+            }
+        }
     }
 
     #[test]

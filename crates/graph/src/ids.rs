@@ -24,12 +24,19 @@ impl UserId {
 
     /// Builds a `UserId` from a dense `usize` index.
     ///
+    /// The conversion is checked in release builds too: a >4.29B index used
+    /// to wrap silently outside debug mode, which at full-snapshot scale
+    /// turns an overflowing node count into aliased peers instead of an
+    /// error.
+    ///
     /// # Panics
     /// Panics if `i` does not fit in `u32`.
     #[inline(always)]
     pub fn from_index(i: usize) -> Self {
-        debug_assert!(i <= u32::MAX as usize, "user index {i} overflows u32");
-        UserId(i as u32)
+        match u32::try_from(i) {
+            Ok(v) => UserId(v),
+            Err(_) => panic!("user index {i} overflows u32"),
+        }
     }
 }
 
@@ -63,9 +70,17 @@ mod tests {
 
     #[test]
     fn index_round_trip() {
-        for i in [0usize, 1, 17, 65_535, 4_000_000] {
+        for i in [0usize, 1, 17, 65_535, 4_000_000, u32::MAX as usize] {
             assert_eq!(UserId::from_index(i).index(), i);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn oversized_index_panics_in_release_too() {
+        // Regression: this used to be a debug_assert!, so release builds
+        // wrapped the index silently.
+        UserId::from_index(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl PublishResult {
             rec.hops.record((path.len().saturating_sub(1)) as u64);
             rec.stretch.record((path.len().saturating_sub(2)) as u64);
         }
-        for (&peer, &sends) in &tree.forwards_per_peer() {
+        for (peer, sends) in tree.forwards_per_peer() {
             rec.relay_load_add(peer, sends);
         }
         rec.note_retries(self.retries);

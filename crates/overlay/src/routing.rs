@@ -10,7 +10,6 @@
 use crate::id::RingId;
 use hotpath::hotpath;
 use std::cell::RefCell;
-use std::collections::HashSet;
 
 /// Read-only view of an overlay that routing operates over.
 pub trait Topology {
@@ -110,7 +109,8 @@ pub fn route_with_lookahead(
     route_impl(topo, from, to, max_hops, true, None)
 }
 
-/// Greedy routing that refuses to traverse the peers in `excluded`.
+/// Greedy routing that refuses to traverse the peers in `excluded` (a
+/// **sorted ascending** slice; membership is a binary search).
 ///
 /// This is the re-route primitive of reliable delivery: after a failed
 /// attempt the publisher excludes every relay it observed dead and asks for
@@ -122,8 +122,12 @@ pub fn route_greedy_excluding(
     from: u32,
     to: u32,
     max_hops: usize,
-    excluded: &HashSet<u32>,
+    excluded: &[u32],
 ) -> RouteOutcome {
+    debug_assert!(
+        excluded.windows(2).all(|w| w[0] < w[1]),
+        "exclusion set must be sorted ascending"
+    );
     route_impl(topo, from, to, max_hops, true, Some(excluded))
 }
 
@@ -134,9 +138,9 @@ fn route_impl(
     to: u32,
     max_hops: usize,
     lookahead: bool,
-    excluded: Option<&HashSet<u32>>,
+    excluded: Option<&[u32]>,
 ) -> RouteOutcome {
-    let usable = |n: u32| n == to || excluded.is_none_or(|e| !e.contains(&n));
+    let usable = |n: u32| n == to || excluded.is_none_or(|e| e.binary_search(&n).is_err());
     let mut path = vec![from];
     if from == to {
         return RouteOutcome::Delivered { path };
@@ -337,9 +341,9 @@ mod tests {
         let mut t = ring8();
         t.adj[1].push(5); // preferred lookahead via 1
         t.adj[2].push(5); // detour via 2
-        let fast = route_greedy_excluding(&t, 0, 5, 16, &HashSet::new());
+        let fast = route_greedy_excluding(&t, 0, 5, 16, &[]);
         assert_eq!(fast.path(), &[0, 1, 5]);
-        let detour = route_greedy_excluding(&t, 0, 5, 16, &HashSet::from([1]));
+        let detour = route_greedy_excluding(&t, 0, 5, 16, &[1]);
         assert!(detour.delivered());
         assert!(
             !detour.path().contains(&1),
@@ -352,7 +356,7 @@ mod tests {
         // The exclusion set holds suspected relays; the target itself must
         // stay routable (delivery to it is the whole point of the retry).
         let t = ring8();
-        let out = route_greedy_excluding(&t, 0, 2, 16, &HashSet::from([2]));
+        let out = route_greedy_excluding(&t, 0, 2, 16, &[2]);
         assert!(out.delivered());
         assert_eq!(*out.path().last().unwrap(), 2);
     }
@@ -360,7 +364,7 @@ mod tests {
     #[test]
     fn excluding_every_relay_fails_cleanly() {
         let t = ring8();
-        let out = route_greedy_excluding(&t, 0, 4, 16, &HashSet::from([1, 7]));
+        let out = route_greedy_excluding(&t, 0, 4, 16, &[1, 7]);
         assert!(!out.delivered());
     }
 

@@ -11,6 +11,99 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one vertex, tagging any panic with its (shard, vertex) coordinates
+/// so a poisoned vertex in a million-peer run is diagnosable from the abort
+/// message alone — the re-raised payload is the formatted culprit string.
+fn run_vertex_caught<R>(shard: usize, vertex: u32, f: impl FnOnce() -> R) -> R {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => panic!(
+            "superstep shard {shard} panicked at vertex {vertex}: {}",
+            panic_message(payload.as_ref())
+        ),
+    }
+}
+
+/// Per-shard scratch state owned by [`ShardArenas`]: reusable arenas handed
+/// to superstep workers so the compute half allocates nothing per round.
+pub trait ShardScratch: Default + Send {
+    /// Called on each shard when an arena epoch begins (once per superstep),
+    /// before the shard is handed to a worker. Implementations reset
+    /// per-round accumulators here; epoch-stamped buffers can instead lazily
+    /// invalidate entries against `epoch`.
+    fn begin_epoch(&mut self, epoch: u64);
+}
+
+/// A pool of per-shard scratch arenas, epoch-stamped so reuse across
+/// supersteps needs no O(n) clearing. Call [`ShardArenas::begin`] at the top
+/// of each superstep to obtain `count` freshly-stamped shards; after the
+/// step, merge shard accumulators **in shard order** at the apply barrier
+/// via [`ShardArenas::active`] — that order is what keeps commutative
+/// accumulators bit-identical across thread counts.
+#[derive(Clone, Debug, Default)]
+pub struct ShardArenas<S> {
+    epoch: u64,
+    active: usize,
+    shards: Vec<S>,
+}
+
+impl<S: ShardScratch> ShardArenas<S> {
+    /// An empty arena pool at epoch 0.
+    pub fn new() -> Self {
+        ShardArenas {
+            epoch: 0,
+            active: 0,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Current epoch (0 before the first `begin`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts a new epoch and hands out `count` stamped shards. Shards are
+    /// grown on demand and retained across epochs, so steady-state rounds
+    /// reuse the same allocations.
+    pub fn begin(&mut self, count: usize) -> &mut [S] {
+        let count = count.max(1);
+        self.epoch += 1;
+        if self.shards.len() < count {
+            self.shards.resize_with(count, S::default);
+        }
+        self.active = count;
+        let epoch = self.epoch;
+        let shards = &mut self.shards[..count];
+        for s in shards.iter_mut() {
+            s.begin_epoch(epoch);
+        }
+        shards
+    }
+
+    /// The shards handed out by the most recent `begin`, for merging at the
+    /// apply barrier.
+    pub fn active(&self) -> &[S] {
+        &self.shards[..self.active]
+    }
+
+    /// Mutable view of the most recent `begin`'s shards.
+    pub fn active_mut(&mut self) -> &mut [S] {
+        &mut self.shards[..self.active]
+    }
+}
 
 /// Synchronous vertex-centric message-passing engine.
 ///
@@ -132,7 +225,7 @@ impl<M: Send> SuperstepEngine<M> {
             for v in 0..n as u32 {
                 let mail = std::mem::take(&mut self.inboxes[v as usize]);
                 if run_all || !mail.is_empty() {
-                    vertex_fn(v, mail, &mut out);
+                    run_vertex_caught(0, v, || vertex_fn(v, mail, &mut out));
                 }
             }
             for (to, msg) in out {
@@ -144,6 +237,7 @@ impl<M: Send> SuperstepEngine<M> {
         // Take the inboxes out so shards own their slices.
         let mut inboxes = std::mem::take(&mut self.inboxes);
         let mut shard_outboxes: Vec<Vec<(u32, M)>> = Vec::with_capacity(threads);
+        let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
         crossbeam::scope(|scope| {
             let handles: Vec<_> = inboxes
@@ -157,18 +251,28 @@ impl<M: Send> SuperstepEngine<M> {
                             let v = (shard * chunk + i) as u32;
                             let mail = std::mem::take(mail);
                             if run_all || !mail.is_empty() {
-                                vertex_fn(v, mail, &mut out);
+                                run_vertex_caught(shard, v, || vertex_fn(v, mail, &mut out));
                             }
                         }
                         out
                     })
                 })
                 .collect();
+            // Join every handle before leaving the scope; the first worker
+            // panic is re-raised outside it with its culprit tag intact.
             for h in handles {
-                shard_outboxes.push(h.join().expect("superstep shard panicked"));
+                match h.join() {
+                    Ok(out) => shard_outboxes.push(out),
+                    Err(payload) => {
+                        worker_panic.get_or_insert(payload);
+                    }
+                }
             }
         })
         .expect("superstep scope failed");
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
 
         self.inboxes = inboxes;
         // Deterministic merge: shards are already in vertex order.
@@ -212,7 +316,7 @@ impl<M: Send> SuperstepEngine<M> {
             for v in 0..n as u32 {
                 let mail = std::mem::take(&mut self.inboxes[v as usize]);
                 if run_all || !mail.is_empty() {
-                    vertex_fn(v, mail, &mut out, &mut shards[0]);
+                    run_vertex_caught(0, v, || vertex_fn(v, mail, &mut out, &mut shards[0]));
                 }
             }
             for (to, msg) in out {
@@ -223,6 +327,7 @@ impl<M: Send> SuperstepEngine<M> {
         let chunk = n.div_ceil(threads);
         let mut inboxes = std::mem::take(&mut self.inboxes);
         let mut shard_outboxes: Vec<Vec<(u32, M)>> = Vec::with_capacity(threads);
+        let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
         crossbeam::scope(|scope| {
             let handles: Vec<_> = inboxes
@@ -237,7 +342,7 @@ impl<M: Send> SuperstepEngine<M> {
                             let v = (shard * chunk + i) as u32;
                             let mail = std::mem::take(mail);
                             if run_all || !mail.is_empty() {
-                                vertex_fn(v, mail, &mut out, state);
+                                run_vertex_caught(shard, v, || vertex_fn(v, mail, &mut out, state));
                             }
                         }
                         out
@@ -245,10 +350,18 @@ impl<M: Send> SuperstepEngine<M> {
                 })
                 .collect();
             for h in handles {
-                shard_outboxes.push(h.join().expect("superstep shard panicked"));
+                match h.join() {
+                    Ok(out) => shard_outboxes.push(out),
+                    Err(payload) => {
+                        worker_panic.get_or_insert(payload);
+                    }
+                }
             }
         })
         .expect("superstep scope failed");
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
 
         self.inboxes = inboxes;
         for out in shard_outboxes {
@@ -257,6 +370,23 @@ impl<M: Send> SuperstepEngine<M> {
             }
         }
         delivered
+    }
+
+    /// [`SuperstepEngine::step_parallel_sharded`] with arena-managed shard
+    /// state: begins a fresh epoch on `arenas`, hands each of the `threads`
+    /// workers its stamped scratch shard, and runs the superstep. After this
+    /// returns, merge accumulators from [`ShardArenas::active`] in shard
+    /// order — the apply barrier — then apply with [`SuperstepEngine::step`].
+    /// The arenas persist across rounds, so steady state allocates nothing.
+    pub fn step_parallel_arena<S: ShardScratch>(
+        &mut self,
+        run_all: bool,
+        threads: usize,
+        arenas: &mut ShardArenas<S>,
+        vertex_fn: impl Fn(u32, Vec<M>, &mut Vec<(u32, M)>, &mut S) + Sync,
+    ) -> usize {
+        let shards = arenas.begin(threads);
+        self.step_parallel_sharded(run_all, shards, vertex_fn)
     }
 }
 
@@ -506,6 +636,138 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(run(threads), reference, "threads={threads} diverged");
         }
+    }
+
+    /// Shard state used by the arena tests: counts vertices seen this epoch
+    /// and remembers how often it was re-stamped.
+    #[derive(Clone, Debug, Default)]
+    struct CountShard {
+        epoch: u64,
+        epochs_seen: u64,
+        seen: Vec<u32>,
+    }
+
+    impl ShardScratch for CountShard {
+        fn begin_epoch(&mut self, epoch: u64) {
+            self.epoch = epoch;
+            self.epochs_seen += 1;
+            self.seen.clear();
+        }
+    }
+
+    #[test]
+    fn poisoned_vertex_panic_names_shard_and_vertex() {
+        // A panic inside the compute half must surface the shard index and
+        // the vertex id, not just "superstep shard panicked".
+        let caught = std::panic::catch_unwind(|| {
+            let mut eng: SuperstepEngine<()> = SuperstepEngine::new(32);
+            eng.step_parallel(true, 4, |v, _mail, _out| {
+                if v == 19 {
+                    panic!("poisoned state");
+                }
+            });
+        })
+        .expect_err("the poisoned vertex must abort the superstep");
+        let msg = panic_message(caught.as_ref());
+        // 32 vertices over 4 shards → chunk 8, vertex 19 lives in shard 2.
+        assert!(
+            msg.contains("shard 2") && msg.contains("vertex 19") && msg.contains("poisoned state"),
+            "panic message must name the culprit, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn poisoned_vertex_panic_names_culprit_inline_and_sharded() {
+        // Same contract on the threads=1 inline path and the sharded variant.
+        let inline = std::panic::catch_unwind(|| {
+            let mut eng: SuperstepEngine<()> = SuperstepEngine::new(4);
+            eng.step_parallel(true, 1, |v, _mail, _out| {
+                if v == 3 {
+                    panic!("inline poison");
+                }
+            });
+        })
+        .expect_err("inline superstep must abort");
+        let msg = panic_message(inline.as_ref());
+        assert!(
+            msg.contains("vertex 3") && msg.contains("inline poison"),
+            "inline panic must name the vertex, got: {msg}"
+        );
+
+        let sharded = std::panic::catch_unwind(|| {
+            let mut eng: SuperstepEngine<()> = SuperstepEngine::new(12);
+            let mut shards: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            eng.step_parallel_sharded(true, &mut shards, |v, _mail, _out, _s| {
+                if v == 9 {
+                    panic!("sharded poison");
+                }
+            });
+        })
+        .expect_err("sharded superstep must abort");
+        let msg = panic_message(sharded.as_ref());
+        // 12 vertices over 3 shards → chunk 4, vertex 9 lives in shard 2.
+        assert!(
+            msg.contains("shard 2") && msg.contains("vertex 9") && msg.contains("sharded poison"),
+            "sharded panic must name the culprit, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn arena_superstep_thread_sweep_is_deterministic() {
+        // The per-shard-arena superstep must produce the same merged
+        // accumulator trace and message totals at every worker count,
+        // with arenas persisting (and re-stamping) across rounds.
+        let n = 41usize;
+        let run = |threads: usize| -> (Vec<u32>, u64, u64) {
+            let mut eng: SuperstepEngine<u64> = SuperstepEngine::new(n);
+            let mut arenas: ShardArenas<CountShard> = ShardArenas::new();
+            let mut merged: Vec<u32> = Vec::new();
+            for round in 0..6u64 {
+                eng.step_parallel_arena(true, threads, &mut arenas, |v, _mail, out, s| {
+                    assert_eq!(s.epoch, round + 1, "stale shard epoch");
+                    s.seen.push(v);
+                    if v.is_multiple_of(5) {
+                        out.push(((v + 7) % n as u32, round));
+                    }
+                });
+                // Apply barrier: merge shard accumulators in shard order.
+                for s in arenas.active() {
+                    merged.extend_from_slice(&s.seen);
+                }
+                eng.step(false, |_v, _mail, _eng| {});
+            }
+            (merged, eng.messages_sent_total(), arenas.epoch())
+        };
+        let reference = run(1);
+        // Every vertex appears exactly once per round in the merged trace.
+        assert_eq!(reference.0.len(), n * 6);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn arena_shards_are_reused_and_restamped() {
+        let mut arenas: ShardArenas<CountShard> = ShardArenas::new();
+        assert_eq!(arenas.epoch(), 0);
+        let shards = arenas.begin(3);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.epoch == 1 && s.epochs_seen == 1));
+        // Shrinking the active count keeps the extra shard allocated but
+        // outside the active window; growing re-stamps everything.
+        let shards = arenas.begin(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(arenas.active().len(), 2);
+        let shards = arenas.begin(4);
+        assert_eq!(shards.len(), 4);
+        // The first two shards were stamped in all three epochs, the third
+        // in two, the fourth only in the last.
+        assert_eq!(shards[0].epochs_seen, 3);
+        assert_eq!(shards[2].epochs_seen, 2);
+        assert_eq!(shards[3].epochs_seen, 1);
+        assert_eq!(arenas.epoch(), 3);
+        // begin(0) still hands out one shard: a superstep needs a worker.
+        assert_eq!(arenas.begin(0).len(), 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use churn::{AvailabilityTrace, ChurnModel};
 pub use cma::Cma;
 pub use collect::{Histogram, Mean};
 pub use dist::{Exponential, LogNormal};
-pub use engine::{EventQueue, SuperstepEngine};
+pub use engine::{EventQueue, ShardArenas, ShardScratch, SuperstepEngine};
 pub use fault::FaultPlan;
 pub use latency::{BandwidthModel, LinkModel};
 pub use workload::PublishWorkload;
