@@ -45,6 +45,16 @@ echo "==> overlay auditor (every invariant on every round, plus the golden pin)"
 cargo test -q --offline -p select-core --features audit
 cargo test -q --offline --features audit --test overlay_audit
 
+echo "==> wire suite: codec (round-trips + hostile-input rejection, no panics)"
+cargo test -q --offline -p osn-net codec
+cargo test -q --offline -p osn-net --test codec_props
+
+echo "==> wire suite: loopback TCP smoke (200-peer socket fan-out, paper payload)"
+cargo test -q --offline -p osn-net --release socket::
+
+echo "==> wire suite: cross-transport conformance (inproc vs TCP delivery sets)"
+cargo test -q --offline --release --test wire_conformance
+
 if [ "${CI_MIRI:-0}" = "1" ]; then
     echo "==> miri (CI_MIRI=1): scratch arena + publish pipeline under the interpreter"
     if rustup component list 2>/dev/null | grep -q "miri.*(installed)"; then
@@ -74,6 +84,10 @@ cargo run -q --release --offline -p osn-bench --bin repro -- hotpath --check
 echo "==> observability overhead bench (quick preset, release) + <=5% gate"
 cargo run -q --release --offline -p osn-bench --bin repro -- --quick obs
 cargo run -q --release --offline -p osn-bench --bin repro -- obs --check
+
+echo "==> wire transport bench (quick preset, release) + schema check"
+cargo run -q --release --offline -p osn-bench --bin repro -- --quick wire
+cargo run -q --release --offline -p osn-bench --bin repro -- wire --check
 
 echo "==> full-scale convergence gate (63k Facebook, release) + budget check"
 cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- scale --check

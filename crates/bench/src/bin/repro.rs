@@ -23,6 +23,10 @@
 //!                 2x batched-routing throughput gate)
 //!   obs           observability overhead bench → BENCH_obs.json
 //!                 (with --check: validate + enforce the ≤5% overhead gate)
+//!   wire          transport bench: publishes/sec + p50/p95/p99 delivery
+//!                 latency over in-process channels vs loopback TCP →
+//!                 BENCH_wire.json (with --check: validate the schema and
+//!                 percentile sanity of an existing file)
 //!   scale         full-size convergence → BENCH_scale.json. By default runs
 //!                 the 63k Facebook preset; `--full` sweeps all four Table II
 //!                 presets (3.99M-peer Twitter included — release mode, see
@@ -184,6 +188,29 @@ fn main() {
                     Some(format!(
                         "{}\nwrote BENCH_obs.json\n",
                         obs_overhead::render_table(preset, &m)
+                    ))
+                }
+            }
+            "wire" => {
+                if check_only {
+                    let text = std::fs::read_to_string("BENCH_wire.json")
+                        .expect("read BENCH_wire.json (run `repro wire` first)");
+                    match wire::check_json(&text) {
+                        Ok(()) => Some("BENCH_wire.json: schema OK\n".to_string()),
+                        Err(e) => {
+                            eprintln!("BENCH_wire.json: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    let (n, publishes) = wire::preset_params(preset);
+                    let m = wire::measure(n, publishes, scale.seed);
+                    let json = wire::render_json(preset, scale.seed, &m);
+                    wire::check_json(&json).expect("emitted JSON failed its own schema check");
+                    std::fs::write("BENCH_wire.json", &json).expect("write BENCH_wire.json");
+                    Some(format!(
+                        "{}\nwrote BENCH_wire.json\n",
+                        wire::render_table(preset, &m)
                     ))
                 }
             }

@@ -54,6 +54,7 @@ pub mod obs_overhead;
 pub mod report;
 pub mod scale;
 pub mod table2;
+pub mod wire;
 
 /// Shared experiment sizing so quick CI runs and paper-scale runs use the
 /// same drivers.

@@ -1,0 +1,273 @@
+//! Wire-transport bench: publish throughput and delivery latency over the
+//! in-process reference transport vs real loopback TCP sockets, emitted as
+//! `BENCH_wire.json`.
+//!
+//! The wire refactor (DESIGN.md §12) put a codec and a socket transport
+//! behind the same [`osn_net::Transport`] trait as the crossbeam runtime.
+//! This harness quantifies what the sockets cost: the same converged
+//! overlay publishes the same trees over [`osn_net::ThreadedNetwork`] and
+//! [`osn_net::SocketNetwork`], recording per-publication wall latency
+//! (seed → all acks collected). The JSON reports publishes/sec and the
+//! p50/p95/p99 of per-publish latency for both transports. The `--check`
+//! gate validates the schema and basic sanity (positive throughput,
+//! monotone percentiles) — wall-clock ratios are machine-dependent, so no
+//! performance budget is enforced across machines.
+
+use crate::hotpath::json::{self, ObjExt};
+use bytes::Bytes;
+use osn_graph::datasets::Dataset;
+use osn_net::{SocketNetwork, ThreadedNetwork};
+use select_core::pubsub::RoutingTree;
+use select_core::{SelectConfig, SelectNetwork};
+use std::time::{Duration, Instant};
+
+/// Payload size per publication: 4 KiB — big enough that frames carry real
+/// data, small enough that the quick preset stays fast.
+pub const PAYLOAD_BYTES: usize = 4 * 1024;
+
+/// Latency percentiles of one transport's run, in microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    /// Median per-publication latency.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Publications per second over the whole run.
+    pub per_sec: f64,
+}
+
+/// One measured run of the wire bench.
+#[derive(Clone, Copy, Debug)]
+pub struct WireBench {
+    /// Peers in the network.
+    pub n: usize,
+    /// Publications per transport.
+    pub publishes: usize,
+    /// In-process reference transport (crossbeam channels).
+    pub inproc: LatencyStats,
+    /// Loopback TCP socket transport.
+    pub tcp: LatencyStats,
+}
+
+/// Harness sizing per `repro` preset: (peers, publishes per transport).
+pub fn preset_params(preset: &str) -> (usize, usize) {
+    match preset {
+        "quick" => (120, 30),
+        "full" => (300, 120),
+        _ => (200, 60),
+    }
+}
+
+/// Sorted-latency percentile (nearest-rank); `samples` must be non-empty.
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted_us.len()) - 1;
+    sorted_us.get(idx).copied().unwrap_or(0.0)
+}
+
+fn stats_of(mut latencies_us: Vec<f64>, total: Duration) -> LatencyStats {
+    latencies_us.sort_by(f64::total_cmp);
+    LatencyStats {
+        p50_us: percentile(&latencies_us, 50.0),
+        p95_us: percentile(&latencies_us, 95.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        per_sec: latencies_us.len() as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Converges Facebook-`n` once, collects `publishes` routing trees, then
+/// replays them over both transports with identical payloads, timing each
+/// publication seed-to-acks.
+pub fn measure(n: usize, publishes: usize, seed: u64) -> WireBench {
+    let graph = Dataset::Facebook.generate_with_nodes(n, seed);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(seed).with_threads(1),
+    );
+    net.converge(300);
+    let trees: Vec<RoutingTree> = (0..publishes as u32)
+        .map(|b| net.publish(b % n as u32).tree)
+        .collect();
+    let payload = Bytes::from(vec![0x5Eu8; PAYLOAD_BYTES]);
+
+    let run = |publish: &mut dyn FnMut(&RoutingTree) -> usize| -> LatencyStats {
+        let mut lat = Vec::with_capacity(trees.len());
+        let t0 = Instant::now();
+        for tree in &trees {
+            let p0 = Instant::now();
+            std::hint::black_box(publish(tree));
+            lat.push(p0.elapsed().as_secs_f64() * 1e6);
+        }
+        stats_of(lat, t0.elapsed())
+    };
+
+    let mut inproc_net = ThreadedNetwork::spawn(n);
+    let inproc = run(&mut |t| {
+        inproc_net
+            .publish(t, payload.clone(), Duration::from_secs(10))
+            .delivered_to
+            .len()
+    });
+    inproc_net.shutdown();
+
+    let mut tcp_net = SocketNetwork::spawn(n).expect("loopback listeners");
+    let tcp = run(&mut |t| {
+        tcp_net
+            .publish(t, payload.clone(), Duration::from_secs(10))
+            .delivered_to
+            .len()
+    });
+    tcp_net.shutdown();
+
+    WireBench {
+        n,
+        publishes,
+        inproc,
+        tcp,
+    }
+}
+
+/// Renders `BENCH_wire.json` (`select-wire/v1`).
+pub fn render_json(preset: &str, seed: u64, m: &WireBench) -> String {
+    let side = |s: &LatencyStats| {
+        format!(
+            "{{ \"per_sec\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1} }}",
+            s.per_sec, s.p50_us, s.p95_us, s.p99_us
+        )
+    };
+    format!(
+        "{{\n  \"schema\": \"select-wire/v1\",\n  \"preset\": \"{preset}\",\n  \"n\": {},\n  \
+         \"publishes\": {},\n  \"seed\": {seed},\n  \"payload_bytes\": {PAYLOAD_BYTES},\n  \
+         \"inproc\": {},\n  \"tcp\": {}\n}}\n",
+        m.n,
+        m.publishes,
+        side(&m.inproc),
+        side(&m.tcp),
+    )
+}
+
+/// Human-readable summary printed alongside the JSON file.
+pub fn render_table(preset: &str, m: &WireBench) -> String {
+    let row = |name: &str, s: &LatencyStats| {
+        format!(
+            "  {name:<8} {:>9.1} pub/s   p50 {:>8.0} µs   p95 {:>8.0} µs   p99 {:>8.0} µs\n",
+            s.per_sec, s.p50_us, s.p95_us, s.p99_us
+        )
+    };
+    format!(
+        "Wire transports ({preset}: n={}, {} publishes, {} B payload)\n{}{}",
+        m.n,
+        m.publishes,
+        PAYLOAD_BYTES,
+        row("inproc:", &m.inproc),
+        row("tcp:", &m.tcp),
+    )
+}
+
+/// Validates an emitted `BENCH_wire.json`: schema `select-wire/v1`, both
+/// transport objects present with positive throughput and monotone
+/// latency percentiles.
+pub fn check_json(text: &str) -> Result<(), String> {
+    let v = json::parse(text)?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    match obj.field("schema") {
+        Some(json::Value::Str(s)) if s == "select-wire/v1" => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    for k in ["n", "publishes", "seed", "payload_bytes"] {
+        match obj.field(k) {
+            Some(json::Value::Num(_)) => {}
+            other => return Err(format!("\"{k}\" missing or non-numeric: {other:?}")),
+        }
+    }
+    for transport in ["inproc", "tcp"] {
+        let side = match obj.field(transport) {
+            Some(v) => v
+                .as_object()
+                .ok_or(format!("\"{transport}\" is not an object"))?,
+            None => return Err(format!("missing key \"{transport}\"")),
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            match side.field(k) {
+                Some(json::Value::Num(x)) => Ok(*x),
+                other => Err(format!("\"{transport}.{k}\" bad or missing: {other:?}")),
+            }
+        };
+        let per_sec = num("per_sec")?;
+        let (p50, p95, p99) = (num("p50_us")?, num("p95_us")?, num("p99_us")?);
+        if per_sec <= 0.0 {
+            return Err(format!("\"{transport}.per_sec\" must be positive"));
+        }
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "\"{transport}\" percentiles not monotone: p50 {p50}, p95 {p95}, p99 {p99}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireBench {
+        WireBench {
+            n: 120,
+            publishes: 30,
+            inproc: LatencyStats {
+                p50_us: 180.0,
+                p95_us: 420.0,
+                p99_us: 900.0,
+                per_sec: 4_100.0,
+            },
+            tcp: LatencyStats {
+                p50_us: 750.0,
+                p95_us: 2_100.0,
+                p99_us: 4_800.0,
+                per_sec: 1_100.0,
+            },
+        }
+    }
+
+    #[test]
+    fn emitted_json_passes_its_own_check() {
+        let json = render_json("quick", 42, &sample());
+        check_json(&json).expect("schema check failed on our own output");
+    }
+
+    #[test]
+    fn check_rejects_malformed_documents() {
+        assert!(check_json("not json").is_err());
+        assert!(check_json("{}").is_err());
+        assert!(check_json("{\"schema\": \"select-wire/v0\"}").is_err());
+        // Non-monotone percentiles must fail.
+        let mut m = sample();
+        m.tcp.p95_us = 10.0;
+        assert!(check_json(&render_json("quick", 42, &m)).is_err());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn small_harness_run_is_consistent() {
+        let m = measure(40, 6, 7);
+        assert_eq!(m.n, 40);
+        assert!(m.inproc.per_sec > 0.0 && m.tcp.per_sec > 0.0);
+        let json = render_json("test-preset", 7, &m);
+        check_json(&json).expect("measured output must satisfy the gate");
+    }
+}

@@ -53,6 +53,7 @@ mod scratch;
 pub mod stats;
 pub mod strength;
 pub mod topics;
+pub mod wire;
 
 pub use config::SelectConfig;
 pub use gossip::RoundChanges;
@@ -60,3 +61,4 @@ pub use network::{ConvergenceReport, SelectNetwork};
 pub use pubsub::{DisseminationReport, RoutingTree};
 pub use recovery::RecoveryReport;
 pub use stats::{ConvergenceTelemetry, DeliveryTelemetry, OverlayStats, RoundTelemetry};
+pub use wire::WireMsg;

@@ -19,44 +19,13 @@ use crate::links::create_links;
 use crate::network::SelectNetwork;
 use crate::reassign::evaluate_position;
 use crate::stats::{ConvergenceTelemetry, RoundTelemetry};
+use crate::wire::WireMsg;
 use osn_graph::UserId;
 use osn_overlay::RingId;
 use osn_sim::SuperstepEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-
-/// Gossip wire messages (Algorithms 3–4).
-#[derive(Clone, Debug)]
-pub enum GossipMsg {
-    /// Active thread, Alg. 3 line 3: `Send <C_p, R_p>` plus the sender's
-    /// current identifier (needed by the receiver's Alg. 2 step).
-    ExchangeRt {
-        /// Sender.
-        from: u32,
-        /// Sender's current ring identifier.
-        position: RingId,
-        /// Sender's social neighbourhood `C_p`.
-        neighbourhood: Vec<u32>,
-        /// Sender's current connection set `R_p`.
-        links: Vec<u32>,
-    },
-    /// Passive thread, Alg. 4 line 6: `Send <nMutual, M>` plus the
-    /// responder's identifier and links (the friendship-bitmap payload `M`
-    /// is represented by the raw link set; the requester builds the bitmap
-    /// over its own neighbourhood ordering, exactly like
-    /// `constructFriendshipBitmap`).
-    ExchangeReply {
-        /// Responder.
-        from: u32,
-        /// Responder's current ring identifier.
-        position: RingId,
-        /// `nMutual`: |C_u ∩ C_p| computed by the responder.
-        n_mutual: usize,
-        /// Responder's connection set (bitmap source).
-        links: Vec<u32>,
-    },
-}
 
 /// What one peer has learned from gossip: cached friend positions and link
 /// sets — the lookahead set `L_p`, including staleness.
@@ -178,7 +147,7 @@ pub struct ProtocolRoundStats {
 pub struct ProtocolNetwork {
     net: SelectNetwork,
     views: Vec<PeerView>,
-    engine: SuperstepEngine<GossipMsg>,
+    engine: SuperstepEngine<WireMsg>,
     rng: StdRng,
 }
 
@@ -246,7 +215,7 @@ impl ProtocolNetwork {
                 continue;
             }
             let target = friends[self.rng.gen_range(0..friends.len())];
-            let msg = GossipMsg::ExchangeRt {
+            let msg = WireMsg::ExchangeRt {
                 from: p,
                 position: self.net.identifier_of(p),
                 neighbourhood: self
@@ -262,7 +231,7 @@ impl ProtocolNetwork {
         }
 
         // Phase 2: deliver + react.
-        let mut replies: Vec<(u32, GossipMsg)> = Vec::new();
+        let mut replies: Vec<(u32, WireMsg)> = Vec::new();
         let mut touched: Vec<u32> = Vec::new();
         let net = &self.net;
         let views = &mut self.views;
@@ -272,7 +241,7 @@ impl ProtocolNetwork {
             }
             for msg in mail {
                 match msg {
-                    GossipMsg::ExchangeRt {
+                    WireMsg::ExchangeRt {
                         from,
                         position,
                         neighbourhood,
@@ -293,24 +262,29 @@ impl ProtocolNetwork {
                         views[v as usize].record(from, position, links, n_mutual);
                         replies.push((
                             from,
-                            GossipMsg::ExchangeReply {
+                            WireMsg::ExchangeReply {
                                 from: v,
                                 position: net.identifier_of(v),
-                                n_mutual,
+                                n_mutual: n_mutual as u32,
                                 links: net.connections_of(v),
                             },
                         ));
                         touched.push(v);
                     }
-                    GossipMsg::ExchangeReply {
+                    WireMsg::ExchangeReply {
                         from,
                         position,
                         n_mutual,
                         links,
                     } => {
-                        views[v as usize].record(from, position, links, n_mutual);
+                        views[v as usize].record(from, position, links, n_mutual as usize);
                         touched.push(v);
                     }
+                    // The gossip engine only ever routes exchange traffic;
+                    // other vocabulary (publish, probe, transport control)
+                    // belongs to the pub/sub and recovery paths and is
+                    // ignored here rather than crashing the round.
+                    _ => {}
                 }
             }
         });

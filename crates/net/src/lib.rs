@@ -2,27 +2,45 @@
 //!
 //! The paper's realistic evaluation (§IV-D) ran browser peers over WebRTC on
 //! 18 VMs, sending 1.2 MB payloads with per-peer bandwidth heterogeneity and
-//! per-link latency. This crate substitutes that testbed with two layers that
-//! exercise the same code paths (see DESIGN.md §3):
+//! per-link latency. This crate substitutes that testbed with a layered
+//! network stack that exercises the same code paths (see DESIGN.md §3, §12):
 //!
 //! * [`timing`] — a deterministic virtual-time transfer simulator:
 //!   store-and-forward dissemination over a routing tree where each peer's
 //!   uploads are **serialized** (the star experiment's linear law) and every
 //!   link carries its own propagation latency. This produces the Fig. 7
 //!   latency series.
-//! * [`runtime`] — a real concurrent actor runtime: one OS thread per peer,
-//!   crossbeam channels as links, `bytes::Bytes` payloads forwarded along
-//!   the dissemination tree. It demonstrates the protocol actually running
-//!   as message-passing peers and is used by the realistic integration
-//!   tests and the `realistic_run` example.
+//! * [`transport`] — the [`Transport`] trait every runtime implements, plus
+//!   [`publish_over`]: the ack-window/retransmission loop written once,
+//!   generically, so retry policy cannot drift between transports.
+//! * [`runtime`] — the **reference transport**: one OS thread per peer,
+//!   crossbeam channels as links, [`select_core::WireMsg`] as the
+//!   vocabulary, `bytes::Bytes` payloads forwarded along the dissemination
+//!   tree. Deterministic and fast; the baseline conformance replays
+//!   against.
+//! * [`codec`] — the dependency-free binary framing of `WireMsg`
+//!   (length-prefixed little-endian, magic + version header); decoding is
+//!   total and panic-free.
+//! * [`socket`] — the same protocol over real loopback TCP: each peer a
+//!   thread owning a `TcpListener`, every message a codec frame, the fault
+//!   plan applied at the socket boundary. The `wire_conformance`
+//!   integration test pins its delivery sets to the in-process reference
+//!   under identical seeds.
+//! * [`throttled`] — the runtime with modelled upload bandwidth: forwards
+//!   cost real wall-clock time, validating [`timing`]'s predictions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod runtime;
+pub mod socket;
 pub mod throttled;
 pub mod timing;
+pub mod transport;
 
-pub use runtime::{PublishResult, ThreadedNetwork};
+pub use runtime::ThreadedNetwork;
+pub use socket::SocketNetwork;
 pub use throttled::{ThrottledNetwork, TimedPublishResult};
 pub use timing::{DisseminationTiming, TransferSim};
+pub use transport::{publish_over, PeerAddr, PublishResult, Transport};

@@ -6,93 +6,36 @@
 //! buffers are reference-counted (`Bytes::clone` is O(1)), mirroring how a
 //! real node relays a buffer it holds.
 //!
+//! Actors speak [`WireMsg`] — the same vocabulary the codec frames onto TCP
+//! in [`crate::socket`] — over crossbeam channels, and the publish path is
+//! the generic [`crate::transport::publish_over`] driver. This runtime is
+//! the **reference transport**: deterministic, fast, and the baseline the
+//! socket transport's conformance test replays against.
+//!
 //! The runtime checks *behaviour* (every subscriber receives exactly one
 //! copy, forwarding follows the tree, concurrent publications don't
 //! interfere); timing fidelity is the job of [`crate::timing`].
 
+use crate::transport::{publish_over, PeerAddr, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use osn_sim::FaultPlan;
+use osn_sim::{FaultPlan, FrameFate};
 use select_core::pubsub::RoutingTree;
-use std::collections::{HashMap, HashSet};
+use select_core::wire::{children_for, WireMsg};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Messages exchanged between peer actors.
-enum NetMsg {
-    /// A payload for publication `pub_id`, to be delivered locally and
-    /// forwarded to `children[self]`.
-    Payload {
-        pub_id: u64,
-        /// Retransmission attempt (0 = the original dissemination); feeds
-        /// the fault plan so retries redraw their drop decisions.
-        attempt: u32,
-        payload: Bytes,
-        /// Forwarding plan: child lists per peer for this publication.
-        children: std::sync::Arc<HashMap<u32, Vec<u32>>>,
-    },
-    /// Shut the actor down.
-    Stop,
-}
-
-/// A delivery record sent to the collector.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Delivery {
-    pub_id: u64,
-    peer: u32,
-    bytes: usize,
-}
-
-/// Outcome of one threaded publication.
-#[derive(Clone, Debug)]
-pub struct PublishResult {
-    /// Peers that received the payload (excluding the publisher).
-    pub delivered_to: HashSet<u32>,
-    /// Total bytes received across all peers.
-    pub bytes_received: usize,
-    /// Transmissions the fault plan dropped during this publication.
-    pub drops_injected: u64,
-    /// Direct retransmissions the publisher sent after ack timeouts.
-    pub retries: u64,
-}
-
-impl PublishResult {
-    /// Folds this publication into `rec`: hop counts for every delivered
-    /// peer (depth along its tree path), relay load from the tree's
-    /// forwarding fan-out, and the retransmission count. Everything
-    /// recorded is derived from the tree and the delivery set — never from
-    /// wall clocks — so replaying the same tree and fault plan reproduces
-    /// the same histograms.
-    pub fn record_into(&self, tree: &RoutingTree, rec: &mut osn_obs::PublishRecorder) {
-        for path in tree.paths() {
-            let Some(&subscriber) = path.last() else {
-                continue;
-            };
-            if !self.delivered_to.contains(&subscriber) {
-                continue;
-            }
-            rec.hops.record((path.len().saturating_sub(1)) as u64);
-            rec.stretch.record((path.len().saturating_sub(2)) as u64);
-        }
-        for (peer, sends) in tree.forwards_per_peer() {
-            rec.relay_load_add(peer, sends);
-        }
-        rec.note_retries(self.retries);
-    }
-}
-
-/// Smallest ack window [`ThreadedNetwork::publish`] will wait before
-/// declaring a retransmission wave. Keeps huge retry budgets from slicing
-/// the timeout into windows too short for any ack to arrive.
-const MIN_ACK_WINDOW: Duration = Duration::from_millis(20);
+pub use crate::transport::PublishResult;
 
 /// A network of peer actors.
 pub struct ThreadedNetwork {
-    senders: Vec<Sender<NetMsg>>,
+    senders: Vec<Sender<WireMsg>>,
     handles: Vec<JoinHandle<()>>,
-    deliveries: Receiver<Delivery>,
+    /// Driver-bound event frames: acks, probe replies (joins are drained
+    /// by the spawn handshake).
+    events: Receiver<WireMsg>,
     next_pub_id: u64,
     /// Retransmission waves `publish` may use after the first ack window.
     retry_max: u32,
@@ -106,16 +49,21 @@ impl ThreadedNetwork {
     }
 
     /// Spawns `n` peer actors whose forwards run through `plan`: before
-    /// each child send the actor draws the plan's drop decision (keyed by
+    /// each child send the actor draws the plan's frame fate (keyed by
     /// publication, attempt and directed link — deterministic and
-    /// replayable) and sleeps its delay jitter (virtual ms compressed to
-    /// wall µs). `retry_max` bounds the publisher-side ack-driven
-    /// retransmission waves of [`ThreadedNetwork::publish`].
+    /// replayable): drops are discarded and counted, delay jitter sleeps
+    /// before the send (virtual ms compressed to wall µs). `retry_max`
+    /// bounds the publisher-side ack-driven retransmission waves of
+    /// [`ThreadedNetwork::publish`].
+    ///
+    /// Every actor announces itself with a [`WireMsg::Join`] frame; spawn
+    /// returns once all `n` joins arrived, so the network is fully up
+    /// before the first publication.
     pub fn spawn_with_faults(n: usize, plan: FaultPlan, retry_max: u32) -> Self {
-        let (delivery_tx, deliveries) = unbounded::<Delivery>();
+        let (event_tx, events) = unbounded::<WireMsg>();
         let drops = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<NetMsg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<WireMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             senders.push(tx);
@@ -124,16 +72,26 @@ impl ThreadedNetwork {
         let mut handles = Vec::with_capacity(n);
         for (id, rx) in receivers.into_iter().enumerate() {
             let peers = senders.clone();
-            let delivery_tx = delivery_tx.clone();
+            let event_tx = event_tx.clone();
             let drops = drops.clone();
             handles.push(std::thread::spawn(move || {
-                actor_loop(id as u32, rx, peers, delivery_tx, plan, drops)
+                actor_loop(id as u32, rx, peers, event_tx, plan, drops)
             }));
+        }
+        // Readiness handshake: drain one Join per actor so no event frame
+        // from a later publication can race ahead of a still-starting peer.
+        let mut joined = 0;
+        while joined < n {
+            match events.recv_timeout(Duration::from_secs(10)) {
+                Ok(WireMsg::Join { .. }) => joined += 1,
+                Ok(_) => {}      // impossible before any publication; ignore
+                Err(_) => break, // a peer thread died; publish will time out
+            }
         }
         ThreadedNetwork {
             senders,
             handles,
-            deliveries,
+            events,
             next_pub_id: 1,
             retry_max,
             drops,
@@ -157,10 +115,9 @@ impl ThreadedNetwork {
     /// timeout is split into `retry_max + 1` ack windows: subscribers still
     /// unacked when a window closes are retransmitted to directly, with a
     /// fresh attempt number so the fault plan redraws its drop decisions.
-    /// Per-actor dedup keeps redundant copies from double-delivering.
-    ///
-    /// # Panics
-    /// Panics if the tree's publisher is out of range.
+    /// Per-actor dedup keeps redundant copies from double-delivering. The
+    /// loop itself is the transport-generic
+    /// [`crate::transport::publish_over`].
     pub fn publish(
         &mut self,
         tree: &RoutingTree,
@@ -169,101 +126,47 @@ impl ThreadedNetwork {
     ) -> PublishResult {
         let pub_id = self.next_pub_id;
         self.next_pub_id += 1;
-
-        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
-        // edges() is sorted, so each child list arrives already ascending
-        // and forwarding order is stable without re-sorting.
-        for (u, v) in tree.edges() {
-            children.entry(u).or_default().push(v);
-        }
-        // The publisher can appear as a tree child (cyclic paths in a
-        // malformed tree, or a path that revisits the source); its local
-        // delivery is filtered out of `delivered_to` below, so counting it
-        // here would make the ack loop unsatisfiable and burn every retry
-        // window.
-        let expect: HashSet<u32> = children
-            .values()
-            .flatten()
-            .copied()
-            .filter(|&p| p != tree.publisher)
-            .collect();
-        let children = std::sync::Arc::new(children);
-        let drops_before = self.drops.load(Ordering::Relaxed);
-
-        let mut result = PublishResult {
-            delivered_to: HashSet::new(),
-            bytes_received: 0,
-            drops_injected: 0,
-            retries: 0,
-        };
-        // A tree built against a different network (publisher out of range)
-        // or a runtime already shut down delivers nothing rather than
-        // panicking mid-delivery.
-        let seeded = self.senders.get(tree.publisher as usize).map(|tx| {
-            tx.send(NetMsg::Payload {
-                pub_id,
-                attempt: 0,
-                payload: payload.clone(),
-                children: children.clone(),
-            })
-        });
-        if !matches!(seeded, Some(Ok(()))) {
-            return result;
-        }
-        let windows = self.retry_max + 1;
-        // Floor the per-window duration: with `timeout < retry_max + 1` ms
-        // the division yields (near-)zero windows, `recv_timeout` returns
-        // immediately, and retransmission waves fire back-to-back without
-        // ever waiting for acks.
-        let window = (timeout / windows).max(MIN_ACK_WINDOW);
-        for attempt in 0..windows {
-            let deadline = std::time::Instant::now() + window;
-            while result.delivered_to.len() < expect.len() {
-                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                match self.deliveries.recv_timeout(remaining) {
-                    // The publisher's own local delivery does not count.
-                    Ok(d) if d.pub_id == pub_id && d.peer != tree.publisher => {
-                        if result.delivered_to.insert(d.peer) {
-                            result.bytes_received += d.bytes;
-                        }
-                    }
-                    Ok(_) => {} // stale delivery from an earlier publication
-                    Err(_) => break,
-                }
-            }
-            if result.delivered_to.len() >= expect.len() || attempt + 1 >= windows {
-                break;
-            }
-            // Ack window closed with subscribers missing: retransmit to
-            // each directly. The shared children map rides along, so a
-            // relay that lost its whole subtree re-forwards downstream.
-            let mut unreached: Vec<u32> = expect
-                .iter()
-                .copied()
-                .filter(|p| !result.delivered_to.contains(p) && *p != tree.publisher)
-                .collect();
-            unreached.sort_unstable();
-            for peer in unreached {
-                let Some(tx) = self.senders.get(peer as usize) else {
-                    continue; // malformed tree edge: no such peer to retry
-                };
-                result.retries += 1;
-                let _ = tx.send(NetMsg::Payload {
-                    pub_id,
-                    attempt: attempt + 1,
-                    payload: payload.clone(),
-                    children: children.clone(),
-                });
-            }
-        }
-        result.drops_injected = self.drops.load(Ordering::Relaxed) - drops_before;
-        result
+        let retry_max = self.retry_max;
+        publish_over(self, tree, payload, timeout, retry_max, pub_id)
     }
 
-    /// Stops all actors and joins their threads.
-    pub fn shutdown(mut self) {
+    /// Probes `peer` for liveness over the wire vocabulary: injects a
+    /// [`WireMsg::Probe`] and waits up to `timeout` for the matching
+    /// [`WireMsg::ProbeReply`]. Returns the reply's `online` flag, or
+    /// `None` on timeout / unknown peer.
+    pub fn probe(&mut self, peer: u32, nonce: u64, timeout: Duration) -> Option<bool> {
+        if !self.send_to(
+            peer,
+            WireMsg::Probe {
+                from: u32::MAX,
+                nonce,
+            },
+        ) {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.recv_event(remaining) {
+                Some(WireMsg::ProbeReply {
+                    from,
+                    nonce: echoed,
+                    online,
+                }) if from == peer && echoed == nonce => return Some(online),
+                Some(_) => {} // stale ack from an earlier publication
+                None => return None,
+            }
+        }
+    }
+
+    /// Stops all actors and joins their threads. Idempotent: calling it
+    /// again (or dropping the network afterwards) is a no-op.
+    pub fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
         for tx in &self.senders {
-            let _ = tx.send(NetMsg::Stop);
+            let _ = tx.send(WireMsg::Shutdown);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -271,58 +174,112 @@ impl ThreadedNetwork {
     }
 }
 
+impl Drop for ThreadedNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for ThreadedNetwork {
+    fn len(&self) -> usize {
+        ThreadedNetwork::len(self)
+    }
+
+    fn send_to(&mut self, to: u32, msg: WireMsg) -> bool {
+        match self.senders.get(to as usize) {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        }
+    }
+
+    fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    fn drops_injected(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    fn peer_addr(&self, peer: u32) -> Option<PeerAddr> {
+        ((peer as usize) < self.senders.len()).then_some(PeerAddr::InProc(peer))
+    }
+
+    fn shutdown(&mut self) {
+        ThreadedNetwork::shutdown(self);
+    }
+}
+
 fn actor_loop(
     id: u32,
-    rx: Receiver<NetMsg>,
-    peers: Vec<Sender<NetMsg>>,
-    deliveries: Sender<Delivery>,
+    rx: Receiver<WireMsg>,
+    peers: Vec<Sender<WireMsg>>,
+    events: Sender<WireMsg>,
     plan: FaultPlan,
     drops: Arc<AtomicU64>,
 ) {
+    let _ = events.send(WireMsg::Join { peer: id });
     // Each actor remembers publications it already handled so duplicate
     // forwards (diamond trees, retransmissions) deliver once.
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            NetMsg::Payload {
+            WireMsg::Publish {
                 pub_id,
                 attempt,
-                payload,
+                publisher,
                 children,
+                payload,
             } => {
                 if !seen.insert(pub_id) {
                     continue;
                 }
-                let _ = deliveries.send(Delivery {
+                let _ = events.send(WireMsg::Ack {
                     pub_id,
                     peer: id,
-                    bytes: payload.len(),
+                    bytes: payload.len() as u64,
                 });
-                if let Some(kids) = children.get(&id) {
+                if let Some(kids) = children_for(&children, id) {
                     for &c in kids {
-                        if plan.drops(pub_id, attempt, id, c) {
-                            drops.fetch_add(1, Ordering::Relaxed);
-                            continue;
+                        match plan.frame_fate(pub_id, attempt, id, c) {
+                            FrameFate::Drop => {
+                                drops.fetch_add(1, Ordering::Relaxed);
+                            }
+                            FrameFate::Deliver { delay_ms } => {
+                                // Delay jitter: virtual ms compressed to
+                                // wall µs so tests stay fast while ordering
+                                // pressure is real.
+                                if delay_ms > 0.0 {
+                                    std::thread::sleep(Duration::from_micros(
+                                        delay_ms.ceil() as u64
+                                    ));
+                                }
+                                let Some(tx) = peers.get(c as usize) else {
+                                    continue; // malformed tree edge: no such peer
+                                };
+                                let _ = tx.send(WireMsg::Publish {
+                                    pub_id,
+                                    attempt,
+                                    publisher,
+                                    children: children.clone(),
+                                    payload: payload.clone(),
+                                });
+                            }
                         }
-                        // Delay jitter: virtual ms compressed to wall µs so
-                        // tests stay fast while ordering pressure is real.
-                        let jitter = plan.delay_ms(pub_id, attempt, id, c);
-                        if jitter > 0.0 {
-                            std::thread::sleep(Duration::from_micros(jitter.ceil() as u64));
-                        }
-                        let Some(tx) = peers.get(c as usize) else {
-                            continue; // malformed tree edge: no such peer
-                        };
-                        let _ = tx.send(NetMsg::Payload {
-                            pub_id,
-                            attempt,
-                            payload: payload.clone(),
-                            children: children.clone(),
-                        });
                     }
                 }
             }
-            NetMsg::Stop => break,
+            WireMsg::Probe { from: _, nonce } => {
+                let _ = events.send(WireMsg::ProbeReply {
+                    from: id,
+                    nonce,
+                    online: true,
+                });
+            }
+            WireMsg::Shutdown => break,
+            // Gossip exchange frames route through the superstep engine,
+            // and ack/join frames are driver-bound: an actor receiving one
+            // ignores it rather than crashing the network.
+            _ => {}
         }
     }
 }
@@ -330,6 +287,7 @@ fn actor_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
         RoutingTree::from_paths(publisher, paths)
@@ -497,6 +455,37 @@ mod tests {
         let r = net.publish(&t, Bytes::from_static(b"j"), Duration::from_secs(5));
         assert_eq!(r.delivered_to, HashSet::from([1, 2, 3, 4]));
         assert_eq!(r.drops_injected, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_safe() {
+        let mut net = ThreadedNetwork::spawn(3);
+        let t = tree(0, vec![vec![0, 1]]);
+        let r = net.publish(&t, Bytes::from_static(b"s"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to, HashSet::from([1]));
+        net.shutdown();
+        net.shutdown(); // second call must be a no-op
+        drop(net); // and the Drop guard must not double-join
+        let abandoned = ThreadedNetwork::spawn(2);
+        drop(abandoned); // never-shut-down network joins cleanly via Drop
+    }
+
+    #[test]
+    fn probe_round_trips_over_the_wire_vocabulary() {
+        let mut net = ThreadedNetwork::spawn(3);
+        assert_eq!(net.probe(2, 77, Duration::from_secs(5)), Some(true));
+        assert_eq!(net.probe(9, 78, Duration::from_millis(50)), None);
+        net.shutdown();
+    }
+
+    #[test]
+    fn transport_send_and_events_cover_the_driver_surface() {
+        let mut net = ThreadedNetwork::spawn(2);
+        assert_eq!(Transport::len(&net), 2);
+        assert_eq!(net.peer_addr(1), Some(PeerAddr::InProc(1)));
+        assert_eq!(net.peer_addr(2), None);
+        assert!(!net.send_to(7, WireMsg::Shutdown));
         net.shutdown();
     }
 }

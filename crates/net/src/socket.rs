@@ -1,0 +1,532 @@
+//! TCP loopback socket transport: the wire format on real sockets.
+//!
+//! [`SocketNetwork`] runs the same peer-actor protocol as
+//! [`crate::runtime::ThreadedNetwork`], but every link is a real TCP
+//! connection on `127.0.0.1` and every message crosses it as a
+//! [`crate::codec`] frame. Each peer is one OS thread owning a
+//! [`std::net::TcpListener`]:
+//!
+//! * **Control plane** — at startup every peer opens one persistent stream
+//!   to the driver's control listener, announces itself with a
+//!   [`WireMsg::Join`] frame, and later writes its acks and probe replies
+//!   there. The driver runs one reader thread per control stream, decoding
+//!   frames into the event channel that [`crate::transport::publish_over`]
+//!   consumes.
+//! * **Data plane** — forwards are one-shot connections: connect to the
+//!   child's listener, write one frame, close. Peers accept serially and
+//!   read each connection to EOF; the dissemination tree is acyclic, so
+//!   blocking forwards cannot deadlock.
+//!
+//! The [`osn_sim::FaultPlan`] is applied **at the transport boundary**,
+//! exactly like the in-process runtime: before each peer→child forward the
+//! peer draws [`osn_sim::FaultPlan::frame_fate`] — a dropped frame is
+//! simply never written to the socket, and delay jitter sleeps before the
+//! write (virtual ms compressed to wall µs). Driver injections
+//! ([`Transport::send_to`], including retransmissions) draw no fault
+//! decision. This keeps delivery sets bit-identical with the in-process
+//! reference under the same seed, which the `wire_conformance` integration
+//! test pins.
+//!
+//! A frame that fails to decode (garbage, truncation, bad magic) costs the
+//! peer that **connection**, never the peer itself: the stream is dropped
+//! and the accept loop continues.
+
+use crate::codec::{encode, read_frame, write_frame};
+use crate::transport::{publish_over, PeerAddr, PublishResult, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_sim::{FaultPlan, FrameFate};
+use select_core::pubsub::RoutingTree;
+use select_core::wire::{children_for, WireMsg};
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A network of peer actors linked by loopback TCP sockets.
+pub struct SocketNetwork {
+    peer_addrs: Arc<Vec<SocketAddr>>,
+    peer_handles: Vec<JoinHandle<()>>,
+    reader_handles: Vec<JoinHandle<()>>,
+    events: Receiver<WireMsg>,
+    next_pub_id: u64,
+    /// Retransmission waves `publish` may use after the first ack window.
+    retry_max: u32,
+    drops: Arc<AtomicU64>,
+}
+
+impl SocketNetwork {
+    /// Spawns `n` socket peers on a fault-free network. Fails only if the
+    /// OS refuses loopback listeners.
+    pub fn spawn(n: usize) -> io::Result<Self> {
+        Self::spawn_with_faults(n, FaultPlan::disabled(), 0)
+    }
+
+    /// Spawns `n` socket peers whose forwards run through `plan` (see the
+    /// module docs for where fault decisions apply); `retry_max` bounds the
+    /// ack-driven retransmission waves of [`SocketNetwork::publish`].
+    ///
+    /// Returns once every peer has connected its control stream and sent
+    /// its [`WireMsg::Join`], so the network is fully up — all listeners
+    /// bound, all acceptors running — before the first publication.
+    pub fn spawn_with_faults(n: usize, plan: FaultPlan, retry_max: u32) -> io::Result<Self> {
+        let control = TcpListener::bind(("127.0.0.1", 0))?;
+        let control_addr = control.local_addr()?;
+
+        // Bind every peer's listener up front so the address table is
+        // complete before any peer thread starts forwarding.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let peer_addrs = Arc::new(addrs);
+
+        let drops = Arc::new(AtomicU64::new(0));
+        let mut peer_handles = Vec::with_capacity(n);
+        for (id, listener) in listeners.into_iter().enumerate() {
+            let peer_addrs = peer_addrs.clone();
+            let drops = drops.clone();
+            peer_handles.push(std::thread::spawn(move || {
+                peer_loop(id as u32, listener, control_addr, peer_addrs, plan, drops)
+            }));
+        }
+
+        // Accept each peer's persistent control stream and hand it to a
+        // reader thread that pumps decoded frames into the event channel.
+        let (event_tx, events) = unbounded::<WireMsg>();
+        let mut reader_handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (stream, _) = control.accept()?;
+            let _ = stream.set_nodelay(true);
+            let event_tx = event_tx.clone();
+            reader_handles.push(std::thread::spawn(move || control_reader(stream, event_tx)));
+        }
+
+        let net = SocketNetwork {
+            peer_addrs,
+            peer_handles,
+            reader_handles,
+            events,
+            next_pub_id: 1,
+            retry_max,
+            drops,
+        };
+        // Readiness handshake: every peer announces itself before traffic.
+        let mut joined = 0;
+        while joined < n {
+            match net.events.recv_timeout(Duration::from_secs(10)) {
+                Ok(WireMsg::Join { .. }) => joined += 1,
+                Ok(_) => {}
+                Err(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "socket peer failed to join",
+                    ))
+                }
+            }
+        }
+        Ok(net)
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peer_addrs.len()
+    }
+
+    /// True if no peers were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.peer_addrs.is_empty()
+    }
+
+    /// Publishes `payload` along `tree` over TCP, blocking until every
+    /// subscriber acked (or `timeout` elapsed). Same ack-window/retry
+    /// semantics as [`crate::runtime::ThreadedNetwork::publish`] — the loop
+    /// is literally the same [`crate::transport::publish_over`] driver.
+    pub fn publish(
+        &mut self,
+        tree: &RoutingTree,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> PublishResult {
+        let pub_id = self.next_pub_id;
+        self.next_pub_id += 1;
+        let retry_max = self.retry_max;
+        publish_over(self, tree, payload, timeout, retry_max, pub_id)
+    }
+
+    /// Probes `peer` for liveness over the wire: one [`WireMsg::Probe`]
+    /// frame out, one [`WireMsg::ProbeReply`] back on the control plane.
+    pub fn probe(&mut self, peer: u32, nonce: u64, timeout: Duration) -> Option<bool> {
+        if !self.send_to(
+            peer,
+            WireMsg::Probe {
+                from: u32::MAX,
+                nonce,
+            },
+        ) {
+            return None;
+        }
+        // selint: allow(ambient-nondet, real-I/O probe deadline over loopback TCP)
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            // selint: allow(ambient-nondet, countdown against the waived deadline above)
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.recv_event(remaining) {
+                Some(WireMsg::ProbeReply {
+                    from,
+                    nonce: echoed,
+                    online,
+                }) if from == peer && echoed == nonce => return Some(online),
+                Some(_) => {} // stale ack from an earlier publication
+                None => return None,
+            }
+        }
+    }
+
+    /// Stops every peer (a [`WireMsg::Shutdown`] frame each) and joins all
+    /// peer and reader threads. Idempotent: calling it again (or dropping
+    /// the network afterwards) is a no-op.
+    pub fn shutdown(&mut self) {
+        if self.peer_handles.is_empty() && self.reader_handles.is_empty() {
+            return;
+        }
+        for &addr in self.peer_addrs.iter() {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = write_frame(&mut s, &WireMsg::Shutdown);
+            }
+        }
+        for h in self.peer_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Peers closed their control streams on exit; the readers see EOF.
+        for h in self.reader_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SocketNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for SocketNetwork {
+    fn len(&self) -> usize {
+        SocketNetwork::len(self)
+    }
+
+    fn send_to(&mut self, to: u32, msg: WireMsg) -> bool {
+        let Some(&addr) = self.peer_addrs.get(to as usize) else {
+            return false;
+        };
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        write_frame(&mut stream, &msg).is_ok()
+    }
+
+    fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    fn drops_injected(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    fn peer_addr(&self, peer: u32) -> Option<PeerAddr> {
+        self.peer_addrs
+            .get(peer as usize)
+            .map(|&a| PeerAddr::Tcp(a))
+    }
+
+    fn shutdown(&mut self) {
+        SocketNetwork::shutdown(self);
+    }
+}
+
+/// One socket peer: a persistent control stream to the driver plus a serial
+/// accept loop on its own listener.
+fn peer_loop(
+    id: u32,
+    listener: TcpListener,
+    control_addr: SocketAddr,
+    peer_addrs: Arc<Vec<SocketAddr>>,
+    plan: FaultPlan,
+    drops: Arc<AtomicU64>,
+) {
+    let Ok(mut control) = TcpStream::connect(control_addr) else {
+        return; // driver is gone; nothing to serve
+    };
+    let _ = control.set_nodelay(true);
+    if write_frame(&mut control, &WireMsg::Join { peer: id }).is_err() {
+        return;
+    }
+    // Publications this peer already handled: duplicate forwards (diamond
+    // trees, retransmissions) deliver once, same as the in-process runtime.
+    let mut seen: HashSet<u64> = HashSet::new();
+    'serving: loop {
+        let Ok((mut conn, _)) = listener.accept() else {
+            break; // listener died; stop serving
+        };
+        loop {
+            match read_frame(&mut conn) {
+                Ok(Some(msg)) => {
+                    if !handle_frame(id, msg, &mut control, &peer_addrs, &plan, &drops, &mut seen) {
+                        break 'serving;
+                    }
+                }
+                Ok(None) => break, // clean EOF: sender is done, next connection
+                Err(_) => break,   // garbage frame: drop the connection, keep serving
+            }
+        }
+    }
+}
+
+/// Handles one decoded frame on a peer. Returns `false` when the peer
+/// should stop serving (a [`WireMsg::Shutdown`] arrived).
+fn handle_frame(
+    id: u32,
+    msg: WireMsg,
+    control: &mut TcpStream,
+    peer_addrs: &[SocketAddr],
+    plan: &FaultPlan,
+    drops: &AtomicU64,
+    seen: &mut HashSet<u64>,
+) -> bool {
+    match msg {
+        WireMsg::Publish {
+            pub_id,
+            attempt,
+            publisher,
+            children,
+            payload,
+        } => {
+            if !seen.insert(pub_id) {
+                return true;
+            }
+            let _ = write_frame(
+                control,
+                &WireMsg::Ack {
+                    pub_id,
+                    peer: id,
+                    bytes: payload.len() as u64,
+                },
+            );
+            let Some(kids) = children_for(&children, id) else {
+                return true; // leaf: deliver locally, forward nothing
+            };
+            // Encode the forwarded frame once; every surviving child gets
+            // the same bytes.
+            let fwd = WireMsg::Publish {
+                pub_id,
+                attempt,
+                publisher,
+                children: children.clone(),
+                payload: payload.clone(),
+            };
+            let Ok(frame) = encode(&fwd) else {
+                return true; // unencodable (oversized) — cannot forward
+            };
+            for &c in kids {
+                match plan.frame_fate(pub_id, attempt, id, c) {
+                    FrameFate::Drop => {
+                        // The frame is simply never written to the socket.
+                        drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    FrameFate::Deliver { delay_ms } => {
+                        // Jitter = a delayed write: virtual ms compressed
+                        // to wall µs, same scale as the threaded runtime.
+                        if delay_ms > 0.0 {
+                            std::thread::sleep(Duration::from_micros(delay_ms.ceil() as u64));
+                        }
+                        let Some(&addr) = peer_addrs.get(c as usize) else {
+                            continue; // malformed tree edge: no such peer
+                        };
+                        if let Ok(mut s) = TcpStream::connect(addr) {
+                            let _ = s.set_nodelay(true);
+                            let _ = s.write_all(&frame);
+                        }
+                    }
+                }
+            }
+            true
+        }
+        WireMsg::Probe { from: _, nonce } => {
+            let _ = write_frame(
+                control,
+                &WireMsg::ProbeReply {
+                    from: id,
+                    nonce,
+                    online: true,
+                },
+            );
+            true
+        }
+        WireMsg::Shutdown => false,
+        // Gossip exchange frames route through the superstep engine, and
+        // ack/join frames are driver-bound: ignore rather than crash.
+        _ => true,
+    }
+}
+
+/// Pumps one peer's control stream into the driver's event channel until
+/// EOF (peer exited) or the channel closes (driver dropped).
+fn control_reader(mut stream: TcpStream, events: Sender<WireMsg>) {
+    while let Ok(Some(msg)) = read_frame(&mut stream) {
+        if events.send(msg).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(publisher: u32, paths: Vec<Vec<u32>>) -> RoutingTree {
+        RoutingTree::from_paths(publisher, paths)
+    }
+
+    #[test]
+    fn payload_reaches_every_tree_node_over_tcp() {
+        let mut net = SocketNetwork::spawn(6).unwrap();
+        let t = tree(0, vec![vec![0, 1, 2], vec![0, 3], vec![0, 1, 4]]);
+        let r = net.publish(&t, Bytes::from(vec![7u8; 1024]), Duration::from_secs(10));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2, 3, 4]));
+        assert_eq!(r.bytes_received, 4 * 1024);
+        net.shutdown();
+    }
+
+    #[test]
+    fn paper_scale_payload_crosses_sockets() {
+        // The paper's 1.2 MB payload through a chain of real TCP hops.
+        let mut net = SocketNetwork::spawn(3).unwrap();
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let r = net.publish(
+            &t,
+            Bytes::from(vec![0u8; 1_200_000]),
+            Duration::from_secs(20),
+        );
+        assert_eq!(r.delivered_to.len(), 2);
+        assert_eq!(r.bytes_received, 2 * 1_200_000);
+        net.shutdown();
+    }
+
+    #[test]
+    fn two_hundred_peer_loopback_smoke() {
+        // The ci.sh wire-suite smoke: 200 sockets, a two-level fan-out tree
+        // (relays 1..=19 each forwarding to 9 leaves), every peer reached.
+        let n = 200u32;
+        let mut paths = Vec::new();
+        for relay in 1..20u32 {
+            paths.push(vec![0, relay]);
+            for leaf in 0..9u32 {
+                paths.push(vec![0, relay, 20 + (relay - 1) * 9 + leaf]);
+            }
+        }
+        let t = tree(0, paths);
+        let mut net = SocketNetwork::spawn(n as usize).unwrap();
+        let r = net.publish(&t, Bytes::from(vec![3u8; 4096]), Duration::from_secs(30));
+        assert_eq!(r.delivered_to, (1..191).collect(), "19 relays + 171 leaves");
+        net.shutdown();
+    }
+
+    #[test]
+    fn fire_and_forget_drops_match_the_plan() {
+        // Same deterministic oracle as the in-process runtime: delivery is
+        // exactly the set of children whose (pub 1, attempt 0) edge
+        // survives the plan. This is the heart of cross-transport
+        // conformance.
+        let plan = FaultPlan::seeded(42).with_drop_prob(0.4);
+        let expected: HashSet<u32> = (1..=8u32).filter(|&c| !plan.drops(1, 0, 0, c)).collect();
+        let dropped = 8 - expected.len() as u64;
+        let mut net = SocketNetwork::spawn_with_faults(9, plan, 0).unwrap();
+        let paths: Vec<Vec<u32>> = (1..=8u32).map(|c| vec![0, c]).collect();
+        let r = net.publish(
+            &tree(0, paths),
+            Bytes::from_static(b"d"),
+            Duration::from_millis(800),
+        );
+        assert_eq!(r.delivered_to, expected);
+        assert_eq!(r.drops_injected, dropped);
+        net.shutdown();
+    }
+
+    #[test]
+    fn retries_recover_dropped_subscribers() {
+        let plan = FaultPlan::seeded(42).with_drop_prob(0.4);
+        let mut net = SocketNetwork::spawn_with_faults(9, plan, 3).unwrap();
+        let paths: Vec<Vec<u32>> = (1..=8u32).map(|c| vec![0, c]).collect();
+        let r = net.publish(
+            &tree(0, paths),
+            Bytes::from_static(b"r"),
+            Duration::from_secs(4),
+        );
+        assert_eq!(r.delivered_to.len(), 8, "retries should reach all peers");
+        assert!(r.retries > 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn garbage_on_the_wire_costs_the_connection_not_the_peer() {
+        let mut net = SocketNetwork::spawn(3).unwrap();
+        let Some(PeerAddr::Tcp(addr)) = net.peer_addr(1) else {
+            panic!("peer 1 must have a TCP address");
+        };
+        // A hostile/buggy client: valid length prefix, garbage body — then
+        // a frame claiming more bytes than it carries.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[8, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4])
+            .unwrap();
+        drop(s);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[255, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(s);
+        // The peer must still be serving: a real publication succeeds.
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let r = net.publish(&t, Bytes::from_static(b"ok"), Duration::from_secs(10));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2]));
+        net.shutdown();
+    }
+
+    #[test]
+    fn probe_round_trips_over_tcp() {
+        let mut net = SocketNetwork::spawn(2).unwrap();
+        assert_eq!(net.probe(1, 55, Duration::from_secs(5)), Some(true));
+        assert_eq!(net.probe(7, 56, Duration::from_millis(50)), None);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_safe() {
+        let mut net = SocketNetwork::spawn(3).unwrap();
+        let t = tree(0, vec![vec![0, 1]]);
+        let r = net.publish(&t, Bytes::from_static(b"s"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to, HashSet::from([1]));
+        net.shutdown();
+        net.shutdown(); // second call must be a no-op
+        drop(net);
+        let abandoned = SocketNetwork::spawn(2).unwrap();
+        drop(abandoned); // never-shut-down network joins cleanly via Drop
+    }
+
+    #[test]
+    fn peer_addresses_are_loopback_tcp() {
+        let net = SocketNetwork::spawn(2).unwrap();
+        for p in 0..2 {
+            let Some(PeerAddr::Tcp(addr)) = net.peer_addr(p) else {
+                panic!("peer {p} must be a TCP address");
+            };
+            assert!(addr.ip().is_loopback());
+        }
+        assert_eq!(net.peer_addr(2), None);
+    }
+}

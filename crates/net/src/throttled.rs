@@ -10,11 +10,13 @@
 //! model's arrival-order predictions (see the `agrees_with_transfer_sim`
 //! test).
 
+use crate::transport::{PeerAddr, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use osn_sim::latency::transfer_time;
 use osn_sim::FaultPlan;
 use select_core::pubsub::RoutingTree;
-use std::collections::HashMap;
+use select_core::wire::{children_for, children_of, ChildMap, WireMsg};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -25,7 +27,7 @@ enum Msg {
         /// Virtual payload size in bytes (no buffer needed: the throttle is
         /// the observable, not the copy).
         bytes: u64,
-        children: Arc<HashMap<u32, Vec<u32>>>,
+        children: Arc<ChildMap>,
     },
     Stop,
 }
@@ -83,8 +85,9 @@ impl TimedPublishResult {
 pub struct ThrottledNetwork {
     senders: Vec<Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
-    deliveries: Receiver<(u64, u32, Instant)>,
+    deliveries: Receiver<(u64, u32, u64, Instant)>,
     next_pub_id: u64,
+    drops: Arc<AtomicU64>,
 }
 
 impl ThrottledNetwork {
@@ -116,6 +119,7 @@ impl ThrottledNetwork {
         assert_eq!(bandwidth.len(), n, "one bandwidth per peer");
         assert!(compression > 0.0);
         let (delivery_tx, deliveries) = unbounded();
+        let drops = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -127,6 +131,7 @@ impl ThrottledNetwork {
         for (id, rx) in receivers.into_iter().enumerate() {
             let peers = senders.clone();
             let delivery_tx = delivery_tx.clone();
+            let drop_count = drops.clone();
             // selint: allow(panic-path, constructor not delivery; lengths asserted equal above)
             let bw = bandwidth[id];
             handles.push(std::thread::spawn(move || {
@@ -141,8 +146,8 @@ impl ThrottledNetwork {
                             if !seen.insert(pub_id) {
                                 continue;
                             }
-                            let _ = delivery_tx.send((pub_id, id as u32, Instant::now()));
-                            if let Some(kids) = children.get(&(id as u32)) {
+                            let _ = delivery_tx.send((pub_id, id as u32, bytes, Instant::now()));
+                            if let Some(kids) = children_for(&children, id as u32) {
                                 // Child lists are built from the sorted
                                 // edges() and stay ascending.
                                 let per_upload = transfer_time(bytes, bw) / compression;
@@ -158,7 +163,10 @@ impl ThrottledNetwork {
                                     ));
                                     if plan.drops(pub_id, 0, id as u32, c) {
                                         // The upload time was spent, but the
-                                        // packet is lost on the wire.
+                                        // packet is lost on the wire. (Not
+                                        // frame_fate: here a drop still pays
+                                        // its upload sleep.)
+                                        drop_count.fetch_add(1, Ordering::Relaxed);
                                         continue;
                                     }
                                     let Some(tx) = peers.get(c as usize) else {
@@ -182,6 +190,7 @@ impl ThrottledNetwork {
             handles,
             deliveries,
             next_pub_id: 1,
+            drops,
         }
     }
 
@@ -205,16 +214,13 @@ impl ThrottledNetwork {
     ) -> TimedPublishResult {
         let pub_id = self.next_pub_id;
         self.next_pub_id += 1;
-        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
         // edges() is sorted, so each node serializes its uploads to children
         // in a stable ascending order (the recorded per-delivery elapsed
         // times depend on it).
-        for (u, v) in tree.edges() {
-            children.entry(u).or_default().push(v);
-        }
+        let children = children_of(tree);
         let expect = children
-            .values()
-            .flatten()
+            .iter()
+            .flat_map(|(_, kids)| kids.iter())
             .filter(|&&v| v != tree.publisher)
             .count();
         let start = Instant::now();
@@ -236,7 +242,7 @@ impl ThrottledNetwork {
         while got.len() < expect {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.deliveries.recv_timeout(remaining) {
-                Ok((id, peer, at)) if id == pub_id && peer != tree.publisher => {
+                Ok((id, peer, _bytes, at)) if id == pub_id && peer != tree.publisher => {
                     if got.insert(peer) {
                         result.deliveries.push(TimedDelivery {
                             peer,
@@ -252,14 +258,80 @@ impl ThrottledNetwork {
         result
     }
 
-    /// Stops every actor and joins the threads.
-    pub fn shutdown(mut self) {
+    /// Stops every actor and joins the threads. Idempotent: calling it
+    /// again (or dropping the network afterwards) is a no-op.
+    pub fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
         for tx in &self.senders {
             let _ = tx.send(Msg::Stop);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for ThrottledNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for ThrottledNetwork {
+    fn len(&self) -> usize {
+        ThrottledNetwork::len(self)
+    }
+
+    /// Maps the wire vocabulary onto the throttle's virtual-size messages:
+    /// a [`WireMsg::Publish`] becomes a payload whose *size* is the real
+    /// payload's length (the throttle models the transfer, not the copy),
+    /// and [`WireMsg::Shutdown`] stops the actor. Other frames have no
+    /// throttled meaning and are refused.
+    fn send_to(&mut self, to: u32, msg: WireMsg) -> bool {
+        let Some(tx) = self.senders.get(to as usize) else {
+            return false;
+        };
+        match msg {
+            WireMsg::Publish {
+                pub_id,
+                children,
+                payload,
+                ..
+            } => tx
+                .send(Msg::Payload {
+                    pub_id,
+                    bytes: payload.len() as u64,
+                    children,
+                })
+                .is_ok(),
+            WireMsg::Shutdown => tx.send(Msg::Stop).is_ok(),
+            _ => false,
+        }
+    }
+
+    fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
+        self.deliveries
+            .recv_timeout(timeout)
+            .ok()
+            .map(|(pub_id, peer, bytes, _at)| WireMsg::Ack {
+                pub_id,
+                peer,
+                bytes,
+            })
+    }
+
+    fn drops_injected(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    fn peer_addr(&self, peer: u32) -> Option<PeerAddr> {
+        ((peer as usize) < self.senders.len()).then_some(PeerAddr::InProc(peer))
+    }
+
+    fn shutdown(&mut self) {
+        ThrottledNetwork::shutdown(self);
     }
 }
 

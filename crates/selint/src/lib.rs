@@ -15,13 +15,19 @@
 //!   compare against).
 //! * **L2 `ambient-nondet`** — no ambient nondeterminism (`Instant::now`,
 //!   `SystemTime`, `thread_rng`, `RandomState`, env reads) in
-//!   `crates/{core, overlay, lsh, sim}/src`.
+//!   `crates/{core, overlay, lsh, sim, obs}/src`, plus the wire stack
+//!   (`crates/net/src/{codec, transport, socket}.rs`): the codec must be a
+//!   pure function of its bytes, and the transport layer may touch the wall
+//!   clock only at explicitly waived I/O-deadline sites.
 //! * **L3 `hotpath-alloc`** — no allocation-prone calls (`collect`,
 //!   `to_vec`, `clone`, `format!`, `to_owned`, `to_string`) inside functions
 //!   annotated `#[hotpath]` (anywhere in the workspace).
 //! * **L4 `panic-path`** — no panicking indexing or `unwrap`/`expect` in the
 //!   fault-injection delivery paths (`crates/sim/src/fault.rs`,
-//!   `crates/net/src/runtime.rs`, `crates/net/src/throttled.rs`).
+//!   `crates/net/src/runtime.rs`, `crates/net/src/throttled.rs`) and the
+//!   whole wire stack (`crates/net/src/{codec, transport, socket}.rs`):
+//!   malformed bytes off a socket must surface as `WireError`s, never
+//!   panics.
 //!
 //! Any site can carry a waiver — `// selint: allow(<rule>, <reason>)` on the
 //! same line or the line directly above — but the reason is mandatory and a
@@ -152,14 +158,26 @@ pub fn scope_for(rel: &str) -> Scope {
         "crates/sim/src/",
         "crates/obs/src/",
     ];
+    // The wire stack joins L2 file-by-file rather than by directory:
+    // runtime.rs/throttled.rs legitimately block on wall-clock timeouts all
+    // over, while the codec must be pure and the transport layer may only
+    // touch the clock at explicitly waived deadline sites.
+    const L2_FILES: &[&str] = &[
+        "crates/net/src/codec.rs",
+        "crates/net/src/transport.rs",
+        "crates/net/src/socket.rs",
+    ];
     const L4_FILES: &[&str] = &[
         "crates/sim/src/fault.rs",
         "crates/net/src/runtime.rs",
         "crates/net/src/throttled.rs",
+        "crates/net/src/codec.rs",
+        "crates/net/src/transport.rs",
+        "crates/net/src/socket.rs",
     ];
     Scope {
         l1: L1_DIRS.iter().any(|d| rel.starts_with(d)),
-        l2: L2_DIRS.iter().any(|d| rel.starts_with(d)),
+        l2: L2_DIRS.iter().any(|d| rel.starts_with(d)) || L2_FILES.contains(&rel),
         l4: L4_FILES.contains(&rel),
     }
 }
@@ -401,6 +419,17 @@ fn panicking_subscripts(line: &str) -> Vec<usize> {
         let prev = bytes[p - 1];
         if !(is_ident_byte(prev) || prev == b')' || prev == b']') {
             continue;
+        }
+        // `&'a [u8]` / `&'static [T]`: an identifier preceded by a lifetime
+        // tick is a type annotation, not an indexing expression.
+        if is_ident_byte(prev) {
+            let mut s = p;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s > 0 && bytes[s - 1] == b'\'' {
+                continue;
+            }
         }
         // Find the matching `]` on this line; unbalanced → skip.
         let mut depth = 0i64;
@@ -778,6 +807,14 @@ mod tests {
     }
 
     #[test]
+    fn subscript_skips_lifetime_annotated_slice_types() {
+        let f = lint_all(
+            "fn take<'a>(buf: &mut &'a [u8], n: usize) -> &'a [u8] { &buf[..n] }\nfn g(s: &'static [u32]) {}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn test_regions_are_exempt() {
         let src =
             "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); let v = x[9]; }\n}\n";
@@ -794,6 +831,19 @@ mod tests {
     fn scope_limits_rules() {
         let nets = scope_for("crates/net/src/runtime.rs");
         assert!(nets.l4 && !nets.l1 && !nets.l2);
+        // The wire stack is both panic-free (L4) and clock-disciplined (L2);
+        // timing.rs is neither — it predates the wire refactor and models
+        // virtual time only.
+        for wire in [
+            "crates/net/src/codec.rs",
+            "crates/net/src/transport.rs",
+            "crates/net/src/socket.rs",
+        ] {
+            let s = scope_for(wire);
+            assert!(s.l2 && s.l4 && !s.l1, "{wire}");
+        }
+        let timing = scope_for("crates/net/src/timing.rs");
+        assert!(!timing.l1 && !timing.l2 && !timing.l4);
         let core = scope_for("crates/core/src/gossip.rs");
         assert!(core.l1 && core.l2 && !core.l4);
         let bench = scope_for("crates/bench/src/report.rs");

@@ -149,6 +149,34 @@ impl FaultPlan {
         }
         unit(self.link_hash(nonce, attempt, from, to, 0xDE1A)) * self.max_delay_ms
     }
+
+    /// The fate of one frame crossing the `from → to` link: the single
+    /// transport-boundary decision combining the drop draw and the delay
+    /// draw, so every transport (in-process channels, TCP sockets) applies
+    /// faults identically and delivery sets replay across them. The drop
+    /// draw happens first; a dropped frame draws no delay.
+    #[inline]
+    pub fn frame_fate(&self, nonce: u64, attempt: u32, from: u32, to: u32) -> FrameFate {
+        if self.drops(nonce, attempt, from, to) {
+            FrameFate::Drop
+        } else {
+            FrameFate::Deliver {
+                delay_ms: self.delay_ms(nonce, attempt, from, to),
+            }
+        }
+    }
+}
+
+/// What a [`FaultPlan`] decided for one frame at a transport boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FrameFate {
+    /// Discard the frame without delivering it.
+    Drop,
+    /// Deliver after the given jitter (virtual milliseconds; `0.0` = now).
+    Deliver {
+        /// Uniform delay drawn for this transmission.
+        delay_ms: f64,
+    },
 }
 
 #[cfg(test)]

@@ -39,6 +39,6 @@ pub use cma::Cma;
 pub use collect::{Histogram, Mean};
 pub use dist::{Exponential, LogNormal};
 pub use engine::{EventQueue, ShardArenas, ShardScratch, SuperstepEngine};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FrameFate};
 pub use latency::{BandwidthModel, LinkModel};
 pub use workload::PublishWorkload;

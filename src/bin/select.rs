@@ -18,6 +18,13 @@
 //! retransmission waves (default 3; 0 = fire-and-forget). All decisions are
 //! deterministic in the seed, so a faulty run replays bit-identically.
 //!
+//! Transport replay (demo): `--transport inproc|tcp` additionally replays
+//! each demo publication's routing tree over a real message-passing
+//! transport — one OS thread per peer speaking the binary wire format, over
+//! crossbeam channels (`inproc`) or loopback TCP sockets (`tcp`, see
+//! DESIGN.md §12) — with the same fault plan applied at the transport
+//! boundary, and reports delivered counts and wall latency per publication.
+//!
 //! Observability (demo and churn): `--metrics-out FILE` writes the publish
 //! histograms (hops, stretch, retries, relay load, latency) after the run —
 //! Prometheus text format if FILE ends in `.prom`, JSON otherwise.
@@ -32,8 +39,18 @@ use rand::{Rng, SeedableRng};
 use select::baselines::{build_system, SystemKind};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
+use select::net::{publish_over, SocketNetwork, ThreadedNetwork, Transport};
 use select::obs::{MetricsSnapshot, Observer};
 use select::sim::{ChurnModel, FaultPlan, Mean};
+
+/// Which real transport `--transport` replays demo publications over.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    /// Crossbeam channels between peer threads (the reference transport).
+    Inproc,
+    /// Loopback TCP sockets framing the binary wire format.
+    Tcp,
+}
 
 struct Opts {
     dataset: datasets::Dataset,
@@ -48,6 +65,7 @@ struct Opts {
     retries: usize,
     metrics_out: Option<String>,
     trace_failed: bool,
+    transport: Option<TransportKind>,
 }
 
 impl Opts {
@@ -124,6 +142,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
         retries: 3,
         metrics_out: None,
         trace_failed: false,
+        transport: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -202,6 +221,14 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             "--trace-failed" => {
                 opts.trace_failed = true;
             }
+            "--transport" => {
+                let name = it.next().ok_or("--transport needs 'inproc' or 'tcp'")?;
+                opts.transport = Some(match name.to_ascii_lowercase().as_str() {
+                    "inproc" => TransportKind::Inproc,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport '{other}'")),
+                });
+            }
             other if cmd.is_none() && !other.starts_with("--") => {
                 cmd = Some(other.to_string());
             }
@@ -270,6 +297,7 @@ fn cmd_demo(opts: &Opts) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let fault_mode = opts.fault_plan().is_active();
     let mut observer = opts.observer(graph.num_nodes());
+    let mut trees = Vec::new();
     for nonce in 1..=5u64 {
         let b = rng.gen_range(0..graph.num_nodes() as u32);
         let r = match observer.as_mut() {
@@ -283,12 +311,71 @@ fn cmd_demo(opts: &Opts) {
         if fault_mode {
             println!("                   {}", r.delivery.summary());
         }
+        trees.push((b, r.tree));
     }
     if let Some(obs) = &observer {
         let (p50, p95, p99) = obs.metrics.latency_ms.tails();
         eprintln!("[select] delivery latency p50/p95/p99: {p50}/{p95}/{p99} virtual ms");
         flush_observer(opts, obs);
     }
+    if let Some(kind) = opts.transport {
+        replay_over_transport(opts, kind, graph.num_nodes(), &trees);
+    }
+}
+
+/// `--transport`: replays the demo's routing trees over a real
+/// message-passing transport — the same wire vocabulary, the same fault
+/// plan at the transport boundary — and reports per-publication wall
+/// latency. The in-simulation results above and this replay agree on the
+/// delivery *sets* by construction (the conformance suite pins it).
+fn replay_over_transport(
+    opts: &Opts,
+    kind: TransportKind,
+    n: usize,
+    trees: &[(u32, select::core::RoutingTree)],
+) {
+    let plan = opts.fault_plan();
+    let retry_max = opts.retries as u32;
+    let mut transport: Box<dyn Transport> = match kind {
+        TransportKind::Inproc => {
+            eprintln!("[select] replaying over in-process channel transport ({n} peer threads)");
+            Box::new(ThreadedNetwork::spawn_with_faults(n, plan, retry_max))
+        }
+        TransportKind::Tcp => {
+            eprintln!("[select] replaying over loopback TCP transport ({n} peer sockets)");
+            match SocketNetwork::spawn_with_faults(n, plan, retry_max) {
+                Ok(t) => Box::new(t),
+                Err(e) => {
+                    eprintln!("[select] cannot spawn socket transport: {e}");
+                    return;
+                }
+            }
+        }
+    };
+    let payload = bytes::Bytes::from(vec![0x5Eu8; 4 * 1024]);
+    for (i, (b, tree)) in trees.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        // A short overall budget keeps the per-retry ack windows (budget
+        // split retry_max + 1 ways) demo-sized; dropped frames only surface
+        // by a window expiring.
+        let r = publish_over(
+            transport.as_mut(),
+            tree,
+            payload.clone(),
+            std::time::Duration::from_secs(2),
+            retry_max,
+            i as u64 + 1,
+        );
+        let wall = t0.elapsed();
+        println!(
+            "wire publish from {b:5}: {:3} delivered, {:2} drops, {:2} retries, {:7.2} ms wall",
+            r.delivered_to.len(),
+            r.drops_injected,
+            r.retries,
+            wall.as_secs_f64() * 1_000.0
+        );
+    }
+    transport.shutdown();
 }
 
 fn cmd_compare(opts: &Opts) {

@@ -1,0 +1,144 @@
+//! Cross-transport conformance: TCP sockets vs the in-process reference.
+//!
+//! The wire refactor's contract is that the transport is *swappable*: the
+//! same seed, the same converged overlay, the same routing trees and the
+//! same fault plan must yield **identical delivery sets** whether frames
+//! cross crossbeam channels ([`select::net::ThreadedNetwork`]) or loopback
+//! TCP sockets ([`select::net::SocketNetwork`]). With a fire-and-forget
+//! budget (`retry_max = 0`) the delivery set is a pure function of the plan
+//! — exactly the attempt-0 survivors reachable from the publisher — so both
+//! transports are additionally checked against that oracle, computed here
+//! by BFS. Replayed at worker-thread counts {1, 8}: the converged trees are
+//! already pinned thread-invariant by the golden-state suite, and this test
+//! pins that the *transports* preserve that invariance end to end.
+
+use bytes::Bytes;
+use select::core::{RoutingTree, SelectConfig, SelectNetwork};
+use select::graph::prelude::*;
+use select::net::{SocketNetwork, ThreadedNetwork};
+use select::sim::FaultPlan;
+use std::collections::HashSet;
+use std::time::Duration;
+
+const N_PUBS: u32 = 8;
+const PAYLOAD: &[u8] = &[0x42; 512];
+
+/// Converge Facebook-120 (seed 42) at the given worker-thread count and
+/// collect one routing tree per publisher. (Smaller than the golden-state
+/// preset on purpose: conformance needs *a* converged overlay, not the
+/// pinned one, and this test runs in the tier-1 debug suite.)
+fn converged_trees(threads: usize) -> (usize, Vec<RoutingTree>) {
+    let graph = datasets::Dataset::Facebook.generate_with_nodes(120, 42);
+    let mut net = SelectNetwork::bootstrap(
+        graph,
+        SelectConfig::default().with_seed(42).with_threads(threads),
+    );
+    let report = net.converge(300);
+    assert!(report.converged, "threads={threads} did not converge");
+    let n = net.len();
+    let trees = (0..N_PUBS).map(|b| net.publish(b).tree).collect();
+    (n, trees)
+}
+
+/// The fire-and-forget delivery oracle: BFS from the publisher over the
+/// tree's forwarding plan, crossing only links the plan does not drop at
+/// attempt 0. Publications are numbered from 1, in publish order, exactly
+/// like the transports' `next_pub_id`.
+fn oracle(tree: &RoutingTree, plan: &FaultPlan, pub_id: u64) -> HashSet<u32> {
+    let children = select::core::wire::children_of(tree);
+    let mut reached = HashSet::from([tree.publisher]);
+    let mut frontier = vec![tree.publisher];
+    while let Some(u) = frontier.pop() {
+        let Some(kids) = select::core::wire::children_for(&children, u) else {
+            continue;
+        };
+        for &v in kids {
+            if !plan.drops(pub_id, 0, u, v) && reached.insert(v) {
+                frontier.push(v);
+            }
+        }
+    }
+    reached.remove(&tree.publisher);
+    reached
+}
+
+/// Publishes every tree over both transports under `plan` and asserts the
+/// delivery sets agree with each other and (for `retry_max = 0`) with the
+/// oracle. Returns the per-publication delivery sets for cross-thread
+/// pinning.
+fn replay_both_transports(n: usize, trees: &[RoutingTree], plan: FaultPlan) -> Vec<HashSet<u32>> {
+    let mut inproc = ThreadedNetwork::spawn_with_faults(n, plan, 0);
+    let mut tcp = SocketNetwork::spawn_with_faults(n, plan, 0).expect("loopback listeners");
+    let mut sets = Vec::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        let pub_id = i as u64 + 1; // both transports count from 1
+        let want = oracle(tree, &plan, pub_id);
+        let a = inproc.publish(tree, Bytes::from_static(PAYLOAD), Duration::from_secs(10));
+        let b = tcp.publish(tree, Bytes::from_static(PAYLOAD), Duration::from_secs(10));
+        assert_eq!(
+            a.delivered_to, want,
+            "in-process delivery diverged from the fault-plan oracle (pub {pub_id})"
+        );
+        assert_eq!(
+            b.delivered_to, want,
+            "TCP delivery diverged from the fault-plan oracle (pub {pub_id})"
+        );
+        assert_eq!(
+            a.drops_injected, b.drops_injected,
+            "transports drew different fault decisions (pub {pub_id})"
+        );
+        sets.push(a.delivered_to);
+    }
+    inproc.shutdown();
+    tcp.shutdown();
+    sets
+}
+
+#[test]
+fn tcp_and_inproc_delivery_sets_match_at_one_and_eight_threads() {
+    // 15% link loss, plus delay jitter so frames also arrive out of order —
+    // ordering must not affect *what* is delivered, only when. One test
+    // shares the (debug-mode-expensive) threads=1 convergence between the
+    // oracle replay and the retry-saturation check, so the single-core CI
+    // container pays for exactly two convergences.
+    let plan = FaultPlan::seeded(7)
+        .with_drop_prob(0.15)
+        .with_max_delay_ms(5.0);
+    let (n1, trees1) = converged_trees(1);
+    let sets1 = replay_both_transports(n1, &trees1, plan);
+    assert_retries_saturate(n1, &trees1);
+    let (n8, trees8) = converged_trees(8);
+    let sets8 = replay_both_transports(n8, &trees8, plan);
+    assert_eq!(
+        sets1, sets8,
+        "delivery sets changed with the overlay's worker-thread count"
+    );
+}
+
+/// With a retry budget the delivery set must saturate to the full
+/// subscriber set on both transports, lossy links notwithstanding:
+/// retransmissions are direct driver injections and draw no faults.
+fn assert_retries_saturate(n: usize, trees: &[RoutingTree]) {
+    let plan = FaultPlan::seeded(11).with_drop_prob(0.3);
+    let mut inproc = ThreadedNetwork::spawn_with_faults(n, plan, 4);
+    let mut tcp = SocketNetwork::spawn_with_faults(n, plan, 4).expect("loopback listeners");
+    for tree in trees.iter().take(4) {
+        let subscribers: HashSet<u32> = tree
+            .paths()
+            .filter_map(|p| p.last().copied())
+            .filter(|&s| s != tree.publisher)
+            .collect();
+        let a = inproc.publish(tree, Bytes::from_static(PAYLOAD), Duration::from_secs(20));
+        let b = tcp.publish(tree, Bytes::from_static(PAYLOAD), Duration::from_secs(20));
+        assert!(
+            a.delivered_to.is_superset(&subscribers),
+            "in-process retries left subscribers unreached"
+        );
+        assert!(
+            b.delivered_to.is_superset(&subscribers),
+            "TCP retries left subscribers unreached"
+        );
+    }
+    inproc.shutdown();
+    tcp.shutdown();
+}
