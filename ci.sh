@@ -12,11 +12,30 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> selint (workspace determinism/invariant lints must be clean)"
 cargo run -q --offline -p selint
 
+echo "==> selint --json report artifact (selint_report.json)"
+cargo run -q --offline -p selint -- --json > selint_report.json
+grep -q '"schema":"selint-report/v2"' selint_report.json
+
+# Negative controls must exit with code 1 exactly: 0 means the rule went
+# blind, anything else (2 = internal error, 101 = panic) means selint broke
+# and its "findings" can't be trusted either way.
+expect_findings() {
+    _desc="$1"; shift
+    set +e
+    cargo run -q --offline -p selint -- "$@" >/dev/null 2>&1
+    _code=$?
+    set -e
+    if [ "$_code" -ne 1 ]; then
+        echo "selint negative control '$_desc' exited $_code (want 1: findings)" >&2
+        exit 1
+    fi
+}
+
 echo "==> selint negative control (the seeded fixture must trip every rule)"
-if cargo run -q --offline -p selint -- crates/selint/fixtures/violations.rs >/dev/null 2>&1; then
-    echo "selint failed to flag the violation fixture" >&2
-    exit 1
-fi
+expect_findings "violations fixture" crates/selint/fixtures/violations.rs
+
+echo "==> selint negative control (wirespace tree: unhandled WireMsg variant)"
+expect_findings "wirespace fixture" crates/selint/fixtures/wirespace
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace --offline

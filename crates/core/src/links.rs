@@ -31,6 +31,7 @@ pub struct LinkCandidate {
 /// Panics on an empty bucket.
 pub fn picker(members: &[LinkCandidate]) -> u32 {
     assert!(!members.is_empty(), "picker requires a non-empty bucket");
+    // selint: allow(hotpath-alloc, reached only via create_links on a LinkCache miss; buckets are small (LSH-bounded))
     let mut sorted: Vec<LinkCandidate> = members.to_vec();
     sorted.sort_by(|a, b| {
         b.coverage
@@ -112,6 +113,7 @@ pub fn create_links(
         buckets: vec![Vec::new(); index.num_buckets()],
     };
     for (b, members) in index.non_empty_buckets() {
+        // selint: allow(hotpath-alloc, link selection runs only on a LinkCache miss; hits are allocation-free)
         selection.buckets[b] = members.to_vec();
         let candidates: Vec<LinkCandidate> = members
             .iter()
@@ -120,6 +122,7 @@ pub fn create_links(
                 coverage: cov_of(u),
                 bandwidth: bandwidth_of(u),
             })
+            // selint: allow(hotpath-alloc, cache-miss slow path; see buckets waiver above)
             .collect();
         selection.targets.push(picker(&candidates));
     }

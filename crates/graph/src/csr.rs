@@ -5,7 +5,7 @@
 //! which makes common-neighbour counting (the heart of the paper's social
 //! strength, Eq. 2) a linear merge instead of a hash probe per element.
 
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use serde::{Deserialize, Serialize};
 
 /// An immutable, undirected social graph in CSR form.
@@ -120,7 +120,7 @@ impl SocialGraph {
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = UserId> + '_ {
-        (0..self.num_nodes() as u32).map(UserId)
+        (0..to_u32(self.num_nodes(), "node count")).map(UserId)
     }
 
     /// Iterator over all undirected edges, each reported once with `u < v`.
@@ -183,7 +183,7 @@ impl SocialGraph {
                 return false;
             }
         }
-        for u in 0..n as u32 {
+        for u in 0..to_u32(n, "node count") {
             let u = UserId(u);
             let ns = self.neighbors(u);
             for w in ns.windows(2) {

@@ -10,7 +10,7 @@
 use super::Generator;
 use crate::builder::GraphBuilder;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,14 +72,15 @@ impl Generator for BarabasiAlbert {
         };
 
         // Seed clique over the first m+1 nodes keeps early degrees nonzero.
-        for u in 0..=(m as u32) {
-            for v in (u + 1)..=(m as u32) {
+        let (n32, m32) = (to_u32(n, "node count"), to_u32(m, "attachment degree"));
+        for u in 0..=m32 {
+            for v in (u + 1)..=m32 {
                 link(&mut builder, &mut endpoints, &mut neigh, u, v);
             }
         }
 
         let mut targets: Vec<u32> = Vec::with_capacity(m);
-        for u in (m as u32 + 1)..(n as u32) {
+        for u in (m32 + 1)..n32 {
             targets.clear();
             let mut last_target: Option<u32> = None;
             // After enough consecutive rejections, force degree sampling so

@@ -74,10 +74,13 @@ impl Generator for PlantedPartition {
                     break;
                 }
                 let (u, v) = pair_from_index(n as u64, idx);
-                let same_block =
-                    self.community_of(UserId(u as u32)) == self.community_of(UserId(v as u32));
+                let (u, v) = (
+                    UserId::from_index(u as usize),
+                    UserId::from_index(v as usize),
+                );
+                let same_block = self.community_of(u) == self.community_of(v);
                 if same_block == same {
-                    builder.add_edge(UserId(u as u32), UserId(v as u32));
+                    builder.add_edge(u, v);
                 }
                 idx += 1;
             }

@@ -3,7 +3,7 @@
 use super::Generator;
 use crate::builder::GraphBuilder;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +34,7 @@ impl Generator for ErdosRenyi {
 
     fn generate(&self, seed: u64) -> SocialGraph {
         let mut rng = StdRng::seed_from_u64(seed);
-        let n = self.n as u32;
+        let n = to_u32(self.n, "node count");
         let mut seen = std::collections::HashSet::with_capacity(self.m * 2);
         let mut builder = GraphBuilder::with_capacity(self.n, self.m);
         while seen.len() < self.m {

@@ -11,7 +11,7 @@ use super::ba::BarabasiAlbert;
 use super::Generator;
 use crate::builder::CsrStream;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -140,7 +140,7 @@ impl<'g> EndpointIndex<'g> {
         // half_prefix[u] <= e < half_prefix[u + 1].
         let u = self.half_prefix.partition_point(|&p| p <= e) - 1;
         if i.is_multiple_of(2) {
-            return u as u32;
+            return to_u32(u, "edge owner");
         }
         let uid = UserId::from_index(u);
         let row = self.graph.neighbors(uid);

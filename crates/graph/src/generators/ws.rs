@@ -3,7 +3,7 @@
 use super::Generator;
 use crate::builder::GraphBuilder;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,7 +35,7 @@ impl Generator for WattsStrogatz {
 
     fn generate(&self, seed: u64) -> SocialGraph {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (n, k) = (self.n as u32, self.k as u32);
+        let (n, k) = (to_u32(self.n, "node count"), to_u32(self.k, "ring degree"));
         let mut builder = GraphBuilder::with_capacity(self.n, self.n * self.k / 2);
         for u in 0..n {
             for step in 1..=(k / 2) {

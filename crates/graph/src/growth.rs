@@ -12,7 +12,7 @@
 //! iteration while users remain, so the process always completes).
 
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -87,8 +87,9 @@ impl GrowthModel {
         // entries for already-joined users, skipped on pop.
         let mut frontier: Vec<(UserId, UserId)> = Vec::new();
         let mut remaining = n;
+        let n32 = to_u32(n, "population");
 
-        let seed_user = UserId(rng.gen_range(0..n as u32));
+        let seed_user = UserId(rng.gen_range(0..n32));
         joined[seed_user.index()] = true;
         remaining -= 1;
         for &f in graph.neighbors(seed_user) {
@@ -117,9 +118,9 @@ impl GrowthModel {
                     }
                 };
                 let (u, inv) = pick.unwrap_or_else(|| {
-                    let mut u = rng.gen_range(0..n as u32);
+                    let mut u = rng.gen_range(0..n32);
                     while joined[u as usize] {
-                        u = (u + 1) % n as u32;
+                        u = (u + 1) % n32;
                     }
                     (UserId(u), None)
                 });

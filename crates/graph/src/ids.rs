@@ -40,6 +40,24 @@ impl UserId {
     }
 }
 
+/// Checked `usize → u32` narrowing for graph-scale quantities (node counts,
+/// adjacency lengths, wire body sizes).
+///
+/// Exists so call sites don't scatter `as u32` casts that wrap silently
+/// past 4.29B: every layer that narrows goes through here (or
+/// [`UserId::from_index`]) and fails loudly instead. `what` names the
+/// quantity in the panic message.
+///
+/// # Panics
+/// Panics if `n` does not fit in `u32`.
+#[inline(always)]
+pub fn to_u32(n: usize, what: &str) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => panic!("{what} {n} overflows u32"),
+    }
+}
+
 impl fmt::Debug for UserId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "u{}", self.0)

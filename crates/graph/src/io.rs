@@ -8,7 +8,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -37,7 +37,7 @@ pub fn read_edge_list(reader: impl Read) -> std::io::Result<LoadedGraph> {
     let dense = |raw: u64, ids: &mut HashMap<u64, u32>, file_id: &mut Vec<u64>| -> u32 {
         *ids.entry(raw).or_insert_with(|| {
             file_id.push(raw);
-            (file_id.len() - 1) as u32
+            to_u32(file_id.len() - 1, "dense node id")
         })
     };
     let mut line = String::new();

@@ -1,7 +1,7 @@
 //! Structural graph metrics used for data-set calibration and evaluation.
 
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -63,7 +63,7 @@ pub fn average_clustering(g: &SocialGraph, samples: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sum = 0.0;
     for _ in 0..samples {
-        let u = UserId(rng.gen_range(0..n as u32));
+        let u = UserId(rng.gen_range(0..to_u32(n, "node count")));
         sum += local_clustering(g, u);
     }
     sum / samples as f64
@@ -107,7 +107,7 @@ pub fn largest_component_size(g: &SocialGraph) -> usize {
             continue;
         }
         visited[start] = true;
-        queue.push_back(UserId(start as u32));
+        queue.push_back(UserId::from_index(start));
         let mut size = 0usize;
         while let Some(u) = queue.pop_front() {
             size += 1;

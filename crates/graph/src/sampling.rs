@@ -9,7 +9,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::SocialGraph;
-use crate::ids::UserId;
+use crate::ids::{to_u32, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -33,14 +33,15 @@ pub fn induced_subgraph(g: &SocialGraph, nodes: &[UserId]) -> Sample {
     for (new, &old) in nodes.iter().enumerate() {
         assert!(old.index() < g.num_nodes(), "node {old:?} out of range");
         assert!(remap[old.index()] == u32::MAX, "duplicate node {old:?}");
-        remap[old.index()] = new as u32;
+        remap[old.index()] = to_u32(new, "sample index");
     }
     let mut b = GraphBuilder::new(nodes.len());
     for (new_u, &old_u) in nodes.iter().enumerate() {
+        let new_u = to_u32(new_u, "sample index");
         for &old_v in g.neighbors(old_u) {
             let new_v = remap[old_v.index()];
-            if new_v != u32::MAX && (new_u as u32) < new_v {
-                b.add_edge(UserId(new_u as u32), UserId(new_v));
+            if new_v != u32::MAX && new_u < new_v {
+                b.add_edge(UserId(new_u), UserId(new_v));
             }
         }
     }
@@ -62,11 +63,12 @@ pub fn bfs_sample(g: &SocialGraph, target: usize, seed: u64) -> Sample {
     let mut picked: Vec<UserId> = Vec::with_capacity(target);
     let mut visited = vec![false; n];
     let mut queue = VecDeque::new();
+    let n32 = to_u32(n, "node count");
     while picked.len() < target {
         if queue.is_empty() {
-            let mut s = rng.gen_range(0..n as u32);
+            let mut s = rng.gen_range(0..n32);
             while visited[s as usize] {
-                s = (s + 1) % n as u32;
+                s = (s + 1) % n32;
             }
             visited[s as usize] = true;
             queue.push_back(UserId(s));

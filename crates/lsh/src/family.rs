@@ -32,6 +32,7 @@ impl BitSampling {
         assert!(samples > 0, "need at least one sampled bit");
         assert!(dim > 0, "dimension must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xb17_5a3e);
+        // selint: allow(hotpath-alloc, family construction happens once per create_links call, itself a LinkCache-miss slow path)
         let positions = (0..samples).map(|_| rng.gen_range(0..dim)).collect();
         BitSampling {
             positions,

@@ -123,6 +123,7 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
+    // selint: allow(cast-audit, a wrapped length implies a >16GiB body, which encode_into rejects via MAX_FRAME before the frame leaves)
     put_u32(out, v.len() as u32);
     for &x in v {
         put_u32(out, x);
@@ -181,11 +182,13 @@ fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
             put_u64(out, *pub_id);
             put_u32(out, *attempt);
             put_u32(out, *publisher);
+            // selint: allow(cast-audit, child-map size is bounded by the MAX_FRAME check in encode_into)
             put_u32(out, children.len() as u32);
             for (peer, kids) in children.iter() {
                 put_u32(out, *peer);
                 put_vec_u32(out, kids);
             }
+            // selint: allow(cast-audit, payload length is bounded by the MAX_FRAME check in encode_into)
             put_u32(out, payload.len() as u32);
             out.extend_from_slice(payload);
         }
@@ -212,13 +215,13 @@ pub fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) -> Result<(), WireError> {
     put_u32(out, 0); // patched below
     encode_body(msg, out);
     let body_len = out.len() - at - 4;
+    // Saturating for the diagnostic; exact whenever the guard below passes.
+    let len32 = u32::try_from(body_len).unwrap_or(u32::MAX);
     if body_len > MAX_FRAME as usize {
         out.truncate(at);
-        return Err(WireError::Oversized {
-            len: body_len as u32,
-        });
+        return Err(WireError::Oversized { len: len32 });
     }
-    let len_bytes = (body_len as u32).to_le_bytes();
+    let len_bytes = len32.to_le_bytes();
     // Patch the placeholder; the slice is guaranteed present (just pushed).
     for (i, b) in len_bytes.iter().enumerate() {
         if let Some(slot) = out.get_mut(at + i) {

@@ -19,6 +19,7 @@
 use crate::transport::{publish_over, PeerAddr, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_graph::ids::to_u32;
 use osn_sim::{FaultPlan, FrameFate};
 use select_core::pubsub::RoutingTree;
 use select_core::wire::{children_for, WireMsg};
@@ -75,7 +76,7 @@ impl ThreadedNetwork {
             let event_tx = event_tx.clone();
             let drops = drops.clone();
             handles.push(std::thread::spawn(move || {
-                actor_loop(id as u32, rx, peers, event_tx, plan, drops)
+                actor_loop(to_u32(id, "peer id"), rx, peers, event_tx, plan, drops)
             }));
         }
         // Readiness handshake: drain one Join per actor so no event frame
@@ -278,8 +279,14 @@ fn actor_loop(
             WireMsg::Shutdown => break,
             // Gossip exchange frames route through the superstep engine,
             // and ack/join frames are driver-bound: an actor receiving one
-            // ignores it rather than crashing the network.
-            _ => {}
+            // ignores it rather than crashing the network. The list is
+            // spelled out (no `_`) so a new wire tag fails to compile until
+            // this runtime decides what to do with it.
+            WireMsg::ExchangeRt { .. }
+            | WireMsg::ExchangeReply { .. }
+            | WireMsg::Join { .. }
+            | WireMsg::Ack { .. }
+            | WireMsg::ProbeReply { .. } => {}
         }
     }
 }

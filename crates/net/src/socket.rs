@@ -35,6 +35,7 @@ use crate::codec::{encode, read_frame, write_frame};
 use crate::transport::{publish_over, PeerAddr, PublishResult, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_graph::ids::to_u32;
 use osn_sim::{FaultPlan, FrameFate};
 use select_core::pubsub::RoutingTree;
 use select_core::wire::{children_for, WireMsg};
@@ -93,7 +94,14 @@ impl SocketNetwork {
             let peer_addrs = peer_addrs.clone();
             let drops = drops.clone();
             peer_handles.push(std::thread::spawn(move || {
-                peer_loop(id as u32, listener, control_addr, peer_addrs, plan, drops)
+                peer_loop(
+                    to_u32(id, "peer id"),
+                    listener,
+                    control_addr,
+                    peer_addrs,
+                    plan,
+                    drops,
+                )
             }));
         }
 
@@ -372,8 +380,14 @@ fn handle_frame(
         }
         WireMsg::Shutdown => false,
         // Gossip exchange frames route through the superstep engine, and
-        // ack/join frames are driver-bound: ignore rather than crash.
-        _ => true,
+        // ack/join frames are driver-bound: ignore rather than crash. The
+        // list is spelled out (no `_`) so a new wire tag fails to compile
+        // until this runtime decides what to do with it.
+        WireMsg::ExchangeRt { .. }
+        | WireMsg::ExchangeReply { .. }
+        | WireMsg::Join { .. }
+        | WireMsg::Ack { .. }
+        | WireMsg::ProbeReply { .. } => true,
     }
 }
 

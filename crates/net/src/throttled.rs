@@ -12,6 +12,7 @@
 
 use crate::transport::{PeerAddr, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use osn_graph::ids::to_u32;
 use osn_sim::latency::transfer_time;
 use osn_sim::FaultPlan;
 use select_core::pubsub::RoutingTree;
@@ -134,6 +135,7 @@ impl ThrottledNetwork {
             let drop_count = drops.clone();
             // selint: allow(panic-path, constructor not delivery; lengths asserted equal above)
             let bw = bandwidth[id];
+            let id = to_u32(id, "peer id");
             handles.push(std::thread::spawn(move || {
                 let mut seen = std::collections::HashSet::new();
                 while let Ok(msg) = rx.recv() {
@@ -146,8 +148,8 @@ impl ThrottledNetwork {
                             if !seen.insert(pub_id) {
                                 continue;
                             }
-                            let _ = delivery_tx.send((pub_id, id as u32, bytes, Instant::now()));
-                            if let Some(kids) = children_for(&children, id as u32) {
+                            let _ = delivery_tx.send((pub_id, id, bytes, Instant::now()));
+                            if let Some(kids) = children_for(&children, id) {
                                 // Child lists are built from the sorted
                                 // edges() and stay ascending.
                                 let per_upload = transfer_time(bytes, bw) / compression;
@@ -156,12 +158,11 @@ impl ThrottledNetwork {
                                     // child's send, like one NIC draining.
                                     // Fault jitter stretches the transfer
                                     // (compressed on the same scale).
-                                    let jitter =
-                                        plan.delay_ms(pub_id, 0, id as u32, c) / compression;
+                                    let jitter = plan.delay_ms(pub_id, 0, id, c) / compression;
                                     std::thread::sleep(Duration::from_secs_f64(
                                         ((per_upload + jitter) / 1_000.0).max(0.0),
                                     ));
-                                    if plan.drops(pub_id, 0, id as u32, c) {
+                                    if plan.drops(pub_id, 0, id, c) {
                                         // The upload time was spent, but the
                                         // packet is lost on the wire. (Not
                                         // frame_fate: here a drop still pays
@@ -307,7 +308,16 @@ impl Transport for ThrottledNetwork {
                 })
                 .is_ok(),
             WireMsg::Shutdown => tx.send(Msg::Stop).is_ok(),
-            _ => false,
+            // Control-plane frames have no throttled meaning: the throttle
+            // models upload contention for payload dissemination only. The
+            // refusal list is spelled out (no `_`) so a new wire tag fails
+            // to compile until this runtime decides what to do with it.
+            WireMsg::Join { .. }
+            | WireMsg::ExchangeRt { .. }
+            | WireMsg::ExchangeReply { .. }
+            | WireMsg::Probe { .. }
+            | WireMsg::ProbeReply { .. }
+            | WireMsg::Ack { .. } => false,
         }
     }
 

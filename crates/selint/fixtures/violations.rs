@@ -1,13 +1,22 @@
-//! Seeded fixture: one deliberate violation of every selint rule (L1–L4).
-//! CI runs `cargo run -p selint -- crates/selint/fixtures/violations.rs` and
-//! requires a non-zero exit. This file is never compiled (the `fixtures/`
-//! directory is excluded from workspace scans and from any module tree).
+//! Seeded fixture: one deliberate violation of every single-file selint rule
+//! (L1–L4 direct, transitive L3, L6 lock-order, L7 cast-audit, plus a stale
+//! waiver). CI runs `cargo run -p selint -- crates/selint/fixtures/violations.rs`
+//! and requires exit code 1 exactly. The multi-file L5 wire-exhaustive rule
+//! has its own fixture tree under `fixtures/wirespace/`. This file is never
+//! compiled (the `fixtures/` directory is excluded from workspace scans and
+//! from any module tree).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 struct Registry {
     members: HashMap<u32, u32>,
+}
+
+struct Shared {
+    routes: Mutex<Vec<u32>>,
+    links: Mutex<Vec<u32>>,
 }
 
 // L1: nondeterministic-order iteration over a hash container.
@@ -36,6 +45,43 @@ fn l4_panic_path(senders: &[u32], peer: usize) -> u32 {
     first + senders.first().copied().unwrap()
 }
 
+// Transitive L3: the hot root itself is clean; the allocation hides one
+// call down, so only the call-graph pass can see it.
+#[hotpath]
+fn l3_transitive_root(route: &[u32]) -> Vec<u32> {
+    l3_cold_helper(route)
+}
+
+fn l3_cold_helper(route: &[u32]) -> Vec<u32> {
+    route.to_vec()
+}
+
+// L6 lock-order: `routes` before `links` here…
+fn l6_order_ab(s: &Shared) {
+    let r = s.routes.lock();
+    let l = s.links.lock();
+    drop((r, l));
+}
+
+// …and `links` before `routes` there: a deadlock-shaped pair.
+fn l6_order_ba(s: &Shared) {
+    let l = s.links.lock();
+    let r = s.routes.lock();
+    drop((l, r));
+}
+
+// L6 blocking-under-guard: a channel recv while a guard is live.
+fn l6_blocking_under_guard(s: &Shared, rx: &Receiver<u32>) {
+    let r = s.routes.lock();
+    let _ = rx.recv();
+    drop(r);
+}
+
+// L7 cast-audit: an unchecked narrowing cast.
+fn l7_narrowing(n: usize) -> u32 {
+    n as u32
+}
+
 // A waived site must NOT count as a finding (negative control).
 fn waived(reg: &Registry) -> Vec<u32> {
     // selint: allow(unordered-iter, collected then sorted below)
@@ -43,3 +89,7 @@ fn waived(reg: &Registry) -> Vec<u32> {
     ks.sort_unstable();
     ks
 }
+
+// A waiver that suppresses nothing is itself an error (stale control).
+// selint: allow(cast-audit, stale on purpose: nothing narrows on this line)
+fn stale_waiver_site() {}

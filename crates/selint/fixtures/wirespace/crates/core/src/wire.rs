@@ -1,0 +1,12 @@
+//! Wirespace fixture: a miniature copy of the real wire vocabulary with one
+//! extra variant (`Evict`) that none of the companion codec/transport files
+//! handle. Linting this tree (`cargo run -p selint -- crates/selint/fixtures/wirespace`)
+//! must exit 1 with wire-exhaustive findings only. Never compiled.
+
+pub enum WireMsg {
+    Join { peer: u32 },
+    Publish { pub_id: u64, payload: Vec<u8> },
+    Shutdown,
+    /// The newly-grown tag nobody handles yet.
+    Evict { peer: u32 },
+}

@@ -1,0 +1,22 @@
+//! Wirespace fixture codec: encode/decode arms for every variant EXCEPT
+//! `Evict`, so the wire-exhaustive rule must flag both functions.
+
+fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
+    match msg {
+        WireMsg::Join { .. } => out.push(1),
+        WireMsg::Publish { .. } => out.push(6),
+        WireMsg::Shutdown => out.push(8),
+    }
+}
+
+fn decode_body(tag: u8) -> Option<WireMsg> {
+    match tag {
+        1 => Some(WireMsg::Join { peer: 0 }),
+        6 => Some(WireMsg::Publish {
+            pub_id: 0,
+            payload: Vec::new(),
+        }),
+        8 => Some(WireMsg::Shutdown),
+        _ => None,
+    }
+}

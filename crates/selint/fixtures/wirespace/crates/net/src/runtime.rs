@@ -1,0 +1,12 @@
+//! Wirespace fixture transport: dispatches every variant EXCEPT `Evict`,
+//! so the wire-exhaustive rule must flag this impl.
+
+impl Transport for FixtureNet {
+    fn send_to(&mut self, to: u32, msg: WireMsg) -> bool {
+        match msg {
+            WireMsg::Join { .. } => true,
+            WireMsg::Publish { .. } => true,
+            WireMsg::Shutdown => false,
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! L7 `cast-audit`: unchecked narrowing `as` casts.
+//!
+//! Token-level: any `<expr> as u8|u16|u32|i8|i16|i32` on a non-test line is
+//! flagged. Without type inference the source width is unknown, so the rule
+//! deliberately over-approximates toward the narrow *target* types that the
+//! CSR/graph and wire layers use for ids and lengths — exactly where a
+//! silent truncation turns an overflowing node count into aliased peers
+//! (the PR-7 `UserId::from_index` bug class). Widening casts (`as u64`,
+//! `as usize`, `as f64`) are never flagged; rare narrow-to-narrow widenings
+//! (`u8 as u32`) that trip the rule get a one-line waiver stating the bound.
+
+/// Narrow integer target types that make an `as` cast a finding.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Returns `(byte offset of the `as` keyword, target type)` for every
+/// narrowing cast on `line` (already comment/string-stripped).
+pub(crate) fn narrowing_casts(line: &str) -> Vec<(usize, &'static str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = line[from..].find("as") {
+        let at = from + off;
+        from = at + 2;
+        // `as` must be its own word…
+        if at == 0 || crate::is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        if at + 2 < bytes.len() && crate::is_ident_byte(bytes[at + 2]) {
+            continue;
+        }
+        // …preceded by an expression (not line-leading, e.g. `use x as y`
+        // still qualifies textually but renames to primitive types do not
+        // occur; an `as` with nothing before it is not a cast).
+        if line[..at].trim().is_empty() {
+            continue;
+        }
+        // …and followed by a narrow integer type name.
+        let mut j = at + 2;
+        while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+            j += 1;
+        }
+        let mut k = j;
+        while k < bytes.len() && crate::is_ident_byte(bytes[k]) {
+            k += 1;
+        }
+        let ty = &line[j..k];
+        if let Some(t) = NARROW_INTS.iter().find(|&&t| t == ty) {
+            out.push((at, *t));
+        }
+    }
+    out
+}
+
+/// A short source snippet ending at the cast (for the finding message):
+/// the trailing expression fragment before the `as` keyword.
+pub(crate) fn context(line: &str, cast_at: usize) -> String {
+    let before = line[..cast_at].trim_end();
+    let tail: String = before
+        .chars()
+        .rev()
+        .take(24)
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    tail.trim_start().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_each_narrow_target_type() {
+        for ty in ["u8", "u16", "u32", "i8", "i16", "i32"] {
+            let line = format!("let x = n as {ty};");
+            let hits = narrowing_casts(&line);
+            assert_eq!(hits.len(), 1, "{line}");
+            assert_eq!(hits[0].1, ty);
+        }
+    }
+
+    #[test]
+    fn ignores_widening_targets_and_non_cast_as() {
+        for line in [
+            "let x = n as usize;",
+            "let x = n as u64;",
+            "let x = n as f64;",
+            "let basalt = 3;",     // `as` inside an identifier
+            "let x = nas + u32y;", // ident boundaries
+        ] {
+            assert!(narrowing_casts(line).is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn finds_multiple_casts_on_one_line() {
+        let hits = narrowing_casts("let (a, b) = (x as u32, y as u16);");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, "u32");
+        assert_eq!(hits[1].1, "u16");
+    }
+
+    #[test]
+    fn context_snips_the_source_expression() {
+        let line = "            let file = loaded.file_id[u.index()] as u32;";
+        let hits = narrowing_casts(line);
+        assert_eq!(hits.len(), 1);
+        let ctx = context(line, hits[0].0);
+        assert!(ctx.ends_with("file_id[u.index()]"), "{ctx}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the call-graph builder: arbitrary token soup must
+//! never panic the parser, randomly generated call graphs must resolve to
+//! exactly their reference transitive closure (cycles, self-loops and
+//! mutual recursion included), and name shadowing across crates must keep
+//! resolution inside the caller's crate.
+
+use proptest::prelude::*;
+use selint::callgraph::build_from_sources;
+use selint::{lint_source, Scope};
+use std::collections::BTreeSet;
+
+/// Token pool for the soup generator: everything the fn/call/impl parsers
+/// key on, plus delimiters in deliberately unbalanced combinations.
+const TOKENS: &[&str] = &[
+    "fn",
+    "impl",
+    "for",
+    "match",
+    "loop",
+    "let",
+    "mut",
+    "as",
+    "self",
+    "Self",
+    "crate",
+    "super",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "[",
+    "]",
+    "::",
+    ".",
+    "->",
+    "=>",
+    ",",
+    ";",
+    "&",
+    "|",
+    "#",
+    "#[hotpath]",
+    "#[cfg(test)]",
+    "#[test]",
+    "\"lit\"",
+    "'c'",
+    "// note\n",
+    "/* block */",
+    "\n",
+    "foo",
+    "Bar",
+    "baz_qux",
+    "r#type",
+    "Vec::<u8>::new",
+    "0x7f",
+    "1_000",
+    "..",
+    "..=",
+    "'a",
+];
+
+fn arb_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..TOKENS.len(), 0..300).prop_map(|picks| {
+        let mut s = String::new();
+        for (k, &i) in picks.iter().enumerate() {
+            s.push_str(TOKENS[i]);
+            // Vary adjacency deterministically so tokens sometimes fuse.
+            if k % 3 != 1 {
+                s.push(' ');
+            }
+        }
+        s
+    })
+}
+
+/// `n` fns `f0..f{n-1}`; `fi`'s body calls `fv` for every spec edge (i, v).
+fn render(n: usize, edges: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("fn f{i}() {{\n"));
+        for &(u, v) in edges {
+            if u == i {
+                src.push_str(&format!("    f{v}();\n"));
+            }
+        }
+        src.push_str("}\n");
+    }
+    src
+}
+
+/// Reference reachability over the spec edges (root excluded, like
+/// `CallGraph::reachable`).
+fn reference_closure(n: usize, edges: &[(usize, usize)]) -> BTreeSet<usize> {
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = vec![0usize];
+    let mut out = BTreeSet::new();
+    while let Some(u) = queue.pop() {
+        for &(a, b) in edges {
+            if a == u && !seen[b] {
+                seen[b] = true;
+                out.insert(b);
+                queue.push(b);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary (usually unbalanced, non-Rust) token streams must not
+    /// panic the builder or the full lint pipeline, and the builder can
+    /// never invent more fns than there are `fn` tokens.
+    #[test]
+    fn token_soup_never_panics(src in arb_soup()) {
+        let g = build_from_sources(&[("crates/a/src/x.rs", &src)]);
+        let fn_tokens = src.matches("fn").count();
+        prop_assert!(g.fns.len() <= fn_tokens);
+        let _ = lint_source("crates/a/src/x.rs", &src, Scope::all());
+    }
+
+    /// A rendered call graph (cycles, self-loops, duplicate edges and all)
+    /// resolves to exactly its reference transitive closure, and every
+    /// reported chain is a real path over the spec edges.
+    #[test]
+    fn resolution_matches_reference_closure(
+        (n, edges) in (2usize..10).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..25))
+        })
+    ) {
+        let src = render(n, &edges);
+        let g = build_from_sources(&[("crates/a/src/x.rs", &src)]);
+        prop_assert_eq!(g.fns.len(), n);
+        for (i, d) in g.fns.iter().enumerate() {
+            prop_assert_eq!(&d.name, &format!("f{i}"));
+        }
+        let parent = g.reachable(0);
+        let got: BTreeSet<usize> = parent.keys().copied().collect();
+        prop_assert_eq!(&got, &reference_closure(n, &edges));
+        for &target in &got {
+            let chain = g.chain(0, target, &parent);
+            prop_assert_eq!(chain.first().map(|&(f, _)| f), Some(0));
+            prop_assert_eq!(chain.last().map(|&(f, _)| f), Some(target));
+            for hop in chain.windows(2) {
+                prop_assert!(
+                    edges.contains(&(hop[0].0, hop[1].0)),
+                    "chain hop {} -> {} is not a spec edge",
+                    hop[0].0,
+                    hop[1].0
+                );
+            }
+        }
+    }
+
+    /// Two crates defining the same fn name: an unqualified call resolves
+    /// only within the caller's crate, whatever the name is.
+    #[test]
+    fn shadowed_names_stay_in_crate(
+        raw in proptest::collection::vec(97u32..123, 1..8)
+    ) {
+        let name: String = format!(
+            "g_{}",
+            raw.into_iter().filter_map(char::from_u32).collect::<String>()
+        );
+        let a_src = format!("pub fn {name}() {{}}\nfn caller() {{ {name}(); }}\n");
+        let b_src = format!("pub fn {name}() {{ loop {{}} }}\n");
+        let g = build_from_sources(&[
+            ("crates/a/src/lib.rs", a_src.as_str()),
+            ("crates/b/src/lib.rs", b_src.as_str()),
+        ]);
+        let caller = g.fn_in_file("crates/a/src/lib.rs", "caller").expect("caller parsed");
+        let targets: Vec<usize> = g.edges[caller].iter().map(|&(_, t)| t).collect();
+        prop_assert_eq!(targets.len(), 1, "one unambiguous edge expected");
+        prop_assert_eq!(g.files[g.fns[targets[0]].file].rel.as_str(), "crates/a/src/lib.rs");
+    }
+}
