@@ -108,6 +108,10 @@ echo "==> wire transport bench (quick preset, release) + schema check"
 cargo run -q --release --offline -p osn-bench --bin repro -- --quick wire
 cargo run -q --release --offline -p osn-bench --bin repro -- wire --check
 
+echo "==> wiretrace suite (trace-tree bit-identity at threads {1,8}, complete"
+echo "    TCP span chains, <=5% tracing overhead on both transports)"
+cargo run -q --release --offline -p osn-bench --bin repro -- --quick wiretrace
+
 echo "==> full-scale convergence gate (63k Facebook, release) + budget check"
 cargo run -q --release --offline -p osn-bench --features count-allocs --bin repro -- scale --check
 

@@ -24,9 +24,15 @@
 //!   obs           observability overhead bench → BENCH_obs.json
 //!                 (with --check: validate + enforce the ≤5% overhead gate)
 //!   wire          transport bench: publishes/sec + p50/p95/p99 delivery
-//!                 latency over in-process channels vs loopback TCP →
+//!                 latency, per-tag frame/byte telemetry and tracing
+//!                 overhead over in-process channels vs loopback TCP →
 //!                 BENCH_wire.json (with --check: validate the schema and
-//!                 percentile sanity of an existing file)
+//!                 enforce the ≤5% tracing-overhead, span-completeness and
+//!                 inproc-throughput regression gates)
+//!   wiretrace     tracing conformance: inproc canonical trace trees must
+//!                 be bit-identical at converge threads 1 and 8, TCP runs
+//!                 must yield a complete causal span chain per delivered
+//!                 publish, and live tracing overhead must stay ≤5%
 //!   scale         full-size convergence → BENCH_scale.json. By default runs
 //!                 the 63k Facebook preset; `--full` sweeps all four Table II
 //!                 presets (3.99M-peer Twitter included — release mode, see
@@ -196,7 +202,11 @@ fn main() {
                     let text = std::fs::read_to_string("BENCH_wire.json")
                         .expect("read BENCH_wire.json (run `repro wire` first)");
                     match wire::check_json(&text) {
-                        Ok(()) => Some("BENCH_wire.json: schema OK\n".to_string()),
+                        Ok(()) => Some(
+                            "BENCH_wire.json: schema OK; tracing-overhead, trace-completeness \
+                             and inproc-throughput gates hold\n"
+                                .to_string(),
+                        ),
                         Err(e) => {
                             eprintln!("BENCH_wire.json: {e}");
                             std::process::exit(1);
@@ -212,6 +222,16 @@ fn main() {
                         "{}\nwrote BENCH_wire.json\n",
                         wire::render_table(preset, &m)
                     ))
+                }
+            }
+            "wiretrace" => {
+                let (n, publishes) = wire::preset_params(preset);
+                match wire::wiretrace(n, publishes, scale.seed) {
+                    Ok(report) => Some(report),
+                    Err(e) => {
+                        eprintln!("wiretrace: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
             "scale" => {

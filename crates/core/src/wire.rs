@@ -62,6 +62,63 @@ pub fn children_for(children: &ChildMap, peer: u32) -> Option<&[u32]> {
         .map(|e| e.1.as_slice())
 }
 
+/// Dapper-style causal trace context, carried as an **optional** field in
+/// the publish/ack/probe frames (wire format v2; v1 frames decode with
+/// `trace: None`). Presence of a context *is* the sampling decision: the
+/// driver stamps a root context on a traced publication, every relay that
+/// records a span re-stamps the forwarded frame with itself as the parent,
+/// and untraced traffic carries nothing and pays nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// One end-to-end publish journey. The transports use the publication
+    /// id, which is unique per transport by construction.
+    pub trace_id: u64,
+    /// Span id of the sender. `0` is the driver root sentinel: the frame
+    /// was injected by the publish driver, not forwarded by a peer.
+    pub parent_span: u64,
+    /// Hop depth from the driver injection (root frames are hop 0).
+    pub hop: u8,
+}
+
+impl TraceContext {
+    /// The driver's root context for one publication: no parent, hop 0.
+    pub fn root(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+            hop: 0,
+        }
+    }
+
+    /// The context a peer stamps on downstream forwards after recording
+    /// its own span: same trace, the peer's span as parent, one hop deeper.
+    pub fn child_of(self, own_span: u64) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: own_span,
+            hop: self.hop.saturating_add(1),
+        }
+    }
+}
+
+/// Human-readable family name of a wire tag, used to key per-tag transport
+/// metrics (the exporter has no label support, so tag names are encoded
+/// into metric names). Unknown tags — possible on the rx path of a newer
+/// peer — map to `"unknown"` rather than panicking.
+pub fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        1 => "join",
+        2 => "exchange_rt",
+        3 => "exchange_reply",
+        4 => "probe",
+        5 => "probe_reply",
+        6 => "publish",
+        7 => "ack",
+        8 => "shutdown",
+        _ => "unknown",
+    }
+}
+
 /// One SELECT protocol message, as it crosses a transport boundary.
 ///
 /// `Clone` is cheap where it matters: the `Publish` payload is a
@@ -111,6 +168,8 @@ pub enum WireMsg {
         from: u32,
         /// Correlates the reply with this probe.
         nonce: u64,
+        /// Optional causal trace context (wire v2; `None` on v1 frames).
+        trace: Option<TraceContext>,
     },
     /// Response to a [`WireMsg::Probe`] (tag 5); the outcome feeds the
     /// prober's per-link Cumulative Moving Average.
@@ -137,6 +196,10 @@ pub enum WireMsg {
         children: Arc<ChildMap>,
         /// The notification payload.
         payload: Bytes,
+        /// Optional causal trace context (wire v2; `None` on v1 frames).
+        /// `Some` means this journey is being traced: receivers record a
+        /// span and re-stamp forwards via [`TraceContext::child_of`].
+        trace: Option<TraceContext>,
     },
     /// Per-subscriber delivery acknowledgement (tag 7), sent back to the
     /// publisher's harness; drives the ack-window/retransmission loop.
@@ -147,6 +210,9 @@ pub enum WireMsg {
         peer: u32,
         /// Payload bytes received.
         bytes: u64,
+        /// Optional causal trace context echoing the subscriber's own span
+        /// (wire v2; `None` on v1 frames or untraced journeys).
+        trace: Option<TraceContext>,
     },
     /// Transport control (tag 8): the peer actor stops after handling this.
     Shutdown,
@@ -189,7 +255,11 @@ mod tests {
                 n_mutual: 0,
                 links: vec![],
             },
-            WireMsg::Probe { from: 0, nonce: 0 },
+            WireMsg::Probe {
+                from: 0,
+                nonce: 0,
+                trace: None,
+            },
             WireMsg::ProbeReply {
                 from: 0,
                 nonce: 0,
@@ -201,16 +271,58 @@ mod tests {
                 publisher: 0,
                 children: Arc::new(vec![]),
                 payload: Bytes::new(),
+                trace: Some(TraceContext::root(0)),
             },
             WireMsg::Ack {
                 pub_id: 0,
                 peer: 0,
                 bytes: 0,
+                trace: None,
             },
             WireMsg::Shutdown,
         ];
         let tags: Vec<u8> = msgs.iter().map(WireMsg::tag).collect();
         assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn tag_names_cover_every_tag() {
+        let names: Vec<&str> = (1u8..=8).map(tag_name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "join",
+                "exchange_rt",
+                "exchange_reply",
+                "probe",
+                "probe_reply",
+                "publish",
+                "ack",
+                "shutdown"
+            ]
+        );
+        assert_eq!(tag_name(0), "unknown");
+        assert_eq!(tag_name(9), "unknown");
+        assert_eq!(tag_name(255), "unknown");
+    }
+
+    #[test]
+    fn trace_context_parenting_walks_down_the_tree() {
+        let root = TraceContext::root(42);
+        assert_eq!(root.parent_span, 0);
+        assert_eq!(root.hop, 0);
+        let child = root.child_of(0xBEEF);
+        assert_eq!(child.trace_id, 42);
+        assert_eq!(child.parent_span, 0xBEEF);
+        assert_eq!(child.hop, 1);
+        let grandchild = child.child_of(0xF00D);
+        assert_eq!(grandchild.hop, 2);
+        // Hop depth saturates instead of wrapping on absurd chains.
+        let mut deep = root;
+        for i in 0..300u64 {
+            deep = deep.child_of(i + 1);
+        }
+        assert_eq!(deep.hop, u8::MAX);
     }
 
     #[test]

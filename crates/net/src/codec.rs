@@ -7,12 +7,14 @@
 //!
 //! ```text
 //! frame   := [len: u32] body               len = |body|, ≤ MAX_FRAME
-//! body    := [magic: u16 = 0x5EC7] [version: u8 = 1] [tag: u8] fields
+//! body    := [magic: u16 = 0x5EC7] [version: u8 = 2] [tag: u8] fields
 //! u32/u64 := little-endian
 //! vec<u32>:= [count: u32] count × u32
 //! bytes   := [count: u32] count raw bytes
 //! childmap:= [count: u32] count × ([peer: u32] vec<u32>)
 //! bool    := u8, strictly 0 or 1
+//! trace   := [present: u8 (0|1)] present=1 ⇒ [trace_id: u64]
+//!            [parent_span: u64] [hop: u8]          (v2+, trailing field)
 //! ```
 //!
 //! Decoding is **total**: any byte sequence produces either a message or a
@@ -25,11 +27,14 @@
 //!
 //! Versioning: `magic` rejects non-SELECT traffic outright; `version` is
 //! bumped whenever any message's field layout changes, and decoders reject
-//! versions they do not know. Tags are append-only (see
+//! versions they do not know. Version 2 appended the optional `trace` field
+//! to the publish/ack/probe bodies; decoders still accept version-1 frames
+//! — the v1 byte layout is an exact prefix of v2's, so they decode
+//! losslessly with `trace: None`. Tags are append-only (see
 //! [`select_core::wire::WireMsg::tag`]).
 
 use bytes::Bytes;
-use select_core::wire::{ChildMap, WireMsg};
+use select_core::wire::{ChildMap, TraceContext, WireMsg};
 use std::io::{Read, Write};
 use std::sync::Arc;
 
@@ -37,7 +42,15 @@ use std::sync::Arc;
 pub const MAGIC: u16 = 0x5EC7;
 
 /// Current wire-format version. Bump on any field-layout change.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v1 → v2: publish/ack/probe bodies gained a trailing optional
+/// [`TraceContext`]. Decoders accept both; see [`MIN_WIRE_VERSION`].
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire-format version this codec still decodes. v1 frames carry no
+/// trace field and decode with `trace: None`; encoding always emits
+/// [`WIRE_VERSION`].
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Upper bound on one frame's body, in bytes. Comfortably above the paper's
 /// 1.2 MB payload plus any realistic forwarding plan, and small enough that
@@ -94,7 +107,10 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadMagic { got } => write!(f, "bad magic {got:#06x} (want {MAGIC:#06x})"),
             WireError::BadVersion { got } => {
-                write!(f, "unknown wire version {got} (speak {WIRE_VERSION})")
+                write!(
+                    f,
+                    "unknown wire version {got} (speak {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+                )
             }
             WireError::BadTag { got } => write!(f, "unknown message tag {got}"),
             WireError::Malformed(what) => write!(f, "malformed field: {what}"),
@@ -130,6 +146,20 @@ fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
     }
 }
 
+/// Appends the optional trace field (v2's trailing `trace` production):
+/// a presence byte, then the three context fields when present.
+fn put_trace(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            put_u64(out, t.trace_id);
+            put_u64(out, t.parent_span);
+            out.push(t.hop);
+        }
+    }
+}
+
 /// Appends the body (magic + version + tag + fields) of `msg` to `out`.
 fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -159,9 +189,10 @@ fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
             put_u32(out, *n_mutual);
             put_vec_u32(out, links);
         }
-        WireMsg::Probe { from, nonce } => {
+        WireMsg::Probe { from, nonce, trace } => {
             put_u32(out, *from);
             put_u64(out, *nonce);
+            put_trace(out, trace);
         }
         WireMsg::ProbeReply {
             from,
@@ -178,6 +209,7 @@ fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
             publisher,
             children,
             payload,
+            trace,
         } => {
             put_u64(out, *pub_id);
             put_u32(out, *attempt);
@@ -191,15 +223,18 @@ fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
             // selint: allow(cast-audit, payload length is bounded by the MAX_FRAME check in encode_into)
             put_u32(out, payload.len() as u32);
             out.extend_from_slice(payload);
+            put_trace(out, trace);
         }
         WireMsg::Ack {
             pub_id,
             peer,
             bytes,
+            trace,
         } => {
             put_u64(out, *pub_id);
             put_u32(out, *peer);
             put_u64(out, *bytes);
+            put_trace(out, trace);
         }
         WireMsg::Shutdown => {}
     }
@@ -236,6 +271,46 @@ pub fn encode(msg: &WireMsg) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::new();
     encode_into(msg, &mut out)?;
     Ok(out)
+}
+
+/// Exact on-the-wire size of `msg`'s frame (length prefix included) at the
+/// current [`WIRE_VERSION`], computed arithmetically. Lets the in-process
+/// transports account bytes per tag without serializing anything; pinned
+/// against [`encode`] by test.
+pub fn encoded_frame_len(msg: &WireMsg) -> u64 {
+    fn trace_len(trace: &Option<TraceContext>) -> u64 {
+        match trace {
+            None => 1,
+            Some(_) => 1 + 8 + 8 + 1,
+        }
+    }
+    fn vec_len(v: &[u32]) -> u64 {
+        4 + 4 * v.len() as u64
+    }
+    let header = 4 + 2 + 1 + 1; // len prefix, magic, version, tag
+    header
+        + match msg {
+            WireMsg::Join { .. } => 4,
+            WireMsg::ExchangeRt {
+                neighbourhood,
+                links,
+                ..
+            } => 4 + 8 + vec_len(neighbourhood) + vec_len(links),
+            WireMsg::ExchangeReply { links, .. } => 4 + 8 + 4 + vec_len(links),
+            WireMsg::Probe { trace, .. } => 4 + 8 + trace_len(trace),
+            WireMsg::ProbeReply { .. } => 4 + 8 + 1,
+            WireMsg::Publish {
+                children,
+                payload,
+                trace,
+                ..
+            } => {
+                let plan: u64 = children.iter().map(|(_, kids)| 4 + vec_len(kids)).sum();
+                8 + 4 + 4 + (4 + plan) + (4 + payload.len() as u64) + trace_len(trace)
+            }
+            WireMsg::Ack { trace, .. } => 8 + 4 + 8 + trace_len(trace),
+            WireMsg::Shutdown => 0,
+        }
 }
 
 // ---------------------------------------------------------------- decoding
@@ -306,6 +381,24 @@ fn get_bytes(buf: &mut &[u8]) -> Result<Bytes, WireError> {
     Ok(Bytes::from(take(buf, count)?.to_vec()))
 }
 
+/// Reads the optional trace field. Version-1 frames predate the field
+/// entirely: nothing is consumed and the message decodes with
+/// `trace: None`, which is exactly what a v1 sender meant.
+fn get_trace(buf: &mut &[u8], version: u8) -> Result<Option<TraceContext>, WireError> {
+    if version < 2 {
+        return Ok(None);
+    }
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace_id: get_u64(buf)?,
+            parent_span: get_u64(buf)?,
+            hop: get_u8(buf)?,
+        })),
+        _ => Err(WireError::Malformed("trace presence byte must be 0 or 1")),
+    }
+}
+
 fn get_child_map(buf: &mut &[u8]) -> Result<ChildMap, WireError> {
     let count = get_u32(buf)? as usize;
     // Each entry is at least 8 bytes (peer + empty child list).
@@ -330,7 +423,7 @@ fn decode_body(mut buf: &[u8]) -> Result<WireMsg, WireError> {
         return Err(WireError::BadMagic { got: magic });
     }
     let version = get_u8(&mut buf)?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion { got: version });
     }
     let tag = get_u8(&mut buf)?;
@@ -353,6 +446,7 @@ fn decode_body(mut buf: &[u8]) -> Result<WireMsg, WireError> {
         4 => WireMsg::Probe {
             from: get_u32(&mut buf)?,
             nonce: get_u64(&mut buf)?,
+            trace: get_trace(&mut buf, version)?,
         },
         5 => WireMsg::ProbeReply {
             from: get_u32(&mut buf)?,
@@ -365,11 +459,13 @@ fn decode_body(mut buf: &[u8]) -> Result<WireMsg, WireError> {
             publisher: get_u32(&mut buf)?,
             children: Arc::new(get_child_map(&mut buf)?),
             payload: get_bytes(&mut buf)?,
+            trace: get_trace(&mut buf, version)?,
         },
         7 => WireMsg::Ack {
             pub_id: get_u64(&mut buf)?,
             peer: get_u32(&mut buf)?,
             bytes: get_u64(&mut buf)?,
+            trace: get_trace(&mut buf, version)?,
         },
         8 => WireMsg::Shutdown,
         other => return Err(WireError::BadTag { got: other }),
@@ -452,7 +548,16 @@ mod tests {
                 n_mutual: 5,
                 links: vec![],
             },
-            WireMsg::Probe { from: 3, nonce: 99 },
+            WireMsg::Probe {
+                from: 3,
+                nonce: 99,
+                trace: None,
+            },
+            WireMsg::Probe {
+                from: 3,
+                nonce: 100,
+                trace: Some(TraceContext::root(100)),
+            },
             WireMsg::ProbeReply {
                 from: 3,
                 nonce: 99,
@@ -464,11 +569,35 @@ mod tests {
                 publisher: 0,
                 children: Arc::new(vec![(0, vec![1, 3]), (1, vec![2, 4])]),
                 payload: Bytes::from(vec![0xAB; 1024]),
+                trace: None,
+            },
+            WireMsg::Publish {
+                pub_id: 18,
+                attempt: 0,
+                publisher: 0,
+                children: Arc::new(vec![(0, vec![1])]),
+                payload: Bytes::from(vec![0xCD; 16]),
+                trace: Some(TraceContext {
+                    trace_id: 18,
+                    parent_span: 0x1234_5678_9ABC_DEF0,
+                    hop: 3,
+                }),
             },
             WireMsg::Ack {
                 pub_id: 17,
                 peer: 4,
                 bytes: 1024,
+                trace: None,
+            },
+            WireMsg::Ack {
+                pub_id: 18,
+                peer: 5,
+                bytes: 16,
+                trace: Some(TraceContext {
+                    trace_id: 18,
+                    parent_span: u64::MAX,
+                    hop: u8::MAX,
+                }),
             },
             WireMsg::Shutdown,
         ]
@@ -543,6 +672,77 @@ mod tests {
         assert!(matches!(decode(&bad), Err(WireError::BadTag { got: 200 })));
     }
 
+    /// Rewrites a v2 frame that carries `trace: None` into the exact bytes
+    /// a v1 sender would have produced: version byte 1, no trace field
+    /// (v1 publish/ack/probe bodies end one presence byte earlier).
+    fn downgrade_to_v1(frame: &[u8], had_trace_byte: bool) -> Vec<u8> {
+        let mut v1 = frame.to_vec();
+        v1[6] = 1;
+        if had_trace_byte {
+            assert_eq!(*v1.last().unwrap(), 0, "downgrade needs trace: None");
+            v1.pop();
+            let len = u32::from_le_bytes(v1[0..4].try_into().unwrap()) - 1;
+            v1[0..4].copy_from_slice(&len.to_le_bytes());
+        }
+        v1
+    }
+
+    #[test]
+    fn v1_frames_decode_losslessly_under_the_v2_codec() {
+        for msg in sample_msgs() {
+            let has_trace_field = matches!(
+                &msg,
+                WireMsg::Probe { .. } | WireMsg::Publish { .. } | WireMsg::Ack { .. }
+            );
+            let carries_trace = matches!(
+                &msg,
+                WireMsg::Probe { trace: Some(_), .. }
+                    | WireMsg::Publish { trace: Some(_), .. }
+                    | WireMsg::Ack { trace: Some(_), .. }
+            );
+            if carries_trace {
+                continue; // no v1 representation exists for traced frames
+            }
+            let v2 = encode(&msg).unwrap();
+            let v1 = downgrade_to_v1(&v2, has_trace_field);
+            let (back, used) = decode(&v1).unwrap();
+            assert_eq!(used, v1.len(), "{msg:?}");
+            assert_eq!(back, msg, "v1 frame must decode to the same message");
+        }
+    }
+
+    #[test]
+    fn version_zero_is_rejected() {
+        let mut frame = encode(&WireMsg::Shutdown).unwrap();
+        frame[6] = 0;
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::BadVersion { got: 0 })
+        ));
+    }
+
+    #[test]
+    fn bad_trace_presence_byte_is_malformed() {
+        let mut frame = encode(&WireMsg::Ack {
+            pub_id: 1,
+            peer: 2,
+            bytes: 3,
+            trace: None,
+        })
+        .unwrap();
+        let last = frame.len() - 1;
+        frame[last] = 2; // presence byte must be 0 or 1
+        assert!(matches!(decode(&frame), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn encoded_frame_len_matches_the_encoder() {
+        for msg in sample_msgs() {
+            let frame = encode(&msg).unwrap();
+            assert_eq!(encoded_frame_len(&msg), frame.len() as u64, "{msg:?}");
+        }
+    }
+
     #[test]
     fn oversized_length_prefix_is_rejected_before_allocating() {
         let mut frame = Vec::new();
@@ -571,7 +771,12 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut frame = encode(&WireMsg::Probe { from: 1, nonce: 2 }).unwrap();
+        let mut frame = encode(&WireMsg::Probe {
+            from: 1,
+            nonce: 2,
+            trace: None,
+        })
+        .unwrap();
         // Stretch the declared body length by one and append a stray byte.
         let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) + 1;
         frame[0..4].copy_from_slice(&len.to_le_bytes());

@@ -28,6 +28,9 @@
 //!   under identical seeds.
 //! * [`throttled`] — the runtime with modelled upload bandwidth: forwards
 //!   cost real wall-clock time, validating [`timing`]'s predictions.
+//! * [`stats`] — per-transport wire telemetry ([`TransportStats`]):
+//!   frame/byte counters per tag, retransmissions, reconnects, garbage
+//!   frames; snapshots merge into the obs layer's Prometheus export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,12 +38,14 @@
 pub mod codec;
 pub mod runtime;
 pub mod socket;
+pub mod stats;
 pub mod throttled;
 pub mod timing;
 pub mod transport;
 
 pub use runtime::ThreadedNetwork;
 pub use socket::SocketNetwork;
+pub use stats::{StatsSnapshot, TransportStats};
 pub use throttled::{ThrottledNetwork, TimedPublishResult};
 pub use timing::{DisseminationTiming, TransferSim};
 pub use transport::{publish_over, PeerAddr, PublishResult, Transport};

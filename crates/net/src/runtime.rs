@@ -16,17 +16,20 @@
 //! copy, forwarding follows the tree, concurrent publications don't
 //! interfere); timing fidelity is the job of [`crate::timing`].
 
+use crate::codec::encoded_frame_len;
+use crate::stats::TransportStats;
 use crate::transport::{publish_over, PeerAddr, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use osn_graph::ids::to_u32;
+use osn_obs::trace::{span_id, SpanRecord};
 use osn_sim::{FaultPlan, FrameFate};
 use select_core::pubsub::RoutingTree;
-use select_core::wire::{children_for, WireMsg};
+use select_core::wire::{children_for, TraceContext, WireMsg};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use crate::transport::PublishResult;
 
@@ -41,6 +44,22 @@ pub struct ThreadedNetwork {
     /// Retransmission waves `publish` may use after the first ack window.
     retry_max: u32,
     drops: Arc<AtomicU64>,
+    /// Wire telemetry, shared with every actor thread. Channels are
+    /// lossless and actors drain their queues before honouring Shutdown,
+    /// so for runs that quiesce before shutdown the counts are a pure
+    /// function of the plan — deterministic and thread-invariant.
+    stats: Arc<TransportStats>,
+    /// Whether publish frames are stamped with a root
+    /// [`TraceContext`](select_core::wire::TraceContext).
+    tracing: bool,
+    /// Origin for span wall stamps (driver ack-processing times).
+    epoch: Instant,
+    /// Driver-materialized spans: one per traced ack the driver received.
+    /// Actors echo the delivery context in their acks instead of keeping
+    /// per-actor buffers — a per-delivery write into a cold per-thread
+    /// buffer costs ~10% of the publish path on a busy single-core box,
+    /// while this vec stays cache-hot under the driver's ack loop.
+    spans: Vec<SpanRecord>,
 }
 
 impl ThreadedNetwork {
@@ -63,6 +82,10 @@ impl ThreadedNetwork {
     pub fn spawn_with_faults(n: usize, plan: FaultPlan, retry_max: u32) -> Self {
         let (event_tx, events) = unbounded::<WireMsg>();
         let drops = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(TransportStats::new());
+        // Epoch for span wall stamps: the driver stamps each traced ack as
+        // it processes it, so one origin covers every span.
+        let epoch = Instant::now();
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<WireMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -75,8 +98,17 @@ impl ThreadedNetwork {
             let peers = senders.clone();
             let event_tx = event_tx.clone();
             let drops = drops.clone();
+            let stats = stats.clone();
             handles.push(std::thread::spawn(move || {
-                actor_loop(to_u32(id, "peer id"), rx, peers, event_tx, plan, drops)
+                actor_loop(
+                    to_u32(id, "peer id"),
+                    rx,
+                    peers,
+                    event_tx,
+                    plan,
+                    drops,
+                    stats,
+                )
             }));
         }
         // Readiness handshake: drain one Join per actor so no event frame
@@ -96,6 +128,10 @@ impl ThreadedNetwork {
             next_pub_id: 1,
             retry_max,
             drops,
+            stats,
+            tracing: false,
+            epoch,
+            spans: Vec::new(),
         }
     }
 
@@ -141,6 +177,7 @@ impl ThreadedNetwork {
             WireMsg::Probe {
                 from: u32::MAX,
                 nonce,
+                trace: None,
             },
         ) {
             return None;
@@ -167,7 +204,10 @@ impl ThreadedNetwork {
             return;
         }
         for tx in &self.senders {
-            let _ = tx.send(WireMsg::Shutdown);
+            if tx.send(WireMsg::Shutdown).is_ok() {
+                self.stats
+                    .record_tx(8, encoded_frame_len(&WireMsg::Shutdown));
+            }
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -188,13 +228,48 @@ impl Transport for ThreadedNetwork {
 
     fn send_to(&mut self, to: u32, msg: WireMsg) -> bool {
         match self.senders.get(to as usize) {
-            Some(tx) => tx.send(msg).is_ok(),
+            Some(tx) => {
+                let tag = msg.tag();
+                let bytes = encoded_frame_len(&msg);
+                let ok = tx.send(msg).is_ok();
+                if ok {
+                    self.stats.record_tx(tag, bytes);
+                }
+                ok
+            }
             None => false,
         }
     }
 
     fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
-        self.events.recv_timeout(timeout).ok()
+        let msg = self.events.recv_timeout(timeout).ok()?;
+        // Driver-side span materialization: each traced ack echoes the
+        // context its delivery happened under (parent = forwarder's span,
+        // hop = tree depth), and the span id is a pure function of
+        // (trace, peer) — so the driver can build the span record without
+        // the actors buffering anything. Wall stamps are driver
+        // ack-processing times against one epoch; the events channel
+        // preserves causal order (a peer acks before it forwards), so
+        // stamps stay monotone along every chain. The delivering attempt
+        // is not in the ack, so driver-built spans always say attempt 0;
+        // the socket transport's peer-recorded spans keep real attempts.
+        if let WireMsg::Ack {
+            peer,
+            trace: Some(ctx),
+            ..
+        } = &msg
+        {
+            self.spans.push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: span_id(ctx.trace_id, *peer),
+                parent_span: ctx.parent_span,
+                peer: *peer,
+                hop: ctx.hop,
+                attempt: 0,
+                wall_us: self.epoch.elapsed().as_micros() as u64,
+            });
+        }
+        Some(msg)
     }
 
     fn drops_injected(&self) -> u64 {
@@ -208,6 +283,35 @@ impl Transport for ThreadedNetwork {
     fn shutdown(&mut self) {
         ThreadedNetwork::shutdown(self);
     }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    fn drain_spans(&mut self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans)
+    }
+}
+
+/// Sends a driver-bound event frame, counting both tx (the actor) and rx
+/// (the driver) here: the event channel is lossless and in-process, so
+/// counting at the send site keeps the totals a pure function of the plan
+/// even when the driver's ack loop returns before draining every event.
+fn send_event(events: &Sender<WireMsg>, stats: &TransportStats, msg: WireMsg) {
+    let tag = msg.tag();
+    let bytes = encoded_frame_len(&msg);
+    if events.send(msg).is_ok() {
+        stats.record_tx(tag, bytes);
+        stats.record_rx(tag, bytes);
+    }
 }
 
 fn actor_loop(
@@ -217,12 +321,14 @@ fn actor_loop(
     events: Sender<WireMsg>,
     plan: FaultPlan,
     drops: Arc<AtomicU64>,
+    stats: Arc<TransportStats>,
 ) {
-    let _ = events.send(WireMsg::Join { peer: id });
+    send_event(&events, &stats, WireMsg::Join { peer: id });
     // Each actor remembers publications it already handled so duplicate
     // forwards (diamond trees, retransmissions) deliver once.
     let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
     while let Ok(msg) = rx.recv() {
+        stats.record_rx(msg.tag(), encoded_frame_len(&msg));
         match msg {
             WireMsg::Publish {
                 pub_id,
@@ -230,15 +336,27 @@ fn actor_loop(
                 publisher,
                 children,
                 payload,
+                trace,
             } => {
                 if !seen.insert(pub_id) {
                     continue;
                 }
-                let _ = events.send(WireMsg::Ack {
-                    pub_id,
-                    peer: id,
-                    bytes: payload.len() as u64,
-                });
+                // First delivery of a traced publication: echo the
+                // delivery context verbatim in the ack (the driver
+                // materializes the span from it) and stamp forwards with
+                // this peer's own span as their parent.
+                let fwd_trace: Option<TraceContext> =
+                    trace.map(|ctx| ctx.child_of(span_id(ctx.trace_id, id)));
+                send_event(
+                    &events,
+                    &stats,
+                    WireMsg::Ack {
+                        pub_id,
+                        peer: id,
+                        bytes: payload.len() as u64,
+                        trace,
+                    },
+                );
                 if let Some(kids) = children_for(&children, id) {
                     for &c in kids {
                         match plan.frame_fate(pub_id, attempt, id, c) {
@@ -257,24 +375,37 @@ fn actor_loop(
                                 let Some(tx) = peers.get(c as usize) else {
                                     continue; // malformed tree edge: no such peer
                                 };
-                                let _ = tx.send(WireMsg::Publish {
+                                let fwd = WireMsg::Publish {
                                     pub_id,
                                     attempt,
                                     publisher,
                                     children: children.clone(),
                                     payload: payload.clone(),
-                                });
+                                    trace: fwd_trace,
+                                };
+                                let bytes = encoded_frame_len(&fwd);
+                                if tx.send(fwd).is_ok() {
+                                    stats.record_tx(6, bytes);
+                                }
                             }
                         }
                     }
                 }
             }
-            WireMsg::Probe { from: _, nonce } => {
-                let _ = events.send(WireMsg::ProbeReply {
-                    from: id,
-                    nonce,
-                    online: true,
-                });
+            WireMsg::Probe {
+                from: _,
+                nonce,
+                trace: _,
+            } => {
+                send_event(
+                    &events,
+                    &stats,
+                    WireMsg::ProbeReply {
+                        from: id,
+                        nonce,
+                        online: true,
+                    },
+                );
             }
             WireMsg::Shutdown => break,
             // Gossip exchange frames route through the superstep engine,
@@ -494,5 +625,103 @@ mod tests {
         assert_eq!(net.peer_addr(2), None);
         assert!(!net.send_to(7, WireMsg::Shutdown));
         net.shutdown();
+    }
+
+    #[test]
+    fn stats_count_every_frame_per_tag() {
+        // Fault-free star 0 -> {1, 2, 3}: every count below is a pure
+        // function of the tree, so this doubles as the determinism pin.
+        let mut net = ThreadedNetwork::spawn(4);
+        let paths: Vec<Vec<u32>> = (1..=3u32).map(|c| vec![0, c]).collect();
+        let t = tree(0, paths);
+        let r = net.publish(&t, Bytes::from_static(b"s"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to.len(), 3);
+        net.shutdown();
+        let snap = net.stats().snapshot();
+        assert_eq!(snap.frames_tx[1], 4, "one join per actor");
+        assert_eq!(snap.frames_rx[1], 4);
+        // Publish: 1 driver injection + 3 forwards from peer 0.
+        assert_eq!(snap.frames_tx[6], 4);
+        assert_eq!(snap.frames_rx[6], 4);
+        // Every peer (publisher included) acks its local delivery.
+        assert_eq!(snap.frames_tx[7], 4);
+        assert_eq!(snap.frames_rx[7], 4);
+        assert_eq!(snap.frames_tx[8], 4, "one shutdown per actor");
+        assert_eq!(snap.frames_rx[8], 4);
+        assert_eq!(snap.retransmissions, 0);
+        assert_eq!(snap.ack_window_expiries, 0);
+        assert_eq!(snap.reconnects, 0, "no sockets in-process");
+        assert_eq!(snap.garbage_frames, 0);
+        // Untraced publish frames carry a 1-byte absent-trace marker:
+        // header 8 + pub_id 8 + attempt 4 + publisher 4 + child map (4 +
+        // (4 + 4 + 3*4)) + payload (4 + 1) + trace 1.
+        assert_eq!(snap.bytes_tx[6], 4 * 54);
+        assert_eq!(
+            snap.bytes_tx[6],
+            4 * encoded_frame_len(&WireMsg::Publish {
+                pub_id: 1,
+                attempt: 0,
+                publisher: 0,
+                children: Arc::new(vec![(0, vec![1, 2, 3])]),
+                payload: Bytes::from_static(b"s"),
+                trace: None,
+            })
+        );
+    }
+
+    #[test]
+    fn retransmissions_and_expiries_are_counted() {
+        let plan = FaultPlan::seeded(42).with_drop_prob(0.4);
+        let mut net = ThreadedNetwork::spawn_with_faults(9, plan, 3);
+        let paths: Vec<Vec<u32>> = (1..=8u32).map(|c| vec![0, c]).collect();
+        let t = tree(0, paths);
+        let r = net.publish(&t, Bytes::from_static(b"r"), Duration::from_secs(4));
+        assert_eq!(r.delivered_to.len(), 8);
+        net.shutdown();
+        let snap = net.stats().snapshot();
+        assert_eq!(snap.retransmissions, r.retries);
+        assert!(snap.ack_window_expiries > 0, "a window must have expired");
+        assert!(snap.retransmissions >= snap.ack_window_expiries);
+    }
+
+    #[test]
+    fn tracing_records_a_complete_span_chain() {
+        let mut net = ThreadedNetwork::spawn(3);
+        net.set_tracing(true);
+        assert!(net.tracing());
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let r = net.publish(&t, Bytes::from_static(b"t"), Duration::from_secs(5));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2]));
+        net.shutdown();
+        let mut spans = net.drain_spans();
+        spans.sort_by_key(|s| s.hop);
+        assert_eq!(spans.len(), 3, "publisher + both chain peers");
+        assert_eq!(spans[0].peer, 0);
+        assert_eq!(spans[0].parent_span, 0, "root span hangs off the driver");
+        assert_eq!(spans[1].parent_span, spans[0].span_id);
+        assert_eq!(spans[2].parent_span, spans[1].span_id);
+        assert_eq!(
+            spans.iter().map(|s| s.hop).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(spans.iter().all(|s| s.attempt == 0));
+        assert!(
+            spans.windows(2).all(|w| w[0].wall_us <= w[1].wall_us),
+            "shared epoch orders the chain"
+        );
+        // Chain assembly agrees with the delivery set.
+        let mut asm = osn_obs::TraceAssembler::new();
+        asm.absorb(spans);
+        assert!(asm.chain_complete(1, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn tracing_off_records_nothing_and_drain_is_idempotent() {
+        let mut net = ThreadedNetwork::spawn(3);
+        let t = tree(0, vec![vec![0, 1], vec![0, 2]]);
+        net.publish(&t, Bytes::from_static(b"u"), Duration::from_secs(5));
+        net.shutdown();
+        assert!(net.drain_spans().is_empty());
+        assert!(net.drain_spans().is_empty());
     }
 }

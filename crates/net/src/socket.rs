@@ -29,23 +29,38 @@
 //!
 //! A frame that fails to decode (garbage, truncation, bad magic) costs the
 //! peer that **connection**, never the peer itself: the stream is dropped
-//! and the accept loop continues.
+//! and the accept loop continues — and the event is *counted*
+//! ([`TransportStats::note_garbage_frame`] /
+//! [`TransportStats::note_codec_error_conn`]) rather than silently
+//! swallowed, so a hostile or buggy sender shows up in the metrics
+//! snapshot.
+//!
+//! **Telemetry and tracing.** Every frame records tx at its writer and rx
+//! at its reader into a shared [`TransportStats`] (frame and byte counts
+//! per tag, one-shot reconnects, garbage). Because the kernel schedules
+//! real connections, socket counts are best-effort ground truth, not a
+//! replayable quantity. When tracing is enabled, peers record a
+//! [`SpanRecord`] at first delivery of each traced publish — stamped
+//! against a shared epoch — and flush their buffers on exit, where
+//! [`Transport::drain_spans`] collects them for cross-peer assembly.
 
-use crate::codec::{encode, read_frame, write_frame};
+use crate::codec::{encode, encoded_frame_len, read_frame, write_frame};
+use crate::stats::TransportStats;
 use crate::transport::{publish_over, PeerAddr, PublishResult, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use osn_graph::ids::to_u32;
+use osn_obs::trace::{span_id, SpanRecord};
 use osn_sim::{FaultPlan, FrameFate};
 use select_core::pubsub::RoutingTree;
-use select_core::wire::{children_for, WireMsg};
+use select_core::wire::{children_for, TraceContext, WireMsg};
 use std::collections::HashSet;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A network of peer actors linked by loopback TCP sockets.
 pub struct SocketNetwork {
@@ -57,6 +72,10 @@ pub struct SocketNetwork {
     /// Retransmission waves `publish` may use after the first ack window.
     retry_max: u32,
     drops: Arc<AtomicU64>,
+    stats: Arc<TransportStats>,
+    tracing: bool,
+    spans_rx: Receiver<Vec<SpanRecord>>,
+    spans: Vec<SpanRecord>,
 }
 
 impl SocketNetwork {
@@ -89,10 +108,19 @@ impl SocketNetwork {
         let peer_addrs = Arc::new(addrs);
 
         let drops = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(TransportStats::new());
+        let (span_tx, spans_rx) = unbounded::<Vec<SpanRecord>>();
+        // Span stamps are µs offsets from one shared epoch, so cross-peer
+        // deltas are meaningful. Real wall time — socket latency is a
+        // measurement here, never a protocol decision.
+        // selint: allow(ambient-nondet, span wall stamps; canonical trace trees exclude them)
+        let epoch = Instant::now();
         let mut peer_handles = Vec::with_capacity(n);
         for (id, listener) in listeners.into_iter().enumerate() {
             let peer_addrs = peer_addrs.clone();
             let drops = drops.clone();
+            let stats = stats.clone();
+            let span_tx = span_tx.clone();
             peer_handles.push(std::thread::spawn(move || {
                 peer_loop(
                     to_u32(id, "peer id"),
@@ -101,6 +129,9 @@ impl SocketNetwork {
                     peer_addrs,
                     plan,
                     drops,
+                    stats,
+                    span_tx,
+                    epoch,
                 )
             }));
         }
@@ -113,7 +144,10 @@ impl SocketNetwork {
             let (stream, _) = control.accept()?;
             let _ = stream.set_nodelay(true);
             let event_tx = event_tx.clone();
-            reader_handles.push(std::thread::spawn(move || control_reader(stream, event_tx)));
+            let stats = stats.clone();
+            reader_handles.push(std::thread::spawn(move || {
+                control_reader(stream, event_tx, stats)
+            }));
         }
 
         let net = SocketNetwork {
@@ -124,6 +158,10 @@ impl SocketNetwork {
             next_pub_id: 1,
             retry_max,
             drops,
+            stats,
+            tracing: false,
+            spans_rx,
+            spans: Vec::new(),
         };
         // Readiness handshake: every peer announces itself before traffic.
         let mut joined = 0;
@@ -176,6 +214,7 @@ impl SocketNetwork {
             WireMsg::Probe {
                 from: u32::MAX,
                 nonce,
+                trace: None,
             },
         ) {
             return None;
@@ -206,7 +245,11 @@ impl SocketNetwork {
         }
         for &addr in self.peer_addrs.iter() {
             if let Ok(mut s) = TcpStream::connect(addr) {
-                let _ = write_frame(&mut s, &WireMsg::Shutdown);
+                self.stats.note_reconnect();
+                if write_frame(&mut s, &WireMsg::Shutdown).is_ok() {
+                    self.stats
+                        .record_tx(8, encoded_frame_len(&WireMsg::Shutdown));
+                }
             }
         }
         for h in self.peer_handles.drain(..) {
@@ -238,7 +281,13 @@ impl Transport for SocketNetwork {
             return false;
         };
         let _ = stream.set_nodelay(true);
-        write_frame(&mut stream, &msg).is_ok()
+        self.stats.note_reconnect();
+        let (tag, bytes) = (msg.tag(), encoded_frame_len(&msg));
+        let ok = write_frame(&mut stream, &msg).is_ok();
+        if ok {
+            self.stats.record_tx(tag, bytes);
+        }
+        ok
     }
 
     fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
@@ -258,10 +307,30 @@ impl Transport for SocketNetwork {
     fn shutdown(&mut self) {
         SocketNetwork::shutdown(self);
     }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    fn drain_spans(&mut self) -> Vec<SpanRecord> {
+        while let Ok(batch) = self.spans_rx.try_recv() {
+            self.spans.extend(batch);
+        }
+        std::mem::take(&mut self.spans)
+    }
 }
 
 /// One socket peer: a persistent control stream to the driver plus a serial
 /// accept loop on its own listener.
+#[allow(clippy::too_many_arguments)] // thread entry point: wiring, not an API
 fn peer_loop(
     id: u32,
     listener: TcpListener,
@@ -269,17 +338,25 @@ fn peer_loop(
     peer_addrs: Arc<Vec<SocketAddr>>,
     plan: FaultPlan,
     drops: Arc<AtomicU64>,
+    stats: Arc<TransportStats>,
+    span_tx: Sender<Vec<SpanRecord>>,
+    epoch: Instant,
 ) {
     let Ok(mut control) = TcpStream::connect(control_addr) else {
         return; // driver is gone; nothing to serve
     };
     let _ = control.set_nodelay(true);
-    if write_frame(&mut control, &WireMsg::Join { peer: id }).is_err() {
+    let join = WireMsg::Join { peer: id };
+    if write_frame(&mut control, &join).is_err() {
         return;
     }
+    stats.record_tx(1, encoded_frame_len(&join));
     // Publications this peer already handled: duplicate forwards (diamond
     // trees, retransmissions) deliver once, same as the in-process runtime.
     let mut seen: HashSet<u64> = HashSet::new();
+    // Spans recorded at first delivery of traced publishes; flushed to the
+    // driver when the peer exits, so drain-after-shutdown sees them all.
+    let mut spans: Vec<SpanRecord> = Vec::new();
     'serving: loop {
         let Ok((mut conn, _)) = listener.accept() else {
             break; // listener died; stop serving
@@ -287,19 +364,39 @@ fn peer_loop(
         loop {
             match read_frame(&mut conn) {
                 Ok(Some(msg)) => {
-                    if !handle_frame(id, msg, &mut control, &peer_addrs, &plan, &drops, &mut seen) {
+                    stats.record_rx(msg.tag(), encoded_frame_len(&msg));
+                    if !handle_frame(
+                        id,
+                        msg,
+                        &mut control,
+                        &peer_addrs,
+                        &plan,
+                        &drops,
+                        &stats,
+                        &mut seen,
+                        &mut spans,
+                        epoch,
+                    ) {
                         break 'serving;
                     }
                 }
                 Ok(None) => break, // clean EOF: sender is done, next connection
-                Err(_) => break,   // garbage frame: drop the connection, keep serving
+                Err(_) => {
+                    // Garbage frame: count it, drop the connection, keep
+                    // serving the peer.
+                    stats.note_garbage_frame();
+                    stats.note_codec_error_conn();
+                    break;
+                }
             }
         }
     }
+    let _ = span_tx.send(spans);
 }
 
 /// Handles one decoded frame on a peer. Returns `false` when the peer
 /// should stop serving (a [`WireMsg::Shutdown`] arrived).
+#[allow(clippy::too_many_arguments)] // peer-thread plumbing, not an API
 fn handle_frame(
     id: u32,
     msg: WireMsg,
@@ -307,7 +404,10 @@ fn handle_frame(
     peer_addrs: &[SocketAddr],
     plan: &FaultPlan,
     drops: &AtomicU64,
+    stats: &TransportStats,
     seen: &mut HashSet<u64>,
+    spans: &mut Vec<SpanRecord>,
+    epoch: Instant,
 ) -> bool {
     match msg {
         WireMsg::Publish {
@@ -316,18 +416,42 @@ fn handle_frame(
             publisher,
             children,
             payload,
+            trace,
         } => {
             if !seen.insert(pub_id) {
                 return true;
             }
-            let _ = write_frame(
-                control,
-                &WireMsg::Ack {
-                    pub_id,
-                    peer: id,
-                    bytes: payload.len() as u64,
-                },
-            );
+            // First delivery. When traced, record this peer's span in the
+            // thread-local buffer (real per-hop wall stamps and attempts —
+            // the in-process runtimes materialize driver-side instead),
+            // re-stamp the forwarded `TraceContext` with ourselves as
+            // parent, and echo the delivery context verbatim in the ack
+            // (the shared ack convention across transports).
+            let fwd_trace: Option<TraceContext> = match trace {
+                Some(ctx) => {
+                    let own = span_id(ctx.trace_id, id);
+                    spans.push(SpanRecord {
+                        trace_id: ctx.trace_id,
+                        span_id: own,
+                        parent_span: ctx.parent_span,
+                        peer: id,
+                        hop: ctx.hop,
+                        attempt,
+                        wall_us: epoch.elapsed().as_micros() as u64,
+                    });
+                    Some(ctx.child_of(own))
+                }
+                None => None,
+            };
+            let ack = WireMsg::Ack {
+                pub_id,
+                peer: id,
+                bytes: payload.len() as u64,
+                trace,
+            };
+            if write_frame(control, &ack).is_ok() {
+                stats.record_tx(7, encoded_frame_len(&ack));
+            }
             let Some(kids) = children_for(&children, id) else {
                 return true; // leaf: deliver locally, forward nothing
             };
@@ -339,6 +463,7 @@ fn handle_frame(
                 publisher,
                 children: children.clone(),
                 payload: payload.clone(),
+                trace: fwd_trace,
             };
             let Ok(frame) = encode(&fwd) else {
                 return true; // unencodable (oversized) — cannot forward
@@ -360,22 +485,29 @@ fn handle_frame(
                         };
                         if let Ok(mut s) = TcpStream::connect(addr) {
                             let _ = s.set_nodelay(true);
-                            let _ = s.write_all(&frame);
+                            stats.note_reconnect();
+                            if s.write_all(&frame).is_ok() {
+                                stats.record_tx(6, frame.len() as u64);
+                            }
                         }
                     }
                 }
             }
             true
         }
-        WireMsg::Probe { from: _, nonce } => {
-            let _ = write_frame(
-                control,
-                &WireMsg::ProbeReply {
-                    from: id,
-                    nonce,
-                    online: true,
-                },
-            );
+        WireMsg::Probe {
+            from: _,
+            nonce,
+            trace: _,
+        } => {
+            let reply = WireMsg::ProbeReply {
+                from: id,
+                nonce,
+                online: true,
+            };
+            if write_frame(control, &reply).is_ok() {
+                stats.record_tx(5, encoded_frame_len(&reply));
+            }
             true
         }
         WireMsg::Shutdown => false,
@@ -392,9 +524,11 @@ fn handle_frame(
 }
 
 /// Pumps one peer's control stream into the driver's event channel until
-/// EOF (peer exited) or the channel closes (driver dropped).
-fn control_reader(mut stream: TcpStream, events: Sender<WireMsg>) {
+/// EOF (peer exited) or the channel closes (driver dropped). This is the
+/// driver's real read point, so driver-side rx is counted here.
+fn control_reader(mut stream: TcpStream, events: Sender<WireMsg>, stats: Arc<TransportStats>) {
     while let Ok(Some(msg)) = read_frame(&mut stream) {
+        stats.record_rx(msg.tag(), encoded_frame_len(&msg));
         if events.send(msg).is_err() {
             break;
         }
@@ -509,6 +643,57 @@ mod tests {
         let r = net.publish(&t, Bytes::from_static(b"ok"), Duration::from_secs(10));
         assert_eq!(r.delivered_to, HashSet::from([1, 2]));
         net.shutdown();
+        // Both hostile frames were counted, not silently swallowed; each
+        // cost its connection.
+        let snap = net.stats().snapshot();
+        assert_eq!(snap.garbage_frames, 2, "{snap:?}");
+        assert_eq!(snap.codec_error_conns, 2, "{snap:?}");
+    }
+
+    #[test]
+    fn stats_count_frames_on_both_sides_of_the_wire() {
+        let mut net = SocketNetwork::spawn(3).unwrap();
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let r = net.publish(&t, Bytes::from(vec![9u8; 512]), Duration::from_secs(10));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2]));
+        net.shutdown();
+        let snap = net.stats().snapshot();
+        // 1 driver injection + 2 peer forwards (0→1, 1→2).
+        assert_eq!(snap.frames_tx[6], 3, "{snap:?}");
+        assert_eq!(snap.frames_rx[6], 3, "{snap:?}");
+        assert_eq!(snap.bytes_tx[6], snap.bytes_rx[6], "lossless loopback");
+        // Every peer joined and acked once; all shutdown frames arrived.
+        assert_eq!(snap.frames_tx[1], 3, "{snap:?}");
+        assert_eq!(snap.frames_rx[7], 3, "{snap:?}");
+        assert_eq!(snap.frames_rx[8], 3, "{snap:?}");
+        // Data-plane connects are one-shot: driver inject + 2 forwards +
+        // 3 shutdown connects.
+        assert_eq!(snap.reconnects, 6, "{snap:?}");
+        assert_eq!(snap.garbage_frames, 0);
+    }
+
+    #[test]
+    fn tracing_yields_a_complete_span_chain_over_tcp() {
+        let mut net = SocketNetwork::spawn(3).unwrap();
+        net.set_tracing(true);
+        let t = tree(0, vec![vec![0, 1, 2]]);
+        let r = net.publish(&t, Bytes::from_static(b"t"), Duration::from_secs(10));
+        assert_eq!(r.delivered_to, HashSet::from([1, 2]));
+        net.shutdown();
+        let spans = net.drain_spans();
+        assert_eq!(spans.len(), 3, "publisher + two hops: {spans:?}");
+        let mut asm = osn_obs::TraceAssembler::new();
+        asm.absorb(spans);
+        // Every delivered peer (and the publisher) has a span whose parent
+        // chain reaches the driver root.
+        assert!(
+            asm.chain_complete(1, &[0, 1, 2]),
+            "gaps: {:?}",
+            asm.chain_gaps(1, &[0, 1, 2])
+        );
+        let lat = asm.latency(1);
+        assert_eq!(lat.critical_path, vec![0, 1, 2]);
+        assert_eq!(lat.max_hop, 2);
     }
 
     #[test]

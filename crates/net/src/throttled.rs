@@ -10,13 +10,16 @@
 //! model's arrival-order predictions (see the `agrees_with_transfer_sim`
 //! test).
 
+use crate::codec::encoded_frame_len;
+use crate::stats::TransportStats;
 use crate::transport::{PeerAddr, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use osn_graph::ids::to_u32;
+use osn_obs::trace::{span_id, SpanRecord};
 use osn_sim::latency::transfer_time;
 use osn_sim::FaultPlan;
 use select_core::pubsub::RoutingTree;
-use select_core::wire::{children_for, children_of, ChildMap, WireMsg};
+use select_core::wire::{children_for, children_of, ChildMap, TraceContext, WireMsg};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -29,6 +32,10 @@ enum Msg {
         /// the observable, not the copy).
         bytes: u64,
         children: Arc<ChildMap>,
+        /// Trace context the delivering frame carried; re-stamped on
+        /// forwards and echoed in the synthesized ack, so traced
+        /// publications stay causally linked even on this virtual runtime.
+        trace: Option<TraceContext>,
     },
     Stop,
 }
@@ -82,13 +89,30 @@ impl TimedPublishResult {
     }
 }
 
+/// One observed delivery pumped back to the driver: publication, peer,
+/// virtual bytes, wall arrival, and the trace context to echo in the
+/// synthesized ack.
+type Delivery = (u64, u32, u64, Instant, Option<TraceContext>);
+
 /// A network of upload-throttled peer actors.
 pub struct ThrottledNetwork {
     senders: Vec<Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
-    deliveries: Receiver<(u64, u32, u64, Instant)>,
+    deliveries: Receiver<Delivery>,
     next_pub_id: u64,
     drops: Arc<AtomicU64>,
+    /// Wire telemetry counted at the driver boundary ([`Transport::send_to`]
+    /// / [`Transport::recv_event`]): peer→child forwards are virtual-sized
+    /// model events, not frames, so they are not counted.
+    stats: TransportStats,
+    tracing: bool,
+    /// Origin for span wall stamps (delivery `Instant`s from peer threads).
+    epoch: Instant,
+    /// Driver-materialized spans, one per traced synthesized ack: the
+    /// delivery tuple carries the context verbatim plus the peer thread's
+    /// arrival stamp, so even this virtual runtime yields causally linked,
+    /// wall-stamped traces.
+    spans: Vec<SpanRecord>,
 }
 
 impl ThrottledNetwork {
@@ -144,11 +168,18 @@ impl ThrottledNetwork {
                             pub_id,
                             bytes,
                             children,
+                            trace,
                         } => {
                             if !seen.insert(pub_id) {
                                 continue;
                             }
-                            let _ = delivery_tx.send((pub_id, id, bytes, Instant::now()));
+                            // Echo the delivery context verbatim (the
+                            // ack convention all runtimes share — the
+                            // driver derives this peer's span from it);
+                            // forwards are re-stamped one hop deeper.
+                            let fwd_trace =
+                                trace.map(|ctx| ctx.child_of(span_id(ctx.trace_id, id)));
+                            let _ = delivery_tx.send((pub_id, id, bytes, Instant::now(), trace));
                             if let Some(kids) = children_for(&children, id) {
                                 // Child lists are built from the sorted
                                 // edges() and stay ascending.
@@ -177,6 +208,7 @@ impl ThrottledNetwork {
                                         pub_id,
                                         bytes,
                                         children: children.clone(),
+                                        trace: fwd_trace,
                                     });
                                 }
                             }
@@ -192,6 +224,10 @@ impl ThrottledNetwork {
             deliveries,
             next_pub_id: 1,
             drops,
+            stats: TransportStats::new(),
+            tracing: false,
+            epoch: Instant::now(),
+            spans: Vec::new(),
         }
     }
 
@@ -233,6 +269,7 @@ impl ThrottledNetwork {
                 pub_id,
                 bytes,
                 children: Arc::new(children),
+                trace: self.tracing.then(|| TraceContext::root(pub_id)),
             })
         });
         if !matches!(seeded, Some(Ok(()))) {
@@ -243,7 +280,7 @@ impl ThrottledNetwork {
         while got.len() < expect {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.deliveries.recv_timeout(remaining) {
-                Ok((id, peer, _bytes, at)) if id == pub_id && peer != tree.publisher => {
+                Ok((id, peer, _bytes, at, _trace)) if id == pub_id && peer != tree.publisher => {
                     if got.insert(peer) {
                         result.deliveries.push(TimedDelivery {
                             peer,
@@ -294,20 +331,37 @@ impl Transport for ThrottledNetwork {
         let Some(tx) = self.senders.get(to as usize) else {
             return false;
         };
+        // Frame sizes are what the message *would* cost on the wire: the
+        // throttle never encodes, but the telemetry stays comparable.
+        let (tag, frame_bytes) = (msg.tag(), encoded_frame_len(&msg));
         match msg {
             WireMsg::Publish {
                 pub_id,
                 children,
                 payload,
+                trace,
                 ..
-            } => tx
-                .send(Msg::Payload {
-                    pub_id,
-                    bytes: payload.len() as u64,
-                    children,
-                })
-                .is_ok(),
-            WireMsg::Shutdown => tx.send(Msg::Stop).is_ok(),
+            } => {
+                let ok = tx
+                    .send(Msg::Payload {
+                        pub_id,
+                        bytes: payload.len() as u64,
+                        children,
+                        trace,
+                    })
+                    .is_ok();
+                if ok {
+                    self.stats.record_tx(tag, frame_bytes);
+                }
+                ok
+            }
+            WireMsg::Shutdown => {
+                let ok = tx.send(Msg::Stop).is_ok();
+                if ok {
+                    self.stats.record_tx(tag, frame_bytes);
+                }
+                ok
+            }
             // Control-plane frames have no throttled meaning: the throttle
             // models upload contention for payload dissemination only. The
             // refusal list is spelled out (no `_`) so a new wire tag fails
@@ -322,14 +376,30 @@ impl Transport for ThrottledNetwork {
     }
 
     fn recv_event(&mut self, timeout: Duration) -> Option<WireMsg> {
-        self.deliveries
-            .recv_timeout(timeout)
-            .ok()
-            .map(|(pub_id, peer, bytes, _at)| WireMsg::Ack {
-                pub_id,
+        let (pub_id, peer, bytes, at, trace) = self.deliveries.recv_timeout(timeout).ok()?;
+        // Driver-side span materialization from the echoed context, like
+        // the threaded runtime — but stamped with the peer thread's
+        // delivery time, which on this runtime models the throttled
+        // transfer schedule. Attempts are not in the echo: always 0.
+        if let Some(ctx) = trace {
+            self.spans.push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: span_id(ctx.trace_id, peer),
+                parent_span: ctx.parent_span,
                 peer,
-                bytes,
-            })
+                hop: ctx.hop,
+                attempt: 0,
+                wall_us: at.saturating_duration_since(self.epoch).as_micros() as u64,
+            });
+        }
+        let ack = WireMsg::Ack {
+            pub_id,
+            peer,
+            bytes,
+            trace,
+        };
+        self.stats.record_rx(7, encoded_frame_len(&ack));
+        Some(ack)
     }
 
     fn drops_injected(&self) -> u64 {
@@ -342,6 +412,22 @@ impl Transport for ThrottledNetwork {
 
     fn shutdown(&mut self) {
         ThrottledNetwork::shutdown(self);
+    }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    fn drain_spans(&mut self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans)
     }
 }
 

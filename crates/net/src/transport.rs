@@ -22,9 +22,11 @@
 //! * [`Transport::shutdown`] is idempotent, and dropping a transport shuts
 //!   it down.
 
+use crate::stats::TransportStats;
 use bytes::Bytes;
+use osn_obs::trace::SpanRecord;
 use select_core::pubsub::RoutingTree;
-use select_core::wire::{children_of, WireMsg};
+use select_core::wire::{children_of, TraceContext, WireMsg};
 use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -71,6 +73,30 @@ pub trait Transport {
     /// Stops every peer and reclaims resources. Idempotent: safe to call
     /// any number of times, and implementations also invoke it on drop.
     fn shutdown(&mut self);
+
+    /// This transport's live wire-telemetry counters (shared with its peer
+    /// threads). Counting conventions: every frame records tx at its
+    /// sender and rx at its receiver, with byte sizes from
+    /// [`crate::codec::encoded_frame_len`], so the in-process transports
+    /// report the same totals the socket transport pays for real.
+    fn stats(&self) -> &TransportStats;
+
+    /// Turns wire-level tracing on or off for subsequent publications.
+    /// When on, [`publish_over`] stamps a root [`TraceContext`] into every
+    /// publish frame and peers record delivery spans.
+    fn set_tracing(&mut self, on: bool);
+
+    /// Whether publish frames are currently being stamped with trace
+    /// contexts.
+    fn tracing(&self) -> bool;
+
+    /// Drains the span records this transport collected. The socket
+    /// transport buffers spans on its peer threads and flushes them when
+    /// they exit, so its set is complete only after
+    /// [`Transport::shutdown`]; the in-process runtimes materialize spans
+    /// driver-side from ack echoes as the acks are processed. Either way,
+    /// draining after shutdown observes every span.
+    fn drain_spans(&mut self) -> Vec<SpanRecord>;
 }
 
 /// Smallest ack window [`publish_over`] will wait before declaring a
@@ -153,6 +179,10 @@ pub fn publish_over<T: Transport + ?Sized>(
         drops_injected: 0,
         retries: 0,
     };
+    // When tracing, every frame of this publication carries the root
+    // context (trace id = publication id); peers re-stamp forwards with
+    // themselves as parent. Presence of the context IS the sampling bit.
+    let trace = net.tracing().then(|| TraceContext::root(pub_id));
     // A tree built against a different network (publisher out of range) or
     // a transport already shut down delivers nothing rather than panicking
     // mid-delivery.
@@ -164,6 +194,7 @@ pub fn publish_over<T: Transport + ?Sized>(
             publisher: tree.publisher,
             children: children.clone(),
             payload: payload.clone(),
+            trace,
         },
     );
     if !seeded {
@@ -187,6 +218,7 @@ pub fn publish_over<T: Transport + ?Sized>(
                     pub_id: acked,
                     peer,
                     bytes,
+                    trace: _,
                 }) if acked == pub_id && peer != tree.publisher => {
                     if result.delivered_to.insert(peer) {
                         result.bytes_received += bytes as usize;
@@ -202,6 +234,7 @@ pub fn publish_over<T: Transport + ?Sized>(
         // Ack window closed with subscribers missing: retransmit to each
         // directly. The shared children map rides along, so a relay that
         // lost its whole subtree re-forwards downstream.
+        net.stats().note_ack_window_expiry();
         let mut unreached: Vec<u32> = expect
             .iter()
             .copied()
@@ -218,9 +251,11 @@ pub fn publish_over<T: Transport + ?Sized>(
                     publisher: tree.publisher,
                     children: children.clone(),
                     payload: payload.clone(),
+                    trace,
                 },
             ) {
                 result.retries += 1;
+                net.stats().note_retransmission();
             }
         }
     }

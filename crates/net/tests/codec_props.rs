@@ -11,8 +11,22 @@ use osn_overlay::RingId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use select_core::wire::WireMsg;
+use select_core::wire::{TraceContext, WireMsg};
 use std::sync::Arc;
+
+/// Trace context present on odd seeds, absent on even ones — so every
+/// property sweeps frames with and without the optional v2 field.
+fn arb_trace(seed: u64) -> Option<TraceContext> {
+    (seed % 2 == 1).then(|| TraceContext {
+        trace_id: seed.rotate_left(17),
+        parent_span: if seed % 4 == 1 {
+            0 // the driver-root sentinel must round-trip too
+        } else {
+            seed.rotate_right(9)
+        },
+        hop: (seed % 7) as u8,
+    })
+}
 
 /// Deterministically builds an arbitrary message of the given shape from a
 /// seed: every variant, with field sizes swept from empty to paper-scale.
@@ -40,6 +54,7 @@ fn arb_msg(tag: u8, seed: u64) -> WireMsg {
         4 => WireMsg::Probe {
             from: seed as u32,
             nonce: seed,
+            trace: arb_trace(seed),
         },
         5 => WireMsg::ProbeReply {
             from: seed as u32,
@@ -60,12 +75,14 @@ fn arb_msg(tag: u8, seed: u64) -> WireMsg {
                 publisher: (seed % 100) as u32,
                 children: Arc::new(children),
                 payload: Bytes::from(vec![(seed % 251) as u8; payload_len]),
+                trace: arb_trace(seed),
             }
         }
         7 => WireMsg::Ack {
             pub_id: seed,
             peer: seed as u32,
             bytes: seed >> 3,
+            trace: arb_trace(seed),
         },
         _ => WireMsg::Shutdown,
     }
@@ -101,6 +118,25 @@ proptest! {
         let _ = decode(&bytes);
         let mut r = &bytes[..];
         let _ = read_frame(&mut r);
+    }
+
+    /// Version negotiation: any trace-free frame rewritten as wire v1 —
+    /// version byte 1, no trailing trace presence byte — decodes to the
+    /// same message under the v2 codec. Old peers' frames stay readable.
+    #[test]
+    fn v1_downgrade_decodes_identically(tag in 1u8..=8, seed in any::<u64>()) {
+        let msg = arb_msg(tag, seed & !1); // even seed → no trace context
+        let mut frame = encode(&msg).map_err(|e| TestCaseError(format!("{e}")))?;
+        frame[6] = 1; // claim wire version 1
+        if matches!(tag, 4 | 6 | 7) {
+            // v1 bodies predate the trailing trace presence byte.
+            prop_assert_eq!(frame.pop(), Some(0));
+            let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) - 1;
+            frame[..4].copy_from_slice(&len.to_le_bytes());
+        }
+        let (back, used) = decode(&frame).map_err(|e| TestCaseError(format!("{e}")))?;
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(back, msg);
     }
 
     /// A single flipped byte in a valid frame never panics; if the frame

@@ -25,6 +25,9 @@
 //!   deterministic merge.
 //! * [`recorder`] — [`PublishRecorder`] for the five dissemination metrics.
 //! * [`flight`] — [`FlightRecorder`] ring buffer of message journeys.
+//! * [`trace`] — cross-peer [`TraceAssembler`]: wire-level span records
+//!   drained from transport threads → canonical publish trees with per-hop
+//!   latency breakdown.
 //! * [`export`] — [`MetricsSnapshot`] → Prometheus text / JSON.
 
 #![forbid(unsafe_code)]
@@ -34,11 +37,13 @@ pub mod export;
 pub mod flight;
 pub mod hist;
 pub mod recorder;
+pub mod trace;
 
 pub use export::MetricsSnapshot;
 pub use flight::{FlightRecorder, Journey, JourneyId, JourneyStatus, RouteChoice, TraceEvent};
 pub use hist::Histogram;
 pub use recorder::PublishRecorder;
+pub use trace::{span_id, SpanRecord, TraceAssembler, TraceLatency};
 
 /// Everything the core publish path can observe, bundled so call sites
 /// thread a single `Option<&mut Observer>` through the pipeline. `None`

@@ -1,11 +1,19 @@
 //! Wirespace fixture: a miniature copy of the real wire vocabulary with one
 //! extra variant (`Evict`) that none of the companion codec/transport files
-//! handle. Linting this tree (`cargo run -p selint -- crates/selint/fixtures/wirespace`)
-//! must exit 1 with wire-exhaustive findings only. Never compiled.
+//! handle, plus a `TraceContext` the transport never mentions. Linting this
+//! tree (`cargo run -p selint -- crates/selint/fixtures/wirespace`) must
+//! exit 1 with wire-exhaustive findings only. Never compiled.
+
+/// Trace context the fixture transport fails to propagate.
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub parent_span: u64,
+    pub hop: u8,
+}
 
 pub enum WireMsg {
     Join { peer: u32 },
-    Publish { pub_id: u64, payload: Vec<u8> },
+    Publish { pub_id: u64, payload: Vec<u8>, trace: Option<TraceContext> },
     Shutdown,
     /// The newly-grown tag nobody handles yet.
     Evict { peer: u32 },

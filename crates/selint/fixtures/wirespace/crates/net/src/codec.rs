@@ -1,10 +1,19 @@
 //! Wirespace fixture codec: encode/decode arms for every variant EXCEPT
-//! `Evict`, so the wire-exhaustive rule must flag both functions.
+//! `Evict`, so the wire-exhaustive rule must flag both functions. It does
+//! mention `TraceContext`, so the trace-handling check stays quiet here —
+//! only the transport file earns that finding.
+
+fn encode_trace(ctx: &Option<TraceContext>, out: &mut Vec<u8>) {
+    out.push(if ctx.is_some() { 1 } else { 0 });
+}
 
 fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
     match msg {
         WireMsg::Join { .. } => out.push(1),
-        WireMsg::Publish { .. } => out.push(6),
+        WireMsg::Publish { trace, .. } => {
+            out.push(6);
+            encode_trace(trace, out);
+        }
         WireMsg::Shutdown => out.push(8),
     }
 }
@@ -15,6 +24,7 @@ fn decode_body(tag: u8) -> Option<WireMsg> {
         6 => Some(WireMsg::Publish {
             pub_id: 0,
             payload: Vec::new(),
+            trace: None,
         }),
         8 => Some(WireMsg::Shutdown),
         _ => None,

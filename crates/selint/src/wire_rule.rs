@@ -10,6 +10,12 @@
 //! NOT count — the whole point is that adding wire tag 9 must force a
 //! decision in every runtime, which is also why the real transports spell
 //! out ignored variants instead of using `_`.
+//!
+//! When the declaration also defines `struct TraceContext`, the codec and
+//! every transport must mention `TraceContext` outside test code: the trace
+//! field is optional on the wire, so a runtime that silently drops it still
+//! compiles — only this rule notices that a transport stopped propagating
+//! (or deliberately documenting) trace contexts.
 
 use crate::callgraph::CallGraph;
 use crate::{contains_word, line_of, Finding, PerFile, Rule};
@@ -159,6 +165,35 @@ pub(crate) fn check(graph: &CallGraph, files: &[PerFile]) -> Vec<Finding> {
                         "this Transport impl never mentions `{needle}`: dispatch it or add an \
                          explicit ignore arm so new wire tags force a per-runtime decision"
                     ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Trace contexts: once the wire vocabulary carries them, the codec and
+    // every transport must handle (or at least deliberately document) them.
+    if contains_word(&wire.stripped.code, "struct TraceContext").is_some() {
+        let mut trace_files: Vec<&str> = vec![CODEC];
+        trace_files.extend_from_slice(TRANSPORTS);
+        for rel in trace_files {
+            let Some(pf) = files.iter().find(|pf| pf.rel == rel) else {
+                continue;
+            };
+            if !mentions(pf, "TraceContext") {
+                let line = if rel == CODEC {
+                    1
+                } else {
+                    impl_line(&pf.stripped.code)
+                };
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: Rule::WireExhaustive,
+                    msg: "the wire vocabulary declares `TraceContext` but this file never \
+                          mentions it: propagate the trace field (or document why it is \
+                          dropped) so tracing cannot silently rot out of a runtime"
+                        .to_string(),
                     chain: Vec::new(),
                 });
             }

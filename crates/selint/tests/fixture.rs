@@ -80,14 +80,16 @@ fn fixture_lock_rule_sees_both_shapes() {
 #[test]
 fn wirespace_fixture_trips_wire_exhaustive() {
     // The wirespace tree declares an `Evict` variant no codec/transport file
-    // handles: one finding per codec function plus one for the transport.
+    // handles (one finding per codec function plus one for the transport)
+    // and a `TraceContext` the transport never mentions (one more finding;
+    // the codec does mention it, so it earns none).
     let root = workspace_root().join("crates/selint/fixtures/wirespace");
     let report = lint_workspace(&root).expect("wirespace walk");
     assert_eq!(report.files, 3, "wirespace fixture tree changed shape");
     assert_eq!(
         report.findings.len(),
-        3,
-        "wirespace must produce exactly 3 findings: {:#?}",
+        4,
+        "wirespace must produce exactly 4 findings: {:#?}",
         report.findings
     );
     assert!(
@@ -113,15 +115,26 @@ fn wirespace_fixture_trips_wire_exhaustive() {
             .iter()
             .filter(|f| f.file == "crates/net/src/runtime.rs")
             .count(),
-        1,
-        "the Transport impl must be flagged once"
+        2,
+        "the Transport impl must be flagged for the variant and the trace context"
     );
-    assert!(
+    assert_eq!(
         report
             .findings
             .iter()
-            .all(|f| f.msg.contains("WireMsg::Evict")),
-        "every finding must name the unhandled variant"
+            .filter(|f| f.msg.contains("WireMsg::Evict"))
+            .count(),
+        3,
+        "three findings must name the unhandled variant"
+    );
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.msg.contains("TraceContext") && f.file == "crates/net/src/runtime.rs")
+            .count(),
+        1,
+        "the transport that drops trace contexts must be flagged exactly once"
     );
 }
 

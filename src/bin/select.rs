@@ -27,9 +27,19 @@
 //!
 //! Observability (demo and churn): `--metrics-out FILE` writes the publish
 //! histograms (hops, stretch, retries, relay load, latency) after the run —
-//! Prometheus text format if FILE ends in `.prom`, JSON otherwise.
+//! Prometheus text format if FILE ends in `.prom`, JSON otherwise. When a
+//! transport replay ran, its wire telemetry (per-tag frame/byte counters,
+//! retransmissions, reconnects, garbage frames) is merged into the same
+//! snapshot as `select_wire_*` gauges.
 //! `--trace-failed` keeps a flight recorder on every publication and dumps
 //! the hop-by-hop journeys of failed deliveries to stderr.
+//!
+//! Wire tracing (demo): `--trace-out FILE` (requires `--transport`) stamps
+//! a trace context into every replayed publish frame, drains the span
+//! buffers peers recorded, and writes the assembled cross-peer trace trees
+//! — canonical form, per-hop and critical-path latency, and the replayed
+//! hop-by-hop journeys — to FILE. Try:
+//! `select demo --transport tcp --trace-out traces.txt`.
 //!
 //! For regenerating the paper's tables and figures use the `repro` binary in
 //! `osn-bench`; this CLI is the quick interactive front end.
@@ -39,9 +49,10 @@ use rand::{Rng, SeedableRng};
 use select::baselines::{build_system, SystemKind};
 use select::core::{SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
-use select::net::{publish_over, SocketNetwork, ThreadedNetwork, Transport};
-use select::obs::{MetricsSnapshot, Observer};
+use select::net::{publish_over, SocketNetwork, StatsSnapshot, ThreadedNetwork, Transport};
+use select::obs::{FlightRecorder, MetricsSnapshot, Observer, TraceAssembler};
 use select::sim::{ChurnModel, FaultPlan, Mean};
+use std::fmt::Write as _;
 
 /// Which real transport `--transport` replays demo publications over.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -65,6 +76,7 @@ struct Opts {
     retries: usize,
     metrics_out: Option<String>,
     trace_failed: bool,
+    trace_out: Option<String>,
     transport: Option<TransportKind>,
 }
 
@@ -92,8 +104,9 @@ impl Opts {
 }
 
 /// Writes `--metrics-out` (Prometheus text for `.prom`, JSON otherwise) and
-/// dumps failed journeys to stderr when tracing was on.
-fn flush_observer(opts: &Opts, obs: &Observer) {
+/// dumps failed journeys to stderr when tracing was on. `wire` carries the
+/// transport replay's telemetry, merged in as `select_wire_*` gauges.
+fn flush_observer(opts: &Opts, obs: &Observer, wire: Option<(&str, StatsSnapshot)>) {
     if let Some(fr) = &obs.flight {
         let mut dump = String::new();
         let failed = fr.dump_failed(16, &mut dump);
@@ -110,12 +123,15 @@ fn flush_observer(opts: &Opts, obs: &Observer) {
         return;
     };
     let m = &obs.metrics;
-    let snap = MetricsSnapshot::new()
+    let mut snap = MetricsSnapshot::new()
         .with_histogram("select_publish_hops", m.hops.clone())
         .with_histogram("select_publish_stretch", m.stretch.clone())
         .with_histogram("select_publish_retries", m.retries.clone())
         .with_histogram("select_publish_latency_virtual_ms", m.latency_ms.clone())
         .with_histogram("select_relay_load", m.relay_load_histogram());
+    if let Some((transport, stats)) = wire {
+        snap = stats.merge_into(snap, transport);
+    }
     let rendered = if path.ends_with(".prom") {
         snap.to_prometheus()
     } else {
@@ -142,6 +158,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
         retries: 3,
         metrics_out: None,
         trace_failed: false,
+        trace_out: None,
         transport: None,
     };
     let mut it = args.iter();
@@ -221,6 +238,9 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             "--trace-failed" => {
                 opts.trace_failed = true;
             }
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             "--transport" => {
                 let name = it.next().ok_or("--transport needs 'inproc' or 'tcp'")?;
                 opts.transport = Some(match name.to_ascii_lowercase().as_str() {
@@ -234,6 +254,9 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             }
             other => return Err(format!("unexpected argument '{other}'")),
         }
+    }
+    if opts.trace_out.is_some() && opts.transport.is_none() {
+        return Err("--trace-out traces the wire replay; pass --transport inproc|tcp too".into());
     }
     Ok((cmd.unwrap_or_else(|| "demo".into()), opts))
 }
@@ -313,13 +336,15 @@ fn cmd_demo(opts: &Opts) {
         }
         trees.push((b, r.tree));
     }
+    // The replay runs before the observer flush so its wire telemetry can
+    // ride along in the metrics snapshot.
+    let wire = opts
+        .transport
+        .and_then(|kind| replay_over_transport(opts, kind, graph.num_nodes(), &trees));
     if let Some(obs) = &observer {
         let (p50, p95, p99) = obs.metrics.latency_ms.tails();
         eprintln!("[select] delivery latency p50/p95/p99: {p50}/{p95}/{p99} virtual ms");
-        flush_observer(opts, obs);
-    }
-    if let Some(kind) = opts.transport {
-        replay_over_transport(opts, kind, graph.num_nodes(), &trees);
+        flush_observer(opts, obs, wire.as_ref().map(|(name, s)| (*name, *s)));
     }
 }
 
@@ -328,30 +353,39 @@ fn cmd_demo(opts: &Opts) {
 /// plan at the transport boundary — and reports per-publication wall
 /// latency. The in-simulation results above and this replay agree on the
 /// delivery *sets* by construction (the conformance suite pins it).
+///
+/// Returns the transport's name and frozen wire telemetry so the caller
+/// can fold them into `--metrics-out`.
 fn replay_over_transport(
     opts: &Opts,
     kind: TransportKind,
     n: usize,
     trees: &[(u32, select::core::RoutingTree)],
-) {
+) -> Option<(&'static str, StatsSnapshot)> {
     let plan = opts.fault_plan();
     let retry_max = opts.retries as u32;
-    let mut transport: Box<dyn Transport> = match kind {
+    let (name, mut transport): (&'static str, Box<dyn Transport>) = match kind {
         TransportKind::Inproc => {
             eprintln!("[select] replaying over in-process channel transport ({n} peer threads)");
-            Box::new(ThreadedNetwork::spawn_with_faults(n, plan, retry_max))
+            (
+                "inproc",
+                Box::new(ThreadedNetwork::spawn_with_faults(n, plan, retry_max)),
+            )
         }
         TransportKind::Tcp => {
             eprintln!("[select] replaying over loopback TCP transport ({n} peer sockets)");
             match SocketNetwork::spawn_with_faults(n, plan, retry_max) {
-                Ok(t) => Box::new(t),
+                Ok(t) => ("tcp", Box::new(t)),
                 Err(e) => {
                     eprintln!("[select] cannot spawn socket transport: {e}");
-                    return;
+                    return None;
                 }
             }
         }
     };
+    if opts.trace_out.is_some() {
+        transport.set_tracing(true);
+    }
     let payload = bytes::Bytes::from(vec![0x5Eu8; 4 * 1024]);
     for (i, (b, tree)) in trees.iter().enumerate() {
         let t0 = std::time::Instant::now();
@@ -376,6 +410,50 @@ fn replay_over_transport(
         );
     }
     transport.shutdown();
+    if let Some(path) = &opts.trace_out {
+        // Peers flushed their span buffers at shutdown; assemble them into
+        // cross-peer publish trees.
+        let mut asm = TraceAssembler::new();
+        asm.absorb(transport.drain_spans());
+        write_trace_out(path, name, &asm);
+    }
+    Some((name, transport.stats().snapshot()))
+}
+
+/// Renders assembled wire traces — canonical trees, latency breakdowns,
+/// and the replayed hop-by-hop journeys — into `path`.
+fn write_trace_out(path: &str, transport: &str, asm: &TraceAssembler) {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# wire traces over {transport}: {} span(s) across {} publication(s)",
+        asm.len(),
+        asm.trace_ids().len()
+    );
+    out.push_str(&asm.render_all());
+    for id in asm.trace_ids() {
+        let lat = asm.latency(id);
+        let chain = lat
+            .critical_path
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let _ = writeln!(
+            out,
+            "trace {id} latency: critical path [{chain}], per-hop {:?} us, end-to-end {} us",
+            lat.per_hop_us, lat.critical_path_us
+        );
+    }
+    let mut fr = FlightRecorder::with_capacity(asm.len().max(1));
+    asm.replay_into(&mut fr);
+    for j in fr.journeys() {
+        let _ = writeln!(out, "{j}");
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("[select] wire traces written to {path}"),
+        Err(e) => eprintln!("[select] cannot write {path}: {e}"),
+    }
 }
 
 fn cmd_compare(opts: &Opts) {
@@ -465,7 +543,7 @@ fn cmd_churn(opts: &Opts) {
         println!("fault telemetry     : {}", delivery.summary());
     }
     if let Some(obs) = &observer {
-        flush_observer(opts, obs);
+        flush_observer(opts, obs, None);
     }
 }
 

@@ -15,7 +15,8 @@
 use bytes::Bytes;
 use select::core::{RoutingTree, SelectConfig, SelectNetwork};
 use select::graph::prelude::*;
-use select::net::{SocketNetwork, ThreadedNetwork};
+use select::net::{SocketNetwork, ThreadedNetwork, Transport};
+use select::obs::trace::TraceAssembler;
 use select::sim::FaultPlan;
 use std::collections::HashSet;
 use std::time::Duration;
@@ -113,6 +114,62 @@ fn tcp_and_inproc_delivery_sets_match_at_one_and_eight_threads() {
         sets1, sets8,
         "delivery sets changed with the overlay's worker-thread count"
     );
+
+    // Tracing conformance rides on the same two convergences. The canonical
+    // trace render strips wall clocks, so under the fault-free plan it is a
+    // pure function of the routing trees — identical across worker-thread
+    // counts and across transports.
+    let render1 = traced_replay(&mut ThreadedNetwork::spawn(n1), &trees1, "in-process");
+    let render8 = traced_replay(&mut ThreadedNetwork::spawn(n8), &trees8, "in-process");
+    assert_eq!(
+        render1, render8,
+        "canonical trace trees changed with the overlay's worker-thread count"
+    );
+    let mut tcp = SocketNetwork::spawn(n1).expect("loopback listeners");
+    let render_tcp = traced_replay(&mut tcp, &trees1, "TCP");
+    assert_eq!(
+        render_tcp, render1,
+        "TCP canonical trace trees diverged from the in-process reference"
+    );
+}
+
+/// Replays every tree with tracing on, asserts each publication's span set
+/// forms a complete causal chain root→leaf over its delivery set, and
+/// returns the canonical (wall-free) render of all trace trees.
+fn traced_replay<T: Transport + ?Sized>(net: &mut T, trees: &[RoutingTree], label: &str) -> String {
+    net.set_tracing(true);
+    let mut expected: Vec<(u64, Vec<u32>)> = Vec::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        let pub_id = i as u64 + 1; // fresh transport, ids count from 1
+        let r = select::net::publish_over(
+            net,
+            tree,
+            Bytes::from_static(PAYLOAD),
+            Duration::from_secs(10),
+            0,
+            pub_id,
+        );
+        // The publisher's local delivery has a span too (the root of the
+        // trace tree) even though it is excluded from `delivered_to`.
+        let mut peers: Vec<u32> = r.delivered_to.iter().copied().collect();
+        peers.push(tree.publisher);
+        peers.sort_unstable();
+        peers.dedup();
+        expected.push((pub_id, peers));
+    }
+    // The socket transport flushes its per-peer span buffers when the peer
+    // threads exit, so drain only after shutdown.
+    net.shutdown();
+    let mut asm = TraceAssembler::new();
+    asm.absorb(net.drain_spans());
+    for (pub_id, peers) in &expected {
+        let gaps = asm.chain_gaps(*pub_id, peers);
+        assert!(
+            gaps.is_empty(),
+            "{label} span chain incomplete (pub {pub_id}): {gaps:?}"
+        );
+    }
+    asm.render_all()
 }
 
 /// With a retry budget the delivery set must saturate to the full
